@@ -1,0 +1,74 @@
+// Experiment E1: chain setup latency vs. chain length and topology size.
+//
+// setup_virtual_ms is the virtual time from deploy() start to the chain
+// forwarding (veth creation + sequential NETCONF RPCs + steering
+// flow-mods + settle); it grows linearly in chain length because the
+// management-plane RPCs dominate and are serialized per VNF -- exactly
+// the behaviour a real ESCAPE deployment shows against OpenYuma agents.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using namespace escape;
+using benchutil::build_linear;
+using benchutil::monitor_chain;
+
+static void BM_ChainSetup(benchmark::State& state) {
+  const int chain_len = static_cast<int>(state.range(0));
+  const int switches = static_cast<int>(state.range(1));
+
+  double setup_ms = 0;
+  double rpcs = 0;
+  for (auto _ : state) {
+    Environment env;
+    build_linear(env, switches);
+    if (auto s = env.start(); !s.ok()) {
+      state.SkipWithError(s.error().message.c_str());
+      break;
+    }
+    auto chain = env.deploy(monitor_chain(chain_len));
+    if (!chain.ok()) {
+      state.SkipWithError(chain.error().message.c_str());
+      break;
+    }
+    setup_ms = static_cast<double>(env.deployment(*chain)->record.setup_latency()) /
+               timeunit::kMillisecond;
+    rpcs = static_cast<double>(chain_len) * 4;  // initiate+start+2x connect
+  }
+  state.counters["setup_virtual_ms"] = setup_ms;
+  state.counters["netconf_rpcs"] = rpcs;
+  state.counters["chain_len"] = chain_len;
+  state.counters["switches"] = switches;
+}
+BENCHMARK(BM_ChainSetup)
+    ->ArgsProduct({{1, 2, 3, 4, 6, 8}, {2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+
+/// Ablation: how much of the setup latency is the management plane?
+/// Sweep the NETCONF control-network delay at fixed chain length.
+static void BM_ChainSetup_NetconfDelay(benchmark::State& state) {
+  const auto delay_us = static_cast<std::uint64_t>(state.range(0));
+  double setup_ms = 0;
+  for (auto _ : state) {
+    Environment env{EnvironmentOptions{.netconf_delay = delay_us * timeunit::kMicrosecond}};
+    build_linear(env, 4);
+    if (auto s = env.start(); !s.ok()) {
+      state.SkipWithError(s.error().message.c_str());
+      break;
+    }
+    auto chain = env.deploy(monitor_chain(4));
+    if (!chain.ok()) {
+      state.SkipWithError(chain.error().message.c_str());
+      break;
+    }
+    setup_ms = static_cast<double>(env.deployment(*chain)->record.setup_latency()) /
+               timeunit::kMillisecond;
+  }
+  state.counters["setup_virtual_ms"] = setup_ms;
+  state.counters["netconf_delay_us"] = static_cast<double>(delay_us);
+}
+BENCHMARK(BM_ChainSetup_NetconfDelay)
+    ->Arg(50)->Arg(200)->Arg(1000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

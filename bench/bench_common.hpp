@@ -1,0 +1,45 @@
+// Shared topology builders for the benchmark suite.
+#pragma once
+
+#include "escape/environment.hpp"
+
+namespace escape::benchutil {
+
+/// Linear topology: sap1 - s1 - s2 - ... - sN - sap2, one container per
+/// switch. Every link 1 Gb/s, 100 us.
+inline void build_linear(Environment& env, int n_switches) {
+  auto& net = env.network();
+  netemu::LinkConfig cfg;
+  cfg.bandwidth_bps = 1'000'000'000;
+  cfg.delay = 100 * timeunit::kMicrosecond;
+  net.add_host("sap1");
+  net.add_host("sap2");
+  for (int i = 1; i <= n_switches; ++i) {
+    net.add_switch("s" + std::to_string(i));
+    net.add_container("c" + std::to_string(i), 4.0, 32);
+    (void)net.add_link("c" + std::to_string(i), 0, "s" + std::to_string(i), 3, cfg);
+    if (i > 1) {
+      (void)net.add_link("s" + std::to_string(i - 1), 2, "s" + std::to_string(i), 1, cfg);
+    }
+  }
+  (void)net.add_link("sap1", 0, "s1", 10, cfg);
+  (void)net.add_link("sap2", 0, "s" + std::to_string(n_switches), 10, cfg);
+}
+
+/// A k-VNF monitor chain between sap1 and sap2.
+inline sg::ServiceGraph monitor_chain(int k, double cpu = 0.05,
+                                      std::uint64_t bw = 1'000'000) {
+  sg::ServiceGraph g("bench-chain");
+  g.add_sap("sap1").add_sap("sap2");
+  std::string prev = "sap1";
+  for (int i = 0; i < k; ++i) {
+    std::string id = "v" + std::to_string(i);
+    g.add_vnf(id, "monitor", {}, cpu);
+    g.add_link(prev, id, bw);
+    prev = id;
+  }
+  g.add_link(prev, "sap2", bw);
+  return g;
+}
+
+}  // namespace escape::benchutil

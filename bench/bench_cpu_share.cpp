@@ -1,0 +1,59 @@
+// Ablation: the cgroup-style CPU-share model (DESIGN.md decision list).
+//
+// A "worker" VNF costs a fixed number of nanoseconds of CPU per packet;
+// the container scales that cost by 1/share. Offered load is held
+// constant above the nominal capacity, so delivered throughput tracks
+// share * nominal_rate -- the observable effect of CPU isolation in the
+// original ESCAPE's cgroup-based containers.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using namespace escape;
+using benchutil::build_linear;
+
+static void BM_CpuShare_WorkerThroughput(benchmark::State& state) {
+  const double share = static_cast<double>(state.range(0)) / 100.0;
+
+  double delivered = 0;
+  double queue_drops = 0;
+  for (auto _ : state) {
+    Environment env;
+    build_linear(env, 2);
+    if (auto s = env.start(); !s.ok()) {
+      state.SkipWithError(s.error().message.c_str());
+      return;
+    }
+    // Worker at 100 us/packet nominal = 10 kpps at share 1.0.
+    sg::ServiceGraph g("worker-chain");
+    g.add_sap("sap1").add_sap("sap2");
+    g.add_vnf("w", "worker", {{"ns_per_packet", "100000"}, {"queue", "512"}}, share);
+    g.add_link("sap1", "w").add_link("w", "sap2");
+    auto chain = env.deploy(g);
+    if (!chain.ok()) {
+      state.SkipWithError(chain.error().message.c_str());
+      return;
+    }
+    auto* src = env.host("sap1");
+    auto* dst = env.host("sap2");
+    // Offer 8 kpps for one second: above capacity for share < 0.8.
+    src->start_udp_flow(dst->mac(), dst->ip(), 1, 80, 8000, 8000);
+    env.run_for(seconds(2));
+    delivered = static_cast<double>(dst->rx_packets());
+    auto info = env.monitor_vnf(env.deployment(*chain)->record.vnfs[0].container,
+                                env.deployment(*chain)->record.vnfs[0].instance_id);
+    if (info.ok()) {
+      auto it = info->handlers.find("q.drops");
+      if (it != info->handlers.end()) queue_drops = std::stod(it->second);
+    }
+  }
+  state.counters["cpu_share"] = share;
+  state.counters["delivered_of_8000"] = delivered;
+  state.counters["vnf_queue_drops"] = queue_drops;
+  state.counters["nominal_capacity_pps"] = 10000.0 * share;
+}
+BENCHMARK(BM_CpuShare_WorkerThroughput)
+    ->Arg(100)->Arg(80)->Arg(50)->Arg(25)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,147 @@
+// Security service chain: the kind of workload the paper's introduction
+// motivates -- traffic from a branch office passes firewall -> DPI ->
+// rate limiter before reaching the server.
+//
+// Demonstrates:
+//   * JSON topology descriptions (the MiniEdit artifact),
+//   * JSON service-graph descriptions with per-link bandwidth and an
+//     end-to-end latency requirement,
+//   * firewall policy effects and DPI pattern counters observed through
+//     the NETCONF monitoring path,
+//   * SLA checking against measured latency.
+#include <cstdio>
+
+#include "escape/environment.hpp"
+
+using namespace escape;
+
+namespace {
+
+constexpr const char* kTopology = R"({
+  "name": "branch-to-dc",
+  "nodes": [
+    {"name": "branch",  "kind": "host"},
+    {"name": "server",  "kind": "host"},
+    {"name": "edge",    "kind": "switch"},
+    {"name": "core",    "kind": "switch"},
+    {"name": "dc",      "kind": "switch"},
+    {"name": "pop1",    "kind": "container", "cpu": 1.0, "slots": 8},
+    {"name": "pop2",    "kind": "container", "cpu": 1.0, "slots": 8}
+  ],
+  "links": [
+    {"a": "branch", "a_port": 0, "b": "edge", "b_port": 1, "bw_mbps": 100, "delay_us": 200},
+    {"a": "edge",   "a_port": 2, "b": "core", "b_port": 1, "bw_mbps": 1000, "delay_us": 800},
+    {"a": "core",   "a_port": 2, "b": "dc",   "b_port": 1, "bw_mbps": 1000, "delay_us": 800},
+    {"a": "server", "a_port": 0, "b": "dc",   "b_port": 2, "bw_mbps": 1000, "delay_us": 100},
+    {"a": "pop1",   "a_port": 0, "b": "edge", "b_port": 3, "bw_mbps": 1000, "delay_us": 50},
+    {"a": "pop2",   "a_port": 0, "b": "dc",   "b_port": 3, "bw_mbps": 1000, "delay_us": 50}
+  ]
+})";
+
+constexpr const char* kServiceGraph = R"({
+  "name": "security-chain",
+  "saps": ["branch", "server"],
+  "vnfs": [
+    {"id": "fw",  "type": "firewall", "cpu": 0.2,
+     "params": {"rules": "deny udp && dst port 23; deny net 203.0.113.0/24; allow ip",
+                "default": "deny"}},
+    {"id": "ids", "type": "dpi", "cpu": 0.3,
+     "params": {"patterns": "exploit;beacon"}},
+    {"id": "rl",  "type": "ratelimiter", "cpu": 0.1,
+     "params": {"rate": "2000", "queue": "256"}}
+  ],
+  "links": [
+    {"src": "branch", "dst": "fw",  "bw_mbps": 50},
+    {"src": "fw",     "dst": "ids", "bw_mbps": 50},
+    {"src": "ids",    "dst": "rl",  "bw_mbps": 50},
+    {"src": "rl",     "dst": "server", "bw_mbps": 50}
+  ],
+  "requirements": [
+    {"a": "branch", "b": "server", "bw_mbps": 50, "max_delay_ms": 30}
+  ]
+})";
+
+}  // namespace
+
+int main() {
+  Logging::set_level(LogLevel::kWarn);
+  Environment env{EnvironmentOptions{.mapping_algorithm = "delaygreedy"}};
+
+  auto topology = service::TopologySpec::from_json(kTopology);
+  if (!topology.ok()) {
+    std::fprintf(stderr, "topology: %s\n", topology.error().to_string().c_str());
+    return 1;
+  }
+  if (auto s = env.load_topology(*topology); !s.ok()) {
+    std::fprintf(stderr, "build: %s\n", s.error().to_string().c_str());
+    return 1;
+  }
+  if (auto s = env.start(); !s.ok()) {
+    std::fprintf(stderr, "start: %s\n", s.error().to_string().c_str());
+    return 1;
+  }
+
+  auto graph = service::service_graph_from_json(kServiceGraph);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "sg: %s\n", graph.error().to_string().c_str());
+    return 1;
+  }
+
+  auto chain = env.deploy(*graph);
+  if (!chain.ok()) {
+    std::fprintf(stderr, "deploy: %s\n", chain.error().to_string().c_str());
+    return 1;
+  }
+  const ChainDeployment* dep = env.deployment(*chain);
+  std::printf("deployed '%s': %s\n", graph->name().c_str(),
+              dep->record.mapping.to_string().c_str());
+
+  // Legitimate traffic: HTTP-ish flow at 1500 pps for two seconds.
+  netemu::Host* branch = env.host("branch");
+  netemu::Host* server = env.host("server");
+  branch->start_udp_flow(server->mac(), server->ip(), 40000, 80, 3000, 1500);
+  env.run_for(seconds(3));
+  std::printf("legit flow: %llu/3000 delivered, mean latency %.2f ms\n",
+              static_cast<unsigned long long>(server->rx_packets()),
+              server->latency_us().mean() / 1000.0);
+
+  // Telnet attempt: denied at the firewall.
+  branch->start_udp_flow(server->mac(), server->ip(), 40001, 23, 200, 1000);
+  env.run_for(seconds(1));
+  std::printf("after telnet attempt: server still at %llu packets\n",
+              static_cast<unsigned long long>(server->rx_packets()));
+
+  // An "exploit" payload for the DPI to count (allowed through: DPI is
+  // passive in this chain).
+  net::Packet evil = net::PacketBuilder()
+                         .eth(branch->mac(), server->mac())
+                         .ipv4(branch->ip(), server->ip())
+                         .udp(40002, 80)
+                         .payload(std::string_view("GET /exploit.bin"))
+                         .build();
+  branch->send(std::move(evil));
+  env.run_for(seconds(1));
+
+  // Monitoring (Clicky over NETCONF).
+  for (const auto& vnf : dep->record.vnfs) {
+    auto info = env.monitor_vnf(vnf.container, vnf.instance_id);
+    if (!info.ok()) continue;
+    std::printf("-- %s @ %s\n", vnf.vnf_id.c_str(), vnf.container.c_str());
+    for (const auto& [handler, value] : info->handlers) {
+      if (handler.find("count") != std::string::npos ||
+          handler.find("accepted") != std::string::npos ||
+          handler.find("denied") != std::string::npos ||
+          handler.find("matches") != std::string::npos) {
+        std::printf("   %-24s %s\n", handler.c_str(), value.c_str());
+      }
+    }
+  }
+
+  // SLA verdict.
+  auto report = service::ServiceLayer::check_delay(graph->requirements()[0],
+                                                   server->latency_us().mean() / 1000.0);
+  std::printf("SLA (<= %.0f ms): measured %.2f ms -> %s\n",
+              static_cast<double>(report.requirement.max_delay) / timeunit::kMillisecond,
+              report.measured_delay_ms, report.delay_met ? "MET" : "VIOLATED");
+  return report.delay_met ? 0 : 1;
+}

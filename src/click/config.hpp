@@ -1,0 +1,75 @@
+// Parser for the Click configuration language subset used by the VNF
+// catalog, and the factory registry mapping class names to elements.
+//
+// Supported syntax:
+//   src :: RatedSource(RATE 1000);         // declaration
+//   src -> Queue(100) -> sink;             // chains with inline anonymous
+//   cl[1] -> [0]out; cl [2] -> Discard;    // port specifiers
+//   elementclass CountedQueue {            // compound element classes
+//     input -> q :: Queue(100);
+//     q -> Unqueue -> Counter -> output;
+//   }
+//   cq :: CountedQueue; src2 -> cq -> sink2;
+//   // line and /* block */ comments
+//
+// Compounds are expanded at parse time: inner elements are instantiated
+// as "<instance>/<inner>" and the compound's input[i]/output[j] pseudo
+// ports are spliced into the surrounding connections. Not supported
+// (documented limitation vs. full Click): compound arguments ($VAR),
+// require statements.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "click/router.hpp"
+#include "util/result.hpp"
+
+namespace escape::click {
+
+/// Factory registry: Click class name -> element constructor.
+class ElementRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Element>()>;
+
+  /// The process-wide registry preloaded with the standard library
+  /// (see elements.hpp).
+  static ElementRegistry& global();
+
+  void register_class(std::string class_name, Factory factory);
+  bool has(std::string_view class_name) const;
+  std::unique_ptr<Element> create(std::string_view class_name) const;
+  std::vector<std::string> class_names() const;
+
+ private:
+  std::map<std::string, Factory, std::less<>> factories_;
+};
+
+/// A parsed element declaration.
+struct Declaration {
+  std::string name;
+  std::string class_name;
+  std::string config;  // raw argument string
+};
+
+/// Parse result: declarations in order plus connections. Compound
+/// classes are already expanded away.
+struct ParsedConfig {
+  std::vector<Declaration> declarations;
+  std::vector<Connection> connections;
+};
+
+/// Parses configuration text (syntax only; class names are not checked
+/// except compound references, which are expanded).
+Result<ParsedConfig> parse_config(std::string_view text);
+
+/// Parses `text`, instantiates elements through `registry`, configures
+/// them, wires connections and initializes the router.
+Result<std::unique_ptr<Router>> build_router(std::string_view text, EventScheduler& scheduler,
+                                             const ElementRegistry& registry =
+                                                 ElementRegistry::global());
+
+}  // namespace escape::click

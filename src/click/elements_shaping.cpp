@@ -1,0 +1,123 @@
+// Traffic shaping and policing elements.
+#include "click/elements.hpp"
+#include "click/router.hpp"
+#include "util/strings.hpp"
+
+namespace escape::click {
+
+// --- BandwidthShaper -----------------------------------------------------------
+
+BandwidthShaper::BandwidthShaper() { declare_ports({PortMode::kPull}, {PortMode::kPull}); }
+
+Status BandwidthShaper::configure(const ConfigArgs& args) {
+  if (auto v = args.keyword_or_positional("RATE", 0)) {
+    auto r = strings::parse_scaled_u64(*v);
+    if (!r || *r == 0) return make_error("click.config.bad-arg", "RATE must be > 0 bytes/s");
+    rate_ = *r;
+  }
+  if (auto v = args.keyword_u64("BURST")) burst_ = *v;
+  bucket_.emplace(rate_, burst_);
+  return ok_status();
+}
+
+std::optional<Packet> BandwidthShaper::pull(int) {
+  if (!bucket_) bucket_.emplace(rate_, burst_);
+  // Peek-free shaping: we must know the size before consuming tokens, so
+  // pull the packet and, if over budget, hold it in a 1-slot staging area.
+  if (staged_) {
+    const SimTime now = router()->scheduler().now();
+    if (!bucket_->try_consume(now, staged_->size())) return std::nullopt;
+    auto p = std::move(*staged_);
+    staged_.reset();
+    return p;
+  }
+  auto p = input_pull(0);
+  if (!p) return std::nullopt;
+  const SimTime now = router()->scheduler().now();
+  if (bucket_->try_consume(now, p->size())) return p;
+  staged_ = std::move(*p);
+  return std::nullopt;
+}
+
+// --- Delay ------------------------------------------------------------------------
+
+Delay::Delay() { declare_ports({PortMode::kPush}, {PortMode::kPush}); }
+
+Status Delay::configure(const ConfigArgs& args) {
+  if (auto v = args.keyword_or_positional("DELAY", 0)) {
+    auto d = strings::parse_scaled_u64(*v);
+    if (!d) return make_error("click.config.bad-arg", "DELAY must be nanoseconds");
+    delay_ = *d;
+  }
+  return ok_status();
+}
+
+Status Delay::initialize(Router&) { return ok_status(); }
+
+void Delay::push(int, Packet&& p) {
+  auto shared = std::make_shared<Packet>(std::move(p));
+  router()->scheduler().schedule(delay_, [this, shared]() mutable {
+    output_push(0, std::move(*shared));
+  });
+}
+
+// --- RandomSample --------------------------------------------------------------------
+
+RandomSample::RandomSample() {
+  declare_ports({PortMode::kPush}, {PortMode::kPush, PortMode::kPush});
+  add_read_handler("sampled", [this] { return std::to_string(sampled_); });
+  add_read_handler("dropped", [this] { return std::to_string(dropped_); });
+}
+
+Status RandomSample::configure(const ConfigArgs& args) {
+  if (auto v = args.keyword_or_positional("P", 0)) {
+    auto p = strings::parse_double(*v);
+    if (!p || *p < 0.0 || *p > 1.0) {
+      return make_error("click.config.bad-arg", "P must be in [0,1]");
+    }
+    p_ = *p;
+  }
+  if (auto v = args.keyword_u64("SEED")) rng_ = Rng(*v);
+  return ok_status();
+}
+
+void RandomSample::push(int, Packet&& p) {
+  if (rng_.next_bool(p_)) {
+    ++sampled_;
+    output_push(0, std::move(p));
+  } else {
+    ++dropped_;
+    if (output_connected(1)) output_push(1, std::move(p));
+  }
+}
+
+// --- Meter ------------------------------------------------------------------------------
+
+Meter::Meter() {
+  declare_ports({PortMode::kPush}, {PortMode::kPush, PortMode::kPush});
+  add_read_handler("conforming", [this] { return std::to_string(conforming_); });
+  add_read_handler("exceeding", [this] { return std::to_string(exceeding_); });
+}
+
+Status Meter::configure(const ConfigArgs& args) {
+  if (auto v = args.keyword_or_positional("RATE", 0)) {
+    auto r = strings::parse_scaled_u64(*v);
+    if (!r || *r == 0) return make_error("click.config.bad-arg", "Meter RATE must be > 0");
+    rate_ = *r;
+  }
+  bucket_.emplace(rate_, std::max<std::uint64_t>(rate_ / 10, 1));
+  return ok_status();
+}
+
+void Meter::push(int, Packet&& p) {
+  const SimTime now = router()->scheduler().now();
+  if (bucket_->try_consume(now, 1)) {
+    ++conforming_;
+    output_push(0, std::move(p));
+  } else {
+    ++exceeding_;
+    output_push(1, std::move(p));
+  }
+}
+
+}  // namespace escape::click

@@ -1,0 +1,322 @@
+#include "escape/environment.hpp"
+
+namespace escape {
+
+Environment::Environment(EnvironmentOptions options)
+    : options_(std::move(options)), network_(scheduler_) {
+  controller_ = std::make_unique<pox::Controller>(scheduler_, options_.control_delay);
+  controller_->set_wire_serialization(options_.serialize_control_channel);
+  steering_ = std::make_shared<pox::TrafficSteering>();
+  controller_->add_app(steering_);
+  if (options_.enable_l2_learning) {
+    l2_ = std::make_shared<pox::L2Learning>();
+    controller_->add_app(l2_);
+  }
+}
+
+Status Environment::load_topology(const service::TopologySpec& spec) {
+  return spec.build(network_);
+}
+
+Status Environment::start() {
+  // Attach any unattached switches (Controller::attach_switch is
+  // idempotent per dpid map insert, but avoid duplicate channels).
+  for (const auto& name : network_.node_names()) {
+    if (auto* sw = network_.switch_node(name)) {
+      if (!controller_->connection(sw->dpid())) {
+        controller_->attach_switch(sw->datapath());
+      }
+    }
+  }
+  // One NETCONF agent/client pair per container over the control network.
+  for (const auto& name : network_.node_names()) {
+    if (auto* c = network_.container(name)) {
+      if (mgmt_.count(name)) continue;
+      auto [server_end, client_end] = netconf::make_pipe(scheduler_, options_.netconf_delay);
+      ContainerMgmt m;
+      m.agent = std::make_unique<netconf::VnfAgent>(server_end, *c);
+      m.client = std::make_unique<netconf::VnfAgentClient>(client_end);
+      mgmt_[name] = std::move(m);
+    }
+  }
+  // Complete the handshakes in virtual time.
+  scheduler_.run_for(10 * std::max(options_.control_delay, options_.netconf_delay));
+
+  for (const auto& name : network_.node_names()) {
+    if (auto* sw = network_.switch_node(name)) {
+      pox::SwitchConnection* conn = controller_->connection(sw->dpid());
+      if (!conn || !conn->up()) {
+        return make_error("escape.start.switch-down",
+                          name + ": OpenFlow handshake did not complete");
+      }
+    }
+  }
+  for (auto& [name, m] : mgmt_) {
+    if (!m.client->session().established()) {
+      return make_error("escape.start.agent-down",
+                        name + ": NETCONF session did not establish");
+    }
+  }
+
+  // (Re)build the deployment engine with the current agent set.
+  std::map<std::string, netconf::VnfAgentClient*> agents;
+  for (auto& [name, m] : mgmt_) agents[name] = m.client.get();
+  engine_ = std::make_unique<orchestrator::DeploymentEngine>(network_, *steering_,
+                                                             std::move(agents));
+  // Snapshot the substrate into the persistent orchestration view. A
+  // re-start after adding nodes rebuilds it: container CPU in use is
+  // already reflected by the live containers; link bandwidth reserved by
+  // existing chains is re-applied from their mapping records (network
+  // links are append-only, so recorded link indices stay valid).
+  view_ = orchestrator::resource_view_from(network_);
+  for (const auto& [id, dep] : deployments_) {
+    for (const auto& lm : dep.record.mapping.link_mappings) {
+      view_->reserve_path(lm.path, lm.bandwidth_bps);
+    }
+  }
+  started_ = true;
+  log_.info("environment up: ", network_.switch_count(), " switches, ",
+            network_.container_count(), " containers, ", network_.host_count(), " hosts");
+  return ok_status();
+}
+
+Status Environment::pump_until(const bool& flag, std::string_view what) {
+  std::size_t guard = 0;
+  while (!flag && scheduler_.step()) {
+    if (++guard > 50'000'000) break;
+  }
+  if (!flag) {
+    return make_error("escape.stalled",
+                      std::string(what) + ": virtual time quiesced without completion");
+  }
+  return ok_status();
+}
+
+Result<openflow::Match> Environment::default_match(const sg::ServiceGraph& graph) {
+  auto order = graph.chain_order();
+  if (!order.ok()) return order.error();
+  netemu::Host* src = network_.host(order->front());
+  netemu::Host* dst = network_.host(order->back());
+  if (!src || !dst) {
+    return make_error("escape.no-sap-host",
+                      "chain SAPs must correspond to hosts in the network");
+  }
+  openflow::Match match;
+  match.dl_type(net::ethertype::kIpv4).nw_src(src->ip()).nw_dst(dst->ip());
+  return match;
+}
+
+Result<std::uint32_t> Environment::deploy(const sg::ServiceGraph& graph) {
+  if (!started_) return make_error("escape.not-started", "call start() before deploy()");
+  auto match = default_match(graph);
+  if (!match.ok()) return match.error();
+  return deploy(graph, *match);
+}
+
+Result<std::uint32_t> Environment::deploy(const sg::ServiceGraph& graph,
+                                          openflow::Match match) {
+  if (!started_) return make_error("escape.not-started", "call start() before deploy()");
+
+  // Service layer: validate + render Click configs.
+  auto rendered = service_layer_.prepare(graph);
+  if (!rendered.ok()) return rendered.error();
+
+  // Orchestration layer: map against the persistent view so earlier
+  // chains' CPU/slot/bandwidth reservations are respected. On success
+  // the algorithm commits this chain's reservations into the view.
+  sg::ResourceGraph& view = *view_;
+  auto algorithm = orchestrator::MappingRegistry::global().create(options_.mapping_algorithm);
+  if (!algorithm) {
+    return make_error("escape.unknown-algorithm",
+                      "no mapping algorithm named '" + options_.mapping_algorithm + "'");
+  }
+  auto mapping = algorithm->map(graph, view);
+  if (!mapping.ok()) return mapping.error();
+  log_.info("mapping: ", mapping->to_string());
+
+  // Deployment: NETCONF bring-up + steering, pumped to completion.
+  const std::uint32_t chain_id = next_chain_id_++;
+  bool done = false;
+  Result<orchestrator::DeploymentRecord> outcome =
+      make_error("escape.deploy.pending", "in flight");
+  engine_->deploy(chain_id, *mapping, view, *rendered, match,
+                  [&done, &outcome](Result<orchestrator::DeploymentRecord> r) {
+                    outcome = std::move(r);
+                    done = true;
+                  });
+  auto release_reservations = [this, &mapping, &graph] {
+    for (const auto& lm : mapping->link_mappings) {
+      view_->release_path(lm.path, lm.bandwidth_bps);
+    }
+    for (const auto& [vnf, container] : mapping->placements) {
+      if (const sg::VnfNode* node = graph.vnf(vnf)) {
+        view_->release_vnf(container, node->cpu_demand);
+      }
+    }
+  };
+  if (auto s = pump_until(done, "deploy"); !s.ok()) {
+    release_reservations();
+    return s.error();
+  }
+  if (!outcome.ok()) {
+    release_reservations();
+    return outcome.error();
+  }
+
+  ChainDeployment dep;
+  dep.id = chain_id;
+  dep.graph = graph;
+  dep.record = std::move(*outcome);
+  deployments_[chain_id] = std::move(dep);
+  log_.info("chain ", chain_id, " deployed in ",
+            static_cast<double>(deployments_[chain_id].record.setup_latency()) /
+                timeunit::kMillisecond,
+            " ms (virtual)");
+  return chain_id;
+}
+
+Result<std::uint32_t> Environment::install_return_path(std::uint32_t chain_id) {
+  const ChainDeployment* dep = deployment(chain_id);
+  if (!dep) {
+    return make_error("escape.unknown-chain",
+                      "chain not deployed: " + std::to_string(chain_id));
+  }
+  auto order = dep->graph.chain_order();
+  if (!order.ok()) return order.error();
+  const std::string& entry = order->front();
+  const std::string& exit = order->back();
+  netemu::Host* entry_host = network_.host(entry);
+  netemu::Host* exit_host = network_.host(exit);
+  if (!entry_host || !exit_host) {
+    return make_error("escape.no-sap-host", "chain SAPs must be hosts");
+  }
+
+  // Route the reverse direction on the current substrate (switches only;
+  // the mapped VNFs are not traversed).
+  sg::ResourceGraph view = orchestrator::resource_view_from(network_);
+  auto path = view.shortest_path(exit, entry);
+  if (!path || path->nodes.size() < 3) {
+    return make_error("escape.no-return-route", "no switched route " + exit + " -> " + entry);
+  }
+
+  pox::ChainPath reverse;
+  reverse.chain_id = next_chain_id_++;
+  reverse.match = openflow::Match()
+                      .dl_type(net::ethertype::kIpv4)
+                      .nw_src(exit_host->ip())
+                      .nw_dst(entry_host->ip());
+  for (std::size_t j = 1; j + 1 < path->nodes.size(); ++j) {
+    netemu::SwitchNode* sw = network_.switch_node(path->nodes[j]);
+    if (!sw) {
+      return make_error("escape.no-return-route",
+                        "return path transits non-switch " + path->nodes[j]);
+    }
+    reverse.hops.push_back(
+        {sw->dpid(), view.port_on(path->link_indices[j - 1], path->nodes[j]),
+         view.port_on(path->link_indices[j], path->nodes[j])});
+  }
+  if (auto s = steering_->install_chain(reverse); !s.ok()) return s.error();
+  // Let the flow-mods land before reporting the path usable.
+  scheduler_.run_for(4 * options_.control_delay + timeunit::kMillisecond);
+
+  ChainDeployment record;
+  record.id = reverse.chain_id;
+  record.graph = sg::ServiceGraph("return-of-" + std::to_string(chain_id));
+  record.record.chain_id = reverse.chain_id;
+  record.record.chain_path = reverse;
+  deployments_[reverse.chain_id] = std::move(record);
+  return reverse.chain_id;
+}
+
+const ChainDeployment* Environment::deployment(std::uint32_t chain_id) const {
+  auto it = deployments_.find(chain_id);
+  return it == deployments_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::uint32_t> Environment::deployed_chains() const {
+  std::vector<std::uint32_t> out;
+  for (const auto& [id, _] : deployments_) out.push_back(id);
+  return out;
+}
+
+Status Environment::undeploy(std::uint32_t chain_id) {
+  auto it = deployments_.find(chain_id);
+  if (it == deployments_.end()) {
+    return make_error("escape.unknown-chain", "chain not deployed: " + std::to_string(chain_id));
+  }
+  bool done = false;
+  Status outcome = ok_status();
+  engine_->teardown(it->second.record, [&done, &outcome](Status s) {
+    outcome = std::move(s);
+    done = true;
+  });
+  if (auto s = pump_until(done, "undeploy"); !s.ok()) return s;
+  if (!outcome.ok()) return outcome;
+  // Give the chain's substrate reservations back to the view.
+  if (view_) {
+    for (const auto& lm : it->second.record.mapping.link_mappings) {
+      view_->release_path(lm.path, lm.bandwidth_bps);
+    }
+    for (const auto& [vnf, container] : it->second.record.mapping.placements) {
+      if (const sg::VnfNode* node = it->second.graph.vnf(vnf)) {
+        view_->release_vnf(container, node->cpu_demand);
+      }
+    }
+  }
+  deployments_.erase(it);
+  return ok_status();
+}
+
+netconf::VnfAgentClient* Environment::agent_client(const std::string& container_name) {
+  auto it = mgmt_.find(container_name);
+  return it == mgmt_.end() ? nullptr : it->second.client.get();
+}
+
+Result<pox::ChainStats> Environment::chain_stats(std::uint32_t chain_id) {
+  bool done = false;
+  Result<pox::ChainStats> outcome = make_error("escape.stats.pending", "in flight");
+  steering_->query_chain_stats(chain_id, [&done, &outcome](Result<pox::ChainStats> r) {
+    outcome = std::move(r);
+    done = true;
+  });
+  if (auto s = pump_until(done, "chain_stats"); !s.ok()) return s.error();
+  return outcome;
+}
+
+Status Environment::watch_vnf_events(
+    std::function<void(const std::string&, const std::string&, netemu::VnfStatus)> cb) {
+  auto shared = std::make_shared<decltype(cb)>(std::move(cb));
+  for (auto& [name, m] : mgmt_) {
+    bool done = false;
+    Status outcome = ok_status();
+    m.client->subscribe_events(
+        [shared, container = name](const std::string& vnf_id, netemu::VnfStatus status) {
+          (*shared)(container, vnf_id, status);
+        },
+        [&done, &outcome](Status s) {
+          outcome = std::move(s);
+          done = true;
+        });
+    if (auto s = pump_until(done, "watch_vnf_events"); !s.ok()) return s;
+    if (!outcome.ok()) return outcome;
+  }
+  return ok_status();
+}
+
+Result<netemu::VnfInfo> Environment::monitor_vnf(const std::string& container_name,
+                                                 const std::string& vnf_id) {
+  netconf::VnfAgentClient* client = agent_client(container_name);
+  if (!client) {
+    return make_error("escape.unknown-container", "no agent for " + container_name);
+  }
+  bool done = false;
+  Result<netemu::VnfInfo> outcome = make_error("escape.monitor.pending", "in flight");
+  client->get_vnf_info(vnf_id, [&done, &outcome](Result<netemu::VnfInfo> r) {
+    outcome = std::move(r);
+    done = true;
+  });
+  if (auto s = pump_until(done, "monitor_vnf"); !s.ok()) return s.error();
+  return outcome;
+}
+
+}  // namespace escape

@@ -1,0 +1,172 @@
+// The top-level ESCAPE environment: one object wiring all three UNIFY
+// layers together (Fig. 1 of the paper).
+//
+//   Service layer        -- VNF catalog, service graphs, SLA checks
+//   Orchestration layer  -- mapping algorithms + deployment engine,
+//                           NETCONF client per container
+//   Infrastructure layer -- emulated network (hosts/switches/containers),
+//                           POX-style controller with traffic steering,
+//                           NETCONF agent per container
+//
+// Typical use (the five demo steps):
+//   escape::Environment env;
+//   ... build env.network() or load a TopologySpec ...        // step 1
+//   env.start();
+//   sg::ServiceGraph graph = ...;                             // step 2
+//   auto dep = env.deploy(graph, "sap1", "sap2");             // step 3
+//   env.host("sap1")->start_udp_flow(...); env.run_for(...);  // step 4
+//   env.monitor_vnf(...)                                      // step 5
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "netconf/vnf_agent.hpp"
+#include "netemu/network.hpp"
+#include "orchestrator/deployment.hpp"
+#include "orchestrator/mapping.hpp"
+#include "orchestrator/view.hpp"
+#include "pox/l2_learning.hpp"
+#include "pox/steering.hpp"
+#include "service/formats.hpp"
+#include "service/layer.hpp"
+
+namespace escape {
+
+struct EnvironmentOptions {
+  /// One-way delay of the OpenFlow control channel.
+  SimDuration control_delay = 100 * timeunit::kMicrosecond;
+  /// One-way delay of the NETCONF control network.
+  SimDuration netconf_delay = 200 * timeunit::kMicrosecond;
+  /// Mapping algorithm name (see orchestrator::MappingRegistry).
+  std::string mapping_algorithm = "greedy";
+  /// Also run POX's l2_learning for non-chain traffic.
+  bool enable_l2_learning = false;
+  /// Run the OpenFlow control channel through the real ofp10 wire codec
+  /// (encode -> bytes -> decode) instead of moving typed structs.
+  bool serialize_control_channel = false;
+};
+
+/// A deployed service chain with its measured bring-up record.
+struct ChainDeployment {
+  std::uint32_t id = 0;
+  sg::ServiceGraph graph;
+  orchestrator::DeploymentRecord record;
+};
+
+class Environment {
+ public:
+  explicit Environment(EnvironmentOptions options = {});
+
+  EventScheduler& scheduler() { return scheduler_; }
+  netemu::Network& network() { return network_; }
+  pox::Controller& controller() { return *controller_; }
+  pox::TrafficSteering& steering() { return *steering_; }
+  service::ServiceLayer& service_layer() { return service_layer_; }
+  const EnvironmentOptions& options() const { return options_; }
+
+  /// Builds the topology from a declarative spec (alternative to
+  /// populating network() by hand). Call before start().
+  Status load_topology(const service::TopologySpec& spec);
+
+  /// Brings the environment up: attaches the controller to every switch,
+  /// creates a NETCONF agent + client pair per container, and runs the
+  /// handshakes to completion. Idempotent for newly added containers.
+  Status start();
+  bool started() const { return started_; }
+
+  /// Convenience accessors.
+  netemu::Host* host(const std::string& name) { return network_.host(name); }
+  netemu::VnfContainer* container(const std::string& name) {
+    return network_.container(name);
+  }
+
+  // --- virtual time ------------------------------------------------------
+
+  void run_for(SimDuration duration) { scheduler_.run_for(duration); }
+  std::size_t run_until_idle(std::size_t max_events = 10'000'000) {
+    return scheduler_.run(max_events);
+  }
+
+  // --- deployment (demo step 3) ------------------------------------------
+
+  /// Maps and deploys `graph` between its entry and exit SAPs, steering
+  /// IPv4 traffic from the entry SAP host's address to the exit SAP
+  /// host's address through the chain. Synchronous: pumps virtual time
+  /// until the deployment completes. Returns the chain id.
+  Result<std::uint32_t> deploy(const sg::ServiceGraph& graph);
+
+  /// Deploy with an explicit traffic match (e.g. only UDP port 53).
+  Result<std::uint32_t> deploy(const sg::ServiceGraph& graph, openflow::Match match);
+
+  /// Installs a VNF-free return path for a deployed chain: reverse
+  /// traffic (exit SAP -> entry SAP) is switched along the shortest
+  /// substrate route, bypassing the VNFs. This is what makes
+  /// request/response traffic (ping, UDP echo) work through a
+  /// unidirectional chain. Returns the id of the new (pure-steering)
+  /// chain; undeploy it like any other.
+  Result<std::uint32_t> install_return_path(std::uint32_t chain_id);
+
+  const ChainDeployment* deployment(std::uint32_t chain_id) const;
+  std::vector<std::uint32_t> deployed_chains() const;
+
+  /// Removes a chain: steering flows deleted, VNFs stopped and removed.
+  Status undeploy(std::uint32_t chain_id);
+
+  // --- monitoring (demo step 5: Clicky over NETCONF) ----------------------
+
+  /// Queries a VNF's live info (status + all Click handler values)
+  /// through the container's management agent. Synchronous.
+  Result<netemu::VnfInfo> monitor_vnf(const std::string& container_name,
+                                      const std::string& vnf_id);
+
+  /// Queries a chain's traffic counters at its first hop through the
+  /// OpenFlow control channel (flow-stats correlated by cookie).
+  /// Synchronous.
+  Result<pox::ChainStats> chain_stats(std::uint32_t chain_id);
+
+  /// The management client of a container (for advanced/async use).
+  netconf::VnfAgentClient* agent_client(const std::string& container_name);
+
+  /// Subscribes to VNF lifecycle events from every container agent
+  /// (NETCONF notifications); `cb` fires with (container, vnf id, new
+  /// status) for every transition after this call. Synchronous.
+  Status watch_vnf_events(
+      std::function<void(const std::string& container, const std::string& vnf_id,
+                         netemu::VnfStatus status)>
+          cb);
+
+  /// Builds the default chain match for a graph: IPv4 from the entry
+  /// SAP's address to the exit SAP's address.
+  Result<openflow::Match> default_match(const sg::ServiceGraph& graph);
+
+ private:
+  /// Runs the scheduler until `flag` is set; errors on quiescence.
+  Status pump_until(const bool& flag, std::string_view what);
+
+  EnvironmentOptions options_;
+  EventScheduler scheduler_;
+  netemu::Network network_;
+  std::unique_ptr<pox::Controller> controller_;
+  std::shared_ptr<pox::TrafficSteering> steering_;
+  std::shared_ptr<pox::L2Learning> l2_;
+  service::ServiceLayer service_layer_;
+
+  struct ContainerMgmt {
+    std::unique_ptr<netconf::VnfAgent> agent;
+    std::unique_ptr<netconf::VnfAgentClient> client;
+  };
+  std::map<std::string, ContainerMgmt> mgmt_;
+  std::unique_ptr<orchestrator::DeploymentEngine> engine_;
+
+  bool started_ = false;
+  std::uint32_t next_chain_id_ = 1;
+  std::map<std::uint32_t, ChainDeployment> deployments_;
+  // Persistent orchestration view: reservations (CPU, slots, link
+  // bandwidth) accumulate across deployments and are released on
+  // undeploy, so chains cannot double-book substrate resources.
+  std::optional<sg::ResourceGraph> view_;
+  Logger log_{"escape.env"};
+};
+
+}  // namespace escape

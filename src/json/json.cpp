@@ -1,0 +1,349 @@
+#include "json/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace escape::json {
+
+namespace {
+const std::string kEmptyString;
+const Array kEmptyArray;
+const Object kEmptyObject;
+const Value kNullValue;
+}  // namespace
+
+bool Value::as_bool(bool fallback) const {
+  if (auto* b = std::get_if<bool>(&data_)) return *b;
+  return fallback;
+}
+
+std::int64_t Value::as_int(std::int64_t fallback) const {
+  if (auto* i = std::get_if<std::int64_t>(&data_)) return *i;
+  if (auto* d = std::get_if<double>(&data_)) return static_cast<std::int64_t>(*d);
+  return fallback;
+}
+
+double Value::as_double(double fallback) const {
+  if (auto* d = std::get_if<double>(&data_)) return *d;
+  if (auto* i = std::get_if<std::int64_t>(&data_)) return static_cast<double>(*i);
+  return fallback;
+}
+
+const std::string& Value::as_string() const {
+  if (auto* s = std::get_if<std::string>(&data_)) return *s;
+  return kEmptyString;
+}
+
+const Array& Value::as_array() const {
+  if (auto* a = std::get_if<Array>(&data_)) return *a;
+  return kEmptyArray;
+}
+
+const Object& Value::as_object() const {
+  if (auto* o = std::get_if<Object>(&data_)) return *o;
+  return kEmptyObject;
+}
+
+Array& Value::make_array() {
+  if (!is_array()) data_ = Array{};
+  return std::get<Array>(data_);
+}
+
+Object& Value::make_object() {
+  if (!is_object()) data_ = Object{};
+  return std::get<Object>(data_);
+}
+
+const Value& Value::operator[](std::string_view key) const {
+  if (auto* o = std::get_if<Object>(&data_)) {
+    auto it = o->find(std::string(key));
+    if (it != o->end()) return it->second;
+  }
+  return kNullValue;
+}
+
+const Value& Value::operator[](std::size_t index) const {
+  if (auto* a = std::get_if<Array>(&data_)) {
+    if (index < a->size()) return (*a)[index];
+  }
+  return kNullValue;
+}
+
+bool Value::has(std::string_view key) const {
+  if (auto* o = std::get_if<Object>(&data_)) return o->count(std::string(key)) > 0;
+  return false;
+}
+
+std::string escape_string(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strings::format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Value::serialize(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  auto pad = [&](int d) {
+    if (pretty) out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  auto newline = [&] {
+    if (pretty) out += '\n';
+  };
+
+  if (is_null()) {
+    out += "null";
+  } else if (auto* b = std::get_if<bool>(&data_)) {
+    out += *b ? "true" : "false";
+  } else if (auto* i = std::get_if<std::int64_t>(&data_)) {
+    out += std::to_string(*i);
+  } else if (auto* d = std::get_if<double>(&data_)) {
+    if (std::isfinite(*d)) {
+      std::string num = strings::format("%.17g", *d);
+      out += num;
+    } else {
+      out += "null";  // JSON has no Inf/NaN
+    }
+  } else if (auto* s = std::get_if<std::string>(&data_)) {
+    out += '"';
+    out += escape_string(*s);
+    out += '"';
+  } else if (auto* a = std::get_if<Array>(&data_)) {
+    if (a->empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    newline();
+    for (std::size_t i = 0; i < a->size(); ++i) {
+      pad(depth + 1);
+      (*a)[i].serialize(out, indent, depth + 1);
+      if (i + 1 < a->size()) out += ',';
+      newline();
+    }
+    pad(depth);
+    out += ']';
+  } else if (auto* o = std::get_if<Object>(&data_)) {
+    if (o->empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    newline();
+    std::size_t i = 0;
+    for (const auto& [k, v] : *o) {
+      pad(depth + 1);
+      out += '"';
+      out += escape_string(k);
+      out += "\":";
+      if (pretty) out += ' ';
+      v.serialize(out, indent, depth + 1);
+      if (++i < o->size()) out += ',';
+      newline();
+    }
+    pad(depth);
+    out += '}';
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  serialize(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : in_(input) {}
+
+  Result<Value> parse_document() {
+    auto v = parse_value();
+    if (!v.ok()) return v;
+    skip_ws();
+    if (pos_ != in_.size()) return fail("trailing content after JSON value");
+    return v;
+  }
+
+ private:
+  Error fail(std::string msg) const {
+    return make_error("json.parse", msg + strings::format(" (at offset %zu)", pos_));
+  }
+
+  bool eof() const { return pos_ >= in_.size(); }
+  char peek() const { return in_[pos_]; }
+  void skip_ws() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+  }
+  bool match(char c) {
+    if (!eof() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool match_word(std::string_view w) {
+    if (in_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> parse_value() {
+    skip_ws();
+    if (eof()) return fail("unexpected end of input");
+    char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s.ok()) return s.error();
+      return Value(std::move(*s));
+    }
+    if (match_word("true")) return Value(true);
+    if (match_word("false")) return Value(false);
+    if (match_word("null")) return Value(nullptr);
+    return parse_number();
+  }
+
+  Result<Value> parse_object() {
+    ++pos_;  // '{'
+    Object obj;
+    skip_ws();
+    if (match('}')) return Value(std::move(obj));
+    while (true) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key.ok()) return key.error();
+      skip_ws();
+      if (!match(':')) return fail("expected ':' in object");
+      auto val = parse_value();
+      if (!val.ok()) return val;
+      obj[std::move(*key)] = std::move(*val);
+      skip_ws();
+      if (match(',')) continue;
+      if (match('}')) return Value(std::move(obj));
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  Result<Value> parse_array() {
+    ++pos_;  // '['
+    Array arr;
+    skip_ws();
+    if (match(']')) return Value(std::move(arr));
+    while (true) {
+      auto val = parse_value();
+      if (!val.ok()) return val;
+      arr.push_back(std::move(*val));
+      skip_ws();
+      if (match(',')) continue;
+      if (match(']')) return Value(std::move(arr));
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> parse_string() {
+    if (eof() || peek() != '"') return fail("expected string");
+    ++pos_;
+    std::string out;
+    while (!eof()) {
+      char c = in_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (eof()) break;
+        char esc = in_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > in_.size()) return fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = in_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("invalid \\u escape");
+            }
+            // UTF-8 encode (BMP only; surrogate pairs unsupported).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return fail("invalid escape character");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  Result<Value> parse_number() {
+    std::size_t start = pos_;
+    if (!eof() && (peek() == '-' || peek() == '+')) ++pos_;
+    bool is_float = false;
+    while (!eof()) {
+      char c = peek();
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_float = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string_view token = in_.substr(start, pos_ - start);
+    if (token.empty()) return fail("expected value");
+    if (!is_float) {
+      if (auto i = strings::parse_i64(token)) return Value(*i);
+    }
+    if (auto d = strings::parse_double(token)) return Value(*d);
+    return fail("invalid number");
+  }
+
+  std::string_view in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> parse(std::string_view input) { return Parser(input).parse_document(); }
+
+}  // namespace escape::json

@@ -1,0 +1,82 @@
+// Minimal JSON value model + parser + serializer.
+//
+// Used for the service-layer artifacts that the original ESCAPE produced
+// with its MiniEdit-based GUI: topology descriptions and service-graph
+// descriptions travel as JSON documents (see service/formats.hpp).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace escape::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+/// A JSON value. Numbers are kept as double plus an integer flag so
+/// round-tripping integers stays exact for the magnitudes we use.
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}            // NOLINT
+  Value(bool b) : data_(b) {}                          // NOLINT
+  Value(double d) : data_(d) {}                        // NOLINT
+  Value(int i) : data_(static_cast<std::int64_t>(i)) {}       // NOLINT
+  Value(std::int64_t i) : data_(i) {}                  // NOLINT
+  Value(std::uint64_t u) : data_(static_cast<std::int64_t>(u)) {}  // NOLINT
+  Value(const char* s) : data_(std::string(s)) {}      // NOLINT
+  Value(std::string s) : data_(std::move(s)) {}        // NOLINT
+  Value(Array a) : data_(std::move(a)) {}              // NOLINT
+  Value(Object o) : data_(std::move(o)) {}             // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_array() const { return std::holds_alternative<Array>(data_); }
+  bool is_object() const { return std::holds_alternative<Object>(data_); }
+
+  bool as_bool(bool fallback = false) const;
+  std::int64_t as_int(std::int64_t fallback = 0) const;
+  double as_double(double fallback = 0) const;
+  const std::string& as_string() const;  // "" if not a string
+  const Array& as_array() const;         // empty if not an array
+  const Object& as_object() const;       // empty if not an object
+
+  Array& make_array();
+  Object& make_object();
+
+  /// Object member access; null Value if absent or not an object.
+  const Value& operator[](std::string_view key) const;
+  /// Array element access; null Value if out of range or not an array.
+  const Value& operator[](std::size_t index) const;
+
+  bool has(std::string_view key) const;
+
+  /// Serializes. indent < 0 -> compact.
+  std::string dump(int indent = -1) const;
+
+ private:
+  void serialize(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array, Object> data_;
+};
+
+/// Escapes a string for inclusion in JSON output (no surrounding quotes).
+std::string escape_string(std::string_view raw);
+
+/// Parses a JSON document.
+Result<Value> parse(std::string_view input);
+
+}  // namespace escape::json

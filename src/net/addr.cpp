@@ -1,0 +1,56 @@
+#include "net/addr.hpp"
+
+#include "util/strings.hpp"
+
+namespace escape::net {
+
+std::optional<MacAddr> MacAddr::parse(std::string_view s) {
+  auto parts = strings::split(s, ':');
+  if (parts.size() != 6) return std::nullopt;
+  std::array<std::uint8_t, 6> bytes{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    const std::string& p = parts[i];
+    if (p.empty() || p.size() > 2) return std::nullopt;
+    unsigned v = 0;
+    for (char c : p) {
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<unsigned>(c - 'A' + 10);
+      else return std::nullopt;
+    }
+    bytes[i] = static_cast<std::uint8_t>(v);
+  }
+  return MacAddr(bytes);
+}
+
+std::string MacAddr::to_string() const {
+  return strings::format("%02x:%02x:%02x:%02x:%02x:%02x", bytes_[0], bytes_[1], bytes_[2],
+                         bytes_[3], bytes_[4], bytes_[5]);
+}
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view s) {
+  auto parts = strings::split(s, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const auto& p : parts) {
+    auto octet = strings::parse_u64(p);
+    if (!octet || *octet > 255) return std::nullopt;
+    value = (value << 8) | static_cast<std::uint32_t>(*octet);
+  }
+  return Ipv4Addr(value);
+}
+
+bool Ipv4Addr::in_subnet(Ipv4Addr network, int prefix_len) const {
+  if (prefix_len <= 0) return true;
+  if (prefix_len >= 32) return value_ == network.value_;
+  const std::uint32_t mask = ~((1u << (32 - prefix_len)) - 1);
+  return (value_ & mask) == (network.value_ & mask);
+}
+
+std::string Ipv4Addr::to_string() const {
+  return strings::format("%u.%u.%u.%u", (value_ >> 24) & 0xff, (value_ >> 16) & 0xff,
+                         (value_ >> 8) & 0xff, value_ & 0xff);
+}
+
+}  // namespace escape::net

@@ -1,0 +1,98 @@
+// Link-layer and network-layer address types.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace escape::net {
+
+/// A 48-bit Ethernet MAC address.
+class MacAddr {
+ public:
+  constexpr MacAddr() : bytes_{} {}
+  constexpr explicit MacAddr(std::array<std::uint8_t, 6> bytes) : bytes_(bytes) {}
+
+  /// Constructs from the low 48 bits of `value` (host order), so
+  /// MacAddr::from_u64(1) == 00:00:00:00:00:01.
+  static constexpr MacAddr from_u64(std::uint64_t value) {
+    std::array<std::uint8_t, 6> b{};
+    for (int i = 5; i >= 0; --i) {
+      b[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(value & 0xff);
+      value >>= 8;
+    }
+    return MacAddr(b);
+  }
+
+  /// Parses "aa:bb:cc:dd:ee:ff".
+  static std::optional<MacAddr> parse(std::string_view s);
+
+  static constexpr MacAddr broadcast() {
+    return MacAddr({0xff, 0xff, 0xff, 0xff, 0xff, 0xff});
+  }
+
+  const std::array<std::uint8_t, 6>& bytes() const { return bytes_; }
+
+  std::uint64_t to_u64() const {
+    std::uint64_t v = 0;
+    for (auto b : bytes_) v = (v << 8) | b;
+    return v;
+  }
+
+  bool is_broadcast() const { return *this == broadcast(); }
+  bool is_multicast() const { return (bytes_[0] & 0x01) != 0; }
+
+  std::string to_string() const;
+
+  auto operator<=>(const MacAddr&) const = default;
+
+ private:
+  std::array<std::uint8_t, 6> bytes_;
+};
+
+/// An IPv4 address, stored in host byte order.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() : value_(0) {}
+  constexpr explicit Ipv4Addr(std::uint32_t host_order) : value_(host_order) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) | (std::uint32_t{c} << 8) | d) {}
+
+  /// Parses dotted-quad "10.0.0.1".
+  static std::optional<Ipv4Addr> parse(std::string_view s);
+
+  std::uint32_t value() const { return value_; }
+
+  bool is_broadcast() const { return value_ == 0xffffffff; }
+  bool is_multicast() const { return (value_ >> 28) == 0xe; }
+
+  /// True if this address is inside `network`/`prefix_len`.
+  bool in_subnet(Ipv4Addr network, int prefix_len) const;
+
+  std::string to_string() const;
+
+  auto operator<=>(const Ipv4Addr&) const = default;
+
+ private:
+  std::uint32_t value_;
+};
+
+}  // namespace escape::net
+
+template <>
+struct std::hash<escape::net::MacAddr> {
+  std::size_t operator()(const escape::net::MacAddr& m) const noexcept {
+    return std::hash<std::uint64_t>{}(m.to_u64());
+  }
+};
+
+template <>
+struct std::hash<escape::net::Ipv4Addr> {
+  std::size_t operator()(const escape::net::Ipv4Addr& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

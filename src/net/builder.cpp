@@ -1,0 +1,132 @@
+#include "net/builder.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace escape::net {
+
+PacketBuilder& PacketBuilder::eth(MacAddr src, MacAddr dst, std::uint16_t ethertype) {
+  eth_ = EthSpec{src, dst, ethertype};
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::ipv4(Ipv4Addr src, Ipv4Addr dst, std::uint8_t protocol,
+                                   std::uint8_t ttl, std::uint8_t dscp) {
+  ip_ = IpSpec{src, dst, protocol, ttl, dscp};
+  if (eth_) eth_->ethertype = ethertype::kIpv4;
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::udp(std::uint16_t src_port, std::uint16_t dst_port) {
+  udp_ = UdpSpec{src_port, dst_port};
+  if (ip_) ip_->protocol = ipproto::kUdp;
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::tcp(const TcpFields& fields) {
+  tcp_ = fields;
+  if (ip_) ip_->protocol = ipproto::kTcp;
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::icmp_echo(std::uint8_t type, std::uint16_t identifier,
+                                        std::uint16_t sequence) {
+  icmp_ = IcmpSpec{type, identifier, sequence};
+  if (ip_) ip_->protocol = ipproto::kIcmp;
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::arp(std::uint16_t opcode, MacAddr sender_mac, Ipv4Addr sender_ip,
+                                  MacAddr target_mac, Ipv4Addr target_ip) {
+  arp_ = ArpSpec{opcode, sender_mac, target_mac, sender_ip, target_ip};
+  if (eth_) eth_->ethertype = ethertype::kArp;
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::payload(std::span<const std::uint8_t> data) {
+  payload_.assign(data.begin(), data.end());
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::payload(std::string_view text) {
+  payload_.assign(text.begin(), text.end());
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::pad_to(std::size_t frame_size) {
+  pad_to_ = frame_size;
+  return *this;
+}
+
+Packet PacketBuilder::build() const {
+  assert(eth_ && "PacketBuilder: Ethernet header is mandatory");
+
+  // Compute layer sizes first.
+  std::size_t l4_size = 0;
+  if (udp_) l4_size = UdpView::kSize + payload_.size();
+  else if (tcp_) l4_size = TcpView::kMinSize + payload_.size();
+  else if (icmp_) l4_size = IcmpView::kMinSize + payload_.size();
+  else if (!arp_) l4_size = payload_.size();  // raw payload directly over IP/Ethernet
+
+  std::size_t l3_size = 0;
+  if (arp_) l3_size = ArpView::kSize;
+  else if (ip_) l3_size = Ipv4View::kMinSize + l4_size;
+  else l3_size = l4_size;
+
+  std::size_t frame_size = EthernetView::kSize + l3_size;
+  frame_size = std::max(frame_size, pad_to_);
+
+  std::vector<std::uint8_t> buf(frame_size, 0);
+  std::span<std::uint8_t> out(buf);
+
+  write_ethernet(out, eth_->dst, eth_->src, eth_->ethertype);
+  auto l3 = out.subspan(EthernetView::kSize);
+
+  if (arp_) {
+    write_arp(l3, arp_->opcode, arp_->sender_mac, arp_->sender_ip, arp_->target_mac,
+              arp_->target_ip);
+    return Packet(std::move(buf));
+  }
+
+  std::span<std::uint8_t> l4 = l3;
+  if (ip_) {
+    // Include padding inside the IP payload so length fields stay
+    // consistent with the wire size.
+    const std::size_t ip_total = frame_size - EthernetView::kSize;
+    Ipv4Fields f;
+    f.src = ip_->src;
+    f.dst = ip_->dst;
+    f.protocol = ip_->protocol;
+    f.ttl = ip_->ttl;
+    f.dscp = ip_->dscp;
+    f.total_length = static_cast<std::uint16_t>(ip_total);
+    write_ipv4(l3, f);
+    l4 = l3.subspan(Ipv4View::kMinSize);
+  }
+
+  if (udp_) {
+    write_udp(l4, udp_->src_port, udp_->dst_port, static_cast<std::uint16_t>(l4.size()));
+    std::copy(payload_.begin(), payload_.end(), l4.begin() + UdpView::kSize);
+  } else if (tcp_) {
+    write_tcp(l4, *tcp_);
+    std::copy(payload_.begin(), payload_.end(), l4.begin() + TcpView::kMinSize);
+  } else if (icmp_) {
+    write_icmp_echo(l4, icmp_->type, icmp_->identifier, icmp_->sequence, payload_);
+  } else {
+    std::copy(payload_.begin(), payload_.end(), l4.begin());
+  }
+
+  return Packet(std::move(buf));
+}
+
+Packet make_udp_packet(MacAddr eth_src, MacAddr eth_dst, Ipv4Addr ip_src, Ipv4Addr ip_dst,
+                       std::uint16_t sport, std::uint16_t dport, std::size_t frame_size) {
+  return PacketBuilder()
+      .eth(eth_src, eth_dst)
+      .ipv4(ip_src, ip_dst)
+      .udp(sport, dport)
+      .pad_to(frame_size)
+      .build();
+}
+
+}  // namespace escape::net

@@ -1,0 +1,64 @@
+// PacketBuilder: fluent construction of Ethernet/ARP/IPv4/ICMP/UDP/TCP
+// frames, used by traffic generators, tests and the controller (LLDP,
+// ARP replies).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "net/headers.hpp"
+#include "net/packet.hpp"
+
+namespace escape::net {
+
+class PacketBuilder {
+ public:
+  PacketBuilder& eth(MacAddr src, MacAddr dst, std::uint16_t ethertype = ethertype::kIpv4);
+
+  /// IPv4 header; the total length and checksum are fixed up at build().
+  PacketBuilder& ipv4(Ipv4Addr src, Ipv4Addr dst, std::uint8_t protocol = ipproto::kUdp,
+                      std::uint8_t ttl = 64, std::uint8_t dscp = 0);
+
+  PacketBuilder& udp(std::uint16_t src_port, std::uint16_t dst_port);
+  PacketBuilder& tcp(const TcpFields& fields);
+  PacketBuilder& icmp_echo(std::uint8_t type, std::uint16_t identifier, std::uint16_t sequence);
+  PacketBuilder& arp(std::uint16_t opcode, MacAddr sender_mac, Ipv4Addr sender_ip,
+                     MacAddr target_mac, Ipv4Addr target_ip);
+
+  PacketBuilder& payload(std::span<const std::uint8_t> data);
+  PacketBuilder& payload(std::string_view text);
+  /// Pads with zero bytes until the frame reaches `frame_size` bytes.
+  PacketBuilder& pad_to(std::size_t frame_size);
+
+  /// Assembles the frame, fixing IPv4 total length / checksum and UDP
+  /// length fields.
+  Packet build() const;
+
+ private:
+  struct EthSpec { MacAddr src, dst; std::uint16_t ethertype; };
+  struct IpSpec { Ipv4Addr src, dst; std::uint8_t protocol, ttl, dscp; };
+  struct UdpSpec { std::uint16_t src_port, dst_port; };
+  struct IcmpSpec { std::uint8_t type; std::uint16_t identifier, sequence; };
+  struct ArpSpec {
+    std::uint16_t opcode;
+    MacAddr sender_mac, target_mac;
+    Ipv4Addr sender_ip, target_ip;
+  };
+
+  std::optional<EthSpec> eth_;
+  std::optional<IpSpec> ip_;
+  std::optional<UdpSpec> udp_;
+  std::optional<TcpFields> tcp_;
+  std::optional<IcmpSpec> icmp_;
+  std::optional<ArpSpec> arp_;
+  std::vector<std::uint8_t> payload_;
+  std::size_t pad_to_ = 0;
+};
+
+/// Convenience: a UDP datagram frame commonly used by tests/benches.
+Packet make_udp_packet(MacAddr eth_src, MacAddr eth_dst, Ipv4Addr ip_src, Ipv4Addr ip_dst,
+                       std::uint16_t sport, std::uint16_t dport, std::size_t frame_size = 98);
+
+}  // namespace escape::net

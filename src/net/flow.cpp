@@ -1,0 +1,58 @@
+#include "net/flow.hpp"
+
+#include "net/headers.hpp"
+#include "util/strings.hpp"
+
+namespace escape::net {
+
+std::optional<FlowKey> extract_flow_key(const Packet& packet, std::uint16_t in_port) {
+  auto eth = EthernetView::parse(packet.bytes());
+  if (!eth) return std::nullopt;
+
+  FlowKey key;
+  key.in_port = in_port;
+  key.dl_src = eth->src;
+  key.dl_dst = eth->dst;
+  key.dl_type = eth->ethertype;
+
+  if (eth->ethertype == ethertype::kIpv4) {
+    if (auto ip = Ipv4View::parse(eth->payload)) {
+      key.nw_proto = ip->protocol;
+      key.nw_src = ip->src;
+      key.nw_dst = ip->dst;
+      key.nw_tos = ip->dscp;
+      if (ip->protocol == ipproto::kUdp) {
+        if (auto udp = UdpView::parse(ip->payload)) {
+          key.tp_src = udp->src_port;
+          key.tp_dst = udp->dst_port;
+        }
+      } else if (ip->protocol == ipproto::kTcp) {
+        if (auto tcp = TcpView::parse(ip->payload)) {
+          key.tp_src = tcp->src_port;
+          key.tp_dst = tcp->dst_port;
+        }
+      } else if (ip->protocol == ipproto::kIcmp) {
+        if (auto icmp = IcmpView::parse(ip->payload)) {
+          key.tp_src = icmp->type;
+          key.tp_dst = icmp->code;
+        }
+      }
+    }
+  } else if (eth->ethertype == ethertype::kArp) {
+    if (auto arp = ArpView::parse(eth->payload)) {
+      key.nw_proto = static_cast<std::uint8_t>(arp->opcode);
+      key.nw_src = arp->sender_ip;
+      key.nw_dst = arp->target_ip;
+    }
+  }
+  return key;
+}
+
+std::string FlowKey::to_string() const {
+  return strings::format(
+      "flow[in=%u %s->%s type=0x%04x proto=%u %s:%u->%s:%u tos=%u]", in_port,
+      dl_src.to_string().c_str(), dl_dst.to_string().c_str(), dl_type, nw_proto,
+      nw_src.to_string().c_str(), tp_src, nw_dst.to_string().c_str(), tp_dst, nw_tos);
+}
+
+}  // namespace escape::net

@@ -1,0 +1,283 @@
+#include "net/headers.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace escape::net {
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += load_be16(&data[i]);
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint32_t>(data[i]) << 8;
+  }
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+// --- Ethernet ---------------------------------------------------------------
+
+std::optional<EthernetView> EthernetView::parse(std::span<const std::uint8_t> frame) {
+  if (frame.size() < kSize) return std::nullopt;
+  EthernetView v;
+  std::array<std::uint8_t, 6> mac{};
+  std::copy_n(frame.begin(), 6, mac.begin());
+  v.dst = MacAddr(mac);
+  std::copy_n(frame.begin() + 6, 6, mac.begin());
+  v.src = MacAddr(mac);
+  v.ethertype = load_be16(&frame[12]);
+  v.payload = frame.subspan(kSize);
+  return v;
+}
+
+void write_ethernet(std::span<std::uint8_t> out, MacAddr dst, MacAddr src,
+                    std::uint16_t ethertype) {
+  std::copy(dst.bytes().begin(), dst.bytes().end(), out.begin());
+  std::copy(src.bytes().begin(), src.bytes().end(), out.begin() + 6);
+  store_be16(&out[12], ethertype);
+}
+
+void set_eth_dst(Packet& p, MacAddr dst) {
+  if (p.size() < EthernetView::kSize) return;
+  std::copy(dst.bytes().begin(), dst.bytes().end(), p.data().begin());
+}
+
+void set_eth_src(Packet& p, MacAddr src) {
+  if (p.size() < EthernetView::kSize) return;
+  std::copy(src.bytes().begin(), src.bytes().end(), p.data().begin() + 6);
+}
+
+// --- ARP --------------------------------------------------------------------
+
+std::optional<ArpView> ArpView::parse(std::span<const std::uint8_t> l3) {
+  if (l3.size() < kSize) return std::nullopt;
+  // Require Ethernet/IPv4 ARP: htype=1, ptype=0x0800, hlen=6, plen=4.
+  if (load_be16(&l3[0]) != 1 || load_be16(&l3[2]) != ethertype::kIpv4 || l3[4] != 6 ||
+      l3[5] != 4) {
+    return std::nullopt;
+  }
+  ArpView v;
+  v.opcode = load_be16(&l3[6]);
+  std::array<std::uint8_t, 6> mac{};
+  std::copy_n(l3.begin() + 8, 6, mac.begin());
+  v.sender_mac = MacAddr(mac);
+  v.sender_ip = Ipv4Addr(load_be32(&l3[14]));
+  std::copy_n(l3.begin() + 18, 6, mac.begin());
+  v.target_mac = MacAddr(mac);
+  v.target_ip = Ipv4Addr(load_be32(&l3[24]));
+  return v;
+}
+
+void write_arp(std::span<std::uint8_t> out, std::uint16_t opcode, MacAddr sender_mac,
+               Ipv4Addr sender_ip, MacAddr target_mac, Ipv4Addr target_ip) {
+  store_be16(&out[0], 1);                   // htype: Ethernet
+  store_be16(&out[2], ethertype::kIpv4);    // ptype
+  out[4] = 6;                               // hlen
+  out[5] = 4;                               // plen
+  store_be16(&out[6], opcode);
+  std::copy(sender_mac.bytes().begin(), sender_mac.bytes().end(), out.begin() + 8);
+  store_be32(&out[14], sender_ip.value());
+  std::copy(target_mac.bytes().begin(), target_mac.bytes().end(), out.begin() + 18);
+  store_be32(&out[24], target_ip.value());
+}
+
+// --- IPv4 -------------------------------------------------------------------
+
+std::optional<Ipv4View> Ipv4View::parse(std::span<const std::uint8_t> l3) {
+  if (l3.size() < kMinSize) return std::nullopt;
+  const std::uint8_t version = l3[0] >> 4;
+  if (version != 4) return std::nullopt;
+  Ipv4View v;
+  v.ihl = l3[0] & 0x0f;
+  if (v.ihl < 5 || v.header_len() > l3.size()) return std::nullopt;
+  v.dscp = l3[1] >> 2;
+  v.total_length = load_be16(&l3[2]);
+  v.identification = load_be16(&l3[4]);
+  v.ttl = l3[8];
+  v.protocol = l3[9];
+  v.checksum = load_be16(&l3[10]);
+  v.src = Ipv4Addr(load_be32(&l3[12]));
+  v.dst = Ipv4Addr(load_be32(&l3[16]));
+  v.payload = l3.subspan(v.header_len());
+  return v;
+}
+
+bool Ipv4View::verify_checksum(std::span<const std::uint8_t> l3) {
+  if (l3.size() < kMinSize) return false;
+  const std::size_t hlen = std::size_t{static_cast<std::size_t>(l3[0] & 0x0f)} * 4;
+  if (hlen < kMinSize || hlen > l3.size()) return false;
+  return internet_checksum(l3.subspan(0, hlen)) == 0;
+}
+
+void write_ipv4(std::span<std::uint8_t> out, const Ipv4Fields& fields) {
+  out[0] = 0x45;  // version 4, ihl 5
+  out[1] = static_cast<std::uint8_t>(fields.dscp << 2);
+  store_be16(&out[2], fields.total_length);
+  store_be16(&out[4], fields.identification);
+  store_be16(&out[6], 0);  // flags + fragment offset
+  out[8] = fields.ttl;
+  out[9] = fields.protocol;
+  store_be16(&out[10], 0);  // checksum placeholder
+  store_be32(&out[12], fields.src.value());
+  store_be32(&out[16], fields.dst.value());
+  const std::uint16_t csum = internet_checksum(out.subspan(0, Ipv4View::kMinSize));
+  store_be16(&out[10], csum);
+}
+
+namespace {
+
+/// Returns a mutable span over the IPv4 header of an Ethernet frame, or
+/// an empty span if the frame does not carry IPv4.
+std::span<std::uint8_t> ipv4_header_of(Packet& p) {
+  auto bytes = p.mutable_bytes();
+  if (bytes.size() < EthernetView::kSize + Ipv4View::kMinSize) return {};
+  if (load_be16(&bytes[12]) != ethertype::kIpv4) return {};
+  auto l3 = bytes.subspan(EthernetView::kSize);
+  const std::size_t hlen = std::size_t{static_cast<std::size_t>(l3[0] & 0x0f)} * 4;
+  if ((l3[0] >> 4) != 4 || hlen < Ipv4View::kMinSize || hlen > l3.size()) return {};
+  return l3.subspan(0, hlen);
+}
+
+void refresh_ipv4_checksum(std::span<std::uint8_t> hdr) {
+  store_be16(&hdr[10], 0);
+  store_be16(&hdr[10], internet_checksum(hdr));
+}
+
+/// Returns mutable L4 bytes and the protocol, or empty if not IPv4.
+std::span<std::uint8_t> l4_of(Packet& p, std::uint8_t* protocol_out) {
+  auto hdr = ipv4_header_of(p);
+  if (hdr.empty()) return {};
+  *protocol_out = hdr[9];
+  auto bytes = p.mutable_bytes();
+  return bytes.subspan(EthernetView::kSize + hdr.size());
+}
+
+}  // namespace
+
+bool set_ipv4_src(Packet& p, Ipv4Addr addr) {
+  auto hdr = ipv4_header_of(p);
+  if (hdr.empty()) return false;
+  store_be32(&hdr[12], addr.value());
+  refresh_ipv4_checksum(hdr);
+  return true;
+}
+
+bool set_ipv4_dst(Packet& p, Ipv4Addr addr) {
+  auto hdr = ipv4_header_of(p);
+  if (hdr.empty()) return false;
+  store_be32(&hdr[16], addr.value());
+  refresh_ipv4_checksum(hdr);
+  return true;
+}
+
+bool set_ipv4_dscp(Packet& p, std::uint8_t dscp) {
+  auto hdr = ipv4_header_of(p);
+  if (hdr.empty()) return false;
+  hdr[1] = static_cast<std::uint8_t>((dscp << 2) | (hdr[1] & 0x03));
+  refresh_ipv4_checksum(hdr);
+  return true;
+}
+
+bool dec_ipv4_ttl(Packet& p) {
+  auto hdr = ipv4_header_of(p);
+  if (hdr.empty() || hdr[8] == 0) return false;
+  hdr[8] -= 1;
+  refresh_ipv4_checksum(hdr);
+  return true;
+}
+
+// --- ICMP -------------------------------------------------------------------
+
+std::optional<IcmpView> IcmpView::parse(std::span<const std::uint8_t> l4) {
+  if (l4.size() < kMinSize) return std::nullopt;
+  IcmpView v;
+  v.type = l4[0];
+  v.code = l4[1];
+  v.identifier = load_be16(&l4[4]);
+  v.sequence = load_be16(&l4[6]);
+  v.payload = l4.subspan(kMinSize);
+  return v;
+}
+
+void write_icmp_echo(std::span<std::uint8_t> out, std::uint8_t type, std::uint16_t identifier,
+                     std::uint16_t sequence, std::span<const std::uint8_t> payload) {
+  out[0] = type;
+  out[1] = 0;
+  store_be16(&out[2], 0);
+  store_be16(&out[4], identifier);
+  store_be16(&out[6], sequence);
+  std::copy(payload.begin(), payload.end(), out.begin() + IcmpView::kMinSize);
+  const std::uint16_t csum =
+      internet_checksum(out.subspan(0, IcmpView::kMinSize + payload.size()));
+  store_be16(&out[2], csum);
+}
+
+// --- UDP --------------------------------------------------------------------
+
+std::optional<UdpView> UdpView::parse(std::span<const std::uint8_t> l4) {
+  if (l4.size() < kSize) return std::nullopt;
+  UdpView v;
+  v.src_port = load_be16(&l4[0]);
+  v.dst_port = load_be16(&l4[2]);
+  v.length = load_be16(&l4[4]);
+  v.payload = l4.subspan(kSize);
+  return v;
+}
+
+void write_udp(std::span<std::uint8_t> out, std::uint16_t src_port, std::uint16_t dst_port,
+               std::uint16_t length) {
+  store_be16(&out[0], src_port);
+  store_be16(&out[2], dst_port);
+  store_be16(&out[4], length);
+  store_be16(&out[6], 0);  // checksum optional for IPv4 UDP; left zero
+}
+
+bool set_l4_src_port(Packet& p, std::uint16_t port) {
+  std::uint8_t proto = 0;
+  auto l4 = l4_of(p, &proto);
+  if (l4.size() < 4 || (proto != ipproto::kUdp && proto != ipproto::kTcp)) return false;
+  store_be16(&l4[0], port);
+  return true;
+}
+
+bool set_l4_dst_port(Packet& p, std::uint16_t port) {
+  std::uint8_t proto = 0;
+  auto l4 = l4_of(p, &proto);
+  if (l4.size() < 4 || (proto != ipproto::kUdp && proto != ipproto::kTcp)) return false;
+  store_be16(&l4[2], port);
+  return true;
+}
+
+// --- TCP --------------------------------------------------------------------
+
+std::optional<TcpView> TcpView::parse(std::span<const std::uint8_t> l4) {
+  if (l4.size() < kMinSize) return std::nullopt;
+  TcpView v;
+  v.src_port = load_be16(&l4[0]);
+  v.dst_port = load_be16(&l4[2]);
+  v.seq = load_be32(&l4[4]);
+  v.ack = load_be32(&l4[8]);
+  v.data_offset = l4[12] >> 4;
+  if (v.data_offset < 5 || std::size_t{v.data_offset} * 4 > l4.size()) return std::nullopt;
+  v.flags = l4[13];
+  v.window = load_be16(&l4[14]);
+  v.payload = l4.subspan(std::size_t{v.data_offset} * 4);
+  return v;
+}
+
+void write_tcp(std::span<std::uint8_t> out, const TcpFields& fields) {
+  store_be16(&out[0], fields.src_port);
+  store_be16(&out[2], fields.dst_port);
+  store_be32(&out[4], fields.seq);
+  store_be32(&out[8], fields.ack);
+  out[12] = 5 << 4;  // data offset 5 words, no options
+  out[13] = fields.flags;
+  store_be16(&out[14], fields.window);
+  store_be16(&out[16], 0);  // checksum: not computed (no pseudo header here)
+  store_be16(&out[18], 0);  // urgent pointer
+}
+
+}  // namespace escape::net

@@ -1,0 +1,12 @@
+#include "net/packet.hpp"
+
+#include "util/strings.hpp"
+
+namespace escape::net {
+
+std::string Packet::to_string() const {
+  return strings::format("pkt[len=%zu paint=%u in_port=%d seq=%llu tag=%u]", size(), paint_,
+                         in_port_, static_cast<unsigned long long>(seq_), chain_tag_);
+}
+
+}  // namespace escape::net

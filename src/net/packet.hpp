@@ -1,0 +1,94 @@
+// The packet abstraction flowing through the whole data plane: emulated
+// links, OpenFlow switches and Click element graphs all move Packets.
+//
+// A Packet owns its bytes (network byte order, starting at the Ethernet
+// header) plus a small annotation block in the spirit of Click packet
+// annotations: paint, input port, creation timestamp and a sequence
+// number usable by traffic sources to measure loss/latency.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace escape::net {
+
+class Packet {
+ public:
+  Packet() = default;
+  explicit Packet(std::vector<std::uint8_t> data) : data_(std::move(data)) {}
+  Packet(const std::uint8_t* bytes, std::size_t len) : data_(bytes, bytes + len) {}
+
+  const std::vector<std::uint8_t>& data() const { return data_; }
+  std::vector<std::uint8_t>& data() { return data_; }
+
+  std::span<const std::uint8_t> bytes() const { return {data_.data(), data_.size()}; }
+  std::span<std::uint8_t> mutable_bytes() { return {data_.data(), data_.size()}; }
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  // --- Click-style annotations -------------------------------------------
+
+  /// Paint annotation (Click's Paint/CheckPaint elements).
+  std::uint8_t paint() const { return paint_; }
+  void set_paint(std::uint8_t p) { paint_ = p; }
+
+  /// Ingress port of the current node; set by the emulator on delivery.
+  int in_port() const { return in_port_; }
+  void set_in_port(int port) { in_port_ = port; }
+
+  /// Sentinel: the packet carries no source timestamp.
+  static constexpr SimTime kNoTimestamp = ~SimTime{0};
+
+  /// Virtual time the packet was created by its source (kNoTimestamp if
+  /// the source did not stamp it).
+  SimTime timestamp() const { return timestamp_; }
+  void set_timestamp(SimTime t) { timestamp_ = t; }
+  bool has_timestamp() const { return timestamp_ != kNoTimestamp; }
+
+  /// Source-assigned sequence number (loss / reordering measurement).
+  std::uint64_t seq() const { return seq_; }
+  void set_seq(std::uint64_t s) { seq_ = s; }
+
+  /// Flow/chain tag carried across the emulated network; the steering
+  /// tests use it to assert which chain handled the packet.
+  std::uint32_t chain_tag() const { return chain_tag_; }
+  void set_chain_tag(std::uint32_t t) { chain_tag_ = t; }
+
+  /// Short debug rendering: "pkt[len=98 paint=0 seq=7]".
+  std::string to_string() const;
+
+ private:
+  std::vector<std::uint8_t> data_;
+  std::uint8_t paint_ = 0;
+  int in_port_ = -1;
+  SimTime timestamp_ = kNoTimestamp;
+  std::uint64_t seq_ = 0;
+  std::uint32_t chain_tag_ = 0;
+};
+
+// --- big-endian load/store helpers used by all header codecs -------------
+
+inline std::uint16_t load_be16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) | (std::uint32_t{p[2]} << 8) |
+         p[3];
+}
+inline void store_be16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+inline void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+}  // namespace escape::net

@@ -1,0 +1,183 @@
+#include "netconf/session.hpp"
+
+namespace escape::netconf {
+
+std::string build_hello(const std::vector<std::string>& capabilities) {
+  xml::Element hello("hello");
+  hello.set_attr("xmlns", std::string(kNetconfNs));
+  auto& caps = hello.add_child("capabilities");
+  for (const auto& c : capabilities) caps.add_leaf("capability", c);
+  return hello.to_string();
+}
+
+namespace {
+
+std::vector<std::string> parse_capabilities(const xml::Element& hello) {
+  std::vector<std::string> out;
+  if (const auto* caps = hello.child("capabilities")) {
+    for (const auto* cap : caps->children_named("capability")) out.push_back(cap->text());
+  }
+  return out;
+}
+
+}  // namespace
+
+// --- NetconfServer -------------------------------------------------------------
+
+NetconfServer::NetconfServer(std::shared_ptr<TransportEndpoint> transport,
+                             std::vector<std::string> capabilities)
+    : transport_(std::move(transport)) {
+  transport_->set_on_bytes([this](std::string bytes) { on_bytes(std::move(bytes)); });
+  transport_->send(FrameReader::frame(build_hello(capabilities)));
+}
+
+void NetconfServer::register_rpc(const std::string& operation, RpcHandler handler) {
+  handlers_[operation] = std::move(handler);
+}
+
+void NetconfServer::on_bytes(std::string bytes) {
+  for (auto& message : reader_.feed(bytes)) handle_message(message);
+}
+
+void NetconfServer::send_notification(std::unique_ptr<xml::Element> event,
+                                      const std::string& event_time) {
+  xml::Element notif("notification");
+  notif.set_attr("xmlns", "urn:ietf:params:xml:ns:netconf:notification:1.0");
+  notif.add_leaf("eventTime", event_time);
+  notif.add_child(std::move(event));
+  transport_->send(FrameReader::frame(notif.to_string()));
+}
+
+void NetconfServer::send_reply(const std::string& message_id,
+                               Result<std::unique_ptr<xml::Element>> result) {
+  xml::Element reply("rpc-reply");
+  reply.set_attr("xmlns", std::string(kNetconfNs));
+  reply.set_attr("message-id", message_id);
+  if (result.ok()) {
+    if (*result) {
+      reply.add_child(std::move(*result));
+    } else {
+      reply.add_child("ok");
+    }
+  } else {
+    ++rpc_errors_;
+    auto& err = reply.add_child("rpc-error");
+    err.add_leaf("error-type", "application");
+    err.add_leaf("error-tag", result.error().code);
+    err.add_leaf("error-severity", "error");
+    err.add_leaf("error-message", result.error().message);
+  }
+  transport_->send(FrameReader::frame(reply.to_string()));
+}
+
+void NetconfServer::handle_message(const std::string& message) {
+  auto doc = xml::parse(message);
+  if (!doc.ok()) {
+    log_.warn("dropping malformed message: ", doc.error().to_string());
+    return;
+  }
+  const xml::Element& root = **doc;
+
+  if (root.local_name() == "hello") {
+    hello_received_ = true;
+    peer_capabilities_ = parse_capabilities(root);
+    return;
+  }
+  if (root.local_name() != "rpc") {
+    log_.warn("unexpected message <", root.local_name(), ">");
+    return;
+  }
+  const std::string message_id = root.attr("message-id");
+  if (root.children().empty()) {
+    send_reply(message_id, make_error("netconf.rpc.malformed", "empty <rpc>"));
+    return;
+  }
+  const xml::Element& operation = *root.children().front();
+  auto it = handlers_.find(operation.local_name());
+  if (it == handlers_.end()) {
+    send_reply(message_id, make_error("operation-not-supported",
+                                      "unknown operation: " + operation.local_name()));
+    return;
+  }
+  ++rpcs_handled_;
+  send_reply(message_id, it->second(operation));
+}
+
+// --- NetconfClient -------------------------------------------------------------
+
+NetconfClient::NetconfClient(std::shared_ptr<TransportEndpoint> transport)
+    : transport_(std::move(transport)) {
+  transport_->set_on_bytes([this](std::string bytes) { on_bytes(std::move(bytes)); });
+  transport_->send(FrameReader::frame(
+      build_hello({std::string(kBaseCapability), std::string(kVnfCapability)})));
+}
+
+void NetconfClient::on_established(std::function<void()> fn) {
+  if (established_) {
+    fn();
+  } else {
+    established_callbacks_.push_back(std::move(fn));
+  }
+}
+
+void NetconfClient::rpc(std::unique_ptr<xml::Element> operation, ReplyCallback cb) {
+  const std::string id = std::to_string(next_message_id_++);
+  xml::Element rpc("rpc");
+  rpc.set_attr("xmlns", std::string(kNetconfNs));
+  rpc.set_attr("message-id", id);
+  rpc.add_child(std::move(operation));
+  pending_[id] = std::move(cb);
+  transport_->send(FrameReader::frame(rpc.to_string()));
+}
+
+void NetconfClient::on_bytes(std::string bytes) {
+  for (auto& message : reader_.feed(bytes)) handle_message(message);
+}
+
+void NetconfClient::handle_message(const std::string& message) {
+  auto doc = xml::parse(message);
+  if (!doc.ok()) {
+    log_.warn("dropping malformed message: ", doc.error().to_string());
+    return;
+  }
+  xml::Element& root = **doc;
+
+  if (root.local_name() == "hello") {
+    established_ = true;
+    server_capabilities_ = parse_capabilities(root);
+    for (auto& fn : established_callbacks_) fn();
+    established_callbacks_.clear();
+    return;
+  }
+  if (root.local_name() == "notification") {
+    ++notifications_;
+    if (notification_cb_) {
+      for (const auto& child : root.children()) {
+        if (child->local_name() != "eventTime") {
+          notification_cb_(*child);
+          break;
+        }
+      }
+    }
+    return;
+  }
+  if (root.local_name() != "rpc-reply") {
+    log_.warn("unexpected message <", root.local_name(), ">");
+    return;
+  }
+  auto it = pending_.find(root.attr("message-id"));
+  if (it == pending_.end()) {
+    log_.warn("rpc-reply with unknown message-id ", root.attr("message-id"));
+    return;
+  }
+  ReplyCallback cb = std::move(it->second);
+  pending_.erase(it);
+
+  if (const xml::Element* error = root.child("rpc-error")) {
+    cb(make_error(error->child_text("error-tag"), error->child_text("error-message")));
+    return;
+  }
+  cb(std::move(*doc));  // hand the whole <rpc-reply> element to the caller
+}
+
+}  // namespace escape::netconf

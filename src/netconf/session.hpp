@@ -1,0 +1,112 @@
+// NETCONF sessions (RFC 6241 shape): hello/capability exchange, framed
+// XML rpc / rpc-reply with message-id correlation, rpc-error reporting.
+//
+// The server is operation-agnostic: agents register handlers per RPC
+// local name (get, edit-config, startVNF, ...). The client issues RPCs
+// asynchronously; replies arrive through callbacks once the scheduler
+// delivers them (management-plane latency is real and measurable).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netconf/transport.hpp"
+#include "util/logging.hpp"
+#include "util/result.hpp"
+#include "xml/xml.hpp"
+
+namespace escape::netconf {
+
+inline constexpr std::string_view kBaseCapability = "urn:ietf:params:netconf:base:1.0";
+inline constexpr std::string_view kVnfCapability = "urn:escape:vnf:1.0";
+inline constexpr std::string_view kNetconfNs = "urn:ietf:params:xml:ns:netconf:base:1.0";
+
+/// Server side of one session (the agent end).
+class NetconfServer {
+ public:
+  /// Handler: receives the operation element (e.g. <startVNF>...), returns
+  /// reply content to embed in <rpc-reply> (nullptr -> <ok/>), or an Error
+  /// that becomes an <rpc-error>.
+  using RpcHandler =
+      std::function<Result<std::unique_ptr<xml::Element>>(const xml::Element& operation)>;
+
+  NetconfServer(std::shared_ptr<TransportEndpoint> transport,
+                std::vector<std::string> capabilities = {std::string(kBaseCapability)});
+
+  void register_rpc(const std::string& operation, RpcHandler handler);
+
+  /// Pushes an asynchronous <notification> (RFC 5277 framing) carrying
+  /// `event`; `event_time` is a free-form timestamp (virtual ns here).
+  void send_notification(std::unique_ptr<xml::Element> event, const std::string& event_time);
+
+  bool hello_received() const { return hello_received_; }
+  const std::vector<std::string>& peer_capabilities() const { return peer_capabilities_; }
+  std::uint64_t rpcs_handled() const { return rpcs_handled_; }
+  std::uint64_t rpc_errors() const { return rpc_errors_; }
+
+ private:
+  void on_bytes(std::string bytes);
+  void handle_message(const std::string& message);
+  void send_reply(const std::string& message_id, Result<std::unique_ptr<xml::Element>> result);
+
+  std::shared_ptr<TransportEndpoint> transport_;
+  FrameReader reader_;
+  std::map<std::string, RpcHandler> handlers_;
+  bool hello_received_ = false;
+  std::vector<std::string> peer_capabilities_;
+  std::uint64_t rpcs_handled_ = 0;
+  std::uint64_t rpc_errors_ = 0;
+  Logger log_{"netconf.server"};
+};
+
+/// Client side of one session (the orchestrator end).
+class NetconfClient {
+ public:
+  using ReplyCallback = std::function<void(Result<std::unique_ptr<xml::Element>>)>;
+
+  explicit NetconfClient(std::shared_ptr<TransportEndpoint> transport);
+
+  /// True once the server's hello arrived.
+  bool established() const { return established_; }
+  const std::vector<std::string>& server_capabilities() const { return server_capabilities_; }
+
+  /// Fires (immediately if already established) when the session is up.
+  void on_established(std::function<void()> fn);
+
+  /// Sends <rpc><operation.../></rpc>; `cb` receives the rpc-reply body
+  /// (the <rpc-reply> element) or an Error decoded from <rpc-error>.
+  void rpc(std::unique_ptr<xml::Element> operation, ReplyCallback cb);
+
+  /// Receives asynchronous <notification> events (the element passed is
+  /// the event payload, i.e. the first non-eventTime child).
+  using NotificationCallback = std::function<void(const xml::Element& event)>;
+  void on_notification(NotificationCallback cb) { notification_cb_ = std::move(cb); }
+
+  std::uint64_t notifications_received() const { return notifications_; }
+
+  std::uint64_t rpcs_sent() const { return next_message_id_ - 1; }
+  std::size_t pending_rpcs() const { return pending_.size(); }
+
+ private:
+  void on_bytes(std::string bytes);
+  void handle_message(const std::string& message);
+
+  std::shared_ptr<TransportEndpoint> transport_;
+  FrameReader reader_;
+  bool established_ = false;
+  std::vector<std::string> server_capabilities_;
+  std::vector<std::function<void()>> established_callbacks_;
+  std::uint64_t next_message_id_ = 1;
+  std::map<std::string, ReplyCallback> pending_;
+  NotificationCallback notification_cb_;
+  std::uint64_t notifications_ = 0;
+  Logger log_{"netconf.client"};
+};
+
+/// Builds the <hello> message with the given capabilities.
+std::string build_hello(const std::vector<std::string>& capabilities);
+
+}  // namespace escape::netconf

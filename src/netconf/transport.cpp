@@ -1,0 +1,53 @@
+#include "netconf/transport.hpp"
+
+#include <vector>
+
+namespace escape::netconf {
+
+void TransportEndpoint::send(std::string bytes) {
+  bytes_sent_ += bytes.size();
+  auto peer = peer_.lock();
+  if (!peer) return;
+  scheduler_->schedule(delay_, [peer, data = std::move(bytes)]() mutable {
+    peer->deliver(std::move(data));
+  });
+}
+
+void TransportEndpoint::deliver(std::string bytes) {
+  bytes_received_ += bytes.size();
+  if (on_bytes_) on_bytes_(std::move(bytes));
+}
+
+std::pair<std::shared_ptr<TransportEndpoint>, std::shared_ptr<TransportEndpoint>> make_pipe(
+    EventScheduler& scheduler, SimDuration delay) {
+  auto a = std::make_shared<TransportEndpoint>();
+  auto b = std::make_shared<TransportEndpoint>();
+  a->scheduler_ = &scheduler;
+  b->scheduler_ = &scheduler;
+  a->delay_ = delay;
+  b->delay_ = delay;
+  a->peer_ = b;
+  b->peer_ = a;
+  return {a, b};
+}
+
+std::vector<std::string> FrameReader::feed(std::string_view bytes) {
+  buffer_.append(bytes);
+  std::vector<std::string> messages;
+  std::size_t pos;
+  while ((pos = buffer_.find(kDelimiter)) != std::string::npos) {
+    messages.push_back(buffer_.substr(0, pos));
+    buffer_.erase(0, pos + kDelimiter.size());
+  }
+  return messages;
+}
+
+std::string FrameReader::frame(std::string_view message) {
+  std::string out;
+  out.reserve(message.size() + kDelimiter.size());
+  out.append(message);
+  out.append(kDelimiter);
+  return out;
+}
+
+}  // namespace escape::netconf

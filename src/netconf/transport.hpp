@@ -1,0 +1,66 @@
+// Byte-stream transport for NETCONF sessions: an in-memory full-duplex
+// pipe routed through the virtual-time scheduler (this is the "dedicated
+// control network" of the paper -- the management agents are reachable
+// with a configurable control-plane delay, independent of the data
+// plane).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "util/event.hpp"
+
+namespace escape::netconf {
+
+class TransportEndpoint {
+ public:
+  using OnBytes = std::function<void(std::string)>;
+
+  /// Sends bytes to the peer; they arrive after the pipe delay.
+  void send(std::string bytes);
+
+  /// Installs the receive callback (replaces any previous one).
+  void set_on_bytes(OnBytes cb) { on_bytes_ = std::move(cb); }
+
+  bool connected() const { return !peer_.expired(); }
+
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  friend std::pair<std::shared_ptr<TransportEndpoint>, std::shared_ptr<TransportEndpoint>>
+  make_pipe(EventScheduler& scheduler, SimDuration delay);
+
+  void deliver(std::string bytes);
+
+  EventScheduler* scheduler_ = nullptr;
+  SimDuration delay_ = 0;
+  std::weak_ptr<TransportEndpoint> peer_;
+  OnBytes on_bytes_;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+/// Creates a connected endpoint pair with symmetric one-way delay.
+std::pair<std::shared_ptr<TransportEndpoint>, std::shared_ptr<TransportEndpoint>> make_pipe(
+    EventScheduler& scheduler, SimDuration delay);
+
+/// NETCONF 1.0 end-of-message framing (]]>]]>): splits a byte stream
+/// back into messages.
+class FrameReader {
+ public:
+  /// Feeds bytes; returns every complete message extracted.
+  std::vector<std::string> feed(std::string_view bytes);
+
+  /// Frames one message for transmission.
+  static std::string frame(std::string_view message);
+
+  static constexpr std::string_view kDelimiter = "]]>]]>";
+
+ private:
+  std::string buffer_;
+};
+
+}  // namespace escape::netconf

@@ -1,0 +1,77 @@
+// The NETCONF VNF agent (the OpenYuma-based agent of the paper): one per
+// VNF container, exposing RPCs to start/stop VNFs and connect/disconnect
+// them to/from switches, plus <get> state retrieval whose payload follows
+// the escape-vnf YANG module.
+//
+// "It is worth noting that the migration to real platforms require only
+// the adaptation of the instrumentation part" -- the instrumentation here
+// is the VnfContainer calls inside each handler; everything above (RPC
+// parsing, schema validation, reply construction) is platform-neutral.
+#pragma once
+
+#include <memory>
+
+#include "netconf/session.hpp"
+#include "netconf/yang.hpp"
+#include "netemu/vnf_container.hpp"
+
+namespace escape::netconf {
+
+class VnfAgent {
+ public:
+  /// Serves the agent on `transport` instrumenting `container` (which
+  /// must outlive the agent).
+  VnfAgent(std::shared_ptr<TransportEndpoint> transport, netemu::VnfContainer& container);
+
+  const NetconfServer& server() const { return *server_; }
+
+  /// Builds the <vnfs> state tree (also used by <get>).
+  std::unique_ptr<xml::Element> state_tree(bool include_handlers) const;
+
+  bool subscribed() const { return subscribed_; }
+
+ private:
+  void register_operations();
+
+  netemu::VnfContainer* container_;
+  std::unique_ptr<NetconfServer> server_;
+  // RFC 5277 subscription state: set by <create-subscription>; when on,
+  // VNF lifecycle transitions are pushed as <vnf-state-change> events.
+  bool subscribed_ = false;
+};
+
+/// Typed client-side wrapper: the orchestrator's view of one agent.
+/// Every call is asynchronous; callbacks fire when the reply arrives
+/// through the (virtual-time) control network.
+class VnfAgentClient {
+ public:
+  using StatusCallback = std::function<void(Status)>;
+  using InfoCallback = std::function<void(Result<netemu::VnfInfo>)>;
+
+  explicit VnfAgentClient(std::shared_ptr<TransportEndpoint> transport);
+
+  NetconfClient& session() { return *client_; }
+
+  void initiate_vnf(const std::string& id, const std::string& type,
+                    const std::string& click_config, double cpu_share, StatusCallback cb);
+  void start_vnf(const std::string& id, StatusCallback cb);
+  void stop_vnf(const std::string& id, StatusCallback cb);
+  void remove_vnf(const std::string& id, StatusCallback cb);
+  void connect_vnf(const std::string& id, const std::string& device, std::uint16_t port,
+                   StatusCallback cb);
+  void disconnect_vnf(const std::string& id, const std::string& device, StatusCallback cb);
+  void get_vnf_info(const std::string& id, InfoCallback cb);
+
+  /// Subscribes to VNF lifecycle events (RFC 5277 create-subscription);
+  /// `on_event` fires for every pushed <vnf-state-change>.
+  using EventCallback =
+      std::function<void(const std::string& vnf_id, netemu::VnfStatus status)>;
+  void subscribe_events(EventCallback on_event, StatusCallback done);
+
+ private:
+  void simple_rpc(std::unique_ptr<xml::Element> op, StatusCallback cb);
+
+  std::unique_ptr<NetconfClient> client_;
+};
+
+}  // namespace escape::netconf

@@ -1,0 +1,56 @@
+// YANG-lite: a data-modeling layer describing the structure the VNF
+// agent accepts and emits. The paper: "The operation of the agent is
+// described by the YANG data modeling language and implemented by
+// low-level instrumentation codes."
+//
+// The schema is a tree of containers, keyed lists and typed leaves;
+// validate() checks an XML payload (element tree) against it. The agent
+// validates every RPC input before touching the container, so malformed
+// orchestrator requests are rejected at the management boundary with
+// proper rpc-errors.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+#include "xml/xml.hpp"
+
+namespace escape::netconf {
+
+enum class LeafType { kString, kUint, kDecimal, kBoolean, kEnum };
+
+struct SchemaNode {
+  enum class Kind { kContainer, kList, kLeaf };
+
+  std::string name;
+  Kind kind = Kind::kLeaf;
+  LeafType leaf_type = LeafType::kString;
+  bool mandatory = false;
+  std::vector<std::string> enum_values;  // for kEnum leaves
+  std::string list_key;                  // for kList: name of the key leaf
+  std::vector<SchemaNode> children;
+
+  // --- builders ----------------------------------------------------------
+  static SchemaNode container(std::string name, std::vector<SchemaNode> children);
+  static SchemaNode list(std::string name, std::string key, std::vector<SchemaNode> children);
+  static SchemaNode leaf(std::string name, LeafType type, bool mandatory = false);
+  static SchemaNode enumeration(std::string name, std::vector<std::string> values,
+                                bool mandatory = false);
+
+  const SchemaNode* child(std::string_view name) const;
+};
+
+/// Validates `element` (whose local name must equal schema.name) against
+/// the schema subtree. Reports the first violation with an XPath-ish
+/// location in the message.
+Status validate(const xml::Element& element, const SchemaNode& schema);
+
+/// The escape-vnf module: the data model of the VNF agent.
+const SchemaNode& vnf_module_schema();
+
+/// The textual YANG source of the escape-vnf module (documentation and
+/// the <get-schema> RPC).
+std::string_view vnf_yang_source();
+
+}  // namespace escape::netconf

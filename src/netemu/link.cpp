@@ -1,0 +1,65 @@
+#include "netemu/link.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace escape::netemu {
+
+Link::Link(Node* node_a, std::uint16_t port_a, Node* node_b, std::uint16_t port_b,
+           LinkConfig config, EventScheduler& scheduler, std::uint64_t loss_seed)
+    : node_a_(node_a),
+      port_a_(port_a),
+      node_b_(node_b),
+      port_b_(port_b),
+      config_(config),
+      scheduler_(&scheduler),
+      loss_rng_(loss_seed) {}
+
+SimDuration Link::tx_time(std::size_t bytes) const {
+  // bits / (bits per second) in nanoseconds, rounded up.
+  const std::uint64_t bits = static_cast<std::uint64_t>(bytes) * 8;
+  return (bits * timeunit::kSecond + config_.bandwidth_bps - 1) / config_.bandwidth_bps;
+}
+
+void Link::transmit(int from_endpoint, net::Packet&& packet) {
+  Direction& dir = dir_[from_endpoint];
+  const SimTime now = scheduler_->now();
+
+  if (config_.loss > 0.0 && loss_rng_.next_bool(config_.loss)) {
+    ++dir.dropped;
+    return;
+  }
+
+  // Queue admission: frames in flight beyond the queue bound are dropped
+  // (tail drop), emulating the interface transmit ring.
+  if (dir.in_flight >= config_.queue_frames) {
+    ++dir.dropped;
+    return;
+  }
+
+  const SimTime start = std::max(now, dir.busy_until);
+  const SimTime tx_done = start + tx_time(packet.size());
+  dir.busy_until = tx_done;
+  ++dir.in_flight;
+
+  Node* dst = from_endpoint == 0 ? node_b_ : node_a_;
+  const std::uint16_t dst_port = from_endpoint == 0 ? port_b_ : port_a_;
+
+  auto shared = std::make_shared<net::Packet>(std::move(packet));
+  scheduler_->schedule_at(tx_done + config_.delay, [this, from_endpoint, dst, dst_port, shared] {
+    Direction& d = dir_[from_endpoint];
+    --d.in_flight;
+    ++d.delivered;
+    dst->deliver(dst_port, std::move(*shared));
+  });
+}
+
+std::string Link::to_string() const {
+  return strings::format("link[%s:%u <-> %s:%u %.1fMbps %.2fms q=%zu]",
+                         node_a_->name().c_str(), port_a_, node_b_->name().c_str(), port_b_,
+                         static_cast<double>(config_.bandwidth_bps) / 1e6,
+                         static_cast<double>(config_.delay) / 1e6, config_.queue_frames);
+}
+
+}  // namespace escape::netemu

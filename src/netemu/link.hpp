@@ -1,0 +1,67 @@
+// Point-to-point emulated link with bandwidth, propagation delay and a
+// bounded transmit queue per direction -- the TCLink equivalent of
+// Mininet.
+//
+// Model: each direction serializes frames at `bandwidth_bps`; a frame
+// arriving while the "wire" is busy waits in the transmit queue (FIFO,
+// at most `queue_frames`); excess frames are dropped. A transmitted
+// frame is delivered `delay` after its serialization completes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netemu/node.hpp"
+#include "util/random.hpp"
+#include "util/time.hpp"
+
+namespace escape::netemu {
+
+struct LinkConfig {
+  std::uint64_t bandwidth_bps = 1'000'000'000;  // 1 Gbit/s
+  SimDuration delay = 50 * timeunit::kMicrosecond;
+  std::size_t queue_frames = 100;
+  double loss = 0.0;  // random loss probability per frame
+};
+
+class Link {
+ public:
+  /// Wires node_a[port_a] <-> node_b[port_b]. Registration with the
+  /// nodes is performed by Network::add_link.
+  Link(Node* node_a, std::uint16_t port_a, Node* node_b, std::uint16_t port_b,
+       LinkConfig config, EventScheduler& scheduler, std::uint64_t loss_seed = 1);
+
+  /// Called by a node: transmit `packet` from the endpoint `from_endpoint`
+  /// (0 = a-side, 1 = b-side) toward the other side.
+  void transmit(int from_endpoint, net::Packet&& packet);
+
+  const LinkConfig& config() const { return config_; }
+  Node* node(int endpoint) const { return endpoint == 0 ? node_a_ : node_b_; }
+  std::uint16_t port(int endpoint) const { return endpoint == 0 ? port_a_ : port_b_; }
+
+  std::uint64_t delivered(int direction) const { return dir_[direction].delivered; }
+  std::uint64_t dropped(int direction) const { return dir_[direction].dropped; }
+
+  std::string to_string() const;
+
+ private:
+  struct Direction {
+    SimTime busy_until = 0;
+    std::size_t in_flight = 0;  // frames queued or serializing
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  SimDuration tx_time(std::size_t bytes) const;
+
+  Node* node_a_;
+  std::uint16_t port_a_;
+  Node* node_b_;
+  std::uint16_t port_b_;
+  LinkConfig config_;
+  EventScheduler* scheduler_;
+  Rng loss_rng_;
+  Direction dir_[2];
+};
+
+}  // namespace escape::netemu

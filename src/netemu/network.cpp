@@ -1,0 +1,109 @@
+#include "netemu/network.hpp"
+
+#include <stdexcept>
+
+namespace escape::netemu {
+
+Host& Network::add_host(const std::string& name, net::MacAddr mac, net::Ipv4Addr ip) {
+  if (nodes_.count(name)) throw std::invalid_argument("duplicate node name: " + name);
+  auto host = std::make_unique<Host>(name, *scheduler_, mac, ip);
+  Host& ref = *host;
+  nodes_[name] = std::move(host);
+  return ref;
+}
+
+Host& Network::add_host(const std::string& name) {
+  const std::uint64_t n = next_auto_addr_++;
+  return add_host(name, net::MacAddr::from_u64(n),
+                  net::Ipv4Addr(static_cast<std::uint32_t>((10u << 24) | n)));
+}
+
+SwitchNode& Network::add_switch(const std::string& name, openflow::DatapathId dpid) {
+  if (nodes_.count(name)) throw std::invalid_argument("duplicate node name: " + name);
+  if (dpid == 0) dpid = next_dpid_++;
+  else next_dpid_ = std::max(next_dpid_, dpid + 1);
+  auto sw = std::make_unique<SwitchNode>(name, *scheduler_, dpid);
+  SwitchNode& ref = *sw;
+  nodes_[name] = std::move(sw);
+  return ref;
+}
+
+VnfContainer& Network::add_container(const std::string& name, double cpu_capacity,
+                                     std::size_t max_vnfs) {
+  if (nodes_.count(name)) throw std::invalid_argument("duplicate node name: " + name);
+  auto c = std::make_unique<VnfContainer>(name, *scheduler_, cpu_capacity, max_vnfs);
+  VnfContainer& ref = *c;
+  nodes_[name] = std::move(c);
+  return ref;
+}
+
+Status Network::add_link(const std::string& a, std::uint16_t port_a, const std::string& b,
+                         std::uint16_t port_b, LinkConfig config) {
+  Node* node_a = node(a);
+  Node* node_b = node(b);
+  if (!node_a) return make_error("netemu.unknown-node", "unknown node: " + a);
+  if (!node_b) return make_error("netemu.unknown-node", "unknown node: " + b);
+
+  auto link = std::make_unique<Link>(node_a, port_a, node_b, port_b, config, *scheduler_,
+                                     links_.size() + 1);
+  if (auto s = node_a->attach_link(port_a, link.get(), 0); !s.ok()) return s;
+  if (auto s = node_b->attach_link(port_b, link.get(), 1); !s.ok()) {
+    node_a->detach_link(port_a);
+    return s;
+  }
+  if (auto* sw = dynamic_cast<SwitchNode*>(node_a)) sw->ensure_port(port_a);
+  if (auto* sw = dynamic_cast<SwitchNode*>(node_b)) sw->ensure_port(port_b);
+  links_.push_back(std::move(link));
+  return ok_status();
+}
+
+Node* Network::node(const std::string& name) {
+  auto it = nodes_.find(name);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+template <typename T>
+T* Network::typed_node(const std::string& name) {
+  return dynamic_cast<T*>(node(name));
+}
+
+Host* Network::host(const std::string& name) { return typed_node<Host>(name); }
+SwitchNode* Network::switch_node(const std::string& name) {
+  return typed_node<SwitchNode>(name);
+}
+VnfContainer* Network::container(const std::string& name) {
+  return typed_node<VnfContainer>(name);
+}
+
+std::vector<std::string> Network::node_names() const {
+  std::vector<std::string> out;
+  out.reserve(nodes_.size());
+  for (const auto& [name, _] : nodes_) out.push_back(name);
+  return out;
+}
+
+void Network::attach_controller(pox::Controller& controller) {
+  for (auto& [_, node] : nodes_) {
+    if (auto* sw = dynamic_cast<SwitchNode*>(node.get())) {
+      controller.attach_switch(sw->datapath());
+    }
+  }
+}
+
+std::size_t Network::switch_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, node] : nodes_) n += node->kind() == NodeKind::kSwitch;
+  return n;
+}
+std::size_t Network::host_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, node] : nodes_) n += node->kind() == NodeKind::kHost;
+  return n;
+}
+std::size_t Network::container_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, node] : nodes_) n += node->kind() == NodeKind::kVnfContainer;
+  return n;
+}
+
+}  // namespace escape::netemu

@@ -1,0 +1,68 @@
+// The emulated network: owns nodes and links, provides Mininet-style
+// topology construction ("define VNF containers and the rest of the
+// topology" -- demo step 1).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "netemu/host.hpp"
+#include "netemu/link.hpp"
+#include "netemu/switch_node.hpp"
+#include "netemu/vnf_container.hpp"
+#include "pox/core.hpp"
+
+namespace escape::netemu {
+
+class Network {
+ public:
+  explicit Network(EventScheduler& scheduler) : scheduler_(&scheduler) {}
+
+  EventScheduler& scheduler() { return *scheduler_; }
+
+  /// Adds a host with explicit addresses.
+  Host& add_host(const std::string& name, net::MacAddr mac, net::Ipv4Addr ip);
+
+  /// Adds a host with auto-assigned addresses (10.0.0.N, MAC ...:N).
+  Host& add_host(const std::string& name);
+
+  /// Adds an OpenFlow switch; dpid defaults to a running counter.
+  SwitchNode& add_switch(const std::string& name, openflow::DatapathId dpid = 0);
+
+  /// Adds a VNF container (execution environment).
+  VnfContainer& add_container(const std::string& name, double cpu_capacity = 1.0,
+                              std::size_t max_vnfs = 16);
+
+  /// Wires a[port_a] <-> b[port_b]. Switch datapath ports are declared
+  /// automatically.
+  Status add_link(const std::string& a, std::uint16_t port_a, const std::string& b,
+                  std::uint16_t port_b, LinkConfig config = {});
+
+  Node* node(const std::string& name);
+  Host* host(const std::string& name);
+  SwitchNode* switch_node(const std::string& name);
+  VnfContainer* container(const std::string& name);
+
+  std::vector<std::string> node_names() const;
+  const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
+
+  /// Attaches every switch to the controller (OF handshake begins; run
+  /// the scheduler to complete it).
+  void attach_controller(pox::Controller& controller);
+
+  std::size_t switch_count() const;
+  std::size_t host_count() const;
+  std::size_t container_count() const;
+
+ private:
+  template <typename T>
+  T* typed_node(const std::string& name);
+
+  EventScheduler* scheduler_;
+  std::map<std::string, std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::uint64_t next_auto_addr_ = 1;
+  openflow::DatapathId next_dpid_ = 1;
+};
+
+}  // namespace escape::netemu

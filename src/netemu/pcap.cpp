@@ -1,0 +1,67 @@
+#include "netemu/pcap.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace escape::netemu {
+
+namespace {
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  // Host-endian, as pcap readers detect byte order from the magic.
+  std::memcpy(p, &v, 4);
+}
+void put_u16(std::uint8_t* p, std::uint16_t v) { std::memcpy(p, &v, 2); }
+
+}  // namespace
+
+PcapWriter::~PcapWriter() { close(); }
+
+Status PcapWriter::open(const std::string& path, std::uint32_t snaplen) {
+  close();
+  file_ = std::fopen(path.c_str(), "wb");
+  if (!file_) return make_error("pcap.open", "cannot open " + path);
+  snaplen_ = snaplen;
+
+  std::uint8_t header[24];
+  put_u32(&header[0], 0xa1b2c3d4);  // magic (microsecond timestamps)
+  put_u16(&header[4], 2);           // version major
+  put_u16(&header[6], 4);           // version minor
+  put_u32(&header[8], 0);           // thiszone
+  put_u32(&header[12], 0);          // sigfigs
+  put_u32(&header[16], snaplen);
+  put_u32(&header[20], 1);          // linktype: LINKTYPE_ETHERNET
+  if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header)) {
+    close();
+    return make_error("pcap.write", "short write of global header");
+  }
+  return ok_status();
+}
+
+Status PcapWriter::write(const net::Packet& packet, SimTime when) {
+  if (!file_) return make_error("pcap.closed", "writer not open");
+  const std::uint32_t caplen =
+      static_cast<std::uint32_t>(std::min<std::size_t>(packet.size(), snaplen_));
+
+  std::uint8_t record[16];
+  put_u32(&record[0], static_cast<std::uint32_t>(when / timeunit::kSecond));
+  put_u32(&record[4], static_cast<std::uint32_t>((when % timeunit::kSecond) /
+                                                 timeunit::kMicrosecond));
+  put_u32(&record[8], caplen);
+  put_u32(&record[12], static_cast<std::uint32_t>(packet.size()));
+  if (std::fwrite(record, 1, sizeof(record), file_) != sizeof(record) ||
+      std::fwrite(packet.data().data(), 1, caplen, file_) != caplen) {
+    return make_error("pcap.write", "short write of record");
+  }
+  ++frames_;
+  return ok_status();
+}
+
+void PcapWriter::close() {
+  if (file_) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace escape::netemu

@@ -1,0 +1,75 @@
+#include "openflow/actions.hpp"
+
+#include "net/headers.hpp"
+#include "util/strings.hpp"
+
+namespace escape::openflow {
+
+void apply_rewrite(const Action& action, net::Packet& packet) {
+  std::visit(
+      [&packet](const auto& a) {
+        using T = std::decay_t<decltype(a)>;
+        if constexpr (std::is_same_v<T, ActionSetDlSrc>) {
+          net::set_eth_src(packet, a.mac);
+        } else if constexpr (std::is_same_v<T, ActionSetDlDst>) {
+          net::set_eth_dst(packet, a.mac);
+        } else if constexpr (std::is_same_v<T, ActionSetNwSrc>) {
+          net::set_ipv4_src(packet, a.addr);
+        } else if constexpr (std::is_same_v<T, ActionSetNwDst>) {
+          net::set_ipv4_dst(packet, a.addr);
+        } else if constexpr (std::is_same_v<T, ActionSetNwTos>) {
+          net::set_ipv4_dscp(packet, a.dscp);
+        } else if constexpr (std::is_same_v<T, ActionSetTpSrc>) {
+          net::set_l4_src_port(packet, a.port);
+        } else if constexpr (std::is_same_v<T, ActionSetTpDst>) {
+          net::set_l4_dst_port(packet, a.port);
+        }
+        // ActionOutput: handled by the datapath, not a rewrite.
+      },
+      action);
+}
+
+std::string action_to_string(const Action& action) {
+  return std::visit(
+      [](const auto& a) -> std::string {
+        using T = std::decay_t<decltype(a)>;
+        if constexpr (std::is_same_v<T, ActionOutput>) {
+          switch (a.port) {
+            case kPortController: return "output:controller";
+            case kPortFlood: return "output:flood";
+            case kPortAll: return "output:all";
+            case kPortInPort: return "output:in_port";
+            default: return "output:" + std::to_string(a.port);
+          }
+        } else if constexpr (std::is_same_v<T, ActionSetDlSrc>) {
+          return "set_dl_src:" + a.mac.to_string();
+        } else if constexpr (std::is_same_v<T, ActionSetDlDst>) {
+          return "set_dl_dst:" + a.mac.to_string();
+        } else if constexpr (std::is_same_v<T, ActionSetNwSrc>) {
+          return "set_nw_src:" + a.addr.to_string();
+        } else if constexpr (std::is_same_v<T, ActionSetNwDst>) {
+          return "set_nw_dst:" + a.addr.to_string();
+        } else if constexpr (std::is_same_v<T, ActionSetNwTos>) {
+          return "set_nw_tos:" + std::to_string(a.dscp);
+        } else if constexpr (std::is_same_v<T, ActionSetTpSrc>) {
+          return "set_tp_src:" + std::to_string(a.port);
+        } else {
+          return "set_tp_dst:" + std::to_string(a.port);
+        }
+      },
+      action);
+}
+
+std::string actions_to_string(const ActionList& actions) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    if (i) out += ", ";
+    out += action_to_string(actions[i]);
+  }
+  out += ']';
+  return out;
+}
+
+ActionList output_to(std::uint16_t port) { return {ActionOutput{port, 0xffff}}; }
+
+}  // namespace escape::openflow

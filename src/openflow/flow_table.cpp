@@ -1,0 +1,239 @@
+#include "openflow/flow_table.hpp"
+
+#include <algorithm>
+
+namespace escape::openflow {
+
+bool FlowTable::expired(const FlowEntry& e, SimTime now) const {
+  if (e.hard_timeout && now >= e.installed_at + e.hard_timeout) return true;
+  if (e.idle_timeout && now >= e.last_hit + e.idle_timeout) return true;
+  return false;
+}
+
+void FlowTable::fire_removed(const FlowEntry& e, FlowRemovedReason reason) {
+  if (e.send_flow_removed && removed_cb_) removed_cb_(e, reason);
+}
+
+void FlowTable::add_entry(FlowEntry entry) {
+  if (entry.match.is_exact()) {
+    exact_[entry.match.fields()] = std::move(entry);
+    return;
+  }
+  // Insert keeping descending priority order; equal priorities keep
+  // insertion order (stable).
+  auto pos = std::upper_bound(
+      wildcard_.begin(), wildcard_.end(), entry.priority,
+      [](std::uint16_t prio, const FlowEntry& e) { return prio > e.priority; });
+  wildcard_.insert(pos, std::move(entry));
+}
+
+void FlowTable::delete_matching(const Match& match, bool strict,
+                                std::optional<std::uint16_t> priority) {
+  auto should_delete = [&](const FlowEntry& e) {
+    if (strict) {
+      return e.match == match && (!priority || e.priority == *priority);
+    }
+    // Non-strict: delete entries whose match is "covered" by the given
+    // match template. For simplicity we test whether the template matches
+    // the entry's concrete fields when the entry is exact, or equality
+    // otherwise; a wildcard-all template deletes everything.
+    if (match.is_table_miss()) return true;
+    if (e.match.is_exact()) return match.matches(e.match.fields());
+    return e.match == match;
+  };
+
+  for (auto it = exact_.begin(); it != exact_.end();) {
+    if (should_delete(it->second)) {
+      fire_removed(it->second, FlowRemovedReason::kDelete);
+      it = exact_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::erase_if(wildcard_, [&](const FlowEntry& e) {
+    if (should_delete(e)) {
+      fire_removed(e, FlowRemovedReason::kDelete);
+      return true;
+    }
+    return false;
+  });
+}
+
+void FlowTable::apply(const FlowMod& mod, SimTime now) {
+  switch (mod.command) {
+    case FlowModCommand::kAdd: {
+      // OF 1.0: identical match+priority overwrites (counters reset).
+      // Exact adds overwrite via the hash map directly; wildcard adds
+      // only need to examine entries of equal priority (the vector is
+      // sorted by priority, so the scan is bounded to that range).
+      if (mod.match.is_exact()) {
+        auto it = exact_.find(mod.match.fields());
+        if (it != exact_.end()) {
+          fire_removed(it->second, FlowRemovedReason::kDelete);
+          exact_.erase(it);
+        }
+      } else {
+        auto lo = std::lower_bound(
+            wildcard_.begin(), wildcard_.end(), mod.priority,
+            [](const FlowEntry& e, std::uint16_t prio) { return e.priority > prio; });
+        auto hi = std::upper_bound(
+            lo, wildcard_.end(), mod.priority,
+            [](std::uint16_t prio, const FlowEntry& e) { return prio > e.priority; });
+        for (auto it = lo; it != hi;) {
+          if (it->match == mod.match) {
+            fire_removed(*it, FlowRemovedReason::kDelete);
+            it = wildcard_.erase(it);
+            hi = std::upper_bound(
+                it, wildcard_.end(), mod.priority,
+                [](std::uint16_t prio, const FlowEntry& e) { return prio > e.priority; });
+          } else {
+            ++it;
+          }
+        }
+      }
+      FlowEntry e;
+      e.match = mod.match;
+      e.priority = mod.priority;
+      e.cookie = mod.cookie;
+      e.idle_timeout = mod.idle_timeout;
+      e.hard_timeout = mod.hard_timeout;
+      e.actions = mod.actions;
+      e.send_flow_removed = mod.send_flow_removed;
+      e.installed_at = now;
+      e.last_hit = now;
+      add_entry(std::move(e));
+      break;
+    }
+    case FlowModCommand::kModify: {
+      bool any = false;
+      auto modify = [&](FlowEntry& e) {
+        if (e.match == mod.match) {
+          e.actions = mod.actions;
+          e.cookie = mod.cookie;
+          any = true;
+        }
+      };
+      for (auto& [_, e] : exact_) modify(e);
+      for (auto& e : wildcard_) modify(e);
+      if (!any) apply(FlowMod{FlowModCommand::kAdd, mod.match, mod.priority, mod.cookie,
+                              mod.idle_timeout, mod.hard_timeout, mod.actions, mod.buffer_id,
+                              mod.send_flow_removed},
+                      now);
+      break;
+    }
+    case FlowModCommand::kDelete:
+      delete_matching(mod.match, /*strict=*/false, std::nullopt);
+      break;
+    case FlowModCommand::kDeleteStrict:
+      delete_matching(mod.match, /*strict=*/true, mod.priority);
+      break;
+  }
+}
+
+FlowEntry* FlowTable::lookup(const net::FlowKey& key, std::size_t packet_bytes, SimTime now) {
+  ++lookups_;
+
+  // Exact-match fast path.
+  if (auto it = exact_.find(key); it != exact_.end()) {
+    if (expired(it->second, now)) {
+      fire_removed(it->second,
+                   it->second.hard_timeout && now >= it->second.installed_at +
+                                                         it->second.hard_timeout
+                       ? FlowRemovedReason::kHardTimeout
+                       : FlowRemovedReason::kIdleTimeout);
+      exact_.erase(it);
+    } else {
+      // An exact entry always outranks wildcards only if no wildcard has
+      // strictly higher priority; check the top of the wildcard list.
+      FlowEntry& e = it->second;
+      const FlowEntry* better = nullptr;
+      for (const auto& w : wildcard_) {
+        if (w.priority <= e.priority) break;
+        if (!expired(w, now) && w.match.matches(key)) {
+          better = &w;
+          break;
+        }
+      }
+      if (!better) {
+        e.packet_count++;
+        e.byte_count += packet_bytes;
+        e.last_hit = now;
+        ++matched_;
+        return &e;
+      }
+    }
+  }
+
+  // Wildcard scan in priority order, evicting expired entries lazily.
+  for (auto it = wildcard_.begin(); it != wildcard_.end();) {
+    if (expired(*it, now)) {
+      fire_removed(*it, it->hard_timeout && now >= it->installed_at + it->hard_timeout
+                            ? FlowRemovedReason::kHardTimeout
+                            : FlowRemovedReason::kIdleTimeout);
+      it = wildcard_.erase(it);
+      continue;
+    }
+    if (it->match.matches(key)) {
+      it->packet_count++;
+      it->byte_count += packet_bytes;
+      it->last_hit = now;
+      ++matched_;
+      return &*it;
+    }
+    ++it;
+  }
+  return nullptr;
+}
+
+std::size_t FlowTable::expire(SimTime now) {
+  std::size_t evicted = 0;
+  for (auto it = exact_.begin(); it != exact_.end();) {
+    if (expired(it->second, now)) {
+      fire_removed(it->second, it->second.hard_timeout && now >= it->second.installed_at +
+                                                                     it->second.hard_timeout
+                                   ? FlowRemovedReason::kHardTimeout
+                                   : FlowRemovedReason::kIdleTimeout);
+      it = exact_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  std::erase_if(wildcard_, [&](const FlowEntry& e) {
+    if (expired(e, now)) {
+      fire_removed(e, e.hard_timeout && now >= e.installed_at + e.hard_timeout
+                          ? FlowRemovedReason::kHardTimeout
+                          : FlowRemovedReason::kIdleTimeout);
+      ++evicted;
+      return true;
+    }
+    return false;
+  });
+  return evicted;
+}
+
+std::vector<FlowStatsEntry> FlowTable::stats(SimTime now) const {
+  std::vector<FlowStatsEntry> out;
+  out.reserve(size());
+  auto emit = [&](const FlowEntry& e) {
+    FlowStatsEntry s;
+    s.match = e.match;
+    s.priority = e.priority;
+    s.cookie = e.cookie;
+    s.packet_count = e.packet_count;
+    s.byte_count = e.byte_count;
+    s.age = now - e.installed_at;
+    s.actions = e.actions;
+    out.push_back(std::move(s));
+  };
+  for (const auto& [_, e] : exact_) emit(e);
+  for (const auto& e : wildcard_) emit(e);
+  return out;
+}
+
+void FlowTable::clear() {
+  exact_.clear();
+  wildcard_.clear();
+}
+
+}  // namespace escape::openflow

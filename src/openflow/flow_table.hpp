@@ -1,0 +1,80 @@
+// The flow table: priority-ordered wildcard entries with an exact-match
+// fast path, per-entry counters and idle/hard timeout expiry.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "openflow/actions.hpp"
+#include "openflow/match.hpp"
+#include "openflow/messages.hpp"
+#include "util/time.hpp"
+
+namespace escape::openflow {
+
+struct FlowEntry {
+  Match match;
+  std::uint16_t priority = 0x8000;
+  std::uint64_t cookie = 0;
+  SimDuration idle_timeout = 0;
+  SimDuration hard_timeout = 0;
+  ActionList actions;
+  bool send_flow_removed = false;
+
+  // Counters / bookkeeping.
+  SimTime installed_at = 0;
+  SimTime last_hit = 0;
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+};
+
+class FlowTable {
+ public:
+  /// Callback fired when an entry expires or is deleted with
+  /// send_flow_removed set.
+  using RemovedCallback = std::function<void(const FlowEntry&, FlowRemovedReason)>;
+
+  void set_removed_callback(RemovedCallback cb) { removed_cb_ = std::move(cb); }
+
+  /// Applies a flow-mod at virtual time `now`.
+  void apply(const FlowMod& mod, SimTime now);
+
+  /// Looks up the highest-priority matching entry, updating its counters.
+  /// Expired entries encountered on the way are evicted first.
+  FlowEntry* lookup(const net::FlowKey& key, std::size_t packet_bytes, SimTime now);
+
+  /// Evicts every entry whose idle/hard timeout has passed at `now`.
+  /// Returns the number evicted. The switch sweeps periodically.
+  std::size_t expire(SimTime now);
+
+  std::size_t size() const { return exact_.size() + wildcard_.size(); }
+  std::uint64_t lookups() const { return lookups_; }
+  std::uint64_t matches() const { return matched_; }
+
+  /// Snapshot for flow-stats replies.
+  std::vector<FlowStatsEntry> stats(SimTime now) const;
+
+  void clear();
+
+ private:
+  bool expired(const FlowEntry& e, SimTime now) const;
+  void fire_removed(const FlowEntry& e, FlowRemovedReason reason);
+  void add_entry(FlowEntry entry);
+  void delete_matching(const Match& match, bool strict, std::optional<std::uint16_t> priority);
+
+  // Exact entries: hash map keyed by the full FlowKey.
+  std::unordered_map<net::FlowKey, FlowEntry> exact_;
+  // Wildcard entries: kept sorted by descending priority (stable: earlier
+  // installs first among equal priorities, matching OF tie behaviour).
+  std::vector<FlowEntry> wildcard_;
+
+  std::uint64_t lookups_ = 0;
+  std::uint64_t matched_ = 0;
+  RemovedCallback removed_cb_;
+};
+
+}  // namespace escape::openflow

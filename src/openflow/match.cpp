@@ -1,0 +1,139 @@
+#include "openflow/match.hpp"
+
+#include "util/strings.hpp"
+
+namespace escape::openflow {
+
+Match Match::exact(const net::FlowKey& key) {
+  Match m;
+  m.wildcards_ = 0;
+  m.fields_ = key;
+  m.nw_src_prefix_ = 32;
+  m.nw_dst_prefix_ = 32;
+  return m;
+}
+
+Match& Match::in_port(std::uint16_t port) {
+  fields_.in_port = port;
+  wildcards_ &= ~kWcInPort;
+  return *this;
+}
+Match& Match::dl_src(net::MacAddr mac) {
+  fields_.dl_src = mac;
+  wildcards_ &= ~kWcDlSrc;
+  return *this;
+}
+Match& Match::dl_dst(net::MacAddr mac) {
+  fields_.dl_dst = mac;
+  wildcards_ &= ~kWcDlDst;
+  return *this;
+}
+Match& Match::dl_type(std::uint16_t type) {
+  fields_.dl_type = type;
+  wildcards_ &= ~kWcDlType;
+  return *this;
+}
+Match& Match::nw_proto(std::uint8_t proto) {
+  fields_.nw_proto = proto;
+  wildcards_ &= ~kWcNwProto;
+  return *this;
+}
+Match& Match::nw_src(net::Ipv4Addr addr, int prefix_len) {
+  fields_.nw_src = addr;
+  nw_src_prefix_ = prefix_len;
+  wildcards_ &= ~kWcNwSrc;
+  return *this;
+}
+Match& Match::nw_dst(net::Ipv4Addr addr, int prefix_len) {
+  fields_.nw_dst = addr;
+  nw_dst_prefix_ = prefix_len;
+  wildcards_ &= ~kWcNwDst;
+  return *this;
+}
+Match& Match::nw_tos(std::uint8_t dscp) {
+  fields_.nw_tos = dscp;
+  wildcards_ &= ~kWcNwTos;
+  return *this;
+}
+Match& Match::tp_src(std::uint16_t port) {
+  fields_.tp_src = port;
+  wildcards_ &= ~kWcTpSrc;
+  return *this;
+}
+Match& Match::tp_dst(std::uint16_t port) {
+  fields_.tp_dst = port;
+  wildcards_ &= ~kWcTpDst;
+  return *this;
+}
+
+bool Match::matches(const net::FlowKey& key) const {
+  if (!(wildcards_ & kWcInPort) && key.in_port != fields_.in_port) return false;
+  if (!(wildcards_ & kWcDlSrc) && key.dl_src != fields_.dl_src) return false;
+  if (!(wildcards_ & kWcDlDst) && key.dl_dst != fields_.dl_dst) return false;
+  if (!(wildcards_ & kWcDlType) && key.dl_type != fields_.dl_type) return false;
+  if (!(wildcards_ & kWcNwProto) && key.nw_proto != fields_.nw_proto) return false;
+  if (!(wildcards_ & kWcNwSrc) && !key.nw_src.in_subnet(fields_.nw_src, nw_src_prefix_)) {
+    return false;
+  }
+  if (!(wildcards_ & kWcNwDst) && !key.nw_dst.in_subnet(fields_.nw_dst, nw_dst_prefix_)) {
+    return false;
+  }
+  if (!(wildcards_ & kWcNwTos) && key.nw_tos != fields_.nw_tos) return false;
+  if (!(wildcards_ & kWcTpSrc) && key.tp_src != fields_.tp_src) return false;
+  if (!(wildcards_ & kWcTpDst) && key.tp_dst != fields_.tp_dst) return false;
+  return true;
+}
+
+bool Match::is_exact() const {
+  return wildcards_ == 0 && nw_src_prefix_ == 32 && nw_dst_prefix_ == 32;
+}
+
+bool Match::operator==(const Match& o) const {
+  if (wildcards_ != o.wildcards_) return false;
+  // Compare only the non-wildcarded fields.
+  auto wc = [this](Wildcard w) { return (wildcards_ & w) != 0; };
+  if (!wc(kWcInPort) && fields_.in_port != o.fields_.in_port) return false;
+  if (!wc(kWcDlSrc) && fields_.dl_src != o.fields_.dl_src) return false;
+  if (!wc(kWcDlDst) && fields_.dl_dst != o.fields_.dl_dst) return false;
+  if (!wc(kWcDlType) && fields_.dl_type != o.fields_.dl_type) return false;
+  if (!wc(kWcNwProto) && fields_.nw_proto != o.fields_.nw_proto) return false;
+  if (!wc(kWcNwSrc) &&
+      (fields_.nw_src != o.fields_.nw_src || nw_src_prefix_ != o.nw_src_prefix_)) {
+    return false;
+  }
+  if (!wc(kWcNwDst) &&
+      (fields_.nw_dst != o.fields_.nw_dst || nw_dst_prefix_ != o.nw_dst_prefix_)) {
+    return false;
+  }
+  if (!wc(kWcNwTos) && fields_.nw_tos != o.fields_.nw_tos) return false;
+  if (!wc(kWcTpSrc) && fields_.tp_src != o.fields_.tp_src) return false;
+  if (!wc(kWcTpDst) && fields_.tp_dst != o.fields_.tp_dst) return false;
+  return true;
+}
+
+std::string Match::to_string() const {
+  if (wildcards_ == kWcAll) return "match[*]";
+  std::string out = "match[";
+  auto add = [&out](const std::string& s) {
+    if (out.size() > 6) out += ' ';
+    out += s;
+  };
+  if (!(wildcards_ & kWcInPort)) add("in_port=" + std::to_string(fields_.in_port));
+  if (!(wildcards_ & kWcDlSrc)) add("dl_src=" + fields_.dl_src.to_string());
+  if (!(wildcards_ & kWcDlDst)) add("dl_dst=" + fields_.dl_dst.to_string());
+  if (!(wildcards_ & kWcDlType)) add(strings::format("dl_type=0x%04x", fields_.dl_type));
+  if (!(wildcards_ & kWcNwProto)) add("nw_proto=" + std::to_string(fields_.nw_proto));
+  if (!(wildcards_ & kWcNwSrc)) {
+    add("nw_src=" + fields_.nw_src.to_string() + "/" + std::to_string(nw_src_prefix_));
+  }
+  if (!(wildcards_ & kWcNwDst)) {
+    add("nw_dst=" + fields_.nw_dst.to_string() + "/" + std::to_string(nw_dst_prefix_));
+  }
+  if (!(wildcards_ & kWcNwTos)) add("nw_tos=" + std::to_string(fields_.nw_tos));
+  if (!(wildcards_ & kWcTpSrc)) add("tp_src=" + std::to_string(fields_.tp_src));
+  if (!(wildcards_ & kWcTpDst)) add("tp_dst=" + std::to_string(fields_.tp_dst));
+  out += ']';
+  return out;
+}
+
+}  // namespace escape::openflow

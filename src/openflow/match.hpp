@@ -1,0 +1,72 @@
+// OpenFlow 1.0-style flow match: a FlowKey template plus wildcard flags
+// (with CIDR prefixes on the IP fields).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/flow.hpp"
+
+namespace escape::openflow {
+
+/// Wildcard bits; a set bit means "field is wildcarded (ignored)".
+enum Wildcard : std::uint32_t {
+  kWcInPort = 1u << 0,
+  kWcDlSrc = 1u << 1,
+  kWcDlDst = 1u << 2,
+  kWcDlType = 1u << 3,
+  kWcNwProto = 1u << 4,
+  kWcNwSrc = 1u << 5,   // fully wildcarded (prefix 0); partial via nw_src_prefix
+  kWcNwDst = 1u << 6,
+  kWcNwTos = 1u << 7,
+  kWcTpSrc = 1u << 8,
+  kWcTpDst = 1u << 9,
+  kWcAll = (1u << 10) - 1,
+};
+
+/// A match template. Default-constructed matches everything.
+class Match {
+ public:
+  Match() = default;
+
+  /// Exact match on every field of `key` (the reactive L2-switch style).
+  static Match exact(const net::FlowKey& key);
+
+  // Builder-style setters clear the corresponding wildcard bit.
+  Match& in_port(std::uint16_t port);
+  Match& dl_src(net::MacAddr mac);
+  Match& dl_dst(net::MacAddr mac);
+  Match& dl_type(std::uint16_t type);
+  Match& nw_proto(std::uint8_t proto);
+  Match& nw_src(net::Ipv4Addr addr, int prefix_len = 32);
+  Match& nw_dst(net::Ipv4Addr addr, int prefix_len = 32);
+  Match& nw_tos(std::uint8_t dscp);
+  Match& tp_src(std::uint16_t port);
+  Match& tp_dst(std::uint16_t port);
+
+  bool matches(const net::FlowKey& key) const;
+
+  /// True if every field is wildcarded.
+  bool is_table_miss() const { return wildcards_ == kWcAll; }
+
+  /// True if no field is wildcarded (eligible for the exact-match fast
+  /// path in the flow table).
+  bool is_exact() const;
+
+  std::uint32_t wildcards() const { return wildcards_; }
+  const net::FlowKey& fields() const { return fields_; }
+  int nw_src_prefix() const { return nw_src_prefix_; }
+  int nw_dst_prefix() const { return nw_dst_prefix_; }
+
+  bool operator==(const Match& o) const;
+
+  std::string to_string() const;
+
+ private:
+  std::uint32_t wildcards_ = kWcAll;
+  net::FlowKey fields_;
+  int nw_src_prefix_ = 0;
+  int nw_dst_prefix_ = 0;
+};
+
+}  // namespace escape::openflow

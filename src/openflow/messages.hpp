@@ -1,0 +1,148 @@
+// The OpenFlow 1.0 control-channel message set used between the switch
+// datapath and the POX-style controller. Messages are typed C++ structs
+// (not wire-serialized): the control channel is in-memory, but the
+// message vocabulary and semantics follow ofp10.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "openflow/actions.hpp"
+#include "openflow/match.hpp"
+#include "util/time.hpp"
+
+namespace escape::openflow {
+
+using DatapathId = std::uint64_t;
+
+struct PortInfo {
+  std::uint16_t port_no = 0;
+  net::MacAddr hw_addr;
+  std::string name;
+  bool link_up = true;
+};
+
+// --- symmetric / handshake ---------------------------------------------------
+
+struct Hello {};
+struct EchoRequest {
+  std::uint32_t payload = 0;
+};
+struct EchoReply {
+  std::uint32_t payload = 0;
+};
+struct FeaturesRequest {};
+struct FeaturesReply {
+  DatapathId datapath_id = 0;
+  std::uint32_t n_buffers = 256;
+  std::uint8_t n_tables = 1;
+  std::vector<PortInfo> ports;
+};
+
+// --- controller -> switch ------------------------------------------------------
+
+enum class FlowModCommand : std::uint8_t { kAdd, kModify, kDelete, kDeleteStrict };
+
+struct FlowMod {
+  FlowModCommand command = FlowModCommand::kAdd;
+  Match match;
+  std::uint16_t priority = 0x8000;
+  std::uint64_t cookie = 0;
+  SimDuration idle_timeout = 0;  // 0 = none
+  SimDuration hard_timeout = 0;  // 0 = none
+  ActionList actions;
+  std::optional<std::uint32_t> buffer_id;  // apply to this buffered packet too
+  bool send_flow_removed = false;
+};
+
+struct PacketOut {
+  std::optional<std::uint32_t> buffer_id;  // either a buffer or raw data
+  net::Packet packet;                      // used when buffer_id is empty
+  std::uint16_t in_port = kPortNone;
+  ActionList actions;
+};
+
+struct StatsRequest {
+  enum class Kind : std::uint8_t { kFlow, kPort, kTable } kind = Kind::kFlow;
+};
+
+struct BarrierRequest {};
+
+// --- switch -> controller --------------------------------------------------------
+
+enum class PacketInReason : std::uint8_t { kNoMatch, kAction };
+
+struct PacketIn {
+  std::optional<std::uint32_t> buffer_id;
+  std::uint16_t in_port = 0;
+  PacketInReason reason = PacketInReason::kNoMatch;
+  net::Packet packet;
+};
+
+enum class FlowRemovedReason : std::uint8_t { kIdleTimeout, kHardTimeout, kDelete };
+
+struct FlowRemoved {
+  Match match;
+  std::uint16_t priority = 0;
+  std::uint64_t cookie = 0;
+  FlowRemovedReason reason = FlowRemovedReason::kIdleTimeout;
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+};
+
+struct PortStatus {
+  enum class Reason : std::uint8_t { kAdd, kDelete, kModify } reason = Reason::kModify;
+  PortInfo port;
+};
+
+struct FlowStatsEntry {
+  Match match;
+  std::uint16_t priority = 0;
+  std::uint64_t cookie = 0;
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+  SimDuration age = 0;
+  ActionList actions;
+};
+
+struct PortStatsEntry {
+  std::uint16_t port_no = 0;
+  std::uint64_t rx_packets = 0;
+  std::uint64_t tx_packets = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t rx_dropped = 0;
+  std::uint64_t tx_dropped = 0;
+};
+
+struct TableStats {
+  std::size_t active_count = 0;
+  std::uint64_t lookup_count = 0;
+  std::uint64_t matched_count = 0;
+};
+
+struct StatsReply {
+  std::vector<FlowStatsEntry> flows;
+  std::vector<PortStatsEntry> ports;
+  std::optional<TableStats> table;
+};
+
+struct BarrierReply {};
+
+struct ErrorMsg {
+  std::string type;
+  std::string detail;
+};
+
+using Message =
+    std::variant<Hello, EchoRequest, EchoReply, FeaturesRequest, FeaturesReply, FlowMod,
+                 PacketOut, StatsRequest, BarrierRequest, PacketIn, FlowRemoved, PortStatus,
+                 StatsReply, BarrierReply, ErrorMsg>;
+
+std::string_view message_type_name(const Message& m);
+
+}  // namespace escape::openflow

@@ -1,0 +1,241 @@
+#include "openflow/switch.hpp"
+
+#include "net/flow.hpp"
+
+namespace escape::openflow {
+
+namespace {
+constexpr SimDuration kSweepInterval = timeunit::kSecond;
+}
+
+std::string_view message_type_name(const Message& m) {
+  static constexpr std::string_view kNames[] = {
+      "hello",        "echo_request", "echo_reply",  "features_request", "features_reply",
+      "flow_mod",     "packet_out",   "stats_request", "barrier_request", "packet_in",
+      "flow_removed", "port_status",  "stats_reply", "barrier_reply",    "error"};
+  return kNames[m.index()];
+}
+
+OpenFlowSwitch::OpenFlowSwitch(DatapathId dpid, EventScheduler& scheduler)
+    : dpid_(dpid), scheduler_(&scheduler) {
+  table_.set_removed_callback([this](const FlowEntry& e, FlowRemovedReason reason) {
+    if (!connected()) return;
+    FlowRemoved msg;
+    msg.match = e.match;
+    msg.priority = e.priority;
+    msg.cookie = e.cookie;
+    msg.reason = reason;
+    msg.packet_count = e.packet_count;
+    msg.byte_count = e.byte_count;
+    channel_->to_controller(msg);
+  });
+}
+
+void OpenFlowSwitch::add_port(std::uint16_t port_no, std::string name, net::MacAddr hw_addr,
+                              TxCallback tx) {
+  Port port;
+  port.info = PortInfo{port_no, hw_addr, std::move(name), true};
+  port.tx = std::move(tx);
+  port.stats.port_no = port_no;
+  ports_[port_no] = std::move(port);
+  if (connected()) {
+    channel_->to_controller(PortStatus{PortStatus::Reason::kAdd, ports_[port_no].info});
+  }
+}
+
+void OpenFlowSwitch::remove_port(std::uint16_t port_no) {
+  auto it = ports_.find(port_no);
+  if (it == ports_.end()) return;
+  PortInfo info = it->second.info;
+  ports_.erase(it);
+  if (connected()) {
+    channel_->to_controller(PortStatus{PortStatus::Reason::kDelete, std::move(info)});
+  }
+}
+
+std::vector<PortInfo> OpenFlowSwitch::ports() const {
+  std::vector<PortInfo> out;
+  out.reserve(ports_.size());
+  for (const auto& [_, p] : ports_) out.push_back(p.info);
+  return out;
+}
+
+void OpenFlowSwitch::connect(std::shared_ptr<ControlChannel> channel) {
+  channel_ = std::move(channel);
+  channel_->to_controller(Hello{});
+  // Periodic self-rescheduling expiry sweep so timeouts fire even
+  // without traffic.
+  sweep_timer_.cancel();
+  struct Sweeper {
+    OpenFlowSwitch* sw;
+    void operator()() {
+      sw->sweep_expired();
+      sw->sweep_timer_ = sw->scheduler_->schedule(kSweepInterval, Sweeper{sw});
+    }
+  };
+  sweep_timer_ = scheduler_->schedule(kSweepInterval, Sweeper{this});
+}
+
+void OpenFlowSwitch::sweep_expired() { table_.expire(scheduler_->now()); }
+
+std::uint32_t OpenFlowSwitch::buffer_packet(const net::Packet& packet) {
+  const std::uint32_t id = next_buffer_id_++;
+  if (buffers_.size() >= kNumBuffers) buffers_.erase(buffers_.begin());  // oldest
+  buffers_[id] = packet;
+  return id;
+}
+
+void OpenFlowSwitch::receive(std::uint16_t port_no, net::Packet&& packet) {
+  auto pit = ports_.find(port_no);
+  if (pit == ports_.end()) return;
+  pit->second.stats.rx_packets++;
+  pit->second.stats.rx_bytes += packet.size();
+  packet.set_in_port(port_no);  // remembered by buffered packets
+
+  auto key = net::extract_flow_key(packet, port_no);
+  if (!key) {
+    pit->second.stats.rx_dropped++;
+    return;
+  }
+  FlowEntry* entry = table_.lookup(*key, packet.size(), scheduler_->now());
+  if (entry) {
+    apply_actions(entry->actions, std::move(packet), port_no, /*allow_packet_in=*/true);
+  } else {
+    send_packet_in(std::move(packet), port_no, PacketInReason::kNoMatch);
+  }
+}
+
+void OpenFlowSwitch::send_packet_in(net::Packet&& packet, std::uint16_t in_port,
+                                    PacketInReason reason) {
+  if (!connected()) return;  // no controller: table-miss drops
+  PacketIn msg;
+  msg.buffer_id = buffer_packet(packet);
+  msg.in_port = in_port;
+  msg.reason = reason;
+  msg.packet = std::move(packet);
+  ++packet_ins_;
+  channel_->to_controller(std::move(msg));
+}
+
+void OpenFlowSwitch::transmit(std::uint16_t port_no, net::Packet&& packet) {
+  auto it = ports_.find(port_no);
+  if (it == ports_.end() || !it->second.tx || !it->second.info.link_up) return;
+  it->second.stats.tx_packets++;
+  it->second.stats.tx_bytes += packet.size();
+  it->second.tx(std::move(packet));
+}
+
+void OpenFlowSwitch::flood(const net::Packet& packet, std::uint16_t in_port,
+                           bool include_in_port) {
+  for (auto& [no, port] : ports_) {
+    if (!include_in_port && no == in_port) continue;
+    net::Packet copy = packet;
+    transmit(no, std::move(copy));
+  }
+}
+
+void OpenFlowSwitch::apply_actions(const ActionList& actions, net::Packet&& packet,
+                                   std::uint16_t in_port, bool allow_packet_in) {
+  // Rewrites apply in order; every output action emits the packet in its
+  // current (possibly rewritten) state, as per OF 1.0 semantics.
+  for (const auto& action : actions) {
+    if (const auto* out = std::get_if<ActionOutput>(&action)) {
+      switch (out->port) {
+        case kPortController:
+          if (allow_packet_in) {
+            net::Packet copy = packet;
+            send_packet_in(std::move(copy), in_port, PacketInReason::kAction);
+          }
+          break;
+        case kPortFlood:
+          flood(packet, in_port, /*include_in_port=*/false);
+          break;
+        case kPortAll:
+          flood(packet, in_port, /*include_in_port=*/true);
+          break;
+        case kPortInPort: {
+          net::Packet copy = packet;
+          transmit(in_port, std::move(copy));
+          break;
+        }
+        case kPortNone:
+          break;
+        default: {
+          net::Packet copy = packet;
+          transmit(out->port, std::move(copy));
+        }
+      }
+    } else {
+      apply_rewrite(action, packet);
+    }
+  }
+}
+
+void OpenFlowSwitch::handle_message(const Message& message) {
+  std::visit(
+      [this](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, Hello>) {
+          // Handshake: reply with features unsolicited (the controller
+          // platform treats Hello+FeaturesReply as connection-up).
+          FeaturesReply reply;
+          reply.datapath_id = dpid_;
+          reply.n_buffers = kNumBuffers;
+          reply.ports = ports();
+          channel_->to_controller(std::move(reply));
+        } else if constexpr (std::is_same_v<T, EchoRequest>) {
+          channel_->to_controller(EchoReply{msg.payload});
+        } else if constexpr (std::is_same_v<T, FeaturesRequest>) {
+          FeaturesReply reply;
+          reply.datapath_id = dpid_;
+          reply.n_buffers = kNumBuffers;
+          reply.ports = ports();
+          channel_->to_controller(std::move(reply));
+        } else if constexpr (std::is_same_v<T, FlowMod>) {
+          table_.apply(msg, scheduler_->now());
+          if (msg.buffer_id) {
+            auto it = buffers_.find(*msg.buffer_id);
+            if (it != buffers_.end()) {
+              net::Packet packet = std::move(it->second);
+              const std::uint16_t in_port = static_cast<std::uint16_t>(packet.in_port());
+              buffers_.erase(it);
+              apply_actions(msg.actions, std::move(packet), in_port,
+                            /*allow_packet_in=*/false);
+            }
+          }
+        } else if constexpr (std::is_same_v<T, PacketOut>) {
+          net::Packet packet;
+          if (msg.buffer_id) {
+            auto it = buffers_.find(*msg.buffer_id);
+            if (it == buffers_.end()) return;
+            packet = std::move(it->second);
+            buffers_.erase(it);
+          } else {
+            packet = msg.packet;
+          }
+          apply_actions(msg.actions, std::move(packet), msg.in_port,
+                        /*allow_packet_in=*/false);
+        } else if constexpr (std::is_same_v<T, StatsRequest>) {
+          StatsReply reply;
+          if (msg.kind == StatsRequest::Kind::kFlow) {
+            reply.flows = table_.stats(scheduler_->now());
+          } else if (msg.kind == StatsRequest::Kind::kPort) {
+            for (const auto& [no, p] : ports_) reply.ports.push_back(p.stats);
+          } else {
+            reply.table = TableStats{table_.size(), table_.lookups(), table_.matches()};
+          }
+          channel_->to_controller(std::move(reply));
+        } else if constexpr (std::is_same_v<T, BarrierRequest>) {
+          channel_->to_controller(BarrierReply{});
+        }
+        // Other message types are controller-bound; ignore.
+      },
+      message);
+}
+
+PortStatsEntry OpenFlowSwitch::port_stats(std::uint16_t port_no) const {
+  auto it = ports_.find(port_no);
+  return it == ports_.end() ? PortStatsEntry{} : it->second.stats;
+}
+
+}  // namespace escape::openflow

@@ -1,0 +1,95 @@
+// The OpenFlow switch datapath (the Open vSwitch stand-in): ports, flow
+// table, packet buffering, and the control-channel state machine.
+//
+// Transport-agnostic: packets leave through per-port transmit callbacks
+// installed by the network emulator, and control messages travel through
+// a ControlChannel whose implementation (in-memory, delayed, ...) is
+// provided by the controller platform.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "openflow/flow_table.hpp"
+#include "openflow/messages.hpp"
+#include "util/event.hpp"
+#include "util/logging.hpp"
+
+namespace escape::openflow {
+
+/// The switch's view of its control channel.
+class ControlChannel {
+ public:
+  virtual ~ControlChannel() = default;
+  /// Sends a message toward the controller.
+  virtual void to_controller(Message message) = 0;
+  virtual bool connected() const = 0;
+};
+
+class OpenFlowSwitch {
+ public:
+  using TxCallback = std::function<void(net::Packet&&)>;
+
+  OpenFlowSwitch(DatapathId dpid, EventScheduler& scheduler);
+
+  DatapathId datapath_id() const { return dpid_; }
+
+  /// Adds a port; `tx` transmits a frame out of that port.
+  void add_port(std::uint16_t port_no, std::string name, net::MacAddr hw_addr, TxCallback tx);
+  void remove_port(std::uint16_t port_no);
+  std::vector<PortInfo> ports() const;
+
+  /// Attaches the control channel and sends the OF handshake (Hello).
+  void connect(std::shared_ptr<ControlChannel> channel);
+  bool connected() const { return channel_ && channel_->connected(); }
+
+  /// Datapath entry: a frame arrives on `port_no`.
+  void receive(std::uint16_t port_no, net::Packet&& packet);
+
+  /// Control messages arriving from the controller.
+  void handle_message(const Message& message);
+
+  FlowTable& flow_table() { return table_; }
+  const FlowTable& flow_table() const { return table_; }
+
+  /// Port counters (for port-stats replies and tests).
+  PortStatsEntry port_stats(std::uint16_t port_no) const;
+
+  /// Runs one expiry sweep; scheduled periodically once connected.
+  void sweep_expired();
+
+  std::uint64_t packet_ins_sent() const { return packet_ins_; }
+
+ private:
+  struct Port {
+    PortInfo info;
+    TxCallback tx;
+    PortStatsEntry stats;
+  };
+
+  void apply_actions(const ActionList& actions, net::Packet&& packet, std::uint16_t in_port,
+                     bool allow_packet_in);
+  void transmit(std::uint16_t port_no, net::Packet&& packet);
+  void flood(const net::Packet& packet, std::uint16_t in_port, bool include_in_port);
+  void send_packet_in(net::Packet&& packet, std::uint16_t in_port, PacketInReason reason);
+  std::uint32_t buffer_packet(const net::Packet& packet);
+
+  DatapathId dpid_;
+  EventScheduler* scheduler_;
+  std::map<std::uint16_t, Port> ports_;
+  FlowTable table_;
+  std::shared_ptr<ControlChannel> channel_;
+
+  // OF 1.0-style packet buffering for packet-in / packet-out.
+  static constexpr std::uint32_t kNumBuffers = 256;
+  std::uint32_t next_buffer_id_ = 0;
+  std::map<std::uint32_t, net::Packet> buffers_;
+
+  std::uint64_t packet_ins_ = 0;
+  EventHandle sweep_timer_;
+  Logger log_{"openflow.switch"};
+};
+
+}  // namespace escape::openflow

@@ -1,0 +1,784 @@
+#include "openflow/wire.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "net/packet.hpp"  // big-endian helpers
+
+namespace escape::openflow::wire {
+
+using net::load_be16;
+using net::load_be32;
+using net::store_be16;
+using net::store_be32;
+
+namespace {
+
+std::uint64_t load_be64(const std::uint8_t* p) {
+  return (std::uint64_t{load_be32(p)} << 32) | load_be32(p + 4);
+}
+void store_be64(std::uint8_t* p, std::uint64_t v) {
+  store_be32(p, static_cast<std::uint32_t>(v >> 32));
+  store_be32(p + 4, static_cast<std::uint32_t>(v));
+}
+
+// ofp_flow_wildcards bits.
+constexpr std::uint32_t kOfpfwInPort = 1u << 0;
+constexpr std::uint32_t kOfpfwDlVlan = 1u << 1;
+constexpr std::uint32_t kOfpfwDlSrc = 1u << 2;
+constexpr std::uint32_t kOfpfwDlDst = 1u << 3;
+constexpr std::uint32_t kOfpfwDlType = 1u << 4;
+constexpr std::uint32_t kOfpfwNwProto = 1u << 5;
+constexpr std::uint32_t kOfpfwTpSrc = 1u << 6;
+constexpr std::uint32_t kOfpfwTpDst = 1u << 7;
+constexpr int kOfpfwNwSrcShift = 8;
+constexpr int kOfpfwNwDstShift = 14;
+constexpr std::uint32_t kOfpfwDlVlanPcp = 1u << 20;
+constexpr std::uint32_t kOfpfwNwTos = 1u << 21;
+
+// ofp_action_type codes.
+constexpr std::uint16_t kActOutput = 0;
+constexpr std::uint16_t kActSetDlSrc = 4;
+constexpr std::uint16_t kActSetDlDst = 5;
+constexpr std::uint16_t kActSetNwSrc = 6;
+constexpr std::uint16_t kActSetNwDst = 7;
+constexpr std::uint16_t kActSetNwTos = 8;
+constexpr std::uint16_t kActSetTpSrc = 9;
+constexpr std::uint16_t kActSetTpDst = 10;
+
+// ofp_stats_types.
+constexpr std::uint16_t kStatsFlow = 1;
+constexpr std::uint16_t kStatsTable = 3;
+constexpr std::uint16_t kStatsPort = 4;
+
+/// Timeouts travel as whole seconds on the wire (rounded up so a
+/// sub-second timeout does not silently become "permanent").
+std::uint16_t to_wire_seconds(SimDuration d) {
+  if (d == 0) return 0;
+  const std::uint64_t secs = (d + timeunit::kSecond - 1) / timeunit::kSecond;
+  return static_cast<std::uint16_t>(std::min<std::uint64_t>(secs, 0xffff));
+}
+SimDuration from_wire_seconds(std::uint16_t s) { return SimDuration{s} * timeunit::kSecond; }
+
+class Writer {
+ public:
+  explicit Writer(MsgType type, std::uint32_t xid) {
+    buf_.resize(kHeaderSize);
+    buf_[0] = kVersion;
+    buf_[1] = static_cast<std::uint8_t>(type);
+    store_be32(&buf_[4], xid);
+  }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    buf_.resize(buf_.size() + 2);
+    store_be16(&buf_[buf_.size() - 2], v);
+  }
+  void u32(std::uint32_t v) {
+    buf_.resize(buf_.size() + 4);
+    store_be32(&buf_[buf_.size() - 4], v);
+  }
+  void u64(std::uint64_t v) {
+    buf_.resize(buf_.size() + 8);
+    store_be64(&buf_[buf_.size() - 8], v);
+  }
+  void pad(std::size_t n) { buf_.insert(buf_.end(), n, 0); }
+  void bytes(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+  void raw(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+  /// Reserves n bytes and returns their offset (for back-patching).
+  std::size_t reserve(std::size_t n) {
+    const std::size_t at = buf_.size();
+    buf_.insert(buf_.end(), n, 0);
+    return at;
+  }
+  std::uint8_t* at(std::size_t offset) { return &buf_[offset]; }
+  std::size_t size() const { return buf_.size(); }
+
+  std::vector<std::uint8_t> finish() {
+    store_be16(&buf_[2], static_cast<std::uint16_t>(buf_.size()));
+    return std::move(buf_);
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool need(std::size_t n) const { return pos_ + n <= data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  std::uint8_t u8() { return data_[pos_++]; }
+  std::uint16_t u16() {
+    auto v = load_be16(&data_[pos_]);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    auto v = load_be32(&data_[pos_]);
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    auto v = load_be64(&data_[pos_]);
+    pos_ += 8;
+    return v;
+  }
+  void skip(std::size_t n) { pos_ += n; }
+  std::span<const std::uint8_t> take(std::size_t n) {
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+void write_actions(Writer& w, const ActionList& actions) {
+  for (const auto& action : actions) {
+    std::visit(
+        [&w](const auto& a) {
+          using T = std::decay_t<decltype(a)>;
+          if constexpr (std::is_same_v<T, ActionOutput>) {
+            w.u16(kActOutput);
+            w.u16(8);
+            w.u16(a.port);
+            w.u16(a.max_len);
+          } else if constexpr (std::is_same_v<T, ActionSetDlSrc> ||
+                               std::is_same_v<T, ActionSetDlDst>) {
+            w.u16(std::is_same_v<T, ActionSetDlSrc> ? kActSetDlSrc : kActSetDlDst);
+            w.u16(16);
+            w.raw(a.mac.bytes().data(), 6);
+            w.pad(6);
+          } else if constexpr (std::is_same_v<T, ActionSetNwSrc> ||
+                               std::is_same_v<T, ActionSetNwDst>) {
+            w.u16(std::is_same_v<T, ActionSetNwSrc> ? kActSetNwSrc : kActSetNwDst);
+            w.u16(8);
+            w.u32(a.addr.value());
+          } else if constexpr (std::is_same_v<T, ActionSetNwTos>) {
+            w.u16(kActSetNwTos);
+            w.u16(8);
+            w.u8(static_cast<std::uint8_t>(a.dscp << 2));  // ofp carries the ToS byte
+            w.pad(3);
+          } else if constexpr (std::is_same_v<T, ActionSetTpSrc> ||
+                               std::is_same_v<T, ActionSetTpDst>) {
+            w.u16(std::is_same_v<T, ActionSetTpSrc> ? kActSetTpSrc : kActSetTpDst);
+            w.u16(8);
+            w.u16(a.port);
+            w.pad(2);
+          }
+        },
+        action);
+  }
+}
+
+Result<ActionList> read_actions(Reader& r, std::size_t length) {
+  ActionList actions;
+  std::size_t consumed = 0;
+  while (consumed < length) {
+    if (!r.need(4)) return make_error("ofwire.truncated", "action header");
+    const std::uint16_t type = r.u16();
+    const std::uint16_t len = r.u16();
+    if (len < 8 || len % 8 != 0) return make_error("ofwire.malformed", "action length");
+    if (!r.need(len - 4)) return make_error("ofwire.truncated", "action body");
+    switch (type) {
+      case kActOutput: {
+        ActionOutput a;
+        a.port = r.u16();
+        a.max_len = r.u16();
+        actions.push_back(a);
+        break;
+      }
+      case kActSetDlSrc:
+      case kActSetDlDst: {
+        auto mac_bytes = r.take(6);
+        std::array<std::uint8_t, 6> arr{};
+        std::copy(mac_bytes.begin(), mac_bytes.end(), arr.begin());
+        r.skip(6);
+        if (type == kActSetDlSrc) {
+          actions.push_back(ActionSetDlSrc{net::MacAddr(arr)});
+        } else {
+          actions.push_back(ActionSetDlDst{net::MacAddr(arr)});
+        }
+        break;
+      }
+      case kActSetNwSrc:
+        actions.push_back(ActionSetNwSrc{net::Ipv4Addr(r.u32())});
+        break;
+      case kActSetNwDst:
+        actions.push_back(ActionSetNwDst{net::Ipv4Addr(r.u32())});
+        break;
+      case kActSetNwTos: {
+        const std::uint8_t tos = r.u8();
+        r.skip(3);
+        actions.push_back(ActionSetNwTos{static_cast<std::uint8_t>(tos >> 2)});
+        break;
+      }
+      case kActSetTpSrc: {
+        ActionSetTpSrc a{r.u16()};
+        r.skip(2);
+        actions.push_back(a);
+        break;
+      }
+      case kActSetTpDst: {
+        ActionSetTpDst a{r.u16()};
+        r.skip(2);
+        actions.push_back(a);
+        break;
+      }
+      default:
+        return make_error("ofwire.unsupported", "action type " + std::to_string(type));
+    }
+    consumed += len;
+  }
+  return actions;
+}
+
+void write_phy_port(Writer& w, const PortInfo& port) {
+  w.u16(port.port_no);
+  w.raw(port.hw_addr.bytes().data(), 6);
+  char name[16] = {};
+  std::strncpy(name, port.name.c_str(), sizeof(name) - 1);
+  w.raw(name, sizeof(name));
+  w.u32(0);                            // config
+  w.u32(port.link_up ? 0 : 1);         // state: bit0 = link down
+  w.u32(0);                            // curr
+  w.u32(0);                            // advertised
+  w.u32(0);                            // supported
+  w.u32(0);                            // peer
+}
+
+PortInfo read_phy_port(Reader& r) {
+  PortInfo port;
+  port.port_no = r.u16();
+  auto mac = r.take(6);
+  std::array<std::uint8_t, 6> arr{};
+  std::copy(mac.begin(), mac.end(), arr.begin());
+  port.hw_addr = net::MacAddr(arr);
+  auto name = r.take(16);
+  port.name.assign(reinterpret_cast<const char*>(name.data()),
+                   strnlen(reinterpret_cast<const char*>(name.data()), 16));
+  r.skip(4);                           // config
+  port.link_up = (r.u32() & 1) == 0;   // state
+  r.skip(16);                          // curr/advertised/supported/peer
+  return port;
+}
+
+}  // namespace
+
+void encode_match(const Match& match, std::uint8_t* out) {
+  std::memset(out, 0, kMatchSize);
+  const std::uint32_t wc = match.wildcards();
+  std::uint32_t ofpfw = kOfpfwDlVlan | kOfpfwDlVlanPcp;  // VLANs always wildcarded
+  if (wc & kWcInPort) ofpfw |= kOfpfwInPort;
+  if (wc & kWcDlSrc) ofpfw |= kOfpfwDlSrc;
+  if (wc & kWcDlDst) ofpfw |= kOfpfwDlDst;
+  if (wc & kWcDlType) ofpfw |= kOfpfwDlType;
+  if (wc & kWcNwProto) ofpfw |= kOfpfwNwProto;
+  if (wc & kWcTpSrc) ofpfw |= kOfpfwTpSrc;
+  if (wc & kWcTpDst) ofpfw |= kOfpfwTpDst;
+  if (wc & kWcNwTos) ofpfw |= kOfpfwNwTos;
+  const std::uint32_t src_wild_bits =
+      (wc & kWcNwSrc) ? 32u : static_cast<std::uint32_t>(32 - match.nw_src_prefix());
+  const std::uint32_t dst_wild_bits =
+      (wc & kWcNwDst) ? 32u : static_cast<std::uint32_t>(32 - match.nw_dst_prefix());
+  ofpfw |= std::min(src_wild_bits, 32u) << kOfpfwNwSrcShift;
+  ofpfw |= std::min(dst_wild_bits, 32u) << kOfpfwNwDstShift;
+
+  const net::FlowKey& f = match.fields();
+  store_be32(&out[0], ofpfw);
+  store_be16(&out[4], f.in_port);
+  std::memcpy(&out[6], f.dl_src.bytes().data(), 6);
+  std::memcpy(&out[12], f.dl_dst.bytes().data(), 6);
+  store_be16(&out[18], 0xffff);  // dl_vlan: OFP_VLAN_NONE
+  // [20] dl_vlan_pcp, [21] pad
+  store_be16(&out[22], f.dl_type);
+  out[24] = static_cast<std::uint8_t>(f.nw_tos << 2);
+  out[25] = f.nw_proto;
+  // [26..27] pad
+  store_be32(&out[28], f.nw_src.value());
+  store_be32(&out[32], f.nw_dst.value());
+  store_be16(&out[36], f.tp_src);
+  store_be16(&out[38], f.tp_dst);
+}
+
+Match decode_match(const std::uint8_t* in) {
+  const std::uint32_t ofpfw = load_be32(&in[0]);
+  Match m;  // starts fully wildcarded
+  if (!(ofpfw & kOfpfwInPort)) m.in_port(load_be16(&in[4]));
+  if (!(ofpfw & kOfpfwDlSrc)) {
+    std::array<std::uint8_t, 6> mac{};
+    std::memcpy(mac.data(), &in[6], 6);
+    m.dl_src(net::MacAddr(mac));
+  }
+  if (!(ofpfw & kOfpfwDlDst)) {
+    std::array<std::uint8_t, 6> mac{};
+    std::memcpy(mac.data(), &in[12], 6);
+    m.dl_dst(net::MacAddr(mac));
+  }
+  if (!(ofpfw & kOfpfwDlType)) m.dl_type(load_be16(&in[22]));
+  if (!(ofpfw & kOfpfwNwTos)) m.nw_tos(static_cast<std::uint8_t>(in[24] >> 2));
+  if (!(ofpfw & kOfpfwNwProto)) m.nw_proto(in[25]);
+  const std::uint32_t src_wild = (ofpfw >> kOfpfwNwSrcShift) & 0x3f;
+  if (src_wild < 32) {
+    m.nw_src(net::Ipv4Addr(load_be32(&in[28])), static_cast<int>(32 - src_wild));
+  }
+  const std::uint32_t dst_wild = (ofpfw >> kOfpfwNwDstShift) & 0x3f;
+  if (dst_wild < 32) {
+    m.nw_dst(net::Ipv4Addr(load_be32(&in[32])), static_cast<int>(32 - dst_wild));
+  }
+  if (!(ofpfw & kOfpfwTpSrc)) m.tp_src(load_be16(&in[36]));
+  if (!(ofpfw & kOfpfwTpDst)) m.tp_dst(load_be16(&in[38]));
+  return m;
+}
+
+namespace {
+
+void write_match(Writer& w, const Match& match) {
+  const std::size_t at = w.reserve(kMatchSize);
+  encode_match(match, w.at(at));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Message& message, std::uint32_t xid) {
+  return std::visit(
+      [xid](const auto& msg) -> std::vector<std::uint8_t> {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, Hello>) {
+          return Writer(MsgType::kHello, xid).finish();
+        } else if constexpr (std::is_same_v<T, EchoRequest>) {
+          Writer w(MsgType::kEchoRequest, xid);
+          w.u32(msg.payload);
+          return w.finish();
+        } else if constexpr (std::is_same_v<T, EchoReply>) {
+          Writer w(MsgType::kEchoReply, xid);
+          w.u32(msg.payload);
+          return w.finish();
+        } else if constexpr (std::is_same_v<T, FeaturesRequest>) {
+          return Writer(MsgType::kFeaturesRequest, xid).finish();
+        } else if constexpr (std::is_same_v<T, FeaturesReply>) {
+          Writer w(MsgType::kFeaturesReply, xid);
+          w.u64(msg.datapath_id);
+          w.u32(msg.n_buffers);
+          w.u8(msg.n_tables);
+          w.pad(3);
+          w.u32(0);  // capabilities
+          w.u32(0);  // actions
+          for (const auto& port : msg.ports) write_phy_port(w, port);
+          return w.finish();
+        } else if constexpr (std::is_same_v<T, FlowMod>) {
+          Writer w(MsgType::kFlowMod, xid);
+          write_match(w, msg.match);
+          w.u64(msg.cookie);
+          std::uint16_t command = 0;
+          switch (msg.command) {
+            case FlowModCommand::kAdd: command = 0; break;
+            case FlowModCommand::kModify: command = 1; break;
+            case FlowModCommand::kDelete: command = 3; break;
+            case FlowModCommand::kDeleteStrict: command = 4; break;
+          }
+          w.u16(command);
+          w.u16(to_wire_seconds(msg.idle_timeout));
+          w.u16(to_wire_seconds(msg.hard_timeout));
+          w.u16(msg.priority);
+          w.u32(msg.buffer_id ? *msg.buffer_id : kBufferNone);
+          w.u16(kPortNone);  // out_port (delete filter; unused)
+          w.u16(msg.send_flow_removed ? 1 : 0);  // flags: OFPFF_SEND_FLOW_REM
+          write_actions(w, msg.actions);
+          return w.finish();
+        } else if constexpr (std::is_same_v<T, PacketOut>) {
+          Writer w(MsgType::kPacketOut, xid);
+          w.u32(msg.buffer_id ? *msg.buffer_id : kBufferNone);
+          w.u16(msg.in_port);
+          const std::size_t len_at = w.reserve(2);
+          const std::size_t before = w.size();
+          write_actions(w, msg.actions);
+          store_be16(w.at(len_at), static_cast<std::uint16_t>(w.size() - before));
+          if (!msg.buffer_id) w.bytes(msg.packet.bytes());
+          return w.finish();
+        } else if constexpr (std::is_same_v<T, StatsRequest>) {
+          Writer w(MsgType::kStatsRequest, xid);
+          switch (msg.kind) {
+            case StatsRequest::Kind::kFlow:
+              w.u16(kStatsFlow);
+              w.u16(0);
+              {
+                const std::size_t at = w.reserve(kMatchSize);
+                encode_match(Match(), w.at(at));  // match-all
+              }
+              w.u8(0xff);  // table_id: all
+              w.pad(1);
+              w.u16(kPortNone);
+              break;
+            case StatsRequest::Kind::kPort:
+              w.u16(kStatsPort);
+              w.u16(0);
+              w.u16(kPortNone);  // all ports
+              w.pad(6);
+              break;
+            case StatsRequest::Kind::kTable:
+              w.u16(kStatsTable);
+              w.u16(0);
+              break;
+          }
+          return w.finish();
+        } else if constexpr (std::is_same_v<T, BarrierRequest>) {
+          return Writer(MsgType::kBarrierRequest, xid).finish();
+        } else if constexpr (std::is_same_v<T, PacketIn>) {
+          Writer w(MsgType::kPacketIn, xid);
+          w.u32(msg.buffer_id ? *msg.buffer_id : kBufferNone);
+          w.u16(static_cast<std::uint16_t>(msg.packet.size()));
+          w.u16(msg.in_port);
+          w.u8(msg.reason == PacketInReason::kNoMatch ? 0 : 1);
+          w.pad(1);
+          w.bytes(msg.packet.bytes());
+          return w.finish();
+        } else if constexpr (std::is_same_v<T, FlowRemoved>) {
+          Writer w(MsgType::kFlowRemoved, xid);
+          write_match(w, msg.match);
+          w.u64(msg.cookie);
+          w.u16(msg.priority);
+          std::uint8_t reason = 0;
+          switch (msg.reason) {
+            case FlowRemovedReason::kIdleTimeout: reason = 0; break;
+            case FlowRemovedReason::kHardTimeout: reason = 1; break;
+            case FlowRemovedReason::kDelete: reason = 2; break;
+          }
+          w.u8(reason);
+          w.pad(1);
+          w.u32(0);  // duration_sec
+          w.u32(0);  // duration_nsec
+          w.u16(0);  // idle_timeout
+          w.pad(2);
+          w.u64(msg.packet_count);
+          w.u64(msg.byte_count);
+          return w.finish();
+        } else if constexpr (std::is_same_v<T, PortStatus>) {
+          Writer w(MsgType::kPortStatus, xid);
+          std::uint8_t reason = 2;
+          switch (msg.reason) {
+            case PortStatus::Reason::kAdd: reason = 0; break;
+            case PortStatus::Reason::kDelete: reason = 1; break;
+            case PortStatus::Reason::kModify: reason = 2; break;
+          }
+          w.u8(reason);
+          w.pad(7);
+          write_phy_port(w, msg.port);
+          return w.finish();
+        } else if constexpr (std::is_same_v<T, StatsReply>) {
+          Writer w(MsgType::kStatsReply, xid);
+          if (msg.table) {
+            w.u16(kStatsTable);
+            w.u16(0);
+            w.u8(0);  // table_id
+            w.pad(3);
+            char name[32] = "escape";
+            w.raw(name, sizeof(name));
+            w.u32(kWcAll);  // wildcards supported
+            w.u32(0x10000);  // max entries
+            w.u32(static_cast<std::uint32_t>(msg.table->active_count));
+            w.u64(msg.table->lookup_count);
+            w.u64(msg.table->matched_count);
+          } else if (!msg.ports.empty()) {
+            w.u16(kStatsPort);
+            w.u16(0);
+            for (const auto& p : msg.ports) {
+              w.u16(p.port_no);
+              w.pad(6);
+              w.u64(p.rx_packets);
+              w.u64(p.tx_packets);
+              w.u64(p.rx_bytes);
+              w.u64(p.tx_bytes);
+              w.u64(p.rx_dropped);
+              w.u64(p.tx_dropped);
+              for (int i = 0; i < 6; ++i) w.u64(0);  // errors/collisions
+            }
+          } else {
+            w.u16(kStatsFlow);
+            w.u16(0);
+            for (const auto& f : msg.flows) {
+              const std::size_t len_at = w.reserve(2);
+              const std::size_t start = w.size() - 2;
+              w.u8(0);  // table_id
+              w.pad(1);
+              {
+                const std::size_t at = w.reserve(kMatchSize);
+                encode_match(f.match, w.at(at));
+              }
+              w.u32(static_cast<std::uint32_t>(f.age / timeunit::kSecond));
+              w.u32(static_cast<std::uint32_t>(f.age % timeunit::kSecond));
+              w.u16(f.priority);
+              w.u16(0);  // idle_timeout
+              w.u16(0);  // hard_timeout
+              w.pad(6);
+              w.u64(f.cookie);
+              w.u64(f.packet_count);
+              w.u64(f.byte_count);
+              write_actions(w, f.actions);
+              store_be16(w.at(len_at), static_cast<std::uint16_t>(w.size() - start));
+            }
+          }
+          return w.finish();
+        } else if constexpr (std::is_same_v<T, BarrierReply>) {
+          return Writer(MsgType::kBarrierReply, xid).finish();
+        } else {  // ErrorMsg
+          Writer w(MsgType::kError, xid);
+          w.u16(0);  // type (free-text errors carry no ofp enum)
+          w.u16(0);  // code
+          const std::string text = msg.type + ": " + msg.detail;
+          w.raw(text.data(), text.size());
+          return w.finish();
+        }
+      },
+      message);
+}
+
+std::size_t complete_prefix(std::span<const std::uint8_t> bytes) {
+  std::size_t consumed = 0;
+  while (bytes.size() - consumed >= kHeaderSize) {
+    const std::uint16_t length = load_be16(&bytes[consumed + 2]);
+    if (length < kHeaderSize || consumed + length > bytes.size()) break;
+    consumed += length;
+  }
+  return consumed;
+}
+
+Result<Decoded> decode(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderSize) return make_error("ofwire.truncated", "header");
+  if (bytes[0] != kVersion) {
+    return make_error("ofwire.version", "unsupported OF version " + std::to_string(bytes[0]));
+  }
+  const auto type = static_cast<MsgType>(bytes[1]);
+  const std::uint16_t length = load_be16(&bytes[2]);
+  if (length < kHeaderSize || length > bytes.size()) {
+    return make_error("ofwire.truncated", "declared length exceeds buffer");
+  }
+  Decoded out;
+  out.xid = load_be32(&bytes[4]);
+  Reader r(bytes.subspan(kHeaderSize, length - kHeaderSize));
+
+  switch (type) {
+    case MsgType::kHello:
+      out.message = Hello{};
+      return out;
+    case MsgType::kEchoRequest: {
+      EchoRequest m;
+      if (r.need(4)) m.payload = r.u32();
+      out.message = m;
+      return out;
+    }
+    case MsgType::kEchoReply: {
+      EchoReply m;
+      if (r.need(4)) m.payload = r.u32();
+      out.message = m;
+      return out;
+    }
+    case MsgType::kFeaturesRequest:
+      out.message = FeaturesRequest{};
+      return out;
+    case MsgType::kFeaturesReply: {
+      if (!r.need(24)) return make_error("ofwire.truncated", "features reply");
+      FeaturesReply m;
+      m.datapath_id = r.u64();
+      m.n_buffers = r.u32();
+      m.n_tables = r.u8();
+      r.skip(3 + 4 + 4);
+      while (r.need(kPhyPortSize)) m.ports.push_back(read_phy_port(r));
+      out.message = std::move(m);
+      return out;
+    }
+    case MsgType::kFlowMod: {
+      if (!r.need(kMatchSize + 24)) return make_error("ofwire.truncated", "flow mod");
+      FlowMod m;
+      m.match = decode_match(r.take(kMatchSize).data());
+      m.cookie = r.u64();
+      switch (r.u16()) {
+        case 0: m.command = FlowModCommand::kAdd; break;
+        case 1: m.command = FlowModCommand::kModify; break;
+        case 3: m.command = FlowModCommand::kDelete; break;
+        case 4: m.command = FlowModCommand::kDeleteStrict; break;
+        default: return make_error("ofwire.unsupported", "flow mod command");
+      }
+      m.idle_timeout = from_wire_seconds(r.u16());
+      m.hard_timeout = from_wire_seconds(r.u16());
+      m.priority = r.u16();
+      const std::uint32_t buffer = r.u32();
+      if (buffer != kBufferNone) m.buffer_id = buffer;
+      r.skip(2);  // out_port
+      m.send_flow_removed = (r.u16() & 1) != 0;
+      auto actions = read_actions(r, r.remaining());
+      if (!actions.ok()) return actions.error();
+      m.actions = std::move(*actions);
+      out.message = std::move(m);
+      return out;
+    }
+    case MsgType::kPacketOut: {
+      if (!r.need(8)) return make_error("ofwire.truncated", "packet out");
+      PacketOut m;
+      const std::uint32_t buffer = r.u32();
+      if (buffer != kBufferNone) m.buffer_id = buffer;
+      m.in_port = r.u16();
+      const std::uint16_t actions_len = r.u16();
+      if (!r.need(actions_len)) return make_error("ofwire.truncated", "packet out actions");
+      auto actions = read_actions(r, actions_len);
+      if (!actions.ok()) return actions.error();
+      m.actions = std::move(*actions);
+      if (!m.buffer_id) {
+        auto data = r.take(r.remaining());
+        m.packet = net::Packet(data.data(), data.size());
+      }
+      out.message = std::move(m);
+      return out;
+    }
+    case MsgType::kStatsRequest: {
+      if (!r.need(4)) return make_error("ofwire.truncated", "stats request");
+      StatsRequest m;
+      switch (r.u16()) {
+        case kStatsFlow: m.kind = StatsRequest::Kind::kFlow; break;
+        case kStatsPort: m.kind = StatsRequest::Kind::kPort; break;
+        case kStatsTable: m.kind = StatsRequest::Kind::kTable; break;
+        default: return make_error("ofwire.unsupported", "stats type");
+      }
+      out.message = m;
+      return out;
+    }
+    case MsgType::kBarrierRequest:
+      out.message = BarrierRequest{};
+      return out;
+    case MsgType::kPacketIn: {
+      if (!r.need(10)) return make_error("ofwire.truncated", "packet in");
+      PacketIn m;
+      const std::uint32_t buffer = r.u32();
+      if (buffer != kBufferNone) m.buffer_id = buffer;
+      r.skip(2);  // total_len (recomputed from the data)
+      m.in_port = r.u16();
+      m.reason = r.u8() == 0 ? PacketInReason::kNoMatch : PacketInReason::kAction;
+      r.skip(1);
+      auto data = r.take(r.remaining());
+      m.packet = net::Packet(data.data(), data.size());
+      m.packet.set_in_port(m.in_port);
+      out.message = std::move(m);
+      return out;
+    }
+    case MsgType::kFlowRemoved: {
+      if (!r.need(kMatchSize + 40)) return make_error("ofwire.truncated", "flow removed");
+      FlowRemoved m;
+      m.match = decode_match(r.take(kMatchSize).data());
+      m.cookie = r.u64();
+      m.priority = r.u16();
+      switch (r.u8()) {
+        case 0: m.reason = FlowRemovedReason::kIdleTimeout; break;
+        case 1: m.reason = FlowRemovedReason::kHardTimeout; break;
+        default: m.reason = FlowRemovedReason::kDelete; break;
+      }
+      r.skip(1 + 4 + 4 + 2 + 2);
+      m.packet_count = r.u64();
+      m.byte_count = r.u64();
+      out.message = std::move(m);
+      return out;
+    }
+    case MsgType::kPortStatus: {
+      if (!r.need(8 + kPhyPortSize)) return make_error("ofwire.truncated", "port status");
+      PortStatus m;
+      switch (r.u8()) {
+        case 0: m.reason = PortStatus::Reason::kAdd; break;
+        case 1: m.reason = PortStatus::Reason::kDelete; break;
+        default: m.reason = PortStatus::Reason::kModify; break;
+      }
+      r.skip(7);
+      m.port = read_phy_port(r);
+      out.message = std::move(m);
+      return out;
+    }
+    case MsgType::kStatsReply: {
+      if (!r.need(4)) return make_error("ofwire.truncated", "stats reply");
+      StatsReply m;
+      const std::uint16_t stats_type = r.u16();
+      r.skip(2);  // flags
+      if (stats_type == kStatsTable) {
+        if (!r.need(4 + 32 + 12 + 16)) return make_error("ofwire.truncated", "table stats");
+        TableStats t;
+        r.skip(4 + 32 + 4 + 4);
+        t.active_count = r.u32();
+        t.lookup_count = r.u64();
+        t.matched_count = r.u64();
+        m.table = t;
+      } else if (stats_type == kStatsPort) {
+        while (r.need(104)) {
+          PortStatsEntry p;
+          p.port_no = r.u16();
+          r.skip(6);
+          p.rx_packets = r.u64();
+          p.tx_packets = r.u64();
+          p.rx_bytes = r.u64();
+          p.tx_bytes = r.u64();
+          p.rx_dropped = r.u64();
+          p.tx_dropped = r.u64();
+          r.skip(48);
+          m.ports.push_back(p);
+        }
+      } else if (stats_type == kStatsFlow) {
+        while (r.need(2)) {
+          const std::uint16_t entry_len = r.u16();
+          if (entry_len < 2 + 2 + kMatchSize + 44 ||
+              !r.need(static_cast<std::size_t>(entry_len) - 2)) {
+            return make_error("ofwire.truncated", "flow stats entry");
+          }
+          FlowStatsEntry f;
+          r.skip(2);  // table_id + pad
+          f.match = decode_match(r.take(kMatchSize).data());
+          const std::uint32_t dur_sec = r.u32();
+          const std::uint32_t dur_nsec = r.u32();
+          f.age = SimDuration{dur_sec} * timeunit::kSecond + dur_nsec;
+          f.priority = r.u16();
+          r.skip(2 + 2 + 6);
+          f.cookie = r.u64();
+          f.packet_count = r.u64();
+          f.byte_count = r.u64();
+          const std::size_t actions_len =
+              entry_len - (2 + 2 + kMatchSize + 4 + 4 + 2 + 2 + 2 + 6 + 8 + 8 + 8);
+          auto actions = read_actions(r, actions_len);
+          if (!actions.ok()) return actions.error();
+          f.actions = std::move(*actions);
+          m.flows.push_back(std::move(f));
+        }
+      } else {
+        return make_error("ofwire.unsupported", "stats reply type");
+      }
+      out.message = std::move(m);
+      return out;
+    }
+    case MsgType::kBarrierReply:
+      out.message = BarrierReply{};
+      return out;
+    case MsgType::kError: {
+      ErrorMsg m;
+      r.skip(4);  // type + code
+      auto data = r.take(r.remaining());
+      std::string text(reinterpret_cast<const char*>(data.data()), data.size());
+      auto colon = text.find(": ");
+      if (colon == std::string::npos) {
+        m.detail = text;
+      } else {
+        m.type = text.substr(0, colon);
+        m.detail = text.substr(colon + 2);
+      }
+      out.message = std::move(m);
+      return out;
+    }
+  }
+  return make_error("ofwire.unsupported",
+                    "message type " + std::to_string(static_cast<int>(type)));
+}
+
+}  // namespace escape::openflow::wire

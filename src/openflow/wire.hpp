@@ -1,0 +1,70 @@
+// OpenFlow 1.0 wire codec: binary serialization of the control-channel
+// message set, following the ofp10 structures (ofp_header, ofp_match,
+// ofp_flow_mod, ofp_packet_in/out, ofp_flow_removed, ofp_phy_port,
+// stats). The controller platform can run its channels through this
+// codec (EnvironmentOptions::serialize_control_channel), making the
+// bytes on the emulated control network the same bytes a real OF 1.0
+// switch would exchange.
+//
+// Known lossy corners (documented, covered by tests):
+//   * timeouts travel as whole seconds (uint16), as on the wire;
+//   * ErrorMsg carries free text in the error data field with type/code
+//     zeroed (our errors are structured strings, not ofp error enums).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "openflow/messages.hpp"
+#include "util/result.hpp"
+
+namespace escape::openflow::wire {
+
+/// OF 1.0 message type codes (ofp_type).
+enum class MsgType : std::uint8_t {
+  kHello = 0,
+  kError = 1,
+  kEchoRequest = 2,
+  kEchoReply = 3,
+  kFeaturesRequest = 5,
+  kFeaturesReply = 6,
+  kPacketIn = 10,
+  kFlowRemoved = 11,
+  kPortStatus = 12,
+  kPacketOut = 13,
+  kFlowMod = 14,
+  kStatsRequest = 16,
+  kStatsReply = 17,
+  kBarrierRequest = 18,
+  kBarrierReply = 19,
+};
+
+inline constexpr std::uint8_t kVersion = 0x01;
+inline constexpr std::size_t kHeaderSize = 8;
+inline constexpr std::size_t kMatchSize = 40;
+inline constexpr std::size_t kPhyPortSize = 48;
+inline constexpr std::uint32_t kBufferNone = 0xffffffff;
+
+/// Serializes `message` with transaction id `xid` into OF 1.0 bytes.
+std::vector<std::uint8_t> encode(const Message& message, std::uint32_t xid = 0);
+
+struct Decoded {
+  Message message;
+  std::uint32_t xid = 0;
+};
+
+/// Parses one complete OF 1.0 message. Errors on truncated/malformed
+/// input, unknown types, or wrong version.
+Result<Decoded> decode(std::span<const std::uint8_t> bytes);
+
+/// Frame splitter for a byte stream of concatenated OF messages: returns
+/// how many bytes at the front form complete messages (0 if the first is
+/// incomplete).
+std::size_t complete_prefix(std::span<const std::uint8_t> bytes);
+
+// Exposed for tests: ofp_match <-> Match.
+void encode_match(const Match& match, std::uint8_t* out);
+Match decode_match(const std::uint8_t* in);
+
+}  // namespace escape::openflow::wire

@@ -1,0 +1,330 @@
+#include "orchestrator/deployment.hpp"
+
+#include <algorithm>
+
+namespace escape::orchestrator {
+
+namespace {
+// Settle allowance after the last flow-mod is sent: covers the control
+// channel delay so the chain is actually forwarding when the completion
+// callback fires.
+constexpr SimDuration kSettle = timeunit::kMillisecond;
+}  // namespace
+
+DeploymentEngine::DeploymentEngine(netemu::Network& network, pox::TrafficSteering& steering,
+                                   std::map<std::string, netconf::VnfAgentClient*> agents)
+    : network_(&network), steering_(&steering), agents_(std::move(agents)) {}
+
+netemu::LinkConfig DeploymentEngine::veth_config() {
+  netemu::LinkConfig cfg;
+  cfg.bandwidth_bps = 10'000'000'000ULL;  // 10 Gbit/s veth
+  cfg.delay = timeunit::kMicrosecond;
+  cfg.queue_frames = 1000;
+  return cfg;
+}
+
+std::uint16_t DeploymentEngine::next_free_port(netemu::Node* node) const {
+  std::uint16_t next = 0;
+  for (std::uint16_t p : node->attached_ports()) {
+    next = std::max<std::uint16_t>(next, static_cast<std::uint16_t>(p + 1));
+  }
+  return next;
+}
+
+namespace {
+
+/// The default attachment switch of a container: the switch on the other
+/// end of its first (topology) link.
+Result<std::string> default_adjacent_switch(netemu::Network& network,
+                                            const std::string& container) {
+  for (const auto& link : network.links()) {
+    for (int endpoint = 0; endpoint < 2; ++endpoint) {
+      if (link->node(endpoint)->name() == container &&
+          link->node(1 - endpoint)->kind() == netemu::NodeKind::kSwitch) {
+        return link->node(1 - endpoint)->name();
+      }
+    }
+  }
+  return make_error("deploy.no-adjacent-switch",
+                    container + " has no switch neighbour to attach veths to");
+}
+
+}  // namespace
+
+Result<std::vector<VnfDeployment>> DeploymentEngine::allocate_veths(
+    std::uint32_t chain_id, const MappingResult& mapping) {
+  std::vector<VnfDeployment> out;
+
+  for (std::size_t i = 0; i < mapping.link_mappings.size(); ++i) {
+    const LinkMapping& entering = mapping.link_mappings[i];
+    auto placement = mapping.placements.find(entering.sg_dst);
+    if (placement == mapping.placements.end()) continue;  // segment to a SAP
+
+    const std::string& vnf_id = entering.sg_dst;
+    const std::string& container_name = placement->second;
+    netemu::VnfContainer* container = network_->container(container_name);
+    if (!container) {
+      return make_error("deploy.unknown-container", "not in network: " + container_name);
+    }
+
+    VnfDeployment d;
+    d.vnf_id = vnf_id;
+    // Container-unique instance id: several chains may place same-named
+    // VNFs on one container.
+    d.instance_id = "chain" + std::to_string(chain_id) + "." + vnf_id;
+    d.container = container_name;
+
+    // Attachment switch on the ingress side: the last switch of the
+    // entering segment, or the container's default neighbour when the
+    // segment is degenerate (previous VNF in the same container).
+    if (entering.path.nodes.size() >= 2) {
+      d.in_switch = entering.path.nodes[entering.path.nodes.size() - 2];
+    } else {
+      auto s = default_adjacent_switch(*network_, container_name);
+      if (!s.ok()) return s.error();
+      d.in_switch = *s;
+    }
+
+    // Egress side: first switch of the segment leaving this VNF.
+    if (i + 1 >= mapping.link_mappings.size()) {
+      return make_error("deploy.bad-mapping", vnf_id + " has no outgoing segment");
+    }
+    const LinkMapping& leaving = mapping.link_mappings[i + 1];
+    if (leaving.path.nodes.size() >= 2) {
+      d.out_switch = leaving.path.nodes[1];
+    } else {
+      auto s = default_adjacent_switch(*network_, container_name);
+      if (!s.ok()) return s.error();
+      d.out_switch = *s;
+    }
+
+    netemu::SwitchNode* in_sw = network_->switch_node(d.in_switch);
+    netemu::SwitchNode* out_sw = network_->switch_node(d.out_switch);
+    if (!in_sw || !out_sw) {
+      return make_error("deploy.no-switch",
+                        vnf_id + ": mapped path does not traverse an OpenFlow switch "
+                                 "next to the container");
+    }
+
+    // Fresh ports, then the two veth links.
+    d.container_in_port = next_free_port(container);
+    d.switch_in_port = next_free_port(in_sw);
+    if (auto s = network_->add_link(container_name, d.container_in_port, d.in_switch,
+                                    d.switch_in_port, veth_config());
+        !s.ok()) {
+      return s.error();
+    }
+    d.container_out_port = next_free_port(container);
+    d.switch_out_port = next_free_port(out_sw);
+    if (auto s = network_->add_link(container_name, d.container_out_port, d.out_switch,
+                                    d.switch_out_port, veth_config());
+        !s.ok()) {
+      return s.error();
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+Result<pox::ChainPath> DeploymentEngine::compute_chain_path(
+    std::uint32_t chain_id, const MappingResult& mapping, const sg::ResourceGraph& view,
+    const std::vector<VnfDeployment>& vnfs, openflow::Match match) const {
+  pox::ChainPath chain;
+  chain.chain_id = chain_id;
+  chain.match = match;
+
+  auto vnf_record = [&vnfs](const std::string& vnf_id) -> const VnfDeployment* {
+    for (const auto& v : vnfs) {
+      if (v.vnf_id == vnf_id) return &v;
+    }
+    return nullptr;
+  };
+  auto dpid_of = [this](const std::string& name) -> Result<openflow::DatapathId> {
+    netemu::SwitchNode* sw = network_->switch_node(name);
+    if (!sw) return make_error("deploy.no-switch", "not a switch: " + name);
+    return sw->dpid();
+  };
+
+  for (std::size_t k = 0; k < mapping.link_mappings.size(); ++k) {
+    const LinkMapping& seg = mapping.link_mappings[k];
+    const VnfDeployment* src_vnf = vnf_record(seg.sg_src);
+    const VnfDeployment* dst_vnf = vnf_record(seg.sg_dst);
+    const auto& nodes = seg.path.nodes;
+    const std::size_t n = nodes.size();
+
+    if (n <= 1) {
+      // Degenerate segment: both endpoints in the same container. One
+      // hairpin hop at the shared attachment switch.
+      if (!src_vnf || !dst_vnf) {
+        return make_error("deploy.bad-segment", "degenerate segment without VNF endpoints");
+      }
+      if (src_vnf->out_switch != dst_vnf->in_switch) {
+        return make_error("deploy.bad-segment", "hairpin endpoints on different switches");
+      }
+      auto dpid = dpid_of(src_vnf->out_switch);
+      if (!dpid.ok()) return dpid.error();
+      chain.hops.push_back({*dpid, src_vnf->switch_out_port, dst_vnf->switch_in_port});
+      continue;
+    }
+
+    // Regular segment: switches occupy positions 1 .. n-2.
+    if (n < 3 && !(src_vnf || dst_vnf)) {
+      return make_error("deploy.bad-segment",
+                        "segment " + seg.sg_src + "->" + seg.sg_dst +
+                            " traverses no OpenFlow switch");
+    }
+    for (std::size_t j = 1; j + 1 < n; ++j) {
+      netemu::SwitchNode* sw = network_->switch_node(nodes[j]);
+      if (!sw) continue;  // defensive: containers never appear mid-path
+      auto dpid = dpid_of(nodes[j]);
+      if (!dpid.ok()) return dpid.error();
+
+      std::uint16_t in_port;
+      if (j == 1 && src_vnf) {
+        in_port = src_vnf->switch_out_port;  // traffic re-enters from the VNF
+      } else {
+        in_port = view.port_on(seg.path.link_indices[j - 1], nodes[j]);
+      }
+      std::uint16_t out_port;
+      if (j + 2 == n && dst_vnf) {
+        out_port = dst_vnf->switch_in_port;  // traffic leaves toward the VNF
+      } else {
+        out_port = view.port_on(seg.path.link_indices[j], nodes[j]);
+      }
+      chain.hops.push_back({*dpid, in_port, out_port});
+    }
+  }
+
+  if (chain.hops.empty()) {
+    return make_error("deploy.empty-chain", "no steering hops computed");
+  }
+  return chain;
+}
+
+void DeploymentEngine::deploy(std::uint32_t chain_id, const MappingResult& mapping,
+                              const sg::ResourceGraph& view,
+                              const std::vector<service::RenderedVnf>& rendered,
+                              openflow::Match match, CompletionCallback done) {
+  auto record = std::make_shared<DeploymentRecord>();
+  record->chain_id = chain_id;
+  record->mapping = mapping;
+  record->started_at = network_->scheduler().now();
+
+  // Phase 1 (synchronous): veth allocation.
+  auto veths = allocate_veths(chain_id, mapping);
+  if (!veths.ok()) {
+    done(veths.error());
+    return;
+  }
+  record->vnfs = std::move(*veths);
+
+  // Phase 3 input is computed now so errors surface before any RPC.
+  auto chain = compute_chain_path(chain_id, mapping, view, record->vnfs, match);
+  if (!chain.ok()) {
+    done(chain.error());
+    return;
+  }
+  record->chain_path = std::move(*chain);
+
+  // Phase 2: sequential NETCONF bring-up of every VNF.
+  struct Step {
+    std::function<void(netconf::VnfAgentClient::StatusCallback)> run;
+  };
+  auto steps = std::make_shared<std::vector<Step>>();
+
+  for (const auto& d : record->vnfs) {
+    auto agent_it = agents_.find(d.container);
+    if (agent_it == agents_.end()) {
+      done(make_error("deploy.no-agent", "no management agent for " + d.container));
+      return;
+    }
+    netconf::VnfAgentClient* agent = agent_it->second;
+
+    const service::RenderedVnf* vnf = nullptr;
+    for (const auto& r : rendered) {
+      if (r.id == d.vnf_id) vnf = &r;
+    }
+    if (!vnf) {
+      done(make_error("deploy.missing-config", "no rendered config for " + d.vnf_id));
+      return;
+    }
+
+    steps->push_back({[agent, vnf, id = d.instance_id](auto cb) {
+      agent->initiate_vnf(id, vnf->vnf_type, vnf->click_config, vnf->cpu_demand,
+                          std::move(cb));
+    }});
+    steps->push_back(
+        {[agent, id = d.instance_id](auto cb) { agent->start_vnf(id, std::move(cb)); }});
+    steps->push_back({[agent, id = d.instance_id, port = d.container_in_port](auto cb) {
+      agent->connect_vnf(id, "in0", port, std::move(cb));
+    }});
+    steps->push_back({[agent, id = d.instance_id, port = d.container_out_port](auto cb) {
+      agent->connect_vnf(id, "out0", port, std::move(cb));
+    }});
+  }
+
+  auto* engine = this;
+  auto run_all = std::make_shared<std::function<void(std::size_t)>>();
+  *run_all = [engine, steps, record, done, run_all](std::size_t index) {
+    if (index == steps->size()) {
+      // Phase 3: steering.
+      if (auto s = engine->steering_->install_chain(record->chain_path); !s.ok()) {
+        done(s.error());
+        return;
+      }
+      engine->network_->scheduler().schedule(kSettle, [engine, record, done] {
+        record->completed_at = engine->network_->scheduler().now();
+        done(*record);
+      });
+      return;
+    }
+    (*steps)[index].run([engine, record, done, run_all, index](Status s) {
+      if (!s.ok()) {
+        done(s.error());
+        return;
+      }
+      (*run_all)(index + 1);
+    });
+  };
+  (*run_all)(0);
+}
+
+void DeploymentEngine::teardown(const DeploymentRecord& record,
+                                std::function<void(Status)> done) {
+  if (auto s = steering_->remove_chain(record.chain_id); !s.ok()) {
+    done(s);
+    return;
+  }
+  auto vnfs = std::make_shared<std::vector<VnfDeployment>>(record.vnfs);
+  auto* engine = this;
+  auto run = std::make_shared<std::function<void(std::size_t)>>();
+  *run = [engine, vnfs, done, run](std::size_t index) {
+    if (index == vnfs->size()) {
+      done(ok_status());
+      return;
+    }
+    const VnfDeployment d = (*vnfs)[index];
+    auto it = engine->agents_.find(d.container);
+    if (it == engine->agents_.end()) {
+      done(make_error("deploy.no-agent", "no management agent for " + d.container));
+      return;
+    }
+    netconf::VnfAgentClient* agent = it->second;
+    agent->stop_vnf(d.instance_id, [agent, d, done, run, index](Status s) {
+      if (!s.ok()) {
+        done(s);
+        return;
+      }
+      agent->remove_vnf(d.instance_id, [run, index, done](Status s2) {
+        if (!s2.ok()) {
+          done(s2);
+          return;
+        }
+        (*run)(index + 1);
+      });
+    });
+  };
+  (*run)(0);
+}
+
+}  // namespace escape::orchestrator

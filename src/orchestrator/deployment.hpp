@@ -1,0 +1,99 @@
+// The deployment engine: turns a MappingResult into a running service
+// chain. It performs, in order:
+//
+//   1. veth allocation -- for every placed VNF, two dynamic links
+//      (in/out) are created between its container and the switch(es) the
+//      mapped path uses, with fresh port numbers on both sides (Mininet's
+//      dynamically added interfaces);
+//   2. VNF bring-up over NETCONF -- initiateVNF / startVNF / connectVNF
+//      RPCs against the container's management agent, strictly
+//      sequential per the management protocol;
+//   3. traffic steering -- converts the mapped substrate paths plus the
+//      allocated switch ports into one pox::ChainPath and installs it.
+//
+// Everything is asynchronous over the shared virtual-time scheduler;
+// completion (or the first error) is reported through a callback. The
+// elapsed virtual time between start and completion is the chain setup
+// latency measured by bench_chain_setup.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "netconf/vnf_agent.hpp"
+#include "netemu/network.hpp"
+#include "orchestrator/mapping.hpp"
+#include "pox/steering.hpp"
+#include "service/layer.hpp"
+
+namespace escape::orchestrator {
+
+/// Everything the engine records about one deployed VNF instance.
+struct VnfDeployment {
+  std::string vnf_id;       // the SG node id ("fw1")
+  std::string instance_id;  // container-unique id ("chain3.fw1") used in RPCs
+  std::string container;
+  std::string in_switch;         // switch the in-link attaches to
+  std::string out_switch;        // switch the out-link attaches to
+  std::uint16_t container_in_port = 0;
+  std::uint16_t container_out_port = 0;
+  std::uint16_t switch_in_port = 0;   // packets leave the network here
+  std::uint16_t switch_out_port = 0;  // packets re-enter the network here
+};
+
+struct DeploymentRecord {
+  std::uint32_t chain_id = 0;
+  MappingResult mapping;
+  std::vector<VnfDeployment> vnfs;
+  pox::ChainPath chain_path;
+  SimTime started_at = 0;
+  SimTime completed_at = 0;
+
+  SimDuration setup_latency() const { return completed_at - started_at; }
+};
+
+class DeploymentEngine {
+ public:
+  using CompletionCallback = std::function<void(Result<DeploymentRecord>)>;
+
+  /// `agents` maps container name -> its management client. All
+  /// references must outlive the engine.
+  DeploymentEngine(netemu::Network& network, pox::TrafficSteering& steering,
+                   std::map<std::string, netconf::VnfAgentClient*> agents);
+
+  /// Deploys a mapped chain. `view` must be the resource graph the
+  /// mapping was computed against (its link indices resolve the ports);
+  /// `match` is the chain's traffic specification (without in_port);
+  /// `rendered` supplies per-VNF Click configs.
+  void deploy(std::uint32_t chain_id, const MappingResult& mapping,
+              const sg::ResourceGraph& view,
+              const std::vector<service::RenderedVnf>& rendered, openflow::Match match,
+              CompletionCallback done);
+
+  /// Tears a chain down: removes steering flows and stops its VNFs.
+  void teardown(const DeploymentRecord& record, std::function<void(Status)> done);
+
+  /// Link configuration used for dynamically created container<->switch
+  /// links (the veth pairs).
+  static netemu::LinkConfig veth_config();
+
+ private:
+  struct Job;
+
+  std::uint16_t next_free_port(netemu::Node* node) const;
+  Result<std::vector<VnfDeployment>> allocate_veths(std::uint32_t chain_id,
+                                                    const MappingResult& mapping);
+  Result<pox::ChainPath> compute_chain_path(std::uint32_t chain_id,
+                                            const MappingResult& mapping,
+                                            const sg::ResourceGraph& view,
+                                            const std::vector<VnfDeployment>& vnfs,
+                                            openflow::Match match) const;
+
+  netemu::Network* network_;
+  pox::TrafficSteering* steering_;
+  std::map<std::string, netconf::VnfAgentClient*> agents_;
+  Logger log_{"orchestrator.deploy"};
+};
+
+}  // namespace escape::orchestrator

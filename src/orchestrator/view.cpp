@@ -1,0 +1,30 @@
+#include "orchestrator/view.hpp"
+
+namespace escape::orchestrator {
+
+sg::ResourceGraph resource_view_from(netemu::Network& network) {
+  sg::ResourceGraph view;
+  for (const auto& name : network.node_names()) {
+    netemu::Node* node = network.node(name);
+    switch (node->kind()) {
+      case netemu::NodeKind::kHost:
+        view.add_sap(name);
+        break;
+      case netemu::NodeKind::kSwitch:
+        view.add_switch(name);
+        break;
+      case netemu::NodeKind::kVnfContainer: {
+        auto* c = static_cast<netemu::VnfContainer*>(node);
+        view.add_container(name, c->cpu_capacity() - c->cpu_in_use(), c->max_vnfs());
+        break;
+      }
+    }
+  }
+  for (const auto& link : network.links()) {
+    view.add_link(link->node(0)->name(), link->port(0), link->node(1)->name(), link->port(1),
+                  link->config().bandwidth_bps, link->config().delay);
+  }
+  return view;
+}
+
+}  // namespace escape::orchestrator

@@ -1,0 +1,16 @@
+// Builds the orchestrator's resource view from a live emulated network
+// ("based on a global network and resource view, it is responsible for
+// mapping service requests to available resources").
+#pragma once
+
+#include "netemu/network.hpp"
+#include "sg/resource_model.hpp"
+
+namespace escape::orchestrator {
+
+/// Snapshots `network` into a ResourceGraph: hosts become SAPs, switches
+/// and containers keep their kind, links carry their configured
+/// bandwidth and delay.
+sg::ResourceGraph resource_view_from(netemu::Network& network);
+
+}  // namespace escape::orchestrator

@@ -1,0 +1,153 @@
+#include "pox/core.hpp"
+
+#include "openflow/wire.hpp"
+
+namespace escape::pox {
+
+std::optional<Message> Controller::through_wire(Message message) {
+  if (!serialize_) return message;
+  auto bytes = openflow::wire::encode(message);
+  wire_bytes_ += bytes.size();
+  auto decoded = openflow::wire::decode(bytes);
+  if (!decoded.ok()) {
+    log_.warn("wire codec dropped a ", openflow::message_type_name(message),
+              ": ", decoded.error().to_string());
+    return std::nullopt;
+  }
+  return std::move(decoded->message);
+}
+
+/// Switch-side channel endpoint: forwards switch->controller messages
+/// through the scheduler with the configured delay.
+class Controller::Channel : public openflow::ControlChannel {
+ public:
+  Channel(Controller* controller, DatapathId dpid) : controller_(controller), dpid_(dpid) {}
+
+  void to_controller(Message message) override {
+    auto* c = controller_;
+    auto dpid = dpid_;
+    auto wired = c->through_wire(std::move(message));
+    if (!wired) return;
+    c->scheduler_->schedule(c->channel_delay_, [c, dpid, msg = std::move(*wired)]() mutable {
+      c->deliver_from_switch(dpid, std::move(msg));
+    });
+  }
+
+  bool connected() const override { return true; }
+
+ private:
+  Controller* controller_;
+  DatapathId dpid_;
+};
+
+Controller::Controller(EventScheduler& scheduler, SimDuration channel_delay)
+    : scheduler_(&scheduler), channel_delay_(channel_delay) {}
+
+void Controller::add_app(std::shared_ptr<App> app) {
+  apps_.push_back(app);
+  app->on_startup(*this);
+}
+
+App* Controller::app(std::string_view name) {
+  for (auto& a : apps_) {
+    if (a->name() == name) return a.get();
+  }
+  return nullptr;
+}
+
+void Controller::attach_switch(openflow::OpenFlowSwitch& sw) {
+  const DatapathId dpid = sw.datapath_id();
+  auto conn = std::make_unique<SwitchConnection>(this, dpid);
+  conn->deliver_to_switch_ = [&sw](Message msg) { sw.handle_message(msg); };
+  SwitchConnection* raw = conn.get();
+  connections_[dpid] = std::move(conn);
+  sw.connect(std::make_shared<Channel>(this, dpid));
+  // Controller side of the handshake: Hello prompts the switch to
+  // announce its features, which flips the connection up.
+  raw->send(openflow::Hello{});
+}
+
+SwitchConnection* Controller::connection(DatapathId dpid) {
+  auto it = connections_.find(dpid);
+  return it == connections_.end() ? nullptr : it->second.get();
+}
+
+std::vector<DatapathId> Controller::connected_switches() const {
+  std::vector<DatapathId> out;
+  for (const auto& [dpid, conn] : connections_) {
+    if (conn->up()) out.push_back(dpid);
+  }
+  return out;
+}
+
+void SwitchConnection::send(Message message) {
+  ++sent_;
+  auto* c = controller_;
+  auto wired = c->through_wire(std::move(message));
+  if (!wired) return;
+  // Deliver through the scheduler to model the channel delay; capture the
+  // delivery function by value so a torn-down connection cannot dangle.
+  auto deliver = deliver_to_switch_;
+  c->scheduler_->schedule(c->channel_delay_, [deliver, msg = std::move(*wired)]() mutable {
+    if (deliver) deliver(std::move(msg));
+  });
+}
+
+void Controller::raise_packet_in(SwitchConnection& conn, const openflow::PacketIn& msg) {
+  ++packet_ins_;
+  for (auto& app : apps_) {
+    if (app->on_packet_in(conn, msg)) return;
+  }
+}
+
+void Controller::deliver_from_switch(DatapathId dpid, Message message) {
+  auto it = connections_.find(dpid);
+  if (it == connections_.end()) return;
+  SwitchConnection& conn = *it->second;
+
+  std::visit(
+      [this, &conn](auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, openflow::Hello>) {
+          // Handshake continues implicitly; the switch sends features
+          // after Hello on its own in this implementation.
+        } else if constexpr (std::is_same_v<T, openflow::FeaturesReply>) {
+          conn.ports_ = msg.ports;
+          const bool was_up = conn.up_;
+          conn.up_ = true;
+          if (!was_up) {
+            log_.info("connection up: dpid=", conn.dpid());
+            for (auto& app : apps_) app->on_connection_up(conn);
+          }
+        } else if constexpr (std::is_same_v<T, openflow::PacketIn>) {
+          raise_packet_in(conn, msg);
+        } else if constexpr (std::is_same_v<T, openflow::FlowRemoved>) {
+          for (auto& app : apps_) app->on_flow_removed(conn, msg);
+        } else if constexpr (std::is_same_v<T, openflow::PortStatus>) {
+          // Keep the cached port list fresh.
+          if (msg.reason == openflow::PortStatus::Reason::kDelete) {
+            std::erase_if(conn.ports_,
+                          [&](const auto& p) { return p.port_no == msg.port.port_no; });
+          } else {
+            bool found = false;
+            for (auto& p : conn.ports_) {
+              if (p.port_no == msg.port.port_no) {
+                p = msg.port;
+                found = true;
+              }
+            }
+            if (!found) conn.ports_.push_back(msg.port);
+          }
+          for (auto& app : apps_) app->on_port_status(conn, msg);
+        } else if constexpr (std::is_same_v<T, openflow::StatsReply>) {
+          for (auto& app : apps_) app->on_stats_reply(conn, msg);
+        } else if constexpr (std::is_same_v<T, openflow::BarrierReply>) {
+          for (auto& app : apps_) app->on_barrier_reply(conn);
+        } else if constexpr (std::is_same_v<T, openflow::EchoRequest>) {
+          conn.send(openflow::EchoReply{msg.payload});
+        }
+      },
+      message);
+}
+
+}  // namespace escape::pox

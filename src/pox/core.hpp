@@ -1,0 +1,136 @@
+// The controller platform (the POX stand-in): manages control channels
+// to switches, raises events (ConnectionUp, PacketIn, FlowRemoved, ...)
+// and hosts pluggable applications ("components" in POX terms).
+//
+// The control channel is in-memory but asynchronous: messages in both
+// directions are delivered through the shared virtual-time scheduler
+// with a configurable one-way delay, so controller reaction time is a
+// measurable quantity (bench_steering exercises it).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "openflow/switch.hpp"
+#include "util/event.hpp"
+#include "util/logging.hpp"
+
+namespace escape::pox {
+
+using openflow::DatapathId;
+using openflow::Message;
+
+class Controller;
+
+/// The controller's handle to one connected switch.
+class SwitchConnection {
+ public:
+  SwitchConnection(Controller* controller, DatapathId dpid) : controller_(controller), dpid_(dpid) {}
+
+  DatapathId dpid() const { return dpid_; }
+  const std::vector<openflow::PortInfo>& ports() const { return ports_; }
+  bool up() const { return up_; }
+
+  /// Sends a control message to the switch (async, channel delay).
+  void send(Message message);
+
+  /// Convenience wrappers.
+  void send_flow_mod(const openflow::FlowMod& mod) { send(mod); }
+  void send_packet_out(openflow::PacketOut out) { send(std::move(out)); }
+  void send_barrier() { send(openflow::BarrierRequest{}); }
+
+  std::uint64_t messages_sent() const { return sent_; }
+
+ private:
+  friend class Controller;
+  Controller* controller_;
+  DatapathId dpid_;
+  std::vector<openflow::PortInfo> ports_;
+  bool up_ = false;
+  std::uint64_t sent_ = 0;
+  // Delivery function into the switch (set when attached).
+  std::function<void(Message)> deliver_to_switch_;
+};
+
+/// Base class for controller applications. Register with
+/// Controller::add_app(); handlers are invoked in registration order
+/// until one returns true ("handled") for PacketIn.
+class App {
+ public:
+  virtual ~App() = default;
+  virtual std::string_view name() const = 0;
+
+  virtual void on_startup(Controller&) {}
+  virtual void on_connection_up(SwitchConnection&) {}
+  virtual void on_connection_down(SwitchConnection&) {}
+  /// Return true to stop further apps from seeing this packet-in.
+  virtual bool on_packet_in(SwitchConnection&, const openflow::PacketIn&) { return false; }
+  virtual void on_flow_removed(SwitchConnection&, const openflow::FlowRemoved&) {}
+  virtual void on_port_status(SwitchConnection&, const openflow::PortStatus&) {}
+  virtual void on_stats_reply(SwitchConnection&, const openflow::StatsReply&) {}
+  virtual void on_barrier_reply(SwitchConnection&) {}
+};
+
+class Controller {
+ public:
+  explicit Controller(EventScheduler& scheduler, SimDuration channel_delay = 100 * timeunit::kMicrosecond);
+
+  EventScheduler& scheduler() { return *scheduler_; }
+  SimDuration channel_delay() const { return channel_delay_; }
+
+  /// When enabled, every control message in both directions is encoded
+  /// to OpenFlow 1.0 wire bytes and decoded on the far side (instead of
+  /// moving the typed struct), so the channel carries real ofp10 frames.
+  /// Must be set before attaching switches.
+  void set_wire_serialization(bool on) { serialize_ = on; }
+  bool wire_serialization() const { return serialize_; }
+
+  /// Total OF wire bytes moved (both directions); 0 unless serialization
+  /// is enabled.
+  std::uint64_t wire_bytes() const { return wire_bytes_; }
+
+  /// Registers an application; on_startup fires immediately.
+  void add_app(std::shared_ptr<App> app);
+
+  /// Finds an app by name (nullptr if absent).
+  App* app(std::string_view name);
+
+  /// Wires a switch to this controller: installs the channel pair and
+  /// kicks off the OF handshake. The switch must outlive the controller
+  /// session.
+  void attach_switch(openflow::OpenFlowSwitch& sw);
+
+  SwitchConnection* connection(DatapathId dpid);
+  std::vector<DatapathId> connected_switches() const;
+
+  /// Statistics for benches/tests.
+  std::uint64_t packet_ins_handled() const { return packet_ins_; }
+
+ private:
+  friend class SwitchConnection;
+
+  class Channel;  // switch-side ControlChannel implementation
+
+  void deliver_from_switch(DatapathId dpid, Message message);
+  void raise_packet_in(SwitchConnection& conn, const openflow::PacketIn& msg);
+
+  /// Round-trips a message through the OF 1.0 codec when serialization
+  /// is on; returns it untouched otherwise. Codec failures are logged
+  /// and the message dropped (returns nullopt), like a real parser
+  /// discarding a malformed frame.
+  std::optional<Message> through_wire(Message message);
+
+  EventScheduler* scheduler_;
+  SimDuration channel_delay_;
+  bool serialize_ = false;
+  std::uint64_t wire_bytes_ = 0;
+  std::map<DatapathId, std::unique_ptr<SwitchConnection>> connections_;
+  std::vector<std::shared_ptr<App>> apps_;
+  std::uint64_t packet_ins_ = 0;
+  Logger log_{"pox.core"};
+};
+
+}  // namespace escape::pox

@@ -1,0 +1,98 @@
+#include "pox/discovery.hpp"
+
+#include "net/builder.hpp"
+#include "net/headers.hpp"
+
+namespace escape::pox {
+
+namespace {
+const net::MacAddr kLldpDst({0x01, 0x80, 0xc2, 0x00, 0x00, 0x0e});
+}
+
+net::Packet Discovery::make_probe(DatapathId dpid, std::uint16_t port_no) {
+  // Probe payload: 8-byte dpid + 2-byte port, big-endian.
+  std::vector<std::uint8_t> payload(10);
+  for (int i = 0; i < 8; ++i) {
+    payload[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(dpid >> (56 - 8 * i));
+  }
+  net::store_be16(&payload[8], port_no);
+  return net::PacketBuilder()
+      .eth(net::MacAddr::from_u64(dpid & 0xffffffffffffULL), kLldpDst,
+           net::ethertype::kLldp)
+      .payload(std::span<const std::uint8_t>(payload))
+      .build();
+}
+
+bool Discovery::parse_probe(const net::Packet& packet, DatapathId* dpid,
+                            std::uint16_t* port_no) {
+  auto eth = net::EthernetView::parse(packet.bytes());
+  if (!eth || eth->ethertype != net::ethertype::kLldp || eth->payload.size() < 10) return false;
+  DatapathId d = 0;
+  for (int i = 0; i < 8; ++i) d = (d << 8) | eth->payload[static_cast<std::size_t>(i)];
+  *dpid = d;
+  *port_no = net::load_be16(&eth->payload[8]);
+  return true;
+}
+
+void Discovery::on_startup(Controller& controller) {
+  controller_ = &controller;
+  struct Prober {
+    Discovery* d;
+    void operator()() {
+      d->send_probes();
+      d->timer_ = d->controller_->scheduler().schedule(d->probe_interval_, Prober{d});
+    }
+  };
+  timer_ = controller.scheduler().schedule(probe_interval_, Prober{this});
+}
+
+void Discovery::on_connection_up(SwitchConnection& conn) {
+  // Probe the new switch right away so links appear without waiting for
+  // the next periodic round.
+  for (const auto& port : conn.ports()) {
+    openflow::PacketOut out;
+    out.packet = make_probe(conn.dpid(), port.port_no);
+    out.actions = openflow::output_to(port.port_no);
+    conn.send_packet_out(std::move(out));
+  }
+}
+
+void Discovery::send_probes() {
+  if (!controller_) return;
+  for (DatapathId dpid : controller_->connected_switches()) {
+    SwitchConnection* conn = controller_->connection(dpid);
+    if (!conn) continue;
+    for (const auto& port : conn->ports()) {
+      openflow::PacketOut out;
+      out.packet = make_probe(dpid, port.port_no);
+      out.actions = openflow::output_to(port.port_no);
+      conn->send_packet_out(std::move(out));
+    }
+  }
+}
+
+bool Discovery::on_packet_in(SwitchConnection& conn, const openflow::PacketIn& msg) {
+  DatapathId src_dpid = 0;
+  std::uint16_t src_port = 0;
+  if (!parse_probe(msg.packet, &src_dpid, &src_port)) return false;
+
+  Link link{src_dpid, src_port, conn.dpid(), msg.in_port};
+  auto [it, inserted] = links_.emplace(link, true);
+  if (inserted && link_cb_) link_cb_(link);
+  return true;  // LLDP never reaches other apps
+}
+
+std::vector<Link> Discovery::links() const {
+  std::vector<Link> out;
+  out.reserve(links_.size());
+  for (const auto& [l, _] : links_) out.push_back(l);
+  return out;
+}
+
+bool Discovery::bidirectional(DatapathId a, std::uint16_t a_port, DatapathId b,
+                              std::uint16_t b_port) const {
+  return links_.count(Link{a, a_port, b, b_port}) > 0 &&
+         links_.count(Link{b, b_port, a, a_port}) > 0;
+}
+
+}  // namespace escape::pox

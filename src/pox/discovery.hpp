@@ -1,0 +1,63 @@
+// LLDP-based topology discovery (POX's openflow.discovery): the
+// controller periodically floods probe frames out of every switch port;
+// probes arriving as packet-ins on a neighbouring switch reveal a
+// unidirectional link.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "pox/core.hpp"
+
+namespace escape::pox {
+
+struct Link {
+  DatapathId src_dpid = 0;
+  std::uint16_t src_port = 0;
+  DatapathId dst_dpid = 0;
+  std::uint16_t dst_port = 0;
+
+  bool operator==(const Link&) const = default;
+  bool operator<(const Link& o) const {
+    return std::tie(src_dpid, src_port, dst_dpid, dst_port) <
+           std::tie(o.src_dpid, o.src_port, o.dst_dpid, o.dst_port);
+  }
+};
+
+class Discovery : public App {
+ public:
+  explicit Discovery(SimDuration probe_interval = timeunit::kSecond)
+      : probe_interval_(probe_interval) {}
+
+  std::string_view name() const override { return "discovery"; }
+
+  void on_startup(Controller& controller) override;
+  void on_connection_up(SwitchConnection& conn) override;
+  bool on_packet_in(SwitchConnection& conn, const openflow::PacketIn& msg) override;
+
+  /// Links discovered so far (unidirectional).
+  std::vector<Link> links() const;
+
+  /// True once both directions of the (a,b) adjacency have been seen.
+  bool bidirectional(DatapathId a, std::uint16_t a_port, DatapathId b,
+                     std::uint16_t b_port) const;
+
+  /// Fires once per newly discovered link.
+  void set_link_callback(std::function<void(const Link&)> cb) { link_cb_ = std::move(cb); }
+
+  /// Sends one round of probes immediately (also runs periodically).
+  void send_probes();
+
+ private:
+  static net::Packet make_probe(DatapathId dpid, std::uint16_t port_no);
+  static bool parse_probe(const net::Packet& packet, DatapathId* dpid, std::uint16_t* port_no);
+
+  Controller* controller_ = nullptr;
+  SimDuration probe_interval_;
+  std::map<Link, bool> links_;  // value unused; map keeps them sorted
+  std::function<void(const Link&)> link_cb_;
+  EventHandle timer_;
+};
+
+}  // namespace escape::pox

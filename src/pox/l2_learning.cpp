@@ -1,0 +1,54 @@
+#include "pox/l2_learning.hpp"
+
+#include "net/flow.hpp"
+
+namespace escape::pox {
+
+bool L2Learning::on_packet_in(SwitchConnection& conn, const openflow::PacketIn& msg) {
+  auto key = net::extract_flow_key(msg.packet, msg.in_port);
+  if (!key) return false;
+
+  auto& table = tables_[conn.dpid()];
+  table[key->dl_src] = msg.in_port;
+
+  // Multicast/broadcast or unknown destination: flood.
+  auto it = table.find(key->dl_dst);
+  if (key->dl_dst.is_multicast() || it == table.end()) {
+    openflow::PacketOut out;
+    out.buffer_id = msg.buffer_id;
+    if (!msg.buffer_id) out.packet = msg.packet;
+    out.in_port = msg.in_port;
+    out.actions = openflow::output_to(openflow::kPortFlood);
+    conn.send_packet_out(std::move(out));
+    ++floods_;
+    return true;
+  }
+
+  // Known destination: install an exact-match flow and release the
+  // buffered packet along it.
+  openflow::FlowMod mod;
+  mod.command = openflow::FlowModCommand::kAdd;
+  mod.match = openflow::Match::exact(*key);
+  mod.idle_timeout = idle_timeout_;
+  mod.actions = openflow::output_to(it->second);
+  mod.buffer_id = msg.buffer_id;
+  conn.send_flow_mod(mod);
+  if (!msg.buffer_id) {
+    openflow::PacketOut out;
+    out.packet = msg.packet;
+    out.in_port = msg.in_port;
+    out.actions = openflow::output_to(it->second);
+    conn.send_packet_out(std::move(out));
+  }
+  ++installs_;
+  return true;
+}
+
+void L2Learning::on_connection_down(SwitchConnection& conn) { tables_.erase(conn.dpid()); }
+
+const std::unordered_map<net::MacAddr, std::uint16_t>* L2Learning::table(DatapathId dpid) const {
+  auto it = tables_.find(dpid);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+}  // namespace escape::pox

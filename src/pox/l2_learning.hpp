@@ -1,0 +1,37 @@
+// POX's classic l2_learning component: MAC learning switch used for the
+// parts of the network that are not steered by service chains (e.g. the
+// management / control network).
+#pragma once
+
+#include <map>
+#include <unordered_map>
+
+#include "pox/core.hpp"
+
+namespace escape::pox {
+
+class L2Learning : public App {
+ public:
+  /// idle_timeout for installed exact-match flows (0 = permanent).
+  explicit L2Learning(SimDuration idle_timeout = 10 * timeunit::kSecond)
+      : idle_timeout_(idle_timeout) {}
+
+  std::string_view name() const override { return "l2_learning"; }
+
+  bool on_packet_in(SwitchConnection& conn, const openflow::PacketIn& msg) override;
+  void on_connection_down(SwitchConnection& conn) override;
+
+  /// Learned MAC -> port table of one switch (for tests).
+  const std::unordered_map<net::MacAddr, std::uint16_t>* table(DatapathId dpid) const;
+
+  std::uint64_t floods() const { return floods_; }
+  std::uint64_t installs() const { return installs_; }
+
+ private:
+  SimDuration idle_timeout_;
+  std::map<DatapathId, std::unordered_map<net::MacAddr, std::uint16_t>> tables_;
+  std::uint64_t floods_ = 0;
+  std::uint64_t installs_ = 0;
+};
+
+}  // namespace escape::pox

@@ -1,0 +1,150 @@
+#include "pox/steering.hpp"
+
+#include "net/flow.hpp"
+
+namespace escape::pox {
+
+Status TrafficSteering::push_flow_mods(const ChainPath& path,
+                                       std::optional<std::uint32_t> buffer_id,
+                                       DatapathId buffer_dpid) {
+  if (!controller_) return make_error("pox.steering.no-controller", "app not started");
+  // Validate every hop first so installation is all-or-nothing.
+  for (const auto& hop : path.hops) {
+    SwitchConnection* conn = controller_->connection(hop.dpid);
+    if (!conn || !conn->up()) {
+      return make_error("pox.steering.switch-down",
+                        "switch not connected: dpid=" + std::to_string(hop.dpid));
+    }
+  }
+  for (const auto& hop : path.hops) {
+    SwitchConnection* conn = controller_->connection(hop.dpid);
+    openflow::FlowMod mod;
+    mod.command = openflow::FlowModCommand::kAdd;
+    mod.match = path.match;
+    mod.match.in_port(hop.in_port);
+    mod.priority = path.priority;
+    mod.cookie = path.chain_id;
+    mod.idle_timeout = path.idle_timeout;
+    mod.send_flow_removed = path.idle_timeout != 0;
+    mod.actions = openflow::output_to(hop.out_port);
+    if (buffer_id && hop.dpid == buffer_dpid) {
+      mod.buffer_id = buffer_id;
+      buffer_id.reset();  // release the buffer at most once
+    }
+    conn->send_flow_mod(mod);
+  }
+  return ok_status();
+}
+
+Status TrafficSteering::install_chain(const ChainPath& path) {
+  if (path.hops.empty()) {
+    return make_error("pox.steering.empty-path", "chain has no hops");
+  }
+  if (auto s = push_flow_mods(path, std::nullopt, 0); !s.ok()) return s;
+  installed_[path.chain_id] = path;
+  log_.info("installed chain ", path.chain_id, " over ", path.hops.size(), " hops");
+  return ok_status();
+}
+
+void TrafficSteering::register_chain(ChainPath path) {
+  pending_[path.chain_id] = std::move(path);
+}
+
+Status TrafficSteering::remove_chain(std::uint32_t chain_id) {
+  auto it = installed_.find(chain_id);
+  if (it == installed_.end()) {
+    pending_.erase(chain_id);
+    return make_error("pox.steering.unknown-chain",
+                      "chain not installed: " + std::to_string(chain_id));
+  }
+  const ChainPath& path = it->second;
+  for (const auto& hop : path.hops) {
+    SwitchConnection* conn = controller_->connection(hop.dpid);
+    if (!conn) continue;
+    openflow::FlowMod mod;
+    mod.command = openflow::FlowModCommand::kDeleteStrict;
+    mod.match = path.match;
+    mod.match.in_port(hop.in_port);
+    mod.priority = path.priority;
+    conn->send_flow_mod(mod);
+  }
+  installed_.erase(it);
+  return ok_status();
+}
+
+bool TrafficSteering::on_packet_in(SwitchConnection& conn, const openflow::PacketIn& msg) {
+  if (pending_.empty()) return false;
+  auto key = net::extract_flow_key(msg.packet, msg.in_port);
+  if (!key) return false;
+
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    ChainPath& path = it->second;
+    if (!path.match.matches(*key)) continue;
+    // The packet must have entered at the first hop to trigger install.
+    if (path.hops.empty() || path.hops.front().dpid != conn.dpid() ||
+        path.hops.front().in_port != msg.in_port) {
+      continue;
+    }
+    if (auto s = push_flow_mods(path, msg.buffer_id, conn.dpid()); !s.ok()) {
+      log_.warn("reactive install failed: ", s.error().to_string());
+      return false;
+    }
+    ++reactive_installs_;
+    installed_[it->first] = path;
+    pending_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+void TrafficSteering::query_chain_stats(std::uint32_t chain_id,
+                                        std::function<void(Result<ChainStats>)> cb) {
+  auto it = installed_.find(chain_id);
+  if (it == installed_.end() || it->second.hops.empty()) {
+    cb(make_error("pox.steering.unknown-chain",
+                  "chain not installed: " + std::to_string(chain_id)));
+    return;
+  }
+  const DatapathId dpid = it->second.hops.front().dpid;
+  SwitchConnection* conn = controller_ ? controller_->connection(dpid) : nullptr;
+  if (!conn || !conn->up()) {
+    cb(make_error("pox.steering.switch-down", "first-hop switch not connected"));
+    return;
+  }
+  stats_queries_[dpid].push_back(
+      StatsQuery{chain_id, it->second.hops.front().in_port, std::move(cb)});
+  conn->send(openflow::StatsRequest{openflow::StatsRequest::Kind::kFlow});
+}
+
+void TrafficSteering::on_stats_reply(SwitchConnection& conn,
+                                     const openflow::StatsReply& msg) {
+  auto qit = stats_queries_.find(conn.dpid());
+  if (qit == stats_queries_.end() || qit->second.empty()) return;
+  StatsQuery query = std::move(qit->second.front());
+  qit->second.pop_front();
+
+  ChainStats stats;
+  stats.chain_id = query.chain_id;
+  for (const auto& entry : msg.flows) {
+    if (entry.cookie != query.chain_id) continue;
+    ++stats.flows;
+    // Only the entry-hop flow contributes traffic counters.
+    if (!(entry.match.wildcards() & openflow::kWcInPort) &&
+        entry.match.fields().in_port == query.entry_in_port) {
+      stats.packets += entry.packet_count;
+      stats.bytes += entry.byte_count;
+    }
+  }
+  query.cb(stats);
+}
+
+void TrafficSteering::on_flow_removed(SwitchConnection&, const openflow::FlowRemoved& msg) {
+  // Idle-timeout chains fall back to pending so a later packet re-installs.
+  auto it = installed_.find(static_cast<std::uint32_t>(msg.cookie));
+  if (it == installed_.end()) return;
+  if (msg.reason == openflow::FlowRemovedReason::kDelete) return;
+  pending_[it->first] = it->second;
+  installed_.erase(it);
+}
+
+}  // namespace escape::pox

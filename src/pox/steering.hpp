@@ -1,0 +1,102 @@
+// The ESCAPE traffic-steering component: programs the OpenFlow network so
+// that flows matching a chain's traffic specification traverse the
+// chain's VNFs in order. This is the "dedicated easy-to-configure
+// controller application responsible for steering traffic between VNFs"
+// of the paper.
+//
+// Two modes:
+//   * proactive (default): install_chain() pushes all flow-mods at once;
+//   * reactive: register_chain() stores the path and the rules are only
+//     installed when the first matching packet-in arrives (ablation for
+//     bench_steering).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "pox/core.hpp"
+#include "util/result.hpp"
+
+namespace escape::pox {
+
+/// One steering hop: at switch `dpid`, traffic of the chain entering on
+/// `in_port` leaves on `out_port`.
+struct SteeringHop {
+  DatapathId dpid = 0;
+  std::uint16_t in_port = 0;
+  std::uint16_t out_port = 0;
+};
+
+/// A fully resolved chain path as produced by the orchestrator.
+struct ChainPath {
+  std::uint32_t chain_id = 0;
+  openflow::Match match;  // traffic specification (without in_port)
+  std::vector<SteeringHop> hops;
+  std::uint16_t priority = 0x9000;
+  SimDuration idle_timeout = 0;  // 0 = permanent
+};
+
+/// Per-chain traffic counters from the flow entries the steering app
+/// installed (correlated by cookie == chain id). `packets`/`bytes` come
+/// from the chain's *entry* flow (the first hop's in_port), so they
+/// count each packet once even when several hops share a switch.
+struct ChainStats {
+  std::uint32_t chain_id = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::size_t flows = 0;  // all matching entries on the first-hop switch
+};
+
+class TrafficSteering : public App {
+ public:
+  std::string_view name() const override { return "traffic_steering"; }
+
+  void on_startup(Controller& controller) override { controller_ = &controller; }
+  bool on_packet_in(SwitchConnection& conn, const openflow::PacketIn& msg) override;
+  void on_flow_removed(SwitchConnection& conn, const openflow::FlowRemoved& msg) override;
+  void on_stats_reply(SwitchConnection& conn, const openflow::StatsReply& msg) override;
+
+  /// Proactively installs every hop of the chain. Fails if a hop's switch
+  /// is not connected.
+  Status install_chain(const ChainPath& path);
+
+  /// Registers a chain for reactive installation on first packet.
+  void register_chain(ChainPath path);
+
+  /// Removes a chain's flows everywhere.
+  Status remove_chain(std::uint32_t chain_id);
+
+  bool installed(std::uint32_t chain_id) const { return installed_.count(chain_id) > 0; }
+  std::size_t installed_count() const { return installed_.size(); }
+  std::uint64_t reactive_installs() const { return reactive_installs_; }
+
+  /// Asynchronously queries the chain's traffic counters: sends a
+  /// flow-stats request to the chain's first-hop switch and aggregates
+  /// the entries whose cookie matches. `cb` fires when the reply
+  /// arrives through the control channel.
+  void query_chain_stats(std::uint32_t chain_id,
+                         std::function<void(Result<ChainStats>)> cb);
+
+ private:
+  Status push_flow_mods(const ChainPath& path, std::optional<std::uint32_t> buffer_id,
+                        DatapathId buffer_dpid);
+
+  Controller* controller_ = nullptr;
+  std::map<std::uint32_t, ChainPath> installed_;
+  std::map<std::uint32_t, ChainPath> pending_;  // reactive, not yet installed
+  std::uint64_t reactive_installs_ = 0;
+  // Outstanding stats queries, FIFO per switch (stats replies carry no
+  // correlation id in OF 1.0).
+  struct StatsQuery {
+    std::uint32_t chain_id;
+    std::uint16_t entry_in_port;
+    std::function<void(Result<ChainStats>)> cb;
+  };
+  std::map<DatapathId, std::deque<StatsQuery>> stats_queries_;
+  Logger log_{"pox.steering"};
+};
+
+}  // namespace escape::pox

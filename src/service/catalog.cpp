@@ -1,0 +1,194 @@
+#include "service/catalog.hpp"
+
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace escape::service {
+
+void VnfCatalog::add(VnfTemplate tmpl) { templates_[tmpl.type] = std::move(tmpl); }
+
+const VnfTemplate* VnfCatalog::get(const std::string& type) const {
+  auto it = templates_.find(type);
+  return it == templates_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> VnfCatalog::types() const {
+  std::vector<std::string> out;
+  out.reserve(templates_.size());
+  for (const auto& [k, _] : templates_) out.push_back(k);
+  return out;
+}
+
+Result<std::string> VnfCatalog::render(const std::string& type,
+                                       const std::map<std::string, std::string>& params) const {
+  const VnfTemplate* tmpl = get(type);
+  if (!tmpl) return make_error("catalog.unknown-type", "no such VNF type: " + type);
+
+  // Reject parameters the template does not know.
+  for (const auto& [key, _] : params) {
+    if (!tmpl->param_defaults.count(key)) {
+      return make_error("catalog.unknown-param", type + " has no parameter '" + key + "'");
+    }
+  }
+
+  const std::string& in = tmpl->config_template;
+  std::string out;
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size();) {
+    if (in[i] != '$') {
+      out += in[i++];
+      continue;
+    }
+    ++i;  // skip '$'
+    bool braced = i < in.size() && in[i] == '{';
+    if (braced) ++i;
+    std::string name;
+    while (i < in.size() &&
+           (std::isalnum(static_cast<unsigned char>(in[i])) || in[i] == '_')) {
+      name += in[i++];
+    }
+    if (braced) {
+      if (i >= in.size() || in[i] != '}') {
+        return make_error("catalog.bad-template", type + ": unterminated ${...}");
+      }
+      ++i;
+    }
+    if (name.empty()) return make_error("catalog.bad-template", type + ": dangling '$'");
+    auto pit = params.find(name);
+    if (pit != params.end()) {
+      out += pit->second;
+    } else {
+      auto dit = tmpl->param_defaults.find(name);
+      if (dit == tmpl->param_defaults.end()) {
+        return make_error("catalog.missing-param",
+                          type + ": no value for parameter '" + name + "'");
+      }
+      out += dit->second;
+    }
+  }
+  return out;
+}
+
+VnfCatalog VnfCatalog::with_builtins() {
+  VnfCatalog catalog;
+
+  catalog.add(VnfTemplate{
+      "monitor",
+      "transparent packet/byte counter (Clicky's favourite demo VNF)",
+      "from :: FromDevice(DEVNAME in0);\n"
+      "cnt :: Counter;\n"
+      "to :: ToDevice(DEVNAME out0);\n"
+      "from -> cnt -> to;\n",
+      0.05,
+      1,
+      {}});
+
+  catalog.add(VnfTemplate{
+      "firewall",
+      "rule-based stateless firewall; denied traffic is counted and dropped",
+      "from :: FromDevice(DEVNAME in0);\n"
+      "fw :: Firewall(RULES \"$rules\", DEFAULT $default);\n"
+      "denied :: Counter;\n"
+      "to :: ToDevice(DEVNAME out0);\n"
+      "from -> fw;\n"
+      "fw[0] -> to;\n"
+      "fw[1] -> denied -> Discard;\n",
+      0.1,
+      1,
+      {{"rules", "allow ip"}, {"default", "allow"}}});
+
+  catalog.add(VnfTemplate{
+      "ratelimiter",
+      "packet-rate policer: queue + rated drain at $rate packets/second",
+      "from :: FromDevice(DEVNAME in0);\n"
+      "q :: Queue($queue);\n"
+      "pull :: RatedUnqueue(RATE $rate);\n"
+      "to :: ToDevice(DEVNAME out0);\n"
+      "from -> q;\n"
+      "q -> pull -> to;\n",
+      0.1,
+      1,
+      {{"rate", "1000"}, {"queue", "1000"}}});
+
+  catalog.add(VnfTemplate{
+      "worker",
+      "CPU-bound store-and-forward VNF: each packet costs $ns_per_packet "
+      "nanoseconds of processing, scaled by 1/cpu-share (the cgroup model)",
+      "from :: FromDevice(DEVNAME in0);\n"
+      "q :: Queue($queue);\n"
+      "u :: Unqueue(BURST 1, INTERVAL $ns_per_packet);\n"
+      "to :: ToDevice(DEVNAME out0);\n"
+      "from -> q;\n"
+      "q -> u -> to;\n",
+      0.2,
+      1,
+      {{"ns_per_packet", "10000"}, {"queue", "1000"}}});
+
+  catalog.add(VnfTemplate{
+      "dpi",
+      "payload pattern inspector; counts matches per pattern",
+      "from :: FromDevice(DEVNAME in0);\n"
+      "dpi :: DpiCounter(PATTERNS \"$patterns\");\n"
+      "to :: ToDevice(DEVNAME out0);\n"
+      "from -> dpi -> to;\n",
+      0.2,
+      1,
+      {{"patterns", "attack"}}});
+
+  catalog.add(VnfTemplate{
+      "delay",
+      "fixed processing-delay VNF ($ns nanoseconds)",
+      "from :: FromDevice(DEVNAME in0);\n"
+      "d :: Delay(DELAY $ns);\n"
+      "to :: ToDevice(DEVNAME out0);\n"
+      "from -> d -> to;\n",
+      0.05,
+      1,
+      {{"ns", "1000000"}}});
+
+  catalog.add(VnfTemplate{
+      "headerrewriter",
+      "static header rewriter (any subset of addresses/ports)",
+      "from :: FromDevice(DEVNAME in0);\n"
+      "rw :: IPRewriter($spec);\n"
+      "to :: ToDevice(DEVNAME out0);\n"
+      "from -> rw -> to;\n",
+      0.1,
+      1,
+      {{"spec", "SRC_IP 10.0.0.1"}}});
+
+  catalog.add(VnfTemplate{
+      "napt",
+      "stateful NAPT: in0/out0 internal->external, in1/out1 return path",
+      "fin :: FromDevice(DEVNAME in0);\n"
+      "fext :: FromDevice(DEVNAME in1);\n"
+      "napt :: NAPT(EXTERNAL_IP $external_ip, PORT_BASE $port_base);\n"
+      "tout :: ToDevice(DEVNAME out0);\n"
+      "tin :: ToDevice(DEVNAME out1);\n"
+      "fin -> [0]napt;\n"
+      "fext -> [1]napt;\n"
+      "napt[0] -> tout;\n"
+      "napt[1] -> tin;\n",
+      0.15,
+      2,
+      {{"external_ip", "192.0.2.1"}, {"port_base", "20000"}}});
+
+  catalog.add(VnfTemplate{
+      "loadbalancer",
+      "per-flow 2-way splitter with counters",
+      "from :: FromDevice(DEVNAME in0);\n"
+      "lb :: LoadBalancer(N 2, MODE $mode);\n"
+      "a :: ToDevice(DEVNAME out0);\n"
+      "b :: ToDevice(DEVNAME out1);\n"
+      "from -> lb;\n"
+      "lb[0] -> a;\n"
+      "lb[1] -> b;\n",
+      0.1,
+      2,
+      {{"mode", "flow"}}});
+
+  return catalog;
+}
+
+}  // namespace escape::service

@@ -1,0 +1,45 @@
+// The VNF catalog: "a built-in set of useful VNFs implemented in Click".
+// Each catalog entry is a Click configuration template with $parameters;
+// the service layer renders a concrete configuration per VNF instance,
+// which the orchestrator ships to a container through NETCONF.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace escape::service {
+
+struct VnfTemplate {
+  std::string type;         // catalog key ("firewall")
+  std::string description;  // one-liner for the GUI / docs
+  std::string config_template;
+  double default_cpu = 0.1;
+  int data_ports = 1;  // in/out device pairs (inN/outN)
+  std::map<std::string, std::string> param_defaults;
+};
+
+class VnfCatalog {
+ public:
+  /// The built-in catalog (monitor, firewall, ratelimiter, dpi, delay,
+  /// headerrewriter, napt, loadbalancer).
+  static VnfCatalog with_builtins();
+
+  void add(VnfTemplate tmpl);
+  bool has(const std::string& type) const { return templates_.count(type) > 0; }
+  const VnfTemplate* get(const std::string& type) const;
+  std::vector<std::string> types() const;
+
+  /// Renders the Click configuration for one instance: substitutes
+  /// $param / ${param} occurrences from `params` (falling back to the
+  /// template defaults). Unknown or unresolved parameters are errors.
+  Result<std::string> render(const std::string& type,
+                             const std::map<std::string, std::string>& params) const;
+
+ private:
+  std::map<std::string, VnfTemplate> templates_;
+};
+
+}  // namespace escape::service

@@ -1,0 +1,54 @@
+// Declarative topology and service-graph descriptions: the artifacts the
+// original ESCAPE produced with its MiniEdit-based GUI. Both travel as
+// JSON documents; the builders below turn them into live objects
+// (demo steps 1 and 2 without the pixels).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+#include "netemu/network.hpp"
+#include "sg/resource_model.hpp"
+#include "sg/service_graph.hpp"
+#include "util/result.hpp"
+
+namespace escape::service {
+
+struct TopologyNodeSpec {
+  std::string name;
+  std::string kind;  // "host" | "switch" | "container"
+  double cpu = 1.0;          // container only
+  std::size_t vnf_slots = 8; // container only
+};
+
+struct TopologyLinkSpec {
+  std::string a;
+  std::uint16_t port_a = 0;
+  std::string b;
+  std::uint16_t port_b = 0;
+  std::uint64_t bandwidth_bps = 1'000'000'000;
+  SimDuration delay = 50 * timeunit::kMicrosecond;
+  std::size_t queue_frames = 100;
+};
+
+struct TopologySpec {
+  std::string name = "topology";
+  std::vector<TopologyNodeSpec> nodes;
+  std::vector<TopologyLinkSpec> links;
+
+  static Result<TopologySpec> from_json(std::string_view text);
+  json::Value to_json() const;
+
+  /// Instantiates the topology into an (empty) emulated network.
+  Status build(netemu::Network& network) const;
+
+  /// The orchestrator's resource view of this topology.
+  sg::ResourceGraph to_resource_graph() const;
+};
+
+/// Parses a service-graph description.
+Result<sg::ServiceGraph> service_graph_from_json(std::string_view text);
+json::Value service_graph_to_json(const sg::ServiceGraph& graph);
+
+}  // namespace escape::service

@@ -1,0 +1,40 @@
+#include "service/layer.hpp"
+
+namespace escape::service {
+
+Result<std::vector<RenderedVnf>> ServiceLayer::prepare(const sg::ServiceGraph& graph) const {
+  if (auto s = graph.validate(); !s.ok()) return s.error();
+
+  std::vector<RenderedVnf> out;
+  out.reserve(graph.vnfs().size());
+  for (const auto& vnf : graph.vnfs()) {
+    const VnfTemplate* tmpl = catalog_.get(vnf.vnf_type);
+    if (!tmpl) {
+      return make_error("service.unknown-vnf-type",
+                        vnf.id + ": '" + vnf.vnf_type + "' is not in the catalog");
+    }
+    auto config = catalog_.render(vnf.vnf_type, vnf.params);
+    if (!config.ok()) return config.error();
+    RenderedVnf rendered;
+    rendered.id = vnf.id;
+    rendered.vnf_type = vnf.vnf_type;
+    rendered.click_config = std::move(*config);
+    rendered.cpu_demand = vnf.cpu_demand > 0 ? vnf.cpu_demand : tmpl->default_cpu;
+    rendered.data_ports = tmpl->data_ports;
+    out.push_back(std::move(rendered));
+  }
+  return out;
+}
+
+SlaReport ServiceLayer::check_delay(const sg::E2eRequirement& req, double measured_delay_ms) {
+  SlaReport report;
+  report.requirement = req;
+  report.measured_delay_ms = measured_delay_ms;
+  if (req.max_delay > 0) {
+    report.delay_met =
+        measured_delay_ms <= static_cast<double>(req.max_delay) / timeunit::kMillisecond;
+  }
+  return report;
+}
+
+}  // namespace escape::service

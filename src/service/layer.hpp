@@ -1,0 +1,51 @@
+// The service layer: "aware of the service logic, handles service
+// requests, and is responsible for SLAs". It owns the VNF catalog,
+// validates incoming service graphs against it and renders the concrete
+// Click configuration for every VNF instance; the result is what the
+// orchestrator maps and deploys.
+#pragma once
+
+#include <vector>
+
+#include "service/catalog.hpp"
+#include "sg/service_graph.hpp"
+
+namespace escape::service {
+
+/// A VNF instance made concrete: catalog type resolved, Click config
+/// rendered, resource demand fixed.
+struct RenderedVnf {
+  std::string id;
+  std::string vnf_type;
+  std::string click_config;
+  double cpu_demand = 0.1;
+  int data_ports = 1;
+};
+
+/// SLA verdict for one end-to-end requirement after deployment.
+struct SlaReport {
+  sg::E2eRequirement requirement;
+  double measured_delay_ms = 0;
+  bool delay_met = true;
+};
+
+class ServiceLayer {
+ public:
+  explicit ServiceLayer(VnfCatalog catalog = VnfCatalog::with_builtins())
+      : catalog_(std::move(catalog)) {}
+
+  const VnfCatalog& catalog() const { return catalog_; }
+  VnfCatalog& catalog() { return catalog_; }
+
+  /// Validates the graph structurally and against the catalog, then
+  /// renders every VNF's Click configuration.
+  Result<std::vector<RenderedVnf>> prepare(const sg::ServiceGraph& graph) const;
+
+  /// Checks a measured end-to-end delay against a requirement.
+  static SlaReport check_delay(const sg::E2eRequirement& req, double measured_delay_ms);
+
+ private:
+  VnfCatalog catalog_;
+};
+
+}  // namespace escape::service

@@ -1,0 +1,121 @@
+#include "service/topologies.hpp"
+
+#include "util/strings.hpp"
+
+namespace escape::service::topologies {
+
+namespace {
+
+TopologyLinkSpec link(const std::string& a, std::uint16_t pa, const std::string& b,
+                      std::uint16_t pb, std::uint64_t bw, SimDuration delay) {
+  TopologyLinkSpec l;
+  l.a = a;
+  l.port_a = pa;
+  l.b = b;
+  l.port_b = pb;
+  l.bandwidth_bps = bw;
+  l.delay = delay;
+  return l;
+}
+
+}  // namespace
+
+TopologySpec linear(int switches, double container_cpu, std::uint64_t core_bw_bps,
+                    SimDuration link_delay) {
+  TopologySpec spec;
+  spec.name = strings::format("linear-%d", switches);
+  spec.nodes.push_back({"sap1", "host", 0, 0});
+  spec.nodes.push_back({"sap2", "host", 0, 0});
+  for (int i = 1; i <= switches; ++i) {
+    const std::string s = "s" + std::to_string(i);
+    const std::string c = "c" + std::to_string(i);
+    spec.nodes.push_back({s, "switch", 0, 0});
+    spec.nodes.push_back({c, "container", container_cpu, 16});
+    spec.links.push_back(link(c, 0, s, 3, core_bw_bps, link_delay));
+    if (i > 1) {
+      spec.links.push_back(
+          link("s" + std::to_string(i - 1), 2, s, 1, core_bw_bps, link_delay));
+    }
+  }
+  spec.links.push_back(link("sap1", 0, "s1", 10, core_bw_bps, link_delay));
+  spec.links.push_back(
+      link("sap2", 0, "s" + std::to_string(switches), 10, core_bw_bps, link_delay));
+  return spec;
+}
+
+TopologySpec star(int leaves, double container_cpu) {
+  TopologySpec spec;
+  spec.name = strings::format("star-%d", leaves);
+  spec.nodes.push_back({"core", "switch", 0, 0});
+  for (int i = 1; i <= leaves; ++i) {
+    const std::string s = "edge" + std::to_string(i);
+    spec.nodes.push_back({s, "switch", 0, 0});
+    spec.nodes.push_back({"c" + std::to_string(i), "container", container_cpu, 16});
+    spec.nodes.push_back({"sap" + std::to_string(i), "host", 0, 0});
+    spec.links.push_back(link("core", static_cast<std::uint16_t>(i), s, 1, 1'000'000'000,
+                              200 * timeunit::kMicrosecond));
+    spec.links.push_back(link("c" + std::to_string(i), 0, s, 2, 1'000'000'000,
+                              50 * timeunit::kMicrosecond));
+    spec.links.push_back(link("sap" + std::to_string(i), 0, s, 3, 1'000'000'000,
+                              50 * timeunit::kMicrosecond));
+  }
+  return spec;
+}
+
+TopologySpec ring(int switches, double container_cpu) {
+  TopologySpec spec;
+  spec.name = strings::format("ring-%d", switches);
+  spec.nodes.push_back({"sap1", "host", 0, 0});
+  spec.nodes.push_back({"sap2", "host", 0, 0});
+  for (int i = 1; i <= switches; ++i) {
+    spec.nodes.push_back({"s" + std::to_string(i), "switch", 0, 0});
+    spec.nodes.push_back({"c" + std::to_string(i), "container", container_cpu, 16});
+    spec.links.push_back(link("c" + std::to_string(i), 0, "s" + std::to_string(i), 3,
+                              1'000'000'000, 50 * timeunit::kMicrosecond));
+    const int next = i % switches + 1;
+    spec.links.push_back(link("s" + std::to_string(i), 10, "s" + std::to_string(next), 11,
+                              1'000'000'000, 500 * timeunit::kMicrosecond));
+  }
+  spec.links.push_back(link("sap1", 0, "s1", 1, 1'000'000'000, 50 * timeunit::kMicrosecond));
+  spec.links.push_back(link("sap2", 0, "s" + std::to_string(switches / 2 + 1), 1,
+                            1'000'000'000, 50 * timeunit::kMicrosecond));
+  return spec;
+}
+
+std::string to_dot(const TopologySpec& spec) {
+  std::string out = "graph \"" + spec.name + "\" {\n  layout=neato;\n";
+  for (const auto& n : spec.nodes) {
+    const char* shape = n.kind == "host" ? "ellipse" : n.kind == "switch" ? "box" : "box3d";
+    out += strings::format("  \"%s\" [shape=%s];\n", n.name.c_str(), shape);
+  }
+  for (const auto& l : spec.links) {
+    out += strings::format("  \"%s\" -- \"%s\" [label=\"%.0fM/%.1fms\"];\n", l.a.c_str(),
+                           l.b.c_str(), static_cast<double>(l.bandwidth_bps) / 1e6,
+                           static_cast<double>(l.delay) / timeunit::kMillisecond);
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string to_dot(const sg::ServiceGraph& graph) {
+  std::string out = "digraph \"" + graph.name() + "\" {\n  rankdir=LR;\n";
+  for (const auto& s : graph.saps()) {
+    out += strings::format("  \"%s\" [shape=ellipse];\n", s.id.c_str());
+  }
+  for (const auto& v : graph.vnfs()) {
+    out += strings::format("  \"%s\" [shape=box label=\"%s\\n(%s, cpu %.2f)\"];\n",
+                           v.id.c_str(), v.id.c_str(), v.vnf_type.c_str(), v.cpu_demand);
+  }
+  for (const auto& l : graph.links()) {
+    if (l.bandwidth_bps) {
+      out += strings::format("  \"%s\" -> \"%s\" [label=\"%.0fM\"];\n", l.src.c_str(),
+                             l.dst.c_str(), static_cast<double>(l.bandwidth_bps) / 1e6);
+    } else {
+      out += strings::format("  \"%s\" -> \"%s\";\n", l.src.c_str(), l.dst.c_str());
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace escape::service::topologies

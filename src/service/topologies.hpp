@@ -1,0 +1,32 @@
+// Parametric topology generators (the canned testbeds of the MiniEdit
+// workflow) and Graphviz exports for topologies and service graphs.
+#pragma once
+
+#include <string>
+
+#include "service/formats.hpp"
+
+namespace escape::service::topologies {
+
+/// sap1 - s1 - s2 - ... - sN - sap2, one container per switch.
+TopologySpec linear(int switches, double container_cpu = 1.0,
+                    std::uint64_t core_bw_bps = 1'000'000'000,
+                    SimDuration link_delay = 100 * timeunit::kMicrosecond);
+
+/// One core switch, `leaves` edge switches each with a container and a
+/// host ("sapN").
+TopologySpec star(int leaves, double container_cpu = 1.0);
+
+/// `switches` in a ring, container per switch, two SAPs on opposite
+/// sides.
+TopologySpec ring(int switches, double container_cpu = 1.0);
+
+/// Graphviz dot of a topology (hosts=ellipses, switches=boxes,
+/// containers=3D boxes; labels carry link bw/delay).
+std::string to_dot(const TopologySpec& spec);
+
+/// Graphviz dot of a service graph (SAPs=ellipses, VNFs=boxes; edges
+/// labelled with bandwidth requirements).
+std::string to_dot(const sg::ServiceGraph& graph);
+
+}  // namespace escape::service::topologies

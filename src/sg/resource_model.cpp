@@ -1,0 +1,165 @@
+#include "sg/resource_model.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace escape::sg {
+
+ResourceGraph& ResourceGraph::add_node(ResourceNode node) {
+  if (index_.count(node.name)) {
+    throw std::invalid_argument("duplicate resource node: " + node.name);
+  }
+  index_[node.name] = nodes_.size();
+  nodes_.push_back(std::move(node));
+  return *this;
+}
+
+ResourceGraph& ResourceGraph::add_sap(const std::string& name) {
+  return add_node(ResourceNode{name, ResourceKind::kSap, 0, 0, 0, 0});
+}
+
+ResourceGraph& ResourceGraph::add_switch(const std::string& name) {
+  return add_node(ResourceNode{name, ResourceKind::kSwitch, 0, 0, 0, 0});
+}
+
+ResourceGraph& ResourceGraph::add_container(const std::string& name, double cpu_capacity,
+                                            std::size_t vnf_slots) {
+  return add_node(ResourceNode{name, ResourceKind::kContainer, cpu_capacity, 0, vnf_slots, 0});
+}
+
+ResourceGraph& ResourceGraph::add_link(const std::string& a, std::uint16_t port_a,
+                                       const std::string& b, std::uint16_t port_b,
+                                       std::uint64_t bandwidth_bps, SimDuration delay) {
+  if (!index_.count(a)) throw std::invalid_argument("unknown resource node: " + a);
+  if (!index_.count(b)) throw std::invalid_argument("unknown resource node: " + b);
+  const int idx = static_cast<int>(links_.size());
+  links_.push_back(ResourceLink{a, b, port_a, port_b, bandwidth_bps, 0, delay});
+  adjacency_[a].emplace_back(idx, b);
+  adjacency_[b].emplace_back(idx, a);
+  return *this;
+}
+
+ResourceNode* ResourceGraph::node(const std::string& name) {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &nodes_[it->second];
+}
+
+const ResourceNode* ResourceGraph::node(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &nodes_[it->second];
+}
+
+std::vector<std::string> ResourceGraph::containers() const {
+  std::vector<std::string> out;
+  for (const auto& n : nodes_) {
+    if (n.kind == ResourceKind::kContainer) out.push_back(n.name);
+  }
+  return out;
+}
+
+std::vector<std::pair<int, std::string>> ResourceGraph::neighbors(
+    const std::string& name) const {
+  auto it = adjacency_.find(name);
+  return it == adjacency_.end() ? std::vector<std::pair<int, std::string>>{} : it->second;
+}
+
+std::optional<RoutedPath> ResourceGraph::shortest_path(const std::string& from,
+                                                       const std::string& to,
+                                                       std::uint64_t min_bw) const {
+  if (!index_.count(from) || !index_.count(to)) return std::nullopt;
+  constexpr SimDuration kInf = std::numeric_limits<SimDuration>::max();
+
+  std::map<std::string, SimDuration> dist;
+  std::map<std::string, std::pair<std::string, int>> prev;  // node -> (pred, link)
+  for (const auto& n : nodes_) dist[n.name] = kInf;
+  dist[from] = 0;
+
+  using QEntry = std::pair<SimDuration, std::string>;
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> queue;
+  queue.push({0, from});
+
+  while (!queue.empty()) {
+    auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[u]) continue;
+    if (u == to) break;
+    // Only switches forward transit traffic; SAPs and containers are
+    // valid endpoints but never intermediate hops.
+    if (u != from && node(u)->kind != ResourceKind::kSwitch) continue;
+    for (const auto& [link_idx, v] : neighbors(u)) {
+      const ResourceLink& l = links_[static_cast<std::size_t>(link_idx)];
+      if (l.bandwidth_free() < min_bw) continue;
+      const SimDuration nd = d + l.delay;
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        prev[v] = {u, link_idx};
+        queue.push({nd, v});
+      }
+    }
+  }
+  if (dist[to] == kInf) return std::nullopt;
+
+  RoutedPath path;
+  path.total_delay = dist[to];
+  std::string cur = to;
+  while (cur != from) {
+    auto [pred, link_idx] = prev[cur];
+    path.nodes.push_back(cur);
+    path.link_indices.push_back(link_idx);
+    cur = pred;
+  }
+  path.nodes.push_back(from);
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(path.link_indices.begin(), path.link_indices.end());
+  return path;
+}
+
+void ResourceGraph::reserve_path(const RoutedPath& path, std::uint64_t bw) {
+  for (int idx : path.link_indices) {
+    links_[static_cast<std::size_t>(idx)].bandwidth_used += bw;
+  }
+}
+
+void ResourceGraph::release_path(const RoutedPath& path, std::uint64_t bw) {
+  for (int idx : path.link_indices) {
+    auto& l = links_[static_cast<std::size_t>(idx)];
+    l.bandwidth_used = l.bandwidth_used >= bw ? l.bandwidth_used - bw : 0;
+  }
+}
+
+Status ResourceGraph::reserve_vnf(const std::string& container, double cpu) {
+  ResourceNode* n = node(container);
+  if (!n || n->kind != ResourceKind::kContainer) {
+    return make_error("resource.not-a-container", container + " is not a container");
+  }
+  if (n->cpu_free() + 1e-9 < cpu) {
+    return make_error("resource.cpu-exhausted", container + ": insufficient CPU");
+  }
+  if (n->slots_free() == 0) {
+    return make_error("resource.slots-exhausted", container + ": no free VNF slots");
+  }
+  n->cpu_used += cpu;
+  n->vnf_slots_used += 1;
+  return ok_status();
+}
+
+void ResourceGraph::release_vnf(const std::string& container, double cpu) {
+  ResourceNode* n = node(container);
+  if (!n) return;
+  n->cpu_used = std::max(0.0, n->cpu_used - cpu);
+  if (n->vnf_slots_used > 0) n->vnf_slots_used -= 1;
+}
+
+std::uint16_t ResourceGraph::port_on(int link_index, const std::string& node_name) const {
+  const ResourceLink& l = links_[static_cast<std::size_t>(link_index)];
+  return l.a == node_name ? l.port_a : l.port_b;
+}
+
+const std::string& ResourceGraph::peer_of(int link_index, const std::string& node_name) const {
+  const ResourceLink& l = links_[static_cast<std::size_t>(link_index)];
+  return l.a == node_name ? l.b : l.a;
+}
+
+}  // namespace escape::sg

@@ -1,0 +1,106 @@
+// The orchestrator's global network and resource view: an annotated
+// graph of SAPs, switches and VNF containers with CPU, bandwidth and
+// delay budgets. Built either from an emulated Network (deployment) or
+// synthetically (mapping benches).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+#include "util/time.hpp"
+
+namespace escape::sg {
+
+enum class ResourceKind { kSap, kSwitch, kContainer };
+
+struct ResourceNode {
+  std::string name;
+  ResourceKind kind = ResourceKind::kSwitch;
+  // Container resources (ignored for other kinds).
+  double cpu_capacity = 0;
+  double cpu_used = 0;
+  std::size_t vnf_slots = 0;
+  std::size_t vnf_slots_used = 0;
+
+  double cpu_free() const { return cpu_capacity - cpu_used; }
+  std::size_t slots_free() const { return vnf_slots - vnf_slots_used; }
+};
+
+struct ResourceLink {
+  std::string a;
+  std::string b;
+  std::uint16_t port_a = 0;
+  std::uint16_t port_b = 0;
+  std::uint64_t bandwidth_bps = 0;
+  std::uint64_t bandwidth_used = 0;
+  SimDuration delay = 0;
+
+  std::uint64_t bandwidth_free() const { return bandwidth_bps - bandwidth_used; }
+};
+
+/// A hop along a routed substrate path, directional.
+struct PathHop {
+  std::string node;        // node entered
+  std::uint16_t in_port;   // port on `node` the path enters through
+  int link_index;          // into ResourceGraph::links()
+};
+
+struct RoutedPath {
+  std::vector<std::string> nodes;  // first = source, last = destination
+  std::vector<int> link_indices;   // links traversed, in order
+  SimDuration total_delay = 0;
+};
+
+class ResourceGraph {
+ public:
+  ResourceGraph& add_node(ResourceNode node);
+  ResourceGraph& add_sap(const std::string& name);
+  ResourceGraph& add_switch(const std::string& name);
+  ResourceGraph& add_container(const std::string& name, double cpu_capacity,
+                               std::size_t vnf_slots);
+  /// Links are bidirectional with a shared bandwidth budget.
+  ResourceGraph& add_link(const std::string& a, std::uint16_t port_a, const std::string& b,
+                          std::uint16_t port_b, std::uint64_t bandwidth_bps, SimDuration delay);
+
+  ResourceNode* node(const std::string& name);
+  const ResourceNode* node(const std::string& name) const;
+  const std::vector<ResourceNode>& nodes() const { return nodes_; }
+  const std::vector<ResourceLink>& links() const { return links_; }
+  ResourceLink& link(int index) { return links_[static_cast<std::size_t>(index)]; }
+
+  std::vector<std::string> containers() const;
+
+  /// Neighbors of `name` as (link index, peer name).
+  std::vector<std::pair<int, std::string>> neighbors(const std::string& name) const;
+
+  /// Dijkstra by delay, using only links with at least `min_bw` free
+  /// bandwidth. Returns nullopt when unreachable.
+  std::optional<RoutedPath> shortest_path(const std::string& from, const std::string& to,
+                                          std::uint64_t min_bw = 0) const;
+
+  /// Commits/releases bandwidth along a routed path.
+  void reserve_path(const RoutedPath& path, std::uint64_t bw);
+  void release_path(const RoutedPath& path, std::uint64_t bw);
+
+  /// Commits/releases container resources.
+  Status reserve_vnf(const std::string& container, double cpu);
+  void release_vnf(const std::string& container, double cpu);
+
+  /// The port of `node_name` that faces link `link_index`.
+  std::uint16_t port_on(int link_index, const std::string& node_name) const;
+
+  /// The node on the other end of `link_index` from `node_name`.
+  const std::string& peer_of(int link_index, const std::string& node_name) const;
+
+ private:
+  std::vector<ResourceNode> nodes_;
+  std::vector<ResourceLink> links_;
+  std::map<std::string, std::size_t> index_;
+  std::map<std::string, std::vector<std::pair<int, std::string>>> adjacency_;
+};
+
+}  // namespace escape::sg

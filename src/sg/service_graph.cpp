@@ -1,0 +1,155 @@
+#include "sg/service_graph.hpp"
+
+#include <set>
+
+#include "util/strings.hpp"
+
+namespace escape::sg {
+
+ServiceGraph& ServiceGraph::add_sap(const std::string& id) {
+  saps_.push_back(SapNode{id});
+  return *this;
+}
+
+ServiceGraph& ServiceGraph::add_vnf(VnfNode vnf) {
+  vnfs_.push_back(std::move(vnf));
+  return *this;
+}
+
+ServiceGraph& ServiceGraph::add_vnf(const std::string& id, const std::string& vnf_type,
+                                    std::map<std::string, std::string> params,
+                                    double cpu_demand) {
+  return add_vnf(VnfNode{id, vnf_type, std::move(params), cpu_demand});
+}
+
+ServiceGraph& ServiceGraph::add_link(SgLink link) {
+  links_.push_back(std::move(link));
+  return *this;
+}
+
+ServiceGraph& ServiceGraph::add_link(const std::string& src, const std::string& dst,
+                                     std::uint64_t bandwidth_bps, SimDuration max_delay) {
+  return add_link(SgLink{src, dst, bandwidth_bps, max_delay});
+}
+
+ServiceGraph& ServiceGraph::add_requirement(E2eRequirement req) {
+  requirements_.push_back(std::move(req));
+  return *this;
+}
+
+bool ServiceGraph::has_node(const std::string& id) const {
+  return is_sap(id) || vnf(id) != nullptr;
+}
+
+const VnfNode* ServiceGraph::vnf(const std::string& id) const {
+  for (const auto& v : vnfs_) {
+    if (v.id == id) return &v;
+  }
+  return nullptr;
+}
+
+bool ServiceGraph::is_sap(const std::string& id) const {
+  for (const auto& s : saps_) {
+    if (s.id == id) return true;
+  }
+  return false;
+}
+
+Status ServiceGraph::validate() const {
+  std::set<std::string> ids;
+  for (const auto& s : saps_) {
+    if (!ids.insert(s.id).second) {
+      return make_error("sg.duplicate-id", "duplicate node id: " + s.id);
+    }
+  }
+  for (const auto& v : vnfs_) {
+    if (!ids.insert(v.id).second) {
+      return make_error("sg.duplicate-id", "duplicate node id: " + v.id);
+    }
+    if (v.vnf_type.empty()) {
+      return make_error("sg.missing-type", v.id + ": VNF type is empty");
+    }
+    if (v.cpu_demand <= 0) {
+      return make_error("sg.bad-cpu", v.id + ": cpu demand must be positive");
+    }
+  }
+  std::map<std::string, int> in_deg, out_deg;
+  for (const auto& l : links_) {
+    if (!ids.count(l.src)) return make_error("sg.unknown-node", "link from unknown: " + l.src);
+    if (!ids.count(l.dst)) return make_error("sg.unknown-node", "link to unknown: " + l.dst);
+    if (l.src == l.dst) return make_error("sg.self-loop", "self loop at " + l.src);
+    out_deg[l.src]++;
+    in_deg[l.dst]++;
+  }
+  for (const auto& v : vnfs_) {
+    if (in_deg[v.id] == 0 || out_deg[v.id] == 0) {
+      return make_error("sg.disconnected-vnf",
+                        v.id + ": every VNF needs incoming and outgoing SG links");
+    }
+  }
+  for (const auto& r : requirements_) {
+    if (!is_sap(r.sap_a) || !is_sap(r.sap_b)) {
+      return make_error("sg.bad-requirement", "requirements must reference SAPs");
+    }
+  }
+  return ok_status();
+}
+
+std::vector<std::string> ServiceGraph::successors(const std::string& id) const {
+  std::vector<std::string> out;
+  for (const auto& l : links_) {
+    if (l.src == id) out.push_back(l.dst);
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> ServiceGraph::chain_order() const {
+  if (auto s = validate(); !s.ok()) return s.error();
+  // A linear chain starts at the SAP with out-degree 1 / in-degree 0 on
+  // the directed links.
+  std::map<std::string, int> in_deg;
+  for (const auto& l : links_) in_deg[l.dst]++;
+  std::string start;
+  for (const auto& s : saps_) {
+    if (in_deg[s.id] == 0) {
+      if (!start.empty()) {
+        return make_error("sg.not-a-chain", "multiple chain entry SAPs");
+      }
+      start = s.id;
+    }
+  }
+  if (start.empty()) return make_error("sg.not-a-chain", "no entry SAP (cycle?)");
+
+  std::vector<std::string> order{start};
+  std::set<std::string> visited{start};
+  std::string current = start;
+  while (true) {
+    auto next = successors(current);
+    if (next.empty()) break;
+    if (next.size() > 1) {
+      return make_error("sg.not-a-chain", current + " branches; not a linear chain");
+    }
+    if (!visited.insert(next[0]).second) {
+      return make_error("sg.not-a-chain", "cycle at " + next[0]);
+    }
+    order.push_back(next[0]);
+    current = next[0];
+  }
+  if (order.size() != saps_.size() + vnfs_.size()) {
+    return make_error("sg.not-a-chain", "disconnected nodes present");
+  }
+  if (!is_sap(order.back())) {
+    return make_error("sg.not-a-chain", "chain must terminate at a SAP");
+  }
+  return order;
+}
+
+std::string ServiceGraph::to_string() const {
+  std::string out = name_ + ": ";
+  for (const auto& l : links_) {
+    out += l.src + "->" + l.dst + " ";
+  }
+  return out;
+}
+
+}  // namespace escape::sg

@@ -1,0 +1,93 @@
+// The abstract service graph (SG): "an abstraction to describe high
+// level services in a generic way and to assemble processing flows for
+// given traffic". Nodes are SAPs (service access points, the traffic
+// endpoints) and VNF instances picked from the catalog; links carry
+// bandwidth/delay requirements; end-to-end requirements can be attached
+// to SAP pairs (the "delay or bandwidth requirement on a sub-graph" of
+// the MiniEdit GUI).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+#include "util/time.hpp"
+
+namespace escape::sg {
+
+struct SapNode {
+  std::string id;
+};
+
+struct VnfNode {
+  std::string id;
+  std::string vnf_type;                        // catalog type ("firewall")
+  std::map<std::string, std::string> params;   // template parameters
+  double cpu_demand = 0.1;                     // CPU share required
+};
+
+struct SgLink {
+  std::string src;  // SAP or VNF id
+  std::string dst;
+  std::uint64_t bandwidth_bps = 0;  // 0 = no requirement
+  SimDuration max_delay = 0;        // 0 = no requirement
+};
+
+/// End-to-end requirement over the chain between two SAPs.
+struct E2eRequirement {
+  std::string sap_a;
+  std::string sap_b;
+  std::uint64_t bandwidth_bps = 0;
+  SimDuration max_delay = 0;
+};
+
+class ServiceGraph {
+ public:
+  explicit ServiceGraph(std::string name = "sg") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  ServiceGraph& add_sap(const std::string& id);
+  ServiceGraph& add_vnf(VnfNode vnf);
+  ServiceGraph& add_vnf(const std::string& id, const std::string& vnf_type,
+                        std::map<std::string, std::string> params = {},
+                        double cpu_demand = 0.1);
+  ServiceGraph& add_link(SgLink link);
+  ServiceGraph& add_link(const std::string& src, const std::string& dst,
+                         std::uint64_t bandwidth_bps = 0, SimDuration max_delay = 0);
+  ServiceGraph& add_requirement(E2eRequirement req);
+
+  const std::vector<SapNode>& saps() const { return saps_; }
+  const std::vector<VnfNode>& vnfs() const { return vnfs_; }
+  const std::vector<SgLink>& links() const { return links_; }
+  const std::vector<E2eRequirement>& requirements() const { return requirements_; }
+
+  bool has_node(const std::string& id) const;
+  const VnfNode* vnf(const std::string& id) const;
+  bool is_sap(const std::string& id) const;
+
+  /// Structural validation: node references resolve, ids unique, every
+  /// VNF has in- and out-degree >= 1 (traffic can traverse it).
+  Status validate() const;
+
+  /// For a *linear chain* (sap -> vnf -> ... -> sap with no branching):
+  /// returns the node ids in traversal order. Errors for non-chains.
+  Result<std::vector<std::string>> chain_order() const;
+
+  /// Successors of `id` along SG links.
+  std::vector<std::string> successors(const std::string& id) const;
+
+  std::string to_string() const;
+
+ private:
+  std::string name_;
+  std::vector<SapNode> saps_;
+  std::vector<VnfNode> vnfs_;
+  std::vector<SgLink> links_;
+  std::vector<E2eRequirement> requirements_;
+};
+
+}  // namespace escape::sg

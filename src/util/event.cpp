@@ -1,0 +1,63 @@
+#include "util/event.hpp"
+
+#include <stdexcept>
+
+namespace escape {
+
+void EventHandle::cancel() {
+  if (state_ && !state_->done) {
+    state_->done = true;
+    if (state_->live) --*state_->live;
+  }
+}
+
+EventHandle EventScheduler::schedule(SimDuration delay, Callback cb) {
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+EventHandle EventScheduler::schedule_at(SimTime when, Callback cb) {
+  if (when < now_) {
+    throw std::logic_error("EventScheduler: cannot schedule into the past");
+  }
+  auto state = std::make_shared<detail::EventState>();
+  state->live = live_;
+  queue_.push(Entry{when, next_seq_++, std::move(cb), state});
+  ++*live_;
+  return EventHandle{std::move(state)};
+}
+
+bool EventScheduler::pop_and_run() {
+  while (!queue_.empty()) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    if (entry.state->done) continue;  // cancelled; counter already adjusted
+    entry.state->done = true;
+    --*live_;
+    now_ = entry.when;
+    ++executed_;
+    entry.cb();
+    return true;
+  }
+  return false;
+}
+
+bool EventScheduler::step() { return pop_and_run(); }
+
+std::size_t EventScheduler::run(std::size_t max_events) {
+  std::size_t ran = 0;
+  while (ran < max_events && pop_and_run()) ++ran;
+  return ran;
+}
+
+std::size_t EventScheduler::run_until(SimTime deadline, std::size_t max_events) {
+  std::size_t ran = 0;
+  while (ran < max_events) {
+    while (!queue_.empty() && queue_.top().state->done) queue_.pop();
+    if (queue_.empty() || queue_.top().when > deadline) break;
+    if (pop_and_run()) ++ran;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return ran;
+}
+
+}  // namespace escape

@@ -1,0 +1,119 @@
+// Discrete-event scheduler: the single virtual clock driving the whole
+// emulated environment (links, Click timers, OpenFlow timeouts, traffic
+// sources, NETCONF transport).
+//
+// The scheduler is deliberately single-threaded and deterministic: events
+// at equal timestamps fire in scheduling order (FIFO tie-break via a
+// monotonically increasing sequence number). Handles allow cancellation,
+// which is how Click timers are unscheduled and flow-entry timeouts are
+// refreshed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace escape {
+
+class EventScheduler;
+
+namespace detail {
+/// Shared state between an EventHandle and the queue entry. `live` points
+/// at the owning scheduler's live-event counter so cancellation keeps the
+/// pending count exact even before the entry is reaped from the heap.
+struct EventState {
+  bool done = false;  // fired or cancelled
+  std::shared_ptr<std::size_t> live;
+};
+}  // namespace detail
+
+/// Cancellable handle to a scheduled event. Copies share the same
+/// underlying state.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet. Idempotent; safe to call
+  /// after the owning scheduler was destroyed.
+  void cancel();
+
+  /// True if the event is still scheduled to fire.
+  bool pending() const { return state_ && !state_->done; }
+
+ private:
+  friend class EventScheduler;
+  explicit EventHandle(std::shared_ptr<detail::EventState> state) : state_(std::move(state)) {}
+  std::shared_ptr<detail::EventState> state_;
+};
+
+/// A virtual-time event queue.
+class EventScheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  EventScheduler() : live_(std::make_shared<std::size_t>(0)) {}
+  EventScheduler(const EventScheduler&) = delete;
+  EventScheduler& operator=(const EventScheduler&) = delete;
+
+  /// Current virtual time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `cb` to run `delay` nanoseconds from now.
+  EventHandle schedule(SimDuration delay, Callback cb);
+
+  /// Schedules `cb` at an absolute virtual time (must be >= now()).
+  EventHandle schedule_at(SimTime when, Callback cb);
+
+  /// Runs events until the queue is empty. Returns the number of events
+  /// executed. `max_events` guards against runaway periodic events.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// Runs events with timestamp <= deadline, then advances the clock to
+  /// the deadline even if the queue drained earlier. Returns events run.
+  std::size_t run_until(SimTime deadline, std::size_t max_events = SIZE_MAX);
+
+  /// Runs for `duration` of virtual time from the current clock.
+  std::size_t run_for(SimDuration duration, std::size_t max_events = SIZE_MAX) {
+    return run_until(now_ + duration, max_events);
+  }
+
+  /// Executes the single earliest pending event, if any. Returns whether
+  /// an event ran.
+  bool step();
+
+  /// Number of pending (non-cancelled, not yet fired) events.
+  std::size_t pending_events() const { return *live_; }
+
+  bool empty() const { return *live_ == 0; }
+
+  /// Total number of events executed since construction.
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime when = 0;
+    std::uint64_t seq = 0;
+    Callback cb;
+    std::shared_ptr<detail::EventState> state;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_and_run();
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::shared_ptr<std::size_t> live_;
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+};
+
+}  // namespace escape

@@ -1,0 +1,48 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace escape {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+Logging::Sink g_sink;  // empty -> default stderr sink
+
+void default_sink(LogLevel level, std::string_view component, std::string_view msg) {
+  std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
+               static_cast<int>(log_level_name(level).size()), log_level_name(level).data(),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+LogLevel Logging::level() { return g_level; }
+
+void Logging::set_level(LogLevel level) { g_level = level; }
+
+void Logging::set_sink(Sink sink) { g_sink = std::move(sink); }
+
+void Logging::write(LogLevel level, std::string_view component, std::string_view msg) {
+  if (level < g_level) return;
+  if (g_sink) {
+    g_sink(level, component, msg);
+  } else {
+    default_sink(level, component, msg);
+  }
+}
+
+}  // namespace escape

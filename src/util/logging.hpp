@@ -1,0 +1,66 @@
+// Minimal leveled logger with per-component tags.
+//
+// Components log through a process-global sink; tests can lower the level
+// to silence output or install a capture sink. Log lines carry the
+// component tag (e.g. "pox.steering", "netconf.agent") mirroring how the
+// original ESCAPE tools tag their output.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace escape {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+std::string_view log_level_name(LogLevel level);
+
+/// Global logging configuration. Not thread-safe by design: the framework
+/// is single-threaded around the event scheduler.
+class Logging {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view component, std::string_view msg)>;
+
+  static LogLevel level();
+  static void set_level(LogLevel level);
+
+  /// Replaces the output sink (default: stderr). Pass nullptr to restore
+  /// the default sink.
+  static void set_sink(Sink sink);
+
+  static void write(LogLevel level, std::string_view component, std::string_view msg);
+};
+
+/// A named logger handle; cheap to construct and copy.
+class Logger {
+ public:
+  explicit Logger(std::string component) : component_(std::move(component)) {}
+
+  const std::string& component() const { return component_; }
+
+  template <typename... Args>
+  void trace(Args&&... args) const { log(LogLevel::kTrace, std::forward<Args>(args)...); }
+  template <typename... Args>
+  void debug(Args&&... args) const { log(LogLevel::kDebug, std::forward<Args>(args)...); }
+  template <typename... Args>
+  void info(Args&&... args) const { log(LogLevel::kInfo, std::forward<Args>(args)...); }
+  template <typename... Args>
+  void warn(Args&&... args) const { log(LogLevel::kWarn, std::forward<Args>(args)...); }
+  template <typename... Args>
+  void error(Args&&... args) const { log(LogLevel::kError, std::forward<Args>(args)...); }
+
+  template <typename... Args>
+  void log(LogLevel level, Args&&... args) const {
+    if (level < Logging::level()) return;
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    Logging::write(level, component_, oss.str());
+  }
+
+ private:
+  std::string component_;
+};
+
+}  // namespace escape

@@ -1,0 +1,69 @@
+#include "util/random.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace escape {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  while (true) {
+    std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::uint64_t Rng::next_range(std::uint64_t lo, std::uint64_t hi) {
+  assert(lo <= hi);
+  if (lo == 0 && hi == UINT64_MAX) return next_u64();
+  return lo + next_below(hi - lo + 1);
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::next_bool(double p) { return next_double() < p; }
+
+double Rng::next_exponential(double mean) {
+  assert(mean > 0);
+  double u = next_double();
+  // Guard against log(0).
+  if (u <= 0.0) u = 1e-18;
+  return -mean * std::log(u);
+}
+
+}  // namespace escape

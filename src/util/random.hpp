@@ -1,0 +1,51 @@
+// Deterministic PRNG for workload generation and randomized mapping
+// heuristics. A thin wrapper over xoshiro256** so results are stable
+// across standard library implementations (std::mt19937 would also be
+// portable, but this keeps the dependency surface explicit and fast).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace escape {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). Precondition: bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::uint64_t next_range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p.
+  bool next_bool(double p = 0.5);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double next_exponential(double mean);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Picks a uniformly random element index. Precondition: size > 0.
+  std::size_t pick_index(std::size_t size) { return static_cast<std::size_t>(next_below(size)); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace escape

@@ -1,0 +1,93 @@
+// Result<T>: a lightweight expected-like type for recoverable errors.
+//
+// The framework reserves exceptions for programming errors (violated
+// preconditions); anything a caller is expected to handle -- parse
+// failures, mapping rejections, RPC errors -- travels as a Result.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace escape {
+
+/// A recoverable error: a short machine-readable code plus a
+/// human-readable message. Codes are dotted lowercase paths, e.g.
+/// "netconf.rpc.unknown-operation" or "orchestrator.no-capacity".
+struct Error {
+  std::string code;
+  std::string message;
+
+  std::string to_string() const { return code + ": " + message; }
+};
+
+inline Error make_error(std::string code, std::string message) {
+  return Error{std::move(code), std::move(message)};
+}
+
+/// Result of an operation that yields a T or an Error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}         // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}     // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  /// Precondition: ok().
+  T& value() {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  const T& value() const {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+
+  /// Precondition: !ok().
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  /// Returns the value or a fallback.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result specialization for operations with no payload.
+template <>
+class Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::move(error)) {}    // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+using Status = Result<void>;
+
+inline Status ok_status() { return Status{}; }
+
+}  // namespace escape

@@ -1,0 +1,65 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace escape {
+
+void Histogram::record(double sample) {
+  samples_.push_back(sample);
+  sorted_valid_ = false;
+  sum_ += sample;
+  sum_sq_ += sample * sample;
+  min_ = std::min(min_, sample);
+  max_ = std::max(max_, sample);
+}
+
+double Histogram::min() const { return samples_.empty() ? 0.0 : min_; }
+double Histogram::max() const { return samples_.empty() ? 0.0 : max_; }
+
+double Histogram::mean() const {
+  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double Histogram::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double n = static_cast<double>(samples_.size());
+  const double m = sum_ / n;
+  const double var = std::max(0.0, sum_sq_ / n - m * m);
+  return std::sqrt(var);
+}
+
+void Histogram::ensure_sorted() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double Histogram::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  p = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted_.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+void Histogram::clear() {
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+  sum_ = sum_sq_ = 0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+std::string Histogram::summary() const {
+  return strings::format("n=%zu mean=%.3f p50=%.3f p95=%.3f max=%.3f",
+                         count(), mean(), p50(), p95(), max());
+}
+
+}  // namespace escape

@@ -1,0 +1,58 @@
+// Measurement helpers shared by tests, benches and the VNF monitor:
+// counters and a simple sample-keeping histogram with percentiles.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace escape {
+
+/// A monotonically increasing counter (packets, bytes, RPCs, ...).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// A histogram that keeps all samples; fine for test/bench scale.
+class Histogram {
+ public:
+  void record(double sample);
+
+  std::size_t count() const { return samples_.size(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;
+
+  /// p in [0, 100]. Nearest-rank on the sorted samples; 0 for empty.
+  double percentile(double p) const;
+
+  double p50() const { return percentile(50); }
+  double p95() const { return percentile(95); }
+  double p99() const { return percentile(99); }
+
+  void clear();
+
+  /// One-line summary: "n=100 mean=1.2 p50=1.1 p95=2.0 max=3.4".
+  std::string summary() const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace escape

@@ -1,0 +1,168 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace escape::strings {
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> split_trimmed(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  for (const auto& part : split(s, sep)) {
+    auto t = trim(part);
+    if (!t.empty()) out.emplace_back(t);
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  std::size_t e = s.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string to_upper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return std::nullopt;  // overflow
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::optional<std::int64_t> parse_i64(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  bool neg = false;
+  if (s[0] == '-' || s[0] == '+') {
+    neg = (s[0] == '-');
+    s.remove_prefix(1);
+  }
+  auto mag = parse_u64(s);
+  if (!mag) return std::nullopt;
+  if (neg) {
+    if (*mag > static_cast<std::uint64_t>(INT64_MAX) + 1) return std::nullopt;
+    return static_cast<std::int64_t>(0 - *mag);
+  }
+  if (*mag > static_cast<std::uint64_t>(INT64_MAX)) return std::nullopt;
+  return static_cast<std::int64_t>(*mag);
+}
+
+std::optional<double> parse_double(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  std::string buf(s);
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint64_t> parse_scaled_u64(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  std::uint64_t scale = 1;
+  char last = s.back();
+  switch (last) {
+    case 'k': case 'K': scale = 1000ULL; break;
+    case 'm': case 'M': scale = 1000'000ULL; break;
+    case 'g': case 'G': scale = 1000'000'000ULL; break;
+    default: break;
+  }
+  if (scale != 1) s.remove_suffix(1);
+  auto base = parse_u64(s);
+  if (!base) return std::nullopt;
+  if (*base > UINT64_MAX / scale) return std::nullopt;
+  return *base * scale;
+}
+
+std::string replace_all(std::string s, std::string_view from, std::string_view to) {
+  if (from.empty()) return s;
+  std::size_t pos = 0;
+  while ((pos = s.find(from, pos)) != std::string::npos) {
+    s.replace(pos, from.size(), to);
+    pos += to.size();
+  }
+  return s;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(out.data(), out.size(), fmt, args2);
+    out.resize(static_cast<std::size_t>(needed));
+  }
+  va_end(args2);
+  return out;
+}
+
+}  // namespace escape::strings

@@ -1,0 +1,53 @@
+// Small string utilities used by the config parsers (Click language,
+// JSON/XML, address formats).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace escape::strings {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits `s` on `sep`, dropping empty fields and trimming whitespace.
+std::vector<std::string> split_trimmed(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive ASCII equality.
+bool iequals(std::string_view a, std::string_view b);
+
+std::string to_lower(std::string_view s);
+std::string to_upper(std::string_view s);
+
+/// Parses a decimal unsigned integer; rejects trailing garbage.
+std::optional<std::uint64_t> parse_u64(std::string_view s);
+
+/// Parses a decimal signed integer; rejects trailing garbage.
+std::optional<std::int64_t> parse_i64(std::string_view s);
+
+/// Parses a floating point number; rejects trailing garbage.
+std::optional<double> parse_double(std::string_view s);
+
+/// Parses sizes/rates with optional suffix: "10k" -> 10'000,
+/// "5M" -> 5'000'000, "2G" -> 2'000'000'000. Bare numbers pass through.
+std::optional<std::uint64_t> parse_scaled_u64(std::string_view s);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string s, std::string_view from, std::string_view to);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace escape::strings

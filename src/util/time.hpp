@@ -1,0 +1,39 @@
+// Virtual time representation used across the whole framework.
+//
+// ESCAPE-cpp is driven by a single discrete-event scheduler (see
+// event.hpp); every component -- emulated links, Click timers, OpenFlow
+// flow-entry timeouts, traffic generators -- observes the same virtual
+// clock. Virtual time is an unsigned nanosecond count since the start of
+// the simulation, which keeps arithmetic exact and runs deterministic.
+#pragma once
+
+#include <cstdint>
+
+namespace escape {
+
+/// Virtual simulation time in nanoseconds since simulation start.
+using SimTime = std::uint64_t;
+
+/// A duration in virtual nanoseconds.
+using SimDuration = std::uint64_t;
+
+namespace timeunit {
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+}  // namespace timeunit
+
+/// Convenience literals-style helpers (plain functions; no UDLs to keep
+/// call sites explicit).
+constexpr SimDuration nanoseconds(std::uint64_t n) { return n; }
+constexpr SimDuration microseconds(std::uint64_t n) { return n * timeunit::kMicrosecond; }
+constexpr SimDuration milliseconds(std::uint64_t n) { return n * timeunit::kMillisecond; }
+constexpr SimDuration seconds(std::uint64_t n) { return n * timeunit::kSecond; }
+
+/// Converts virtual nanoseconds to (double) seconds, for reporting.
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(timeunit::kSecond);
+}
+
+}  // namespace escape

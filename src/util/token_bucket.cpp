@@ -1,0 +1,67 @@
+#include "util/token_bucket.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace escape {
+
+namespace {
+constexpr std::uint64_t kScale = timeunit::kSecond;  // 1e9
+}
+
+TokenBucket::TokenBucket(std::uint64_t rate_per_sec, std::uint64_t burst)
+    : rate_(rate_per_sec), burst_(std::max<std::uint64_t>(burst, 1)) {
+  assert(rate_per_sec > 0);
+  scaled_tokens_ = burst_ * kScale;  // start full
+}
+
+void TokenBucket::refill(SimTime now) {
+  if (now <= last_refill_) return;
+  const std::uint64_t elapsed = now - last_refill_;
+  last_refill_ = now;
+  const std::uint64_t cap = burst_ * kScale;
+  // rate_ tokens per second == rate_ scaled-units per nanosecond.
+  const std::uint64_t gained = elapsed * rate_;
+  scaled_tokens_ = std::min(cap, scaled_tokens_ + gained);
+}
+
+bool TokenBucket::try_consume(SimTime now, std::uint64_t units) {
+  refill(now);
+  const std::uint64_t need = units * kScale;
+  if (scaled_tokens_ >= need) {
+    scaled_tokens_ -= need;
+    return true;
+  }
+  return false;
+}
+
+SimTime TokenBucket::next_available(SimTime now, std::uint64_t units) {
+  refill(now);
+  const std::uint64_t need = units * kScale;
+  if (scaled_tokens_ >= need) return now;
+  const std::uint64_t deficit = need - scaled_tokens_;
+  // ceil(deficit / rate_) nanoseconds until enough tokens accrue.
+  const std::uint64_t wait = (deficit + rate_ - 1) / rate_;
+  return now + wait;
+}
+
+void TokenBucket::consume(SimTime now, std::uint64_t units) {
+  refill(now);
+  const std::uint64_t need = units * kScale;
+  if (scaled_tokens_ >= need) {
+    scaled_tokens_ -= need;
+  } else {
+    // Record the deficit by moving last_refill_ into the future: future
+    // refills first pay off the debt.
+    const std::uint64_t deficit = need - scaled_tokens_;
+    scaled_tokens_ = 0;
+    last_refill_ = now + (deficit + rate_ - 1) / rate_;
+  }
+}
+
+std::uint64_t TokenBucket::available(SimTime now) {
+  refill(now);
+  return scaled_tokens_ / kScale;
+}
+
+}  // namespace escape

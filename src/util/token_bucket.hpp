@@ -1,0 +1,50 @@
+// Token bucket over virtual time: the rate-limiting primitive behind
+// emulated link bandwidth and the Click BandwidthShaper element.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace escape {
+
+/// A classic token bucket. Tokens are accounted in "units" (bytes or
+/// packets); refill is computed lazily from the virtual clock supplied by
+/// the caller, so the bucket itself holds no scheduler reference.
+class TokenBucket {
+ public:
+  /// rate: units per second; burst: bucket depth in units (>= 1).
+  TokenBucket(std::uint64_t rate_per_sec, std::uint64_t burst);
+
+  /// Attempts to consume `units` at virtual time `now`. Returns true and
+  /// deducts on success.
+  bool try_consume(SimTime now, std::uint64_t units);
+
+  /// Virtual time at which `units` will be available (may be `now` if
+  /// already available). Used to schedule the next transmission.
+  SimTime next_available(SimTime now, std::uint64_t units);
+
+  /// Unconditionally consumes (may drive the balance negative-equivalent:
+  /// the deficit delays future availability). Used by links that always
+  /// serialize the head packet.
+  void consume(SimTime now, std::uint64_t units);
+
+  std::uint64_t rate_per_sec() const { return rate_; }
+  std::uint64_t burst() const { return burst_; }
+
+  /// Tokens currently available at `now` (capped at burst).
+  std::uint64_t available(SimTime now);
+
+ private:
+  void refill(SimTime now);
+
+  std::uint64_t rate_;
+  std::uint64_t burst_;
+  // Token balance scaled by kSecond to keep refill arithmetic exact:
+  // scaled_tokens_ counts token-nanoseconds; `rate_` tokens accrue per
+  // second, i.e. `rate_` scaled units per nanosecond.
+  std::uint64_t scaled_tokens_;
+  SimTime last_refill_ = 0;
+};
+
+}  // namespace escape

@@ -1,0 +1,301 @@
+#include "xml/xml.hpp"
+
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace escape::xml {
+
+namespace {
+const std::string kEmpty;
+}
+
+std::string Element::local_name() const {
+  auto pos = name_.rfind(':');
+  return pos == std::string::npos ? name_ : name_.substr(pos + 1);
+}
+
+const std::string& Element::attr(const std::string& key) const {
+  auto it = attrs_.find(key);
+  return it == attrs_.end() ? kEmpty : it->second;
+}
+
+Element& Element::add_child(std::string name) {
+  children_.push_back(std::make_unique<Element>(std::move(name)));
+  return *children_.back();
+}
+
+Element& Element::add_child(std::unique_ptr<Element> child) {
+  children_.push_back(std::move(child));
+  return *children_.back();
+}
+
+Element& Element::add_leaf(std::string name, std::string text) {
+  Element& e = add_child(std::move(name));
+  e.set_text(std::move(text));
+  return e;
+}
+
+const Element* Element::child(std::string_view local) const {
+  for (const auto& c : children_) {
+    if (c->local_name() == local) return c.get();
+  }
+  return nullptr;
+}
+
+Element* Element::child(std::string_view local) {
+  return const_cast<Element*>(static_cast<const Element*>(this)->child(local));
+}
+
+std::vector<const Element*> Element::children_named(std::string_view local) const {
+  std::vector<const Element*> out;
+  for (const auto& c : children_) {
+    if (c->local_name() == local) out.push_back(c.get());
+  }
+  return out;
+}
+
+const Element* Element::find(std::string_view path) const {
+  const Element* cur = this;
+  for (const auto& step : strings::split(path, '/')) {
+    if (step.empty()) continue;
+    cur = cur->child(step);
+    if (!cur) return nullptr;
+  }
+  return cur;
+}
+
+const std::string& Element::child_text(std::string_view local) const {
+  const Element* c = child(local);
+  return c ? c->text() : kEmpty;
+}
+
+std::unique_ptr<Element> Element::clone() const {
+  auto copy = std::make_unique<Element>(name_);
+  copy->text_ = text_;
+  copy->attrs_ = attrs_;
+  for (const auto& c : children_) copy->children_.push_back(c->clone());
+  return copy;
+}
+
+std::string escape_text(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void Element::serialize(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const std::string pad = pretty ? std::string(static_cast<std::size_t>(indent * depth), ' ') : "";
+  out += pad;
+  out += '<';
+  out += name_;
+  for (const auto& [k, v] : attrs_) {
+    out += ' ';
+    out += k;
+    out += "=\"";
+    out += escape_text(v);
+    out += '"';
+  }
+  if (children_.empty() && text_.empty()) {
+    out += "/>";
+    if (pretty) out += '\n';
+    return;
+  }
+  out += '>';
+  out += escape_text(text_);
+  if (!children_.empty()) {
+    if (pretty) out += '\n';
+    for (const auto& c : children_) c->serialize(out, indent, depth + 1);
+    out += pad;
+  }
+  out += "</";
+  out += name_;
+  out += '>';
+  if (pretty) out += '\n';
+}
+
+std::string Element::to_string(int indent) const {
+  std::string out;
+  serialize(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent XML parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : in_(input) {}
+
+  Result<std::unique_ptr<Element>> parse_document() {
+    skip_prolog();
+    auto root = parse_element();
+    if (!root.ok()) return root;
+    skip_misc();
+    if (pos_ != in_.size()) {
+      return fail("trailing content after root element");
+    }
+    return root;
+  }
+
+ private:
+  Error fail(std::string msg) const {
+    return make_error("xml.parse", msg + strings::format(" (at offset %zu)", pos_));
+  }
+
+  bool eof() const { return pos_ >= in_.size(); }
+  char peek() const { return in_[pos_]; }
+  bool match(std::string_view s) {
+    if (in_.substr(pos_, s.size()) == s) {
+      pos_ += s.size();
+      return true;
+    }
+    return false;
+  }
+  void skip_ws() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+  }
+
+  void skip_prolog() {
+    skip_ws();
+    while (!eof()) {
+      if (match("<?")) {
+        auto end = in_.find("?>", pos_);
+        pos_ = end == std::string_view::npos ? in_.size() : end + 2;
+      } else if (match("<!--")) {
+        auto end = in_.find("-->", pos_);
+        pos_ = end == std::string_view::npos ? in_.size() : end + 3;
+      } else {
+        break;
+      }
+      skip_ws();
+    }
+  }
+
+  void skip_misc() {
+    skip_ws();
+    while (!eof() && match("<!--")) {
+      auto end = in_.find("-->", pos_);
+      pos_ = end == std::string_view::npos ? in_.size() : end + 3;
+      skip_ws();
+    }
+  }
+
+  static bool is_name_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == ':' || c == '_' || c == '-' ||
+           c == '.';
+  }
+
+  std::string parse_name() {
+    std::string name;
+    while (!eof() && is_name_char(peek())) name += in_[pos_++];
+    return name;
+  }
+
+  Result<std::string> parse_attr_value() {
+    if (eof() || (peek() != '"' && peek() != '\'')) return fail("expected quoted attribute value");
+    const char quote = in_[pos_++];
+    std::string raw;
+    while (!eof() && peek() != quote) raw += in_[pos_++];
+    if (eof()) return fail("unterminated attribute value");
+    ++pos_;  // closing quote
+    return unescape(raw);
+  }
+
+  static std::string unescape(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size();) {
+      if (raw[i] == '&') {
+        auto semi = raw.find(';', i);
+        if (semi != std::string_view::npos && semi - i <= 6) {
+          std::string_view ent = raw.substr(i + 1, semi - i - 1);
+          if (ent == "amp") { out += '&'; i = semi + 1; continue; }
+          if (ent == "lt") { out += '<'; i = semi + 1; continue; }
+          if (ent == "gt") { out += '>'; i = semi + 1; continue; }
+          if (ent == "quot") { out += '"'; i = semi + 1; continue; }
+          if (ent == "apos") { out += '\''; i = semi + 1; continue; }
+        }
+      }
+      out += raw[i++];
+    }
+    return out;
+  }
+
+  Result<std::unique_ptr<Element>> parse_element() {
+    skip_ws();
+    if (eof() || peek() != '<') return fail("expected element start");
+    ++pos_;
+    std::string name = parse_name();
+    if (name.empty()) return fail("empty element name");
+    auto element = std::make_unique<Element>(name);
+
+    // Attributes.
+    while (true) {
+      skip_ws();
+      if (eof()) return fail("unterminated start tag");
+      if (match("/>")) return element;  // empty element
+      if (match(">")) break;
+      std::string attr_name = parse_name();
+      if (attr_name.empty()) return fail("expected attribute name");
+      skip_ws();
+      if (!match("=")) return fail("expected '=' after attribute name");
+      skip_ws();
+      auto value = parse_attr_value();
+      if (!value.ok()) return value.error();
+      element->set_attr(attr_name, *value);
+    }
+
+    // Content: text, children, comments until matching end tag.
+    std::string text;
+    while (true) {
+      if (eof()) return fail("unterminated element <" + name + ">");
+      if (peek() == '<') {
+        if (match("<!--")) {
+          auto end = in_.find("-->", pos_);
+          if (end == std::string_view::npos) return fail("unterminated comment");
+          pos_ = end + 3;
+          continue;
+        }
+        if (in_.substr(pos_, 2) == "</") {
+          pos_ += 2;
+          std::string end_name = parse_name();
+          skip_ws();
+          if (!match(">")) return fail("malformed end tag");
+          if (end_name != name) {
+            return fail("mismatched end tag </" + end_name + "> for <" + name + ">");
+          }
+          element->set_text(std::string(strings::trim(unescape(text))));
+          return element;
+        }
+        auto child = parse_element();
+        if (!child.ok()) return child;
+        element->add_child(std::move(*child));
+      } else {
+        text += in_[pos_++];
+      }
+    }
+  }
+
+  std::string_view in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Element>> parse(std::string_view input) {
+  return Parser(input).parse_document();
+}
+
+}  // namespace escape::xml

@@ -1,0 +1,88 @@
+// Minimal XML document model + parser + serializer.
+//
+// This is the encoding layer of the NETCONF management plane (RFC 6241
+// messages are XML). The subset implemented covers what NETCONF needs:
+// elements, attributes (including xmlns), character data, entity escapes,
+// comments and XML declarations (both skipped). Not supported: DTDs,
+// processing instructions other than <?xml ...?>, CDATA sections.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace escape::xml {
+
+/// An XML element node. Children are owned; text content is modeled as
+/// the concatenated character data directly under this element (mixed
+/// content keeps element children and text separately, which is enough
+/// for NETCONF payloads where leaves hold text and containers hold
+/// elements).
+class Element {
+ public:
+  Element() = default;
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Local name with any namespace prefix stripped ("nc:rpc" -> "rpc").
+  std::string local_name() const;
+
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  const std::map<std::string, std::string>& attributes() const { return attrs_; }
+  void set_attr(const std::string& key, std::string value) { attrs_[key] = std::move(value); }
+  /// Returns the attribute value or "" if absent.
+  const std::string& attr(const std::string& key) const;
+  bool has_attr(const std::string& key) const { return attrs_.count(key) > 0; }
+
+  const std::vector<std::unique_ptr<Element>>& children() const { return children_; }
+
+  /// Appends a child and returns a reference to it.
+  Element& add_child(std::string name);
+  Element& add_child(std::unique_ptr<Element> child);
+
+  /// Convenience: adds <name>text</name>.
+  Element& add_leaf(std::string name, std::string text);
+
+  /// First direct child whose local name matches, or nullptr.
+  const Element* child(std::string_view local) const;
+  Element* child(std::string_view local);
+
+  /// All direct children whose local name matches.
+  std::vector<const Element*> children_named(std::string_view local) const;
+
+  /// Descendant lookup by path of local names, e.g. find("data/vnfs/vnf").
+  const Element* find(std::string_view path) const;
+
+  /// Text of the named direct child, or "" if absent.
+  const std::string& child_text(std::string_view local) const;
+
+  /// Serializes the subtree. `indent` < 0 -> compact single line.
+  std::string to_string(int indent = -1) const;
+
+  /// Deep copy.
+  std::unique_ptr<Element> clone() const;
+
+ private:
+  void serialize(std::string& out, int indent, int depth) const;
+
+  std::string name_;
+  std::string text_;
+  std::map<std::string, std::string> attrs_;
+  std::vector<std::unique_ptr<Element>> children_;
+};
+
+/// Escapes &, <, >, ", ' for use in text or attribute values.
+std::string escape_text(std::string_view raw);
+
+/// Parses a document; returns the root element.
+Result<std::unique_ptr<Element>> parse(std::string_view input);
+
+}  // namespace escape::xml

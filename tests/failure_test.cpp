@@ -1,0 +1,198 @@
+// Failure injection: the environment under packet loss, congestion, CPU
+// starvation and management-plane lifecycle events mid-traffic.
+#include <gtest/gtest.h>
+
+#include "escape/environment.hpp"
+
+namespace escape {
+namespace {
+
+/// Demo topology with a configurable core link between s1 and s2.
+void build_topology(Environment& env, netemu::LinkConfig core) {
+  auto& net = env.network();
+  net.add_host("sap1");
+  net.add_host("sap2");
+  net.add_switch("s1");
+  net.add_switch("s2");
+  net.add_container("c1", 1.0, 8);
+  netemu::LinkConfig edge;
+  edge.bandwidth_bps = 1'000'000'000;
+  edge.delay = 50 * timeunit::kMicrosecond;
+  ASSERT_TRUE(net.add_link("sap1", 0, "s1", 1, edge).ok());
+  ASSERT_TRUE(net.add_link("sap2", 0, "s2", 1, edge).ok());
+  ASSERT_TRUE(net.add_link("s1", 2, "s2", 2, core).ok());
+  ASSERT_TRUE(net.add_link("c1", 0, "s1", 3, edge).ok());
+}
+
+sg::ServiceGraph monitor_graph() {
+  sg::ServiceGraph g("mon");
+  g.add_sap("sap1").add_sap("sap2");
+  g.add_vnf("mon", "monitor", {}, 0.1);
+  g.add_link("sap1", "mon").add_link("mon", "sap2");
+  return g;
+}
+
+TEST(Failure, LossyCoreLinkDropsProportionally) {
+  Environment env;
+  netemu::LinkConfig lossy;
+  lossy.bandwidth_bps = 1'000'000'000;
+  lossy.delay = 50 * timeunit::kMicrosecond;
+  lossy.loss = 0.10;
+  build_topology(env, lossy);
+  ASSERT_TRUE(env.start().ok());
+  auto chain = env.deploy(monitor_graph());
+  ASSERT_TRUE(chain.ok()) << chain.error().to_string();
+
+  auto* src = env.host("sap1");
+  auto* dst = env.host("sap2");
+  src->start_udp_flow(dst->mac(), dst->ip(), 1, 80, 3000, 5000);
+  env.run_for(seconds(1));
+  const double delivery =
+      static_cast<double>(dst->rx_packets()) / static_cast<double>(src->tx_packets());
+  EXPECT_NEAR(delivery, 0.90, 0.03);
+  // Loss shows up as a sequence-number gap, the standard-tools view.
+  EXPECT_LT(dst->rx_packets(), dst->max_seq_seen());
+}
+
+TEST(Failure, BottleneckLinkTailDropsUnderOverload) {
+  Environment env;
+  netemu::LinkConfig narrow;
+  narrow.bandwidth_bps = 1'000'000;  // 1 Mb/s: ~1275 pps at 98 B
+  narrow.delay = 50 * timeunit::kMicrosecond;
+  narrow.queue_frames = 20;
+  build_topology(env, narrow);
+  ASSERT_TRUE(env.start().ok());
+  auto chain = env.deploy(monitor_graph());
+  ASSERT_TRUE(chain.ok()) << chain.error().to_string();
+
+  auto* src = env.host("sap1");
+  auto* dst = env.host("sap2");
+  src->start_udp_flow(dst->mac(), dst->ip(), 1, 80, 5000, 5000);  // 4x overload
+  env.run_for(seconds(2));
+  // Roughly the serialization rate of the bottleneck gets through.
+  EXPECT_GT(dst->rx_packets(), 1000u);
+  EXPECT_LT(dst->rx_packets(), 3500u);
+  // The drops happened on the emulated core link, not in the VNF.
+  std::uint64_t link_drops = 0;
+  for (const auto& link : env.network().links()) {
+    link_drops += link->dropped(0) + link->dropped(1);
+  }
+  EXPECT_GT(link_drops, 1000u);
+}
+
+TEST(Failure, StoppingVnfMidTrafficBlackholesTheChain) {
+  Environment env;
+  netemu::LinkConfig core;
+  core.bandwidth_bps = 1'000'000'000;
+  core.delay = 50 * timeunit::kMicrosecond;
+  build_topology(env, core);
+  ASSERT_TRUE(env.start().ok());
+  auto chain = env.deploy(monitor_graph());
+  ASSERT_TRUE(chain.ok()) << chain.error().to_string();
+  const auto& vnf = env.deployment(*chain)->record.vnfs[0];
+
+  auto* src = env.host("sap1");
+  auto* dst = env.host("sap2");
+  src->start_udp_flow(dst->mac(), dst->ip(), 1, 80, 100, 1000);
+  env.run_for(seconds(1));
+  EXPECT_EQ(dst->rx_packets(), 100u);
+
+  // Stop the VNF through its management agent (operator action).
+  bool stopped = false;
+  env.agent_client(vnf.container)
+      ->stop_vnf(vnf.instance_id, [&](Status s) { stopped = s.ok(); });
+  env.run_for(milliseconds(10));
+  ASSERT_TRUE(stopped);
+
+  // Traffic is now blackholed at the container.
+  src->start_udp_flow(dst->mac(), dst->ip(), 1, 80, 50, 1000);
+  env.run_for(seconds(1));
+  EXPECT_EQ(dst->rx_packets(), 100u);
+
+  // Restart: the data path heals (device connections were kept).
+  bool started = false;
+  env.agent_client(vnf.container)
+      ->start_vnf(vnf.instance_id, [&](Status s) { started = s.ok(); });
+  env.run_for(milliseconds(10));
+  ASSERT_TRUE(started);
+  src->start_udp_flow(dst->mac(), dst->ip(), 1, 80, 50, 1000);
+  env.run_for(seconds(1));
+  EXPECT_EQ(dst->rx_packets(), 150u);
+}
+
+TEST(Failure, CpuStarvedWorkerSheds) {
+  Environment env;
+  netemu::LinkConfig core;
+  core.bandwidth_bps = 1'000'000'000;
+  core.delay = 50 * timeunit::kMicrosecond;
+  build_topology(env, core);
+  ASSERT_TRUE(env.start().ok());
+
+  // Worker at 100 us per packet nominal (10 kpps); share 0.2 -> 2 kpps.
+  sg::ServiceGraph g("starved");
+  g.add_sap("sap1").add_sap("sap2");
+  g.add_vnf("w", "worker", {{"ns_per_packet", "100000"}, {"queue", "100"}}, 0.2);
+  g.add_link("sap1", "w").add_link("w", "sap2");
+  auto chain = env.deploy(g);
+  ASSERT_TRUE(chain.ok()) << chain.error().to_string();
+
+  auto* src = env.host("sap1");
+  auto* dst = env.host("sap2");
+  src->start_udp_flow(dst->mac(), dst->ip(), 1, 80, 4000, 4000);
+  env.run_for(seconds(2));
+  // Delivered tracks the share-scaled capacity (2 kpps for ~1 s of
+  // arrivals + queue drain), far below the 4000 offered.
+  EXPECT_GT(dst->rx_packets(), 1500u);
+  EXPECT_LT(dst->rx_packets(), 3000u);
+
+  // The VNF's own queue recorded the shed load.
+  const auto& vnf = env.deployment(*chain)->record.vnfs[0];
+  auto info = env.monitor_vnf(vnf.container, vnf.instance_id);
+  ASSERT_TRUE(info.ok());
+  EXPECT_GT(std::stoull(info->handlers.at("q.drops")), 500u);
+}
+
+TEST(Failure, WorkerAtFullShareCarriesSameLoad) {
+  Environment env;
+  netemu::LinkConfig core;
+  core.bandwidth_bps = 1'000'000'000;
+  core.delay = 50 * timeunit::kMicrosecond;
+  build_topology(env, core);
+  ASSERT_TRUE(env.start().ok());
+
+  sg::ServiceGraph g("full-share");
+  g.add_sap("sap1").add_sap("sap2");
+  g.add_vnf("w", "worker", {{"ns_per_packet", "100000"}, {"queue", "100"}}, 1.0);
+  g.add_link("sap1", "w").add_link("w", "sap2");
+  auto chain = env.deploy(g);
+  ASSERT_TRUE(chain.ok()) << chain.error().to_string();
+
+  auto* src = env.host("sap1");
+  auto* dst = env.host("sap2");
+  src->start_udp_flow(dst->mac(), dst->ip(), 1, 80, 4000, 4000);
+  env.run_for(seconds(2));
+  // 4 kpps offered, 10 kpps capacity: everything arrives.
+  EXPECT_EQ(dst->rx_packets(), 4000u);
+}
+
+TEST(Failure, SchedulerStaysQuietAfterTrafficEnds) {
+  // Guard against runaway periodic work: after all flows end, a bounded
+  // run_for must not execute unbounded event counts (the switch sweep
+  // and probes are the only periodic activity).
+  Environment env;
+  netemu::LinkConfig core;
+  core.bandwidth_bps = 1'000'000'000;
+  core.delay = 50 * timeunit::kMicrosecond;
+  build_topology(env, core);
+  ASSERT_TRUE(env.start().ok());
+  auto chain = env.deploy(monitor_graph());
+  ASSERT_TRUE(chain.ok());
+  const std::uint64_t before = env.scheduler().executed_events();
+  env.run_for(seconds(10));
+  const std::uint64_t idle_events = env.scheduler().executed_events() - before;
+  // 2 switches x 1 sweep/second over 10 s plus slack.
+  EXPECT_LT(idle_events, 100u);
+}
+
+}  // namespace
+}  // namespace escape

@@ -1,0 +1,409 @@
+// Integration tests: the whole ESCAPE environment end to end -- the
+// paper's five demo steps plus failure handling, multi-chain operation
+// and CPU contention (Fig. 1 exercised in one process).
+#include <gtest/gtest.h>
+
+#include "escape/environment.hpp"
+
+namespace escape {
+namespace {
+
+/// The quickstart topology: two SAPs, two switches, two containers.
+void build_demo_topology(Environment& env) {
+  auto& net = env.network();
+  net.add_host("sap1");
+  net.add_host("sap2");
+  net.add_switch("s1");
+  net.add_switch("s2");
+  net.add_container("c1", 1.0, 8);
+  net.add_container("c2", 1.0, 8);
+  netemu::LinkConfig cfg;
+  cfg.bandwidth_bps = 1'000'000'000;
+  cfg.delay = 100 * timeunit::kMicrosecond;
+  ASSERT_TRUE(net.add_link("sap1", 0, "s1", 1, cfg).ok());
+  ASSERT_TRUE(net.add_link("sap2", 0, "s2", 1, cfg).ok());
+  ASSERT_TRUE(net.add_link("s1", 2, "s2", 2, cfg).ok());
+  ASSERT_TRUE(net.add_link("c1", 0, "s1", 3, cfg).ok());
+  ASSERT_TRUE(net.add_link("c2", 0, "s2", 3, cfg).ok());
+}
+
+sg::ServiceGraph demo_graph() {
+  sg::ServiceGraph g("demo");
+  g.add_sap("sap1")
+      .add_sap("sap2")
+      .add_vnf("mon1", "monitor", {}, 0.1)
+      .add_vnf("fw1", "firewall",
+               {{"rules", "deny udp && dst port 9999; allow ip"}, {"default", "allow"}}, 0.2)
+      .add_link("sap1", "mon1", 10'000'000)
+      .add_link("mon1", "fw1", 10'000'000)
+      .add_link("fw1", "sap2", 10'000'000);
+  return g;
+}
+
+struct EnvFixture : ::testing::Test {
+  Environment env;
+
+  void SetUp() override {
+    build_demo_topology(env);
+    ASSERT_TRUE(env.start().ok());
+  }
+
+  void send_flow(std::uint64_t count, std::uint16_t dport = 7777,
+                 std::uint64_t rate = 1000) {
+    auto* src = env.host("sap1");
+    auto* dst = env.host("sap2");
+    src->start_udp_flow(dst->mac(), dst->ip(), 5000, dport, count, rate);
+  }
+};
+
+TEST_F(EnvFixture, StartBringsUpAllLayers) {
+  EXPECT_TRUE(env.started());
+  EXPECT_EQ(env.controller().connected_switches().size(), 2u);
+  EXPECT_NE(env.agent_client("c1"), nullptr);
+  EXPECT_NE(env.agent_client("c2"), nullptr);
+  EXPECT_EQ(env.agent_client("nope"), nullptr);
+}
+
+TEST_F(EnvFixture, DeployBeforeStartRejected) {
+  Environment fresh;
+  auto r = fresh.deploy(demo_graph());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "escape.not-started");
+}
+
+TEST_F(EnvFixture, FullDemoWorkflow) {
+  // Step 3: map + deploy.
+  auto chain = env.deploy(demo_graph());
+  ASSERT_TRUE(chain.ok()) << chain.error().to_string();
+  const ChainDeployment* dep = env.deployment(*chain);
+  ASSERT_NE(dep, nullptr);
+  EXPECT_EQ(dep->record.vnfs.size(), 2u);
+  EXPECT_GT(dep->record.setup_latency(), 0u);
+  EXPECT_TRUE(env.steering().installed(*chain));
+
+  // Step 4: send traffic and verify delivery + firewall policy.
+  send_flow(300);
+  env.run_for(seconds(1));
+  EXPECT_EQ(env.host("sap2")->rx_packets(), 300u);
+  EXPECT_GT(env.host("sap2")->latency_us().mean(), 0.0);
+
+  send_flow(50, /*dport=*/9999);  // denied by the firewall VNF
+  env.run_for(seconds(1));
+  EXPECT_EQ(env.host("sap2")->rx_packets(), 300u);
+
+  // Step 5: monitor over NETCONF -- counters reflect the traffic.
+  bool saw_monitor = false;
+  for (const auto& vnf : dep->record.vnfs) {
+    auto info = env.monitor_vnf(vnf.container, vnf.instance_id);
+    ASSERT_TRUE(info.ok()) << info.error().to_string();
+    EXPECT_EQ(info->status, netemu::VnfStatus::kRunning);
+    if (vnf.vnf_id == "mon1") {
+      EXPECT_EQ(info->handlers.at("cnt.count"), "350");
+      saw_monitor = true;
+    }
+    if (vnf.vnf_id == "fw1") {
+      EXPECT_EQ(info->handlers.at("fw.denied"), "50");
+      EXPECT_EQ(info->handlers.at("fw.accepted"), "300");
+    }
+  }
+  EXPECT_TRUE(saw_monitor);
+}
+
+TEST_F(EnvFixture, UndeployStopsTrafficAndFreesResources) {
+  auto chain = env.deploy(demo_graph());
+  ASSERT_TRUE(chain.ok()) << chain.error().to_string();
+  const auto vnfs = env.deployment(*chain)->record.vnfs;
+
+  ASSERT_TRUE(env.undeploy(*chain).ok());
+  EXPECT_EQ(env.deployment(*chain), nullptr);
+  EXPECT_FALSE(env.steering().installed(*chain));
+
+  // VNFs are gone from their containers.
+  for (const auto& v : vnfs) {
+    EXPECT_FALSE(env.monitor_vnf(v.container, v.instance_id).ok());
+  }
+  // Containers are back to zero CPU use.
+  EXPECT_DOUBLE_EQ(env.container("c1")->cpu_in_use(), 0.0);
+  EXPECT_DOUBLE_EQ(env.container("c2")->cpu_in_use(), 0.0);
+
+  // Traffic no longer reaches sap2.
+  send_flow(20);
+  env.run_for(seconds(1));
+  EXPECT_EQ(env.host("sap2")->rx_packets(), 0u);
+
+  EXPECT_FALSE(env.undeploy(*chain).ok());  // double undeploy errors
+}
+
+TEST_F(EnvFixture, RedeployAfterUndeployWorks) {
+  auto first = env.deploy(demo_graph());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(env.undeploy(*first).ok());
+  auto second = env.deploy(demo_graph());
+  ASSERT_TRUE(second.ok()) << second.error().to_string();
+  send_flow(10);
+  env.run_for(seconds(1));
+  EXPECT_EQ(env.host("sap2")->rx_packets(), 10u);
+}
+
+TEST_F(EnvFixture, TwoChainsCoexistWithDistinctMatches) {
+  auto chain1 = env.deploy(demo_graph());
+  ASSERT_TRUE(chain1.ok()) << chain1.error().to_string();
+
+  // Second chain in the reverse direction (sap2 -> sap1) with its own VNF.
+  sg::ServiceGraph g2("reverse");
+  g2.add_sap("sap2")
+      .add_sap("sap1")
+      .add_vnf("mon2", "monitor", {}, 0.1)
+      .add_link("sap2", "mon2", 10'000'000)
+      .add_link("mon2", "sap1", 10'000'000);
+  auto chain2 = env.deploy(g2);
+  ASSERT_TRUE(chain2.ok()) << chain2.error().to_string();
+
+  send_flow(100);
+  auto* h2 = env.host("sap2");
+  auto* h1 = env.host("sap1");
+  h2->start_udp_flow(h1->mac(), h1->ip(), 6000, 8888, 40, 1000);
+  env.run_for(seconds(1));
+  EXPECT_EQ(h2->rx_packets(), 100u);
+  EXPECT_EQ(h1->rx_packets(), 40u);
+
+  // The reverse chain's monitor saw only the reverse traffic.
+  const auto* dep2 = env.deployment(*chain2);
+  auto info = env.monitor_vnf(dep2->record.vnfs[0].container, dep2->record.vnfs[0].instance_id);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->handlers.at("cnt.count"), "40");
+}
+
+TEST_F(EnvFixture, MappingFailureLeavesEnvironmentClean) {
+  sg::ServiceGraph g = demo_graph();
+  // Demand more CPU than any container offers.
+  sg::ServiceGraph heavy("heavy");
+  heavy.add_sap("sap1").add_sap("sap2");
+  heavy.add_vnf("big", "monitor", {}, 0.9);
+  heavy.add_vnf("big2", "monitor", {}, 0.9);
+  heavy.add_vnf("big3", "monitor", {}, 0.9);
+  heavy.add_link("sap1", "big").add_link("big", "big2").add_link("big2", "big3");
+  heavy.add_link("big3", "sap2");
+  auto r = env.deploy(heavy);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "mapping.no-capacity");
+  EXPECT_DOUBLE_EQ(env.container("c1")->cpu_in_use(), 0.0);
+  EXPECT_TRUE(env.deployed_chains().empty());
+}
+
+TEST_F(EnvFixture, UnknownVnfTypeFailsBeforeTouchingInfrastructure) {
+  sg::ServiceGraph g("bad");
+  g.add_sap("sap1").add_sap("sap2");
+  g.add_vnf("x", "warp-drive");
+  g.add_link("sap1", "x").add_link("x", "sap2");
+  auto r = env.deploy(g);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "service.unknown-vnf-type");
+  EXPECT_TRUE(env.container("c1")->vnf_ids().empty());
+}
+
+TEST_F(EnvFixture, CpuShareSlowsVnfProcessing) {
+  // Two identical ratelimiter chains, one with a tiny CPU share: the
+  // Click task model scales per-packet cost by 1/share, which shows up
+  // as reduced throughput under load.
+  sg::ServiceGraph fast("fast");
+  fast.add_sap("sap1").add_sap("sap2");
+  fast.add_vnf("rl", "ratelimiter", {{"rate", "500"}}, 0.5);
+  fast.add_link("sap1", "rl", 1'000'000).add_link("rl", "sap2", 1'000'000);
+  auto chain = env.deploy(fast);
+  ASSERT_TRUE(chain.ok()) << chain.error().to_string();
+
+  send_flow(2000, 7777, 2000);  // 2000 pps against a 500 pps limiter
+  env.run_for(seconds(1));
+  const auto received = env.host("sap2")->rx_packets();
+  EXPECT_GE(received, 400u);
+  EXPECT_LE(received, 600u);
+}
+
+TEST_F(EnvFixture, DeploymentRecordsMappingAlgorithm) {
+  Environment env2{EnvironmentOptions{.mapping_algorithm = "loadbalance"}};
+  build_demo_topology(env2);
+  ASSERT_TRUE(env2.start().ok());
+  auto chain = env2.deploy(demo_graph());
+  ASSERT_TRUE(chain.ok()) << chain.error().to_string();
+  EXPECT_EQ(env2.deployment(*chain)->record.mapping.algorithm, "loadbalance");
+  // Load balancing spreads the two VNFs over both containers.
+  EXPECT_GT(env2.container("c1")->cpu_in_use(), 0.0);
+  EXPECT_GT(env2.container("c2")->cpu_in_use(), 0.0);
+}
+
+TEST_F(EnvFixture, UnknownMappingAlgorithmRejected) {
+  Environment env2{EnvironmentOptions{.mapping_algorithm = "astrology"}};
+  build_demo_topology(env2);
+  ASSERT_TRUE(env2.start().ok());
+  auto r = env2.deploy(demo_graph());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "escape.unknown-algorithm");
+}
+
+TEST_F(EnvFixture, TopologyFromJsonSpecDeploys) {
+  Environment env2;
+  auto spec = service::TopologySpec::from_json(R"({
+    "nodes": [
+      {"name": "sap1", "kind": "host"},
+      {"name": "sap2", "kind": "host"},
+      {"name": "s1", "kind": "switch"},
+      {"name": "c1", "kind": "container", "cpu": 1.0, "slots": 8}
+    ],
+    "links": [
+      {"a": "sap1", "a_port": 0, "b": "s1", "b_port": 1},
+      {"a": "sap2", "a_port": 0, "b": "s1", "b_port": 2},
+      {"a": "c1", "a_port": 0, "b": "s1", "b_port": 3}
+    ]
+  })");
+  ASSERT_TRUE(spec.ok()) << spec.error().to_string();
+  ASSERT_TRUE(env2.load_topology(*spec).ok());
+  ASSERT_TRUE(env2.start().ok());
+
+  sg::ServiceGraph g("json-chain");
+  g.add_sap("sap1").add_sap("sap2");
+  g.add_vnf("mon", "monitor", {}, 0.1);
+  g.add_link("sap1", "mon").add_link("mon", "sap2");
+  auto chain = env2.deploy(g);
+  ASSERT_TRUE(chain.ok()) << chain.error().to_string();
+
+  auto* src = env2.host("sap1");
+  auto* dst = env2.host("sap2");
+  src->start_udp_flow(dst->mac(), dst->ip(), 1, 2, 25, 1000);
+  env2.run_for(seconds(1));
+  EXPECT_EQ(dst->rx_packets(), 25u);
+}
+
+TEST_F(EnvFixture, ConsecutiveVnfsOnSameContainerHairpin) {
+  // Force both VNFs onto c1 by exhausting c2.
+  ASSERT_TRUE(env.container("c2")->init_vnf("hog", "x",
+                                            "c :: Counter; c -> Discard;", 0.95).ok());
+  ASSERT_TRUE(env.container("c2")->start_vnf("hog").ok());
+
+  auto chain = env.deploy(demo_graph());
+  ASSERT_TRUE(chain.ok()) << chain.error().to_string();
+  const auto& placements = env.deployment(*chain)->record.mapping.placements;
+  EXPECT_EQ(placements.at("mon1"), "c1");
+  EXPECT_EQ(placements.at("fw1"), "c1");
+
+  send_flow(60);
+  env.run_for(seconds(1));
+  EXPECT_EQ(env.host("sap2")->rx_packets(), 60u);
+}
+
+TEST_F(EnvFixture, WatchVnfEventsAcrossContainers) {
+  std::vector<std::string> log;
+  ASSERT_TRUE(env.watch_vnf_events([&](const std::string& container,
+                                       const std::string& vnf_id,
+                                       netemu::VnfStatus status) {
+               log.push_back(container + "/" + vnf_id + ":" +
+                             std::string(netemu::vnf_status_name(status)));
+             }).ok());
+
+  auto chain = env.deploy(demo_graph());
+  ASSERT_TRUE(chain.ok()) << chain.error().to_string();
+  // Two VNFs, each INITIALIZED then RUNNING.
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_NE(log[1].find(":RUNNING"), std::string::npos);
+
+  ASSERT_TRUE(env.undeploy(*chain).ok());
+  env.run_for(milliseconds(5));
+  // Undeploy adds a STOPPED event per VNF.
+  ASSERT_EQ(log.size(), 6u);
+  EXPECT_NE(log[4].find(":STOPPED"), std::string::npos);
+}
+
+TEST_F(EnvFixture, BandwidthReservationsPersistAcrossDeployments) {
+  // A 400 Mb/s chain loads its container's 1 Gb/s access link twice
+  // (in + out = 800 Mb/s), so each container carries at most one chain.
+  auto heavy_graph = [](const char* vnf_id) {
+    sg::ServiceGraph g("heavy-bw");
+    g.add_sap("sap1").add_sap("sap2");
+    g.add_vnf(vnf_id, "monitor", {}, 0.05);
+    g.add_link("sap1", vnf_id, 400'000'000);
+    g.add_link(vnf_id, "sap2", 400'000'000);
+    return g;
+  };
+  auto match_port = [](std::uint16_t p) {
+    return openflow::Match().dl_type(net::ethertype::kIpv4).tp_dst(p);
+  };
+  auto first = env.deploy(heavy_graph("m1"), match_port(80));
+  ASSERT_TRUE(first.ok()) << first.error().to_string();
+  auto second = env.deploy(heavy_graph("m2"), match_port(81));
+  ASSERT_TRUE(second.ok()) << second.error().to_string();
+  // Containers saturated and the sap1 access link has only 200 Mb/s
+  // left: without persistent reservations this would double-book.
+  auto third = env.deploy(heavy_graph("m3"), match_port(82));
+  ASSERT_FALSE(third.ok());
+
+  // Undeploying frees the bandwidth again.
+  ASSERT_TRUE(env.undeploy(*first).ok());
+  auto fourth = env.deploy(heavy_graph("m4"), match_port(83));
+  EXPECT_TRUE(fourth.ok()) << fourth.error().to_string();
+}
+
+TEST_F(EnvFixture, PingThroughChainWithReturnPath) {
+  auto chain = env.deploy(demo_graph());
+  ASSERT_TRUE(chain.ok()) << chain.error().to_string();
+  auto reverse = env.install_return_path(*chain);
+  ASSERT_TRUE(reverse.ok()) << reverse.error().to_string();
+  EXPECT_NE(*reverse, *chain);
+  EXPECT_TRUE(env.steering().installed(*reverse));
+
+  auto* a = env.host("sap1");
+  auto* b = env.host("sap2");
+  for (std::uint16_t seq = 0; seq < 5; ++seq) a->send_ping(b->mac(), b->ip(), seq);
+  env.run_for(seconds(1));
+
+  // Every echo request traversed the chain and every reply came back on
+  // the VNF-free return path; latency at sap1 is the full RTT.
+  EXPECT_EQ(b->echo_requests_served(), 5u);
+  EXPECT_EQ(a->rx_packets(), 5u);
+  EXPECT_EQ(a->latency_us().count(), 5u);
+  EXPECT_GT(a->latency_us().mean(), 0.0);
+
+  // The return path is a first-class chain: it can be torn down.
+  ASSERT_TRUE(env.undeploy(*reverse).ok());
+  a->reset_counters();
+  a->send_ping(b->mac(), b->ip(), 9);
+  env.run_for(seconds(1));
+  EXPECT_EQ(a->rx_packets(), 0u);  // replies have no route anymore
+}
+
+TEST_F(EnvFixture, ReturnPathRequiresDeployedChain) {
+  EXPECT_FALSE(env.install_return_path(777).ok());
+}
+
+TEST_F(EnvFixture, ChainStatsThroughOpenFlow) {
+  auto chain = env.deploy(demo_graph());
+  ASSERT_TRUE(chain.ok()) << chain.error().to_string();
+  send_flow(120);
+  env.run_for(seconds(1));
+
+  auto stats = env.chain_stats(*chain);
+  ASSERT_TRUE(stats.ok()) << stats.error().to_string();
+  EXPECT_EQ(stats->chain_id, *chain);
+  EXPECT_GE(stats->flows, 1u);
+  // The first-hop entry counted every packet of the flow.
+  EXPECT_EQ(stats->packets, 120u);
+  EXPECT_GT(stats->bytes, 0u);
+
+  // Unknown chains are rejected.
+  EXPECT_FALSE(env.chain_stats(424242).ok());
+}
+
+TEST_F(EnvFixture, SlaReportAgainstMeasuredLatency) {
+  sg::ServiceGraph g = demo_graph();
+  g.add_requirement({"sap1", "sap2", 10'000'000, 50 * timeunit::kMillisecond});
+  auto chain = env.deploy(g);
+  ASSERT_TRUE(chain.ok()) << chain.error().to_string();
+  send_flow(100);
+  env.run_for(seconds(1));
+  const double measured_ms = env.host("sap2")->latency_us().mean() / 1000.0;
+  auto report = service::ServiceLayer::check_delay(g.requirements()[0], measured_ms);
+  EXPECT_TRUE(report.delay_met);
+  EXPECT_GT(report.measured_delay_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace escape

@@ -1,0 +1,139 @@
+// Unit tests for the JSON value model, parser and serializer.
+#include <gtest/gtest.h>
+
+#include "json/json.hpp"
+
+namespace escape::json {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null")->is_null());
+  EXPECT_EQ(parse("true")->as_bool(), true);
+  EXPECT_EQ(parse("false")->as_bool(true), false);
+  EXPECT_EQ(parse("42")->as_int(), 42);
+  EXPECT_EQ(parse("-7")->as_int(), -7);
+  EXPECT_DOUBLE_EQ(parse("2.5")->as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(parse("1e3")->as_double(), 1000.0);
+  EXPECT_EQ(parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(JsonParse, IntegerVsDoubleDistinction) {
+  EXPECT_TRUE(parse("42")->is_int());
+  EXPECT_TRUE(parse("42.0")->is_double());
+  EXPECT_TRUE(parse("42")->is_number());
+}
+
+TEST(JsonParse, NestedStructure) {
+  auto doc = parse(R"({"nodes":[{"name":"s1","kind":"switch"}],"count":1})");
+  ASSERT_TRUE(doc.ok()) << doc.error().to_string();
+  const Value& root = *doc;
+  EXPECT_EQ(root["count"].as_int(), 1);
+  EXPECT_EQ(root["nodes"][0]["name"].as_string(), "s1");
+  EXPECT_EQ(root["nodes"][0]["kind"].as_string(), "switch");
+}
+
+TEST(JsonParse, MissingKeysYieldNull) {
+  auto doc = parse(R"({"a":1})");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE((*doc)["b"].is_null());
+  EXPECT_TRUE((*doc)["a"]["nested"].is_null());
+  EXPECT_TRUE((*doc)["a"][static_cast<std::size_t>(3)].is_null());
+  EXPECT_FALSE((*doc).has("b"));
+  EXPECT_TRUE((*doc).has("a"));
+}
+
+TEST(JsonParse, StringEscapes) {
+  auto doc = parse(R"("a\"b\\c\nd\teA")");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->as_string(), "a\"b\\c\nd\teA");
+}
+
+TEST(JsonParse, UnicodeEscapeToUtf8) {
+  EXPECT_EQ(parse(R"("é")")->as_string(), "\xc3\xa9");      // é
+  EXPECT_EQ(parse(R"("€")")->as_string(), "\xe2\x82\xac");  // €
+}
+
+TEST(JsonParse, Whitespace) {
+  auto doc = parse(" {\n\t\"a\" : [ 1 , 2 ] } ");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)["a"].as_array().size(), 2u);
+}
+
+TEST(JsonParse, Errors) {
+  EXPECT_FALSE(parse("").ok());
+  EXPECT_FALSE(parse("{").ok());
+  EXPECT_FALSE(parse("{\"a\":}").ok());
+  EXPECT_FALSE(parse("[1,]").ok());
+  EXPECT_FALSE(parse("{\"a\":1,}").ok());
+  EXPECT_FALSE(parse("\"unterminated").ok());
+  EXPECT_FALSE(parse("tru").ok());
+  EXPECT_FALSE(parse("1 2").ok());
+  EXPECT_FALSE(parse("{'a':1}").ok());  // single quotes are not JSON
+}
+
+TEST(JsonDump, CompactRoundTrip) {
+  const char* text = R"({"a":[1,2.5,"x",true,null],"b":{"c":-3}})";
+  auto doc = parse(text);
+  ASSERT_TRUE(doc.ok());
+  auto again = parse(doc->dump());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)["a"][1].as_double(), 2.5);
+  EXPECT_EQ((*again)["b"]["c"].as_int(), -3);
+  EXPECT_TRUE((*again)["a"][4].is_null());
+}
+
+TEST(JsonDump, EscapesControlCharacters) {
+  Value v(std::string("a\nb\x01"));
+  std::string out = v.dump();
+  EXPECT_NE(out.find("\\n"), std::string::npos);
+  EXPECT_NE(out.find("\\u0001"), std::string::npos);
+  auto back = parse(out);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->as_string(), "a\nb\x01");
+}
+
+TEST(JsonDump, PrettyPrintingParsesBack) {
+  Object obj;
+  obj["list"] = Array{Value(1), Value(2)};
+  obj["name"] = "pretty";
+  Value v(std::move(obj));
+  auto doc = parse(v.dump(2));
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)["name"].as_string(), "pretty");
+}
+
+TEST(JsonBuild, MakeHelpers) {
+  Value v;
+  v.make_object()["x"] = 1;
+  EXPECT_TRUE(v.is_object());
+  Value arr;
+  arr.make_array().push_back("e");
+  EXPECT_EQ(arr[static_cast<std::size_t>(0)].as_string(), "e");
+}
+
+TEST(JsonBuild, TypeCoercionFallbacks) {
+  Value s("str");
+  EXPECT_EQ(s.as_int(5), 5);
+  EXPECT_EQ(s.as_bool(true), true);
+  Value i(7);
+  EXPECT_DOUBLE_EQ(i.as_double(), 7.0);
+  Value d(2.9);
+  EXPECT_EQ(d.as_int(), 2);
+}
+
+class JsonNumberRoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(JsonNumberRoundTrip, IntegersExact) {
+  Value v(GetParam());
+  auto doc = parse(v.dump());
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc->is_int());
+  EXPECT_EQ(doc->as_int(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, JsonNumberRoundTrip,
+                         ::testing::Values(0, 1, -1, 1'000'000'007LL, -987654321LL,
+                                           INT64_MAX, INT64_MIN + 1));
+
+}  // namespace
+}  // namespace escape::json

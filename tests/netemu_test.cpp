@@ -1,0 +1,417 @@
+// Tests for the emulated infrastructure: link bandwidth/delay/queue
+// semantics, hosts, and the VNF container lifecycle (the cgroup-style
+// CPU share model included).
+#include <gtest/gtest.h>
+
+#include "net/builder.hpp"
+#include "netemu/network.hpp"
+#include "netemu/pcap.hpp"
+
+#include <cstring>
+
+namespace escape::netemu {
+namespace {
+
+using net::Ipv4Addr;
+using net::MacAddr;
+
+TEST(Link, PropagationDelayIsApplied) {
+  EventScheduler sched;
+  Network net(sched);
+  auto& a = net.add_host("a", MacAddr::from_u64(1), Ipv4Addr(10, 0, 0, 1));
+  auto& b = net.add_host("b", MacAddr::from_u64(2), Ipv4Addr(10, 0, 0, 2));
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 1'000'000'000;
+  cfg.delay = milliseconds(2);
+  ASSERT_TRUE(net.add_link("a", 0, "b", 0, cfg).ok());
+
+  net::Packet p = net::make_udp_packet(a.mac(), b.mac(), a.ip(), b.ip(), 1, 2, 1000);
+  p.set_timestamp(sched.now());
+  a.send(std::move(p));
+  sched.run_for(milliseconds(1));
+  EXPECT_EQ(b.rx_packets(), 0u);  // still propagating
+  sched.run_for(milliseconds(2));
+  EXPECT_EQ(b.rx_packets(), 1u);
+  // Latency = serialization (8 us for 1000 B at 1 Gb/s) + 2 ms propagation.
+  EXPECT_NEAR(b.latency_us().mean(), 2008.0, 1.0);
+}
+
+TEST(Link, BandwidthSerializesBackToBack) {
+  EventScheduler sched;
+  Network net(sched);
+  auto& a = net.add_host("a", MacAddr::from_u64(1), Ipv4Addr(10, 0, 0, 1));
+  auto& b = net.add_host("b", MacAddr::from_u64(2), Ipv4Addr(10, 0, 0, 2));
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8'000'000;  // 1000-byte frame = 1 ms serialization
+  cfg.delay = 0;
+  ASSERT_TRUE(net.add_link("a", 0, "b", 0, cfg).ok());
+
+  for (int i = 0; i < 10; ++i) {
+    net::Packet p = net::make_udp_packet(a.mac(), b.mac(), a.ip(), b.ip(), 1, 2, 1000);
+    p.set_timestamp(sched.now());
+    a.send(std::move(p));
+  }
+  sched.run_for(milliseconds(5));
+  EXPECT_EQ(b.rx_packets(), 5u);  // one per millisecond
+  sched.run_for(milliseconds(5));
+  EXPECT_EQ(b.rx_packets(), 10u);
+}
+
+TEST(Link, QueueBoundDropsExcess) {
+  EventScheduler sched;
+  Network net(sched);
+  auto& a = net.add_host("a", MacAddr::from_u64(1), Ipv4Addr(10, 0, 0, 1));
+  auto& b = net.add_host("b", MacAddr::from_u64(2), Ipv4Addr(10, 0, 0, 2));
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8'000'000;
+  cfg.queue_frames = 3;
+  ASSERT_TRUE(net.add_link("a", 0, "b", 0, cfg).ok());
+
+  for (int i = 0; i < 10; ++i) {
+    a.send(net::make_udp_packet(a.mac(), b.mac(), a.ip(), b.ip(), 1, 2, 1000));
+  }
+  sched.run();
+  EXPECT_EQ(b.rx_packets(), 3u);
+  EXPECT_EQ(net.links()[0]->dropped(0), 7u);
+  EXPECT_EQ(net.links()[0]->delivered(0), 3u);
+}
+
+TEST(Link, RandomLossDropsApproximately) {
+  EventScheduler sched;
+  Network net(sched);
+  auto& a = net.add_host("a", MacAddr::from_u64(1), Ipv4Addr(10, 0, 0, 1));
+  auto& b = net.add_host("b", MacAddr::from_u64(2), Ipv4Addr(10, 0, 0, 2));
+  LinkConfig cfg;
+  cfg.loss = 0.2;
+  cfg.queue_frames = 100000;
+  ASSERT_TRUE(net.add_link("a", 0, "b", 0, cfg).ok());
+
+  for (int i = 0; i < 2000; ++i) {
+    a.send(net::make_udp_packet(a.mac(), b.mac(), a.ip(), b.ip(), 1, 2, 100));
+    sched.run_for(microseconds(10));
+  }
+  sched.run();
+  EXPECT_NEAR(static_cast<double>(b.rx_packets()) / 2000.0, 0.8, 0.05);
+}
+
+TEST(Host, ArpResponder) {
+  EventScheduler sched;
+  Network net(sched);
+  auto& a = net.add_host("a", MacAddr::from_u64(1), Ipv4Addr(10, 0, 0, 1));
+  auto& b = net.add_host("b", MacAddr::from_u64(2), Ipv4Addr(10, 0, 0, 2));
+  ASSERT_TRUE(net.add_link("a", 0, "b", 0).ok());
+
+  bool got_reply = false;
+  a.on_receive([&](const net::Packet& p) {
+    auto eth = net::EthernetView::parse(p.bytes());
+    if (eth && eth->ethertype == net::ethertype::kArp) {
+      auto arp = net::ArpView::parse(eth->payload);
+      if (arp && arp->opcode == net::ArpView::kReply) {
+        got_reply = arp->sender_ip == Ipv4Addr(10, 0, 0, 2) &&
+                    arp->sender_mac == MacAddr::from_u64(2);
+      }
+    }
+  });
+  a.send(net::PacketBuilder()
+             .eth(a.mac(), MacAddr::broadcast(), net::ethertype::kArp)
+             .arp(net::ArpView::kRequest, a.mac(), a.ip(), MacAddr(), b.ip())
+             .build());
+  sched.run();
+  EXPECT_TRUE(got_reply);
+  // ARP requests for other addresses are ignored.
+  a.send(net::PacketBuilder()
+             .eth(a.mac(), MacAddr::broadcast(), net::ethertype::kArp)
+             .arp(net::ArpView::kRequest, a.mac(), a.ip(), MacAddr(), Ipv4Addr(9, 9, 9, 9))
+             .build());
+  std::uint64_t before = a.rx_packets();
+  sched.run();
+  EXPECT_EQ(a.rx_packets(), before);
+}
+
+TEST(Host, UdpFlowPacingAndSequencing) {
+  EventScheduler sched;
+  Network net(sched);
+  auto& a = net.add_host("a", MacAddr::from_u64(1), Ipv4Addr(10, 0, 0, 1));
+  auto& b = net.add_host("b", MacAddr::from_u64(2), Ipv4Addr(10, 0, 0, 2));
+  ASSERT_TRUE(net.add_link("a", 0, "b", 0).ok());
+
+  a.start_udp_flow(b.mac(), b.ip(), 1000, 2000, /*count=*/100, /*rate_pps=*/1000);
+  sched.run_for(milliseconds(50));
+  // Packets sent at t=0..49ms have arrived (the 50 ms one is still on
+  // the wire: ~50 us link delay).
+  EXPECT_EQ(b.rx_packets(), 50u);
+  sched.run();
+  EXPECT_EQ(b.rx_packets(), 100u);
+  EXPECT_EQ(b.max_seq_seen(), 100u);
+  EXPECT_EQ(a.tx_packets(), 100u);
+  b.reset_counters();
+  EXPECT_EQ(b.rx_packets(), 0u);
+}
+
+TEST(Network, NodeManagement) {
+  EventScheduler sched;
+  Network net(sched);
+  net.add_host("h1");
+  net.add_switch("s1");
+  net.add_container("c1");
+  EXPECT_EQ(net.host_count(), 1u);
+  EXPECT_EQ(net.switch_count(), 1u);
+  EXPECT_EQ(net.container_count(), 1u);
+  EXPECT_NE(net.node("h1"), nullptr);
+  EXPECT_EQ(net.node("zzz"), nullptr);
+  EXPECT_NE(net.host("h1"), nullptr);
+  EXPECT_EQ(net.host("s1"), nullptr);  // wrong type
+  EXPECT_THROW(net.add_host("h1"), std::invalid_argument);
+}
+
+TEST(Network, AutoAddressesAreUnique) {
+  EventScheduler sched;
+  Network net(sched);
+  auto& h1 = net.add_host("h1");
+  auto& h2 = net.add_host("h2");
+  EXPECT_NE(h1.mac(), h2.mac());
+  EXPECT_NE(h1.ip(), h2.ip());
+}
+
+TEST(Network, PortConflictRejected) {
+  EventScheduler sched;
+  Network net(sched);
+  net.add_host("a");
+  net.add_host("b");
+  net.add_host("c");
+  ASSERT_TRUE(net.add_link("a", 0, "b", 0).ok());
+  auto s = net.add_link("a", 0, "c", 0);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, "netemu.port-in-use");
+}
+
+// --- VnfContainer -------------------------------------------------------------------
+
+constexpr const char* kMonitorConfig =
+    "from :: FromDevice(DEVNAME in0);\n"
+    "cnt :: Counter;\n"
+    "to :: ToDevice(DEVNAME out0);\n"
+    "from -> cnt -> to;\n";
+
+struct ContainerFixture : ::testing::Test {
+  EventScheduler sched;
+  VnfContainer c{"c1", sched, /*cpu=*/1.0, /*max_vnfs=*/4};
+};
+
+TEST_F(ContainerFixture, LifecycleInitStartStopRemove) {
+  ASSERT_TRUE(c.init_vnf("v1", "monitor", kMonitorConfig, 0.5).ok());
+  auto info = c.vnf_info("v1");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->status, VnfStatus::kInitialized);
+  EXPECT_DOUBLE_EQ(c.cpu_in_use(), 0.0);  // not running yet
+
+  ASSERT_TRUE(c.start_vnf("v1").ok());
+  EXPECT_DOUBLE_EQ(c.cpu_in_use(), 0.5);
+  EXPECT_EQ(c.vnf_info("v1")->status, VnfStatus::kRunning);
+
+  ASSERT_TRUE(c.stop_vnf("v1").ok());
+  EXPECT_DOUBLE_EQ(c.cpu_in_use(), 0.0);
+  EXPECT_EQ(c.vnf_info("v1")->status, VnfStatus::kStopped);
+
+  ASSERT_TRUE(c.remove_vnf("v1").ok());
+  EXPECT_FALSE(c.vnf_info("v1").ok());
+}
+
+TEST_F(ContainerFixture, LifecycleErrors) {
+  EXPECT_FALSE(c.start_vnf("ghost").ok());
+  ASSERT_TRUE(c.init_vnf("v1", "monitor", kMonitorConfig, 0.5).ok());
+  EXPECT_FALSE(c.init_vnf("v1", "monitor", kMonitorConfig, 0.5).ok());  // dup
+  EXPECT_FALSE(c.stop_vnf("v1").ok());    // not running
+  EXPECT_FALSE(c.init_vnf("v2", "x", kMonitorConfig, 0.0).ok());   // bad share
+  EXPECT_FALSE(c.init_vnf("v2", "x", kMonitorConfig, 1.5).ok());   // share > capacity
+  ASSERT_TRUE(c.start_vnf("v1").ok());
+  EXPECT_FALSE(c.start_vnf("v1").ok());   // already running
+  EXPECT_FALSE(c.remove_vnf("v1").ok());  // must stop first
+}
+
+TEST_F(ContainerFixture, CpuBudgetEnforced) {
+  ASSERT_TRUE(c.init_vnf("v1", "m", kMonitorConfig, 0.6).ok());
+  ASSERT_TRUE(c.init_vnf("v2", "m", kMonitorConfig, 0.6).ok());
+  ASSERT_TRUE(c.start_vnf("v1").ok());
+  auto s = c.start_vnf("v2");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, "container.cpu-exhausted");
+  // Stopping v1 frees budget.
+  ASSERT_TRUE(c.stop_vnf("v1").ok());
+  EXPECT_TRUE(c.start_vnf("v2").ok());
+}
+
+TEST_F(ContainerFixture, SlotLimitEnforced) {
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(c.init_vnf("v" + std::to_string(i), "m", kMonitorConfig, 0.1).ok());
+  }
+  auto s = c.init_vnf("v4", "m", kMonitorConfig, 0.1);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, "container.full");
+}
+
+TEST_F(ContainerFixture, BadClickConfigRejectedAtStart) {
+  ASSERT_TRUE(c.init_vnf("v1", "m", "zzz ->;", 0.1).ok());
+  EXPECT_FALSE(c.start_vnf("v1").ok());
+  EXPECT_EQ(c.vnf_info("v1")->status, VnfStatus::kInitialized);
+}
+
+TEST_F(ContainerFixture, PacketPathThroughVnf) {
+  // c1 wired to a peer host through port 0 (in) and port 1 (out).
+  Network net(sched);
+  auto& container = net.add_container("cx", 1.0, 4);
+  auto& hin = net.add_host("hin", MacAddr::from_u64(1), Ipv4Addr(10, 0, 0, 1));
+  auto& hout = net.add_host("hout", MacAddr::from_u64(2), Ipv4Addr(10, 0, 0, 2));
+  ASSERT_TRUE(net.add_link("hin", 0, "cx", 0).ok());
+  ASSERT_TRUE(net.add_link("cx", 1, "hout", 0).ok());
+
+  ASSERT_TRUE(container.init_vnf("mon", "monitor", kMonitorConfig, 0.2).ok());
+  ASSERT_TRUE(container.start_vnf("mon").ok());
+  ASSERT_TRUE(container.connect_vnf("mon", "in0", 0).ok());
+  ASSERT_TRUE(container.connect_vnf("mon", "out0", 1).ok());
+
+  hin.send(net::make_udp_packet(hin.mac(), hout.mac(), hin.ip(), hout.ip(), 1, 2));
+  sched.run();
+  EXPECT_EQ(hout.rx_packets(), 1u);
+  EXPECT_EQ(container.read_handler("mon", "cnt.count").value(), "1");
+
+  // Disconnect: traffic stops flowing.
+  ASSERT_TRUE(container.disconnect_vnf("mon", "in0").ok());
+  hin.send(net::make_udp_packet(hin.mac(), hout.mac(), hin.ip(), hout.ip(), 1, 2));
+  sched.run();
+  EXPECT_EQ(hout.rx_packets(), 1u);
+}
+
+TEST_F(ContainerFixture, ConnectConflictsAndErrors) {
+  ASSERT_TRUE(c.init_vnf("v1", "m", kMonitorConfig, 0.1).ok());
+  ASSERT_TRUE(c.init_vnf("v2", "m", kMonitorConfig, 0.1).ok());
+  ASSERT_TRUE(c.connect_vnf("v1", "in0", 0).ok());
+  auto s = c.connect_vnf("v2", "in0", 0);  // port taken by v1
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, "container.port-in-use");
+  // Re-connecting the same device to the same port is fine (idempotent).
+  EXPECT_TRUE(c.connect_vnf("v1", "in0", 0).ok());
+  EXPECT_FALSE(c.disconnect_vnf("v1", "bogus").ok());
+  EXPECT_FALSE(c.connect_vnf("ghost", "in0", 3).ok());
+}
+
+TEST_F(ContainerFixture, StoppedVnfKeepsFinalHandlerSnapshot) {
+  Network net(sched);
+  auto& container = net.add_container("cy", 1.0, 4);
+  auto& hin = net.add_host("hy", MacAddr::from_u64(1), Ipv4Addr(10, 0, 0, 1));
+  ASSERT_TRUE(net.add_link("hy", 0, "cy", 0).ok());
+  ASSERT_TRUE(container.init_vnf("mon", "monitor", kMonitorConfig, 0.2).ok());
+  ASSERT_TRUE(container.start_vnf("mon").ok());
+  ASSERT_TRUE(container.connect_vnf("mon", "in0", 0).ok());
+  hin.send(net::make_udp_packet(hin.mac(), MacAddr::from_u64(9), hin.ip(),
+                                Ipv4Addr(10, 0, 0, 9), 1, 2));
+  sched.run();
+  ASSERT_TRUE(container.stop_vnf("mon").ok());
+  auto info = container.vnf_info("mon");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->handlers.at("cnt.count"), "1");
+  // Live handler reads are rejected once stopped.
+  EXPECT_FALSE(container.read_handler("mon", "cnt.count").ok());
+}
+
+TEST_F(ContainerFixture, WriteHandlerThroughContainer) {
+  ASSERT_TRUE(c.init_vnf("v1", "m", kMonitorConfig, 0.1).ok());
+  ASSERT_TRUE(c.start_vnf("v1").ok());
+  ASSERT_TRUE(c.write_handler("v1", "cnt.reset", "").ok());
+  EXPECT_FALSE(c.write_handler("v1", "cnt.bogus", "").ok());
+}
+
+
+// --- pcap capture -----------------------------------------------------------------
+
+TEST(Pcap, WritesParseableFile) {
+  EventScheduler sched;
+  PcapWriter writer;
+  const std::string path = ::testing::TempDir() + "/escape_test.pcap";
+  ASSERT_TRUE(writer.open(path).ok());
+
+  net::Packet p1 = net::make_udp_packet(MacAddr::from_u64(1), MacAddr::from_u64(2),
+                                        Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2), 1, 2, 98);
+  net::Packet p2 = net::make_udp_packet(MacAddr::from_u64(3), MacAddr::from_u64(4),
+                                        Ipv4Addr(10, 0, 0, 3), Ipv4Addr(10, 0, 0, 4), 3, 4, 60);
+  ASSERT_TRUE(writer.write(p1, seconds(1) + microseconds(500)).ok());
+  ASSERT_TRUE(writer.write(p2, seconds(2)).ok());
+  EXPECT_EQ(writer.frames_written(), 2u);
+  writer.close();
+
+  // Re-read and verify the structure byte by byte.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::uint8_t header[24];
+  ASSERT_EQ(std::fread(header, 1, 24, f), 24u);
+  std::uint32_t magic, linktype;
+  std::memcpy(&magic, &header[0], 4);
+  std::memcpy(&linktype, &header[20], 4);
+  EXPECT_EQ(magic, 0xa1b2c3d4u);
+  EXPECT_EQ(linktype, 1u);  // Ethernet
+
+  std::uint8_t record[16];
+  ASSERT_EQ(std::fread(record, 1, 16, f), 16u);
+  std::uint32_t ts_sec, ts_usec, caplen, origlen;
+  std::memcpy(&ts_sec, &record[0], 4);
+  std::memcpy(&ts_usec, &record[4], 4);
+  std::memcpy(&caplen, &record[8], 4);
+  std::memcpy(&origlen, &record[12], 4);
+  EXPECT_EQ(ts_sec, 1u);
+  EXPECT_EQ(ts_usec, 500u);
+  EXPECT_EQ(caplen, 98u);
+  EXPECT_EQ(origlen, 98u);
+  std::vector<std::uint8_t> frame(caplen);
+  ASSERT_EQ(std::fread(frame.data(), 1, caplen, f), caplen);
+  EXPECT_TRUE(std::equal(frame.begin(), frame.end(), p1.data().begin()));
+  std::fclose(f);
+}
+
+TEST(Pcap, SnaplenTruncatesCapturedBytesOnly) {
+  PcapWriter writer;
+  const std::string path = ::testing::TempDir() + "/escape_snap.pcap";
+  ASSERT_TRUE(writer.open(path, /*snaplen=*/32).ok());
+  net::Packet big = net::make_udp_packet(MacAddr::from_u64(1), MacAddr::from_u64(2),
+                                         Ipv4Addr(1, 1, 1, 1), Ipv4Addr(2, 2, 2, 2), 1, 2, 1500);
+  ASSERT_TRUE(writer.write(big, 0).ok());
+  writer.close();
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 24, SEEK_SET);
+  std::uint8_t record[16];
+  ASSERT_EQ(std::fread(record, 1, 16, f), 16u);
+  std::uint32_t caplen, origlen;
+  std::memcpy(&caplen, &record[8], 4);
+  std::memcpy(&origlen, &record[12], 4);
+  EXPECT_EQ(caplen, 32u);
+  EXPECT_EQ(origlen, 1500u);
+  std::fclose(f);
+}
+
+TEST(Pcap, CaptureFromHostObserver) {
+  EventScheduler sched;
+  Network net(sched);
+  auto& a = net.add_host("a", MacAddr::from_u64(1), Ipv4Addr(10, 0, 0, 1));
+  auto& b = net.add_host("b", MacAddr::from_u64(2), Ipv4Addr(10, 0, 0, 2));
+  ASSERT_TRUE(net.add_link("a", 0, "b", 0).ok());
+
+  PcapWriter writer;
+  const std::string path = ::testing::TempDir() + "/escape_host.pcap";
+  ASSERT_TRUE(writer.open(path).ok());
+  b.on_receive([&](const net::Packet& p) { (void)writer.write(p, sched.now()); });
+
+  a.start_udp_flow(b.mac(), b.ip(), 1, 2, 10, 1000);
+  sched.run();
+  EXPECT_EQ(writer.frames_written(), 10u);
+}
+
+TEST(Pcap, ErrorsOnClosedWriterAndBadPath) {
+  PcapWriter writer;
+  net::Packet p = net::make_udp_packet(MacAddr::from_u64(1), MacAddr::from_u64(2),
+                                       Ipv4Addr(1, 1, 1, 1), Ipv4Addr(2, 2, 2, 2), 1, 2);
+  EXPECT_FALSE(writer.write(p, 0).ok());
+  EXPECT_FALSE(writer.open("/nonexistent-dir-zzz/x.pcap").ok());
+}
+
+}  // namespace
+}  // namespace escape::netemu

@@ -1,0 +1,420 @@
+// Unit tests for the OpenFlow dataplane: match semantics, flow table
+// priority/timeout behaviour, and the switch message handling.
+#include <gtest/gtest.h>
+
+#include "net/builder.hpp"
+#include "openflow/switch.hpp"
+
+namespace escape::openflow {
+namespace {
+
+using net::FlowKey;
+using net::Ipv4Addr;
+using net::MacAddr;
+
+FlowKey udp_key(std::uint16_t in_port = 1, Ipv4Addr src = Ipv4Addr(10, 0, 0, 1),
+                Ipv4Addr dst = Ipv4Addr(10, 0, 0, 2), std::uint16_t tp_dst = 80) {
+  net::Packet p = net::make_udp_packet(MacAddr::from_u64(1), MacAddr::from_u64(2), src, dst,
+                                       1000, tp_dst);
+  return *net::extract_flow_key(p, in_port);
+}
+
+// --- Match -----------------------------------------------------------------------
+
+TEST(Match, WildcardAllMatchesEverything) {
+  Match m;
+  EXPECT_TRUE(m.is_table_miss());
+  EXPECT_TRUE(m.matches(udp_key()));
+  EXPECT_TRUE(m.matches(udp_key(5, Ipv4Addr(1, 2, 3, 4))));
+}
+
+TEST(Match, SingleFieldConstraints) {
+  EXPECT_TRUE(Match().in_port(1).matches(udp_key(1)));
+  EXPECT_FALSE(Match().in_port(2).matches(udp_key(1)));
+  EXPECT_TRUE(Match().dl_type(net::ethertype::kIpv4).matches(udp_key()));
+  EXPECT_FALSE(Match().dl_type(net::ethertype::kArp).matches(udp_key()));
+  EXPECT_TRUE(Match().nw_proto(net::ipproto::kUdp).matches(udp_key()));
+  EXPECT_TRUE(Match().tp_dst(80).matches(udp_key()));
+  EXPECT_FALSE(Match().tp_dst(81).matches(udp_key()));
+}
+
+TEST(Match, CidrPrefixes) {
+  Match m;
+  m.nw_src(Ipv4Addr(10, 0, 0, 0), 8);
+  EXPECT_TRUE(m.matches(udp_key(1, Ipv4Addr(10, 9, 9, 9))));
+  EXPECT_FALSE(m.matches(udp_key(1, Ipv4Addr(11, 0, 0, 1))));
+}
+
+TEST(Match, ExactFromKeyIsExact) {
+  Match m = Match::exact(udp_key());
+  EXPECT_TRUE(m.is_exact());
+  EXPECT_TRUE(m.matches(udp_key()));
+  EXPECT_FALSE(m.matches(udp_key(2)));  // different in_port
+  EXPECT_FALSE(m.is_table_miss());
+}
+
+TEST(Match, EqualityIgnoresWildcardedFields) {
+  Match a = Match().in_port(1);
+  Match b = Match().in_port(1);
+  EXPECT_EQ(a, b);
+  Match c = Match().in_port(2);
+  EXPECT_FALSE(a == c);
+  Match d = Match().tp_dst(80);
+  EXPECT_FALSE(a == d);  // different wildcard sets
+}
+
+TEST(Match, ToStringListsConstrainedFields) {
+  Match m = Match().in_port(3).tp_dst(80);
+  std::string s = m.to_string();
+  EXPECT_NE(s.find("in_port=3"), std::string::npos);
+  EXPECT_NE(s.find("tp_dst=80"), std::string::npos);
+  EXPECT_EQ(Match().to_string(), "match[*]");
+}
+
+// --- FlowTable ----------------------------------------------------------------------
+
+FlowMod add_mod(Match match, std::uint16_t priority, ActionList actions,
+                SimDuration idle = 0, SimDuration hard = 0) {
+  FlowMod mod;
+  mod.command = FlowModCommand::kAdd;
+  mod.match = match;
+  mod.priority = priority;
+  mod.actions = std::move(actions);
+  mod.idle_timeout = idle;
+  mod.hard_timeout = hard;
+  return mod;
+}
+
+TEST(FlowTable, HighestPriorityWins) {
+  FlowTable table;
+  table.apply(add_mod(Match().dl_type(net::ethertype::kIpv4), 100, output_to(1)), 0);
+  table.apply(add_mod(Match().tp_dst(80), 200, output_to(2)), 0);
+  FlowEntry* hit = table.lookup(udp_key(), 100, 0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(std::get<ActionOutput>(hit->actions[0]).port, 2);
+}
+
+TEST(FlowTable, ExactEntryBeatsLowerPriorityWildcard) {
+  FlowTable table;
+  table.apply(add_mod(Match::exact(udp_key()), 300, output_to(7)), 0);
+  table.apply(add_mod(Match(), 100, output_to(1)), 0);
+  FlowEntry* hit = table.lookup(udp_key(), 100, 0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(std::get<ActionOutput>(hit->actions[0]).port, 7);
+}
+
+TEST(FlowTable, HigherPriorityWildcardBeatsExact) {
+  FlowTable table;
+  table.apply(add_mod(Match::exact(udp_key()), 100, output_to(7)), 0);
+  table.apply(add_mod(Match().tp_dst(80), 500, output_to(9)), 0);
+  FlowEntry* hit = table.lookup(udp_key(), 100, 0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(std::get<ActionOutput>(hit->actions[0]).port, 9);
+}
+
+TEST(FlowTable, MissReturnsNull) {
+  FlowTable table;
+  table.apply(add_mod(Match().tp_dst(81), 100, output_to(1)), 0);
+  EXPECT_EQ(table.lookup(udp_key(), 100, 0), nullptr);
+  EXPECT_EQ(table.lookups(), 1u);
+  EXPECT_EQ(table.matches(), 0u);
+}
+
+TEST(FlowTable, CountersAccumulate) {
+  FlowTable table;
+  table.apply(add_mod(Match(), 100, output_to(1)), 0);
+  table.lookup(udp_key(), 100, 0);
+  table.lookup(udp_key(), 150, 0);
+  auto stats = table.stats(0);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].packet_count, 2u);
+  EXPECT_EQ(stats[0].byte_count, 250u);
+}
+
+TEST(FlowTable, IdleTimeoutEvicts) {
+  FlowTable table;
+  int removed = 0;
+  FlowRemovedReason reason{};
+  table.set_removed_callback([&](const FlowEntry&, FlowRemovedReason r) {
+    ++removed;
+    reason = r;
+  });
+  FlowMod mod = add_mod(Match().tp_dst(80), 100, output_to(1), /*idle=*/seconds(1));
+  mod.send_flow_removed = true;
+  table.apply(mod, 0);
+
+  // Hits inside the idle window keep it alive.
+  EXPECT_NE(table.lookup(udp_key(), 100, milliseconds(500)), nullptr);
+  EXPECT_NE(table.lookup(udp_key(), 100, milliseconds(1400)), nullptr);
+  // 1 s of silence expires it.
+  EXPECT_EQ(table.lookup(udp_key(), 100, milliseconds(2500)), nullptr);
+  EXPECT_EQ(removed, 1);
+  EXPECT_EQ(reason, FlowRemovedReason::kIdleTimeout);
+}
+
+TEST(FlowTable, HardTimeoutEvictsDespiteTraffic) {
+  FlowTable table;
+  table.apply(add_mod(Match().tp_dst(80), 100, output_to(1), 0, /*hard=*/seconds(1)), 0);
+  EXPECT_NE(table.lookup(udp_key(), 100, milliseconds(900)), nullptr);
+  EXPECT_EQ(table.lookup(udp_key(), 100, milliseconds(1100)), nullptr);
+}
+
+TEST(FlowTable, ExpireSweepCountsEvictions) {
+  FlowTable table;
+  table.apply(add_mod(Match().tp_dst(80), 100, output_to(1), 0, seconds(1)), 0);
+  table.apply(add_mod(Match::exact(udp_key()), 100, output_to(2), 0, seconds(1)), 0);
+  table.apply(add_mod(Match().tp_dst(99), 100, output_to(3)), 0);  // permanent
+  EXPECT_EQ(table.expire(milliseconds(500)), 0u);
+  EXPECT_EQ(table.expire(milliseconds(1500)), 2u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FlowTable, AddOverwritesSameMatchAndPriority) {
+  FlowTable table;
+  table.apply(add_mod(Match().tp_dst(80), 100, output_to(1)), 0);
+  table.lookup(udp_key(), 100, 0);
+  table.apply(add_mod(Match().tp_dst(80), 100, output_to(2)), 0);
+  EXPECT_EQ(table.size(), 1u);
+  FlowEntry* hit = table.lookup(udp_key(), 100, 0);
+  EXPECT_EQ(std::get<ActionOutput>(hit->actions[0]).port, 2);
+  EXPECT_EQ(hit->packet_count, 1u);  // counters reset by overwrite
+}
+
+TEST(FlowTable, ModifyChangesActionsKeepingCounters) {
+  FlowTable table;
+  table.apply(add_mod(Match().tp_dst(80), 100, output_to(1)), 0);
+  table.lookup(udp_key(), 100, 0);
+  FlowMod mod;
+  mod.command = FlowModCommand::kModify;
+  mod.match = Match().tp_dst(80);
+  mod.actions = output_to(5);
+  table.apply(mod, 0);
+  FlowEntry* hit = table.lookup(udp_key(), 100, 0);
+  EXPECT_EQ(std::get<ActionOutput>(hit->actions[0]).port, 5);
+  EXPECT_EQ(hit->packet_count, 2u);
+}
+
+TEST(FlowTable, DeleteStrictRemovesOnlyExact) {
+  FlowTable table;
+  table.apply(add_mod(Match().tp_dst(80), 100, output_to(1)), 0);
+  table.apply(add_mod(Match().tp_dst(80), 200, output_to(2)), 0);
+  FlowMod del;
+  del.command = FlowModCommand::kDeleteStrict;
+  del.match = Match().tp_dst(80);
+  del.priority = 100;
+  table.apply(del, 0);
+  EXPECT_EQ(table.size(), 1u);
+  FlowEntry* hit = table.lookup(udp_key(), 100, 0);
+  EXPECT_EQ(std::get<ActionOutput>(hit->actions[0]).port, 2);
+}
+
+TEST(FlowTable, DeleteAllWithWildcardMatch) {
+  FlowTable table;
+  table.apply(add_mod(Match().tp_dst(80), 100, output_to(1)), 0);
+  table.apply(add_mod(Match::exact(udp_key()), 200, output_to(2)), 0);
+  FlowMod del;
+  del.command = FlowModCommand::kDelete;
+  table.apply(del, 0);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(FlowTable, StablePriorityTieBreak) {
+  FlowTable table;
+  table.apply(add_mod(Match().dl_type(net::ethertype::kIpv4), 100, output_to(1)), 0);
+  table.apply(add_mod(Match().nw_proto(net::ipproto::kUdp), 100, output_to(2)), 0);
+  FlowEntry* hit = table.lookup(udp_key(), 100, 0);
+  EXPECT_EQ(std::get<ActionOutput>(hit->actions[0]).port, 1);  // first installed wins
+}
+
+// --- actions ----------------------------------------------------------------------
+
+TEST(Actions, RewritesApply) {
+  net::Packet p = net::make_udp_packet(MacAddr::from_u64(1), MacAddr::from_u64(2),
+                                       Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2), 1, 2);
+  apply_rewrite(ActionSetNwSrc{Ipv4Addr(9, 9, 9, 9)}, p);
+  apply_rewrite(ActionSetTpDst{443}, p);
+  apply_rewrite(ActionSetDlDst{MacAddr::from_u64(0xff)}, p);
+  auto key = net::extract_flow_key(p, 0);
+  EXPECT_EQ(key->nw_src, Ipv4Addr(9, 9, 9, 9));
+  EXPECT_EQ(key->tp_dst, 443);
+  EXPECT_EQ(key->dl_dst.to_u64(), 0xffu);
+}
+
+TEST(Actions, Stringification) {
+  EXPECT_EQ(action_to_string(ActionOutput{3, 0xffff}), "output:3");
+  EXPECT_EQ(action_to_string(ActionOutput{kPortFlood, 0xffff}), "output:flood");
+  EXPECT_EQ(action_to_string(ActionSetTpDst{80}), "set_tp_dst:80");
+  EXPECT_EQ(actions_to_string(output_to(2)), "[output:2]");
+}
+
+// --- switch datapath -----------------------------------------------------------------
+
+struct CapturingChannel : ControlChannel {
+  std::vector<Message> messages;
+  void to_controller(Message m) override { messages.push_back(std::move(m)); }
+  bool connected() const override { return true; }
+
+  template <typename T>
+  std::vector<const T*> of_type() const {
+    std::vector<const T*> out;
+    for (const auto& m : messages) {
+      if (const auto* v = std::get_if<T>(&m)) out.push_back(v);
+    }
+    return out;
+  }
+};
+
+struct SwitchFixture : ::testing::Test {
+  EventScheduler sched;
+  OpenFlowSwitch sw{42, sched};
+  std::shared_ptr<CapturingChannel> channel = std::make_shared<CapturingChannel>();
+  std::map<std::uint16_t, std::vector<net::Packet>> tx;
+
+  void SetUp() override {
+    for (std::uint16_t p : {1, 2, 3}) {
+      sw.add_port(p, "eth" + std::to_string(p), MacAddr::from_u64(p),
+                  [this, p](net::Packet&& pkt) { tx[p].push_back(std::move(pkt)); });
+    }
+    sw.connect(channel);
+    sw.handle_message(Hello{});  // controller hello -> features reply
+  }
+
+  net::Packet packet(std::uint16_t dport = 80) {
+    return net::make_udp_packet(MacAddr::from_u64(1), MacAddr::from_u64(2),
+                                Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2), 1000, dport);
+  }
+};
+
+TEST_F(SwitchFixture, HandshakeProducesHelloAndFeatures) {
+  ASSERT_FALSE(channel->of_type<Hello>().empty());
+  auto features = channel->of_type<FeaturesReply>();
+  ASSERT_EQ(features.size(), 1u);
+  EXPECT_EQ(features[0]->datapath_id, 42u);
+  EXPECT_EQ(features[0]->ports.size(), 3u);
+}
+
+TEST_F(SwitchFixture, TableMissSendsPacketInWithBuffer) {
+  sw.receive(1, packet());
+  auto ins = channel->of_type<PacketIn>();
+  ASSERT_EQ(ins.size(), 1u);
+  EXPECT_EQ(ins[0]->in_port, 1);
+  EXPECT_EQ(ins[0]->reason, PacketInReason::kNoMatch);
+  ASSERT_TRUE(ins[0]->buffer_id.has_value());
+  EXPECT_EQ(sw.packet_ins_sent(), 1u);
+}
+
+TEST_F(SwitchFixture, FlowModThenForwarding) {
+  FlowMod mod;
+  mod.match = Match().in_port(1);
+  mod.actions = output_to(2);
+  sw.handle_message(mod);
+  sw.receive(1, packet());
+  ASSERT_EQ(tx[2].size(), 1u);
+  EXPECT_TRUE(channel->of_type<PacketIn>().empty());
+  EXPECT_EQ(sw.port_stats(2).tx_packets, 1u);
+  EXPECT_EQ(sw.port_stats(1).rx_packets, 1u);
+}
+
+TEST_F(SwitchFixture, FlowModWithBufferReleasesBufferedPacket) {
+  sw.receive(1, packet());
+  auto ins = channel->of_type<PacketIn>();
+  ASSERT_EQ(ins.size(), 1u);
+  FlowMod mod;
+  mod.match = Match().in_port(1);
+  mod.actions = output_to(3);
+  mod.buffer_id = ins[0]->buffer_id;
+  sw.handle_message(mod);
+  ASSERT_EQ(tx[3].size(), 1u);  // buffered packet forwarded
+}
+
+TEST_F(SwitchFixture, PacketOutWithRawData) {
+  PacketOut out;
+  out.packet = packet();
+  out.actions = output_to(2);
+  sw.handle_message(out);
+  EXPECT_EQ(tx[2].size(), 1u);
+}
+
+TEST_F(SwitchFixture, FloodExcludesIngress) {
+  FlowMod mod;
+  mod.match = Match();
+  mod.actions = output_to(kPortFlood);
+  sw.handle_message(mod);
+  sw.receive(1, packet());
+  EXPECT_EQ(tx[1].size(), 0u);
+  EXPECT_EQ(tx[2].size(), 1u);
+  EXPECT_EQ(tx[3].size(), 1u);
+}
+
+TEST_F(SwitchFixture, RewriteThenOutputActionOrder) {
+  FlowMod mod;
+  mod.match = Match();
+  mod.actions = {ActionSetNwDst{Ipv4Addr(99, 0, 0, 1)}, ActionOutput{2, 0xffff}};
+  sw.handle_message(mod);
+  sw.receive(1, packet());
+  ASSERT_EQ(tx[2].size(), 1u);
+  auto key = net::extract_flow_key(tx[2][0], 0);
+  EXPECT_EQ(key->nw_dst, Ipv4Addr(99, 0, 0, 1));
+}
+
+TEST_F(SwitchFixture, EchoAndBarrierAndStats) {
+  sw.handle_message(EchoRequest{77});
+  auto echoes = channel->of_type<EchoReply>();
+  ASSERT_EQ(echoes.size(), 1u);
+  EXPECT_EQ(echoes[0]->payload, 77u);
+
+  sw.handle_message(BarrierRequest{});
+  EXPECT_EQ(channel->of_type<BarrierReply>().size(), 1u);
+
+  FlowMod mod;
+  mod.match = Match().in_port(1);
+  mod.actions = output_to(2);
+  sw.handle_message(mod);
+  sw.receive(1, packet());
+  sw.handle_message(StatsRequest{StatsRequest::Kind::kFlow});
+  auto stats = channel->of_type<StatsReply>();
+  ASSERT_EQ(stats.size(), 1u);
+  ASSERT_EQ(stats[0]->flows.size(), 1u);
+  EXPECT_EQ(stats[0]->flows[0].packet_count, 1u);
+
+  sw.handle_message(StatsRequest{StatsRequest::Kind::kPort});
+  sw.handle_message(StatsRequest{StatsRequest::Kind::kTable});
+  auto all = channel->of_type<StatsReply>();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_FALSE(all[1]->ports.empty());
+  ASSERT_TRUE(all[2]->table.has_value());
+  EXPECT_EQ(all[2]->table->active_count, 1u);
+}
+
+TEST_F(SwitchFixture, FlowRemovedSentOnTimeout) {
+  FlowMod mod;
+  mod.match = Match().in_port(1);
+  mod.actions = output_to(2);
+  mod.idle_timeout = seconds(1);
+  mod.send_flow_removed = true;
+  sw.handle_message(mod);
+  sw.receive(1, packet());
+  sched.run_until(seconds(5));  // periodic sweep fires
+  auto removed = channel->of_type<FlowRemoved>();
+  ASSERT_GE(removed.size(), 1u);
+  EXPECT_EQ(removed[0]->packet_count, 1u);
+}
+
+TEST_F(SwitchFixture, UnknownPortDrops) {
+  sw.receive(99, packet());
+  EXPECT_TRUE(channel->of_type<PacketIn>().empty());
+}
+
+TEST_F(SwitchFixture, OutputToControllerFromFlow) {
+  FlowMod mod;
+  mod.match = Match();
+  mod.actions = output_to(kPortController);
+  sw.handle_message(mod);
+  sw.receive(1, packet());
+  auto ins = channel->of_type<PacketIn>();
+  ASSERT_EQ(ins.size(), 1u);
+  EXPECT_EQ(ins[0]->reason, PacketInReason::kAction);
+}
+
+}  // namespace
+}  // namespace escape::openflow

@@ -1,0 +1,254 @@
+// Tests for the controller platform and its applications: handshake,
+// L2 learning, LLDP discovery and chain steering.
+#include <gtest/gtest.h>
+
+#include "net/builder.hpp"
+#include "netemu/network.hpp"
+#include "pox/discovery.hpp"
+#include "pox/l2_learning.hpp"
+#include "pox/steering.hpp"
+
+namespace escape::pox {
+namespace {
+
+using net::Ipv4Addr;
+using net::MacAddr;
+
+/// Two hosts, one switch -- the minimal learning-switch scenario.
+struct OneSwitchFixture : ::testing::Test {
+  EventScheduler sched;
+  netemu::Network net{sched};
+  Controller controller{sched, 10 * timeunit::kMicrosecond};
+
+  netemu::Host* h1 = nullptr;
+  netemu::Host* h2 = nullptr;
+
+  void SetUp() override {
+    h1 = &net.add_host("h1", MacAddr::from_u64(0xa1), Ipv4Addr(10, 0, 0, 1));
+    h2 = &net.add_host("h2", MacAddr::from_u64(0xa2), Ipv4Addr(10, 0, 0, 2));
+    net.add_switch("s1", 1);
+    ASSERT_TRUE(net.add_link("h1", 0, "s1", 1).ok());
+    ASSERT_TRUE(net.add_link("h2", 0, "s1", 2).ok());
+  }
+
+  void connect() {
+    net.attach_controller(controller);
+    sched.run_for(milliseconds(1));
+  }
+};
+
+TEST_F(OneSwitchFixture, HandshakeBringsConnectionUp) {
+  connect();
+  auto dpids = controller.connected_switches();
+  ASSERT_EQ(dpids.size(), 1u);
+  EXPECT_EQ(dpids[0], 1u);
+  SwitchConnection* conn = controller.connection(1);
+  ASSERT_NE(conn, nullptr);
+  EXPECT_TRUE(conn->up());
+  EXPECT_EQ(conn->ports().size(), 2u);
+}
+
+TEST_F(OneSwitchFixture, L2LearningEstablishesBidirectionalFlow) {
+  auto l2 = std::make_shared<L2Learning>();
+  controller.add_app(l2);
+  connect();
+
+  // First packet floods (dst unknown), reply installs both directions.
+  h1->send(net::make_udp_packet(h1->mac(), h2->mac(), h1->ip(), h2->ip(), 1000, 2000));
+  sched.run_for(milliseconds(5));
+  EXPECT_EQ(h2->rx_packets(), 1u);
+  EXPECT_GE(l2->floods(), 1u);
+
+  h2->send(net::make_udp_packet(h2->mac(), h1->mac(), h2->ip(), h1->ip(), 2000, 1000));
+  sched.run_for(milliseconds(5));
+  EXPECT_EQ(h1->rx_packets(), 1u);
+  EXPECT_GE(l2->installs(), 1u);
+
+  // The third h1->h2 packet still misses (only the h2->h1 flow was
+  // installed so far) and installs the forward flow; after that the
+  // datapath switches without controller involvement.
+  h1->send(net::make_udp_packet(h1->mac(), h2->mac(), h1->ip(), h2->ip(), 1000, 2000));
+  sched.run_for(milliseconds(5));
+  EXPECT_EQ(h2->rx_packets(), 2u);
+  const auto packet_ins_before = controller.packet_ins_handled();
+  h1->send(net::make_udp_packet(h1->mac(), h2->mac(), h1->ip(), h2->ip(), 1000, 2000));
+  sched.run_for(milliseconds(5));
+  EXPECT_EQ(h2->rx_packets(), 3u);
+  EXPECT_EQ(controller.packet_ins_handled(), packet_ins_before);
+
+  // Learned table is inspectable.
+  const auto* table = l2->table(1);
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->at(h1->mac()), 1);
+  EXPECT_EQ(table->at(h2->mac()), 2);
+}
+
+TEST_F(OneSwitchFixture, BroadcastAlwaysFloods) {
+  auto l2 = std::make_shared<L2Learning>();
+  controller.add_app(l2);
+  connect();
+  h1->send(net::PacketBuilder()
+               .eth(h1->mac(), MacAddr::broadcast(), net::ethertype::kArp)
+               .arp(net::ArpView::kRequest, h1->mac(), h1->ip(), MacAddr(), h2->ip())
+               .build());
+  sched.run_for(milliseconds(5));
+  // h2 answers the ARP request (broadcast reached it).
+  EXPECT_GE(h1->rx_packets() + h2->rx_packets(), 1u);
+  EXPECT_GE(l2->floods(), 1u);
+}
+
+/// Three switches in a line for discovery and steering.
+struct LineFixture : ::testing::Test {
+  EventScheduler sched;
+  netemu::Network net{sched};
+  Controller controller{sched, 10 * timeunit::kMicrosecond};
+
+  void SetUp() override {
+    net.add_switch("s1", 1);
+    net.add_switch("s2", 2);
+    net.add_switch("s3", 3);
+    net.add_host("h1", MacAddr::from_u64(0xa1), Ipv4Addr(10, 0, 0, 1));
+    net.add_host("h2", MacAddr::from_u64(0xa2), Ipv4Addr(10, 0, 0, 2));
+    ASSERT_TRUE(net.add_link("h1", 0, "s1", 1).ok());
+    ASSERT_TRUE(net.add_link("s1", 2, "s2", 1).ok());
+    ASSERT_TRUE(net.add_link("s2", 2, "s3", 1).ok());
+    ASSERT_TRUE(net.add_link("h2", 0, "s3", 2).ok());
+  }
+};
+
+TEST_F(LineFixture, DiscoveryFindsAllAdjacencies) {
+  auto discovery = std::make_shared<Discovery>(milliseconds(100));
+  controller.add_app(discovery);
+  int callbacks = 0;
+  discovery->set_link_callback([&](const Link&) { ++callbacks; });
+  net.attach_controller(controller);
+  sched.run_for(milliseconds(500));
+
+  auto links = discovery->links();
+  // 2 inter-switch adjacencies, both directions. (Host links carry no
+  // LLDP speaker, so they are not discovered.)
+  EXPECT_EQ(links.size(), 4u);
+  EXPECT_EQ(callbacks, 4);
+  EXPECT_TRUE(discovery->bidirectional(1, 2, 2, 1));
+  EXPECT_TRUE(discovery->bidirectional(2, 2, 3, 1));
+  EXPECT_FALSE(discovery->bidirectional(1, 2, 3, 1));
+}
+
+TEST_F(LineFixture, ProactiveChainInstallForwardsEndToEnd) {
+  auto steering = std::make_shared<TrafficSteering>();
+  controller.add_app(steering);
+  net.attach_controller(controller);
+  sched.run_for(milliseconds(1));
+
+  ChainPath path;
+  path.chain_id = 7;
+  path.match = openflow::Match().dl_type(net::ethertype::kIpv4).nw_dst(Ipv4Addr(10, 0, 0, 2));
+  path.hops = {{1, 1, 2}, {2, 1, 2}, {3, 1, 2}};
+  ASSERT_TRUE(steering->install_chain(path).ok());
+  EXPECT_TRUE(steering->installed(7));
+  sched.run_for(milliseconds(1));  // flow-mods propagate
+
+  auto* h1 = net.host("h1");
+  auto* h2 = net.host("h2");
+  h1->send(net::make_udp_packet(h1->mac(), h2->mac(), h1->ip(), h2->ip(), 1, 2));
+  sched.run_for(milliseconds(10));
+  EXPECT_EQ(h2->rx_packets(), 1u);
+
+  // Removal stops forwarding.
+  ASSERT_TRUE(steering->remove_chain(7).ok());
+  sched.run_for(milliseconds(1));
+  h1->send(net::make_udp_packet(h1->mac(), h2->mac(), h1->ip(), h2->ip(), 1, 2));
+  sched.run_for(milliseconds(10));
+  EXPECT_EQ(h2->rx_packets(), 1u);
+  EXPECT_FALSE(steering->installed(7));
+}
+
+TEST_F(LineFixture, ReactiveChainInstallsOnFirstPacket) {
+  auto steering = std::make_shared<TrafficSteering>();
+  controller.add_app(steering);
+  net.attach_controller(controller);
+  sched.run_for(milliseconds(1));
+
+  ChainPath path;
+  path.chain_id = 9;
+  path.match = openflow::Match().dl_type(net::ethertype::kIpv4).nw_dst(Ipv4Addr(10, 0, 0, 2));
+  path.hops = {{1, 1, 2}, {2, 1, 2}, {3, 1, 2}};
+  steering->register_chain(path);
+  EXPECT_FALSE(steering->installed(9));
+
+  auto* h1 = net.host("h1");
+  auto* h2 = net.host("h2");
+  h1->send(net::make_udp_packet(h1->mac(), h2->mac(), h1->ip(), h2->ip(), 1, 2));
+  sched.run_for(milliseconds(20));
+  EXPECT_TRUE(steering->installed(9));
+  EXPECT_EQ(steering->reactive_installs(), 1u);
+  // The triggering (buffered) packet itself is released through the chain.
+  EXPECT_EQ(h2->rx_packets(), 1u);
+
+  // Follow-up traffic uses the installed flows.
+  h1->send(net::make_udp_packet(h1->mac(), h2->mac(), h1->ip(), h2->ip(), 1, 2));
+  sched.run_for(milliseconds(10));
+  EXPECT_EQ(h2->rx_packets(), 2u);
+}
+
+TEST_F(LineFixture, InstallFailsForUnknownSwitch) {
+  auto steering = std::make_shared<TrafficSteering>();
+  controller.add_app(steering);
+  net.attach_controller(controller);
+  sched.run_for(milliseconds(1));
+
+  ChainPath path;
+  path.chain_id = 1;
+  path.hops = {{99, 0, 1}};
+  auto s = steering->install_chain(path);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, "pox.steering.switch-down");
+  EXPECT_FALSE(steering->installed(1));
+}
+
+TEST_F(LineFixture, RemoveUnknownChainErrors) {
+  auto steering = std::make_shared<TrafficSteering>();
+  controller.add_app(steering);
+  EXPECT_FALSE(steering->remove_chain(12345).ok());
+}
+
+TEST_F(LineFixture, IdleTimeoutChainFallsBackToPending) {
+  auto steering = std::make_shared<TrafficSteering>();
+  controller.add_app(steering);
+  net.attach_controller(controller);
+  sched.run_for(milliseconds(1));
+
+  ChainPath path;
+  path.chain_id = 3;
+  path.match = openflow::Match().dl_type(net::ethertype::kIpv4).nw_dst(Ipv4Addr(10, 0, 0, 2));
+  path.hops = {{1, 1, 2}, {2, 1, 2}, {3, 1, 2}};
+  path.idle_timeout = milliseconds(50);
+  ASSERT_TRUE(steering->install_chain(path).ok());
+  sched.run_for(milliseconds(1));
+
+  auto* h1 = net.host("h1");
+  auto* h2 = net.host("h2");
+  h1->send(net::make_udp_packet(h1->mac(), h2->mac(), h1->ip(), h2->ip(), 1, 2));
+  sched.run_for(milliseconds(10));
+  EXPECT_EQ(h2->rx_packets(), 1u);
+
+  // Let the flows idle out; the chain reverts to pending and reinstalls
+  // reactively on the next packet.
+  sched.run_for(seconds(3));
+  EXPECT_FALSE(steering->installed(3));
+  h1->send(net::make_udp_packet(h1->mac(), h2->mac(), h1->ip(), h2->ip(), 1, 2));
+  sched.run_for(milliseconds(20));
+  EXPECT_TRUE(steering->installed(3));
+  EXPECT_EQ(h2->rx_packets(), 2u);
+}
+
+TEST(ControllerApps, AppLookupByName) {
+  EventScheduler sched;
+  Controller controller(sched);
+  controller.add_app(std::make_shared<TrafficSteering>());
+  EXPECT_NE(controller.app("traffic_steering"), nullptr);
+  EXPECT_EQ(controller.app("nope"), nullptr);
+}
+
+}  // namespace
+}  // namespace escape::pox

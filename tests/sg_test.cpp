@@ -1,0 +1,226 @@
+// Tests for the service graph model and the resource graph (routing,
+// reservations).
+#include <gtest/gtest.h>
+
+#include "sg/resource_model.hpp"
+#include "sg/service_graph.hpp"
+
+namespace escape::sg {
+namespace {
+
+ServiceGraph simple_chain() {
+  ServiceGraph g("chain");
+  g.add_sap("sap1")
+      .add_sap("sap2")
+      .add_vnf("fw", "firewall", {}, 0.2)
+      .add_vnf("mon", "monitor", {}, 0.1)
+      .add_link("sap1", "fw")
+      .add_link("fw", "mon")
+      .add_link("mon", "sap2");
+  return g;
+}
+
+TEST(ServiceGraph, ValidChainValidates) {
+  EXPECT_TRUE(simple_chain().validate().ok());
+}
+
+TEST(ServiceGraph, ChainOrderTraversal) {
+  auto order = simple_chain().chain_order();
+  ASSERT_TRUE(order.ok()) << order.error().to_string();
+  EXPECT_EQ(*order, (std::vector<std::string>{"sap1", "fw", "mon", "sap2"}));
+}
+
+TEST(ServiceGraph, DuplicateIdsRejected) {
+  ServiceGraph g;
+  g.add_sap("x").add_vnf("x", "monitor");
+  EXPECT_EQ(g.validate().error().code, "sg.duplicate-id");
+}
+
+TEST(ServiceGraph, UnknownLinkEndpointRejected) {
+  ServiceGraph g;
+  g.add_sap("a").add_sap("b").add_link("a", "ghost");
+  EXPECT_EQ(g.validate().error().code, "sg.unknown-node");
+}
+
+TEST(ServiceGraph, DisconnectedVnfRejected) {
+  ServiceGraph g;
+  g.add_sap("a").add_sap("b").add_vnf("v", "monitor").add_link("a", "b");
+  EXPECT_EQ(g.validate().error().code, "sg.disconnected-vnf");
+}
+
+TEST(ServiceGraph, SelfLoopRejected) {
+  ServiceGraph g;
+  g.add_sap("a").add_link("a", "a");
+  EXPECT_EQ(g.validate().error().code, "sg.self-loop");
+}
+
+TEST(ServiceGraph, BadCpuRejected) {
+  ServiceGraph g;
+  g.add_sap("a").add_sap("b").add_vnf("v", "m", {}, -1.0).add_link("a", "v").add_link("v", "b");
+  EXPECT_EQ(g.validate().error().code, "sg.bad-cpu");
+}
+
+TEST(ServiceGraph, RequirementMustReferenceSaps) {
+  ServiceGraph g = simple_chain();
+  g.add_requirement({"fw", "sap2", 0, 0});
+  EXPECT_EQ(g.validate().error().code, "sg.bad-requirement");
+}
+
+TEST(ServiceGraph, BranchingIsNotAChain) {
+  ServiceGraph g;
+  g.add_sap("a").add_sap("b").add_sap("c");
+  g.add_vnf("v", "monitor");
+  g.add_link("a", "v").add_link("v", "b").add_link("v", "c");
+  EXPECT_FALSE(g.chain_order().ok());
+}
+
+TEST(ServiceGraph, VnfLookupAndSuccessors) {
+  ServiceGraph g = simple_chain();
+  EXPECT_NE(g.vnf("fw"), nullptr);
+  EXPECT_EQ(g.vnf("nope"), nullptr);
+  EXPECT_TRUE(g.is_sap("sap1"));
+  EXPECT_FALSE(g.is_sap("fw"));
+  EXPECT_EQ(g.successors("fw"), std::vector<std::string>{"mon"});
+}
+
+// --- ResourceGraph ------------------------------------------------------------------
+
+/// sap1 -- s1 -- s2 -- sap2 with containers off s1 and s2; the s1-s2
+/// link is slower than the alternative s1-s3-s2 detour.
+ResourceGraph diamond() {
+  ResourceGraph g;
+  g.add_sap("sap1").add_sap("sap2");
+  g.add_switch("s1").add_switch("s2").add_switch("s3");
+  g.add_container("c1", 1.0, 4).add_container("c2", 1.0, 4);
+  g.add_link("sap1", 0, "s1", 1, 1'000'000'000, milliseconds(1));
+  g.add_link("sap2", 0, "s2", 1, 1'000'000'000, milliseconds(1));
+  g.add_link("s1", 2, "s2", 2, 100'000'000, milliseconds(10));  // slow direct
+  g.add_link("s1", 3, "s3", 1, 1'000'000'000, milliseconds(2));
+  g.add_link("s3", 2, "s2", 3, 1'000'000'000, milliseconds(2));
+  g.add_link("c1", 0, "s1", 4, 1'000'000'000, milliseconds(1));
+  g.add_link("c2", 0, "s2", 4, 1'000'000'000, milliseconds(1));
+  return g;
+}
+
+TEST(ResourceGraph, ShortestPathPrefersLowDelay) {
+  ResourceGraph g = diamond();
+  auto path = g.shortest_path("sap1", "sap2");
+  ASSERT_TRUE(path);
+  // Via s3: 1 + 2 + 2 + 1 = 6 ms beats 1 + 10 + 1 = 12 ms.
+  EXPECT_EQ(path->total_delay, milliseconds(6));
+  EXPECT_EQ(path->nodes,
+            (std::vector<std::string>{"sap1", "s1", "s3", "s2", "sap2"}));
+  EXPECT_EQ(path->link_indices.size(), 4u);
+}
+
+TEST(ResourceGraph, BandwidthConstraintReroutes) {
+  ResourceGraph g = diamond();
+  // Saturate the fast s1-s3-s2 detour only (not the access links).
+  auto middle = g.shortest_path("s1", "s2", 950'000'000);
+  ASSERT_TRUE(middle);
+  EXPECT_EQ(middle->total_delay, milliseconds(4));  // via s3
+  g.reserve_path(*middle, 950'000'000);
+  // 80 Mb/s no longer fits the detour (50 Mb/s free) but the slow direct
+  // link (100 Mb/s) carries it -- Dijkstra falls back to the 12 ms path.
+  auto rerouted = g.shortest_path("sap1", "sap2", 80'000'000);
+  ASSERT_TRUE(rerouted);
+  EXPECT_EQ(rerouted->total_delay, milliseconds(12));
+  // 200 Mb/s fits neither the drained detour nor the 100 Mb/s direct.
+  EXPECT_FALSE(g.shortest_path("sap1", "sap2", 200'000'000));
+  // Small flows still prefer the lowest-delay feasible route.
+  auto small = g.shortest_path("sap1", "sap2", 50'000'000);
+  ASSERT_TRUE(small);
+  EXPECT_EQ(small->total_delay, milliseconds(6));
+}
+
+TEST(ResourceGraph, ReleaseRestoresCapacity) {
+  ResourceGraph g = diamond();
+  auto path = g.shortest_path("sap1", "sap2", 600'000'000);
+  ASSERT_TRUE(path);
+  g.reserve_path(*path, 600'000'000);
+  EXPECT_FALSE(g.shortest_path("sap1", "sap2", 600'000'000));
+  g.release_path(*path, 600'000'000);
+  EXPECT_TRUE(g.shortest_path("sap1", "sap2", 600'000'000));
+}
+
+TEST(ResourceGraph, NoTransitThroughContainersOrSaps) {
+  ResourceGraph g;
+  g.add_sap("a").add_sap("b");
+  g.add_container("c", 1.0, 4);
+  // a -- c -- b: the only "path" transits the container; must not route.
+  g.add_link("a", 0, "c", 0, 1'000'000'000, milliseconds(1));
+  g.add_link("c", 1, "b", 0, 1'000'000'000, milliseconds(1));
+  EXPECT_FALSE(g.shortest_path("a", "b"));
+  // But the container itself is reachable as an endpoint.
+  EXPECT_TRUE(g.shortest_path("a", "c"));
+}
+
+TEST(ResourceGraph, SelfPathIsEmpty) {
+  ResourceGraph g = diamond();
+  auto path = g.shortest_path("c1", "c1");
+  ASSERT_TRUE(path);
+  EXPECT_EQ(path->total_delay, 0u);
+  EXPECT_TRUE(path->link_indices.empty());
+  EXPECT_EQ(path->nodes, std::vector<std::string>{"c1"});
+}
+
+TEST(ResourceGraph, UnknownEndpointsRejected) {
+  ResourceGraph g = diamond();
+  EXPECT_FALSE(g.shortest_path("sap1", "nope"));
+  EXPECT_FALSE(g.shortest_path("nope", "sap1"));
+}
+
+TEST(ResourceGraph, VnfReservationAccounting) {
+  ResourceGraph g = diamond();
+  EXPECT_TRUE(g.reserve_vnf("c1", 0.6).ok());
+  EXPECT_DOUBLE_EQ(g.node("c1")->cpu_free(), 0.4);
+  EXPECT_EQ(g.node("c1")->slots_free(), 3u);
+  auto s = g.reserve_vnf("c1", 0.6);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, "resource.cpu-exhausted");
+  g.release_vnf("c1", 0.6);
+  EXPECT_TRUE(g.reserve_vnf("c1", 0.6).ok());
+}
+
+TEST(ResourceGraph, SlotExhaustion) {
+  ResourceGraph g;
+  g.add_container("c", 10.0, 2);
+  EXPECT_TRUE(g.reserve_vnf("c", 0.1).ok());
+  EXPECT_TRUE(g.reserve_vnf("c", 0.1).ok());
+  auto s = g.reserve_vnf("c", 0.1);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, "resource.slots-exhausted");
+}
+
+TEST(ResourceGraph, ReserveOnNonContainerRejected) {
+  ResourceGraph g = diamond();
+  EXPECT_EQ(g.reserve_vnf("s1", 0.1).error().code, "resource.not-a-container");
+  EXPECT_EQ(g.reserve_vnf("nope", 0.1).error().code, "resource.not-a-container");
+}
+
+TEST(ResourceGraph, PortAndPeerLookup) {
+  ResourceGraph g = diamond();
+  auto path = g.shortest_path("sap1", "s1");
+  ASSERT_TRUE(path);
+  int link = path->link_indices[0];
+  EXPECT_EQ(g.port_on(link, "sap1"), 0);
+  EXPECT_EQ(g.port_on(link, "s1"), 1);
+  EXPECT_EQ(g.peer_of(link, "sap1"), "s1");
+  EXPECT_EQ(g.peer_of(link, "s1"), "sap1");
+}
+
+TEST(ResourceGraph, ContainersListed) {
+  ResourceGraph g = diamond();
+  auto containers = g.containers();
+  EXPECT_EQ(containers, (std::vector<std::string>{"c1", "c2"}));
+}
+
+TEST(ResourceGraph, DuplicateNodeThrows) {
+  ResourceGraph g;
+  g.add_switch("s");
+  EXPECT_THROW(g.add_switch("s"), std::invalid_argument);
+  EXPECT_THROW(g.add_link("s", 0, "ghost", 0, 1, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace escape::sg

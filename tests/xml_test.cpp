@@ -1,0 +1,171 @@
+// Unit tests for the XML document model, parser and serializer.
+#include <gtest/gtest.h>
+
+#include "xml/xml.hpp"
+
+namespace escape::xml {
+namespace {
+
+TEST(XmlParse, SimpleElementWithText) {
+  auto doc = parse("<id>fw1</id>");
+  ASSERT_TRUE(doc.ok()) << doc.error().to_string();
+  EXPECT_EQ((*doc)->name(), "id");
+  EXPECT_EQ((*doc)->text(), "fw1");
+}
+
+TEST(XmlParse, NestedChildren) {
+  auto doc = parse("<rpc><startVNF><id>v1</id></startVNF></rpc>");
+  ASSERT_TRUE(doc.ok());
+  const Element* op = (*doc)->child("startVNF");
+  ASSERT_NE(op, nullptr);
+  EXPECT_EQ(op->child_text("id"), "v1");
+}
+
+TEST(XmlParse, Attributes) {
+  auto doc = parse(R"(<rpc message-id="42" xmlns="urn:x"><get/></rpc>)");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->attr("message-id"), "42");
+  EXPECT_EQ((*doc)->attr("xmlns"), "urn:x");
+  EXPECT_TRUE((*doc)->has_attr("xmlns"));
+  EXPECT_FALSE((*doc)->has_attr("missing"));
+  EXPECT_EQ((*doc)->attr("missing"), "");
+}
+
+TEST(XmlParse, SelfClosingElement) {
+  auto doc = parse("<ok/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->name(), "ok");
+  EXPECT_TRUE((*doc)->children().empty());
+  EXPECT_TRUE((*doc)->text().empty());
+}
+
+TEST(XmlParse, EntityUnescaping) {
+  auto doc = parse("<t>a &lt;b&gt; &amp; &quot;c&quot; &apos;d&apos;</t>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->text(), "a <b> & \"c\" 'd'");
+}
+
+TEST(XmlParse, AttributeEntityUnescaping) {
+  auto doc = parse(R"(<t v="a&amp;b"/>)");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->attr("v"), "a&b");
+}
+
+TEST(XmlParse, SkipsDeclarationAndComments) {
+  auto doc = parse("<?xml version=\"1.0\"?><!-- hi --><root><!-- inner --><x/></root>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->name(), "root");
+  EXPECT_EQ((*doc)->children().size(), 1u);
+}
+
+TEST(XmlParse, NamespacePrefixStripping) {
+  auto doc = parse("<nc:rpc><nc:get/></nc:rpc>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->name(), "nc:rpc");
+  EXPECT_EQ((*doc)->local_name(), "rpc");
+  EXPECT_NE((*doc)->child("get"), nullptr);  // child() matches local names
+}
+
+TEST(XmlParse, MismatchedTagsRejected) {
+  EXPECT_FALSE(parse("<a><b></a></b>").ok());
+  EXPECT_FALSE(parse("<a>").ok());
+  EXPECT_FALSE(parse("<a></b>").ok());
+}
+
+TEST(XmlParse, TrailingGarbageRejected) {
+  EXPECT_FALSE(parse("<a/><b/>").ok());
+  EXPECT_FALSE(parse("<a/>junk").ok());
+}
+
+TEST(XmlParse, MalformedAttributesRejected) {
+  EXPECT_FALSE(parse("<a x></a>").ok());
+  EXPECT_FALSE(parse("<a x=y></a>").ok());
+  EXPECT_FALSE(parse(R"(<a x="unterminated></a>)").ok());
+}
+
+TEST(XmlParse, WhitespaceOnlyTextIsTrimmedAway) {
+  auto doc = parse("<a>\n  <b/>\n</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->text(), "");
+}
+
+TEST(XmlFind, PathNavigation) {
+  auto doc = parse("<data><vnfs><vnf><id>a</id></vnf></vnfs></data>");
+  ASSERT_TRUE(doc.ok());
+  const Element* vnf = (*doc)->find("vnfs/vnf");
+  ASSERT_NE(vnf, nullptr);
+  EXPECT_EQ(vnf->child_text("id"), "a");
+  EXPECT_EQ((*doc)->find("vnfs/nope"), nullptr);
+}
+
+TEST(XmlChildrenNamed, FiltersByLocalName) {
+  auto doc = parse("<l><i>1</i><x/><i>2</i></l>");
+  ASSERT_TRUE(doc.ok());
+  auto items = (*doc)->children_named("i");
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0]->text(), "1");
+  EXPECT_EQ(items[1]->text(), "2");
+}
+
+TEST(XmlSerialize, RoundTripCompact) {
+  Element root("rpc-reply");
+  root.set_attr("message-id", "7");
+  root.add_child("ok");
+  auto& data = root.add_child("data");
+  data.add_leaf("count", "42");
+
+  std::string text = root.to_string();
+  auto doc = parse(text);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->attr("message-id"), "7");
+  EXPECT_NE((*doc)->child("ok"), nullptr);
+  EXPECT_EQ((*doc)->find("data/count")->text(), "42");
+}
+
+TEST(XmlSerialize, EscapesSpecialCharacters) {
+  Element e("t");
+  e.set_text("a<b & \"c\"");
+  std::string text = e.to_string();
+  EXPECT_EQ(text.find('<', 3), text.find("</t>"));  // no raw '<' in content
+  auto doc = parse(text);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->text(), "a<b & \"c\"");
+}
+
+TEST(XmlSerialize, PrettyPrintingParsesBack) {
+  Element root("a");
+  root.add_child("b").add_leaf("c", "1");
+  auto doc = parse(root.to_string(2));
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->find("b/c")->text(), "1");
+}
+
+TEST(XmlClone, DeepCopyIsIndependent) {
+  Element root("a");
+  root.set_attr("k", "v");
+  root.add_leaf("b", "1");
+  auto copy = root.clone();
+  copy->add_leaf("c", "2");
+  EXPECT_EQ(root.children().size(), 1u);
+  EXPECT_EQ(copy->children().size(), 2u);
+  EXPECT_EQ(copy->attr("k"), "v");
+}
+
+/// Round-trip sweep over text payloads with tricky characters.
+class XmlRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(XmlRoundTrip, TextSurvives) {
+  Element e("payload");
+  e.set_text(GetParam());
+  auto doc = parse(e.to_string());
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->text(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Payloads, XmlRoundTrip,
+                         ::testing::Values("plain", "<tag>", "a&b", "quote\"inside",
+                                           "apos'inside", "deny udp && dst port 53",
+                                           "multi\nline"));
+
+}  // namespace
+}  // namespace escape::xml

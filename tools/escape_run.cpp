@@ -1,0 +1,189 @@
+// escape-run: the command-line front end of the framework -- the
+// replacement for the paper's MiniEdit-based GUI workflow. Takes a
+// topology description and a service-graph description (both JSON),
+// deploys the chain, drives traffic between its SAPs and prints a
+// deployment / traffic / monitoring report.
+//
+//   escape-run <topology.json> <service_graph.json>
+//              [--algorithm greedy|loadbalance|delaygreedy|backtracking]
+//              [--rate PPS] [--count N] [--duration SECONDS]
+//              [--return-path] [--verbose]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "escape/environment.hpp"
+
+using namespace escape;
+
+namespace {
+
+Result<std::string> read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return make_error("cli.io", "cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+struct Options {
+  std::string topology_path;
+  std::string sg_path;
+  std::string algorithm = "greedy";
+  std::uint64_t rate = 1000;
+  std::uint64_t count = 1000;
+  std::uint64_t duration_s = 2;
+  bool return_path = false;
+  bool verbose = false;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <topology.json> <service_graph.json>\n"
+               "          [--algorithm NAME] [--rate PPS] [--count N]\n"
+               "          [--duration SECONDS] [--return-path] [--verbose]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--algorithm") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opts.algorithm = v;
+    } else if (arg == "--rate") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opts.rate = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--count") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opts.count = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--duration") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opts.duration_s = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--return-path") {
+      opts.return_path = true;
+    } else if (arg == "--verbose") {
+      opts.verbose = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) return usage(argv[0]);
+  opts.topology_path = positional[0];
+  opts.sg_path = positional[1];
+
+  Logging::set_level(opts.verbose ? LogLevel::kInfo : LogLevel::kWarn);
+
+  // --- load the two artifacts -------------------------------------------
+  auto topo_text = read_file(opts.topology_path);
+  if (!topo_text.ok()) {
+    std::fprintf(stderr, "%s\n", topo_text.error().to_string().c_str());
+    return 1;
+  }
+  auto spec = service::TopologySpec::from_json(*topo_text);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "topology: %s\n", spec.error().to_string().c_str());
+    return 1;
+  }
+  auto sg_text = read_file(opts.sg_path);
+  if (!sg_text.ok()) {
+    std::fprintf(stderr, "%s\n", sg_text.error().to_string().c_str());
+    return 1;
+  }
+  auto graph = service::service_graph_from_json(*sg_text);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "service graph: %s\n", graph.error().to_string().c_str());
+    return 1;
+  }
+
+  // --- bring the environment up ------------------------------------------
+  Environment env{EnvironmentOptions{.mapping_algorithm = opts.algorithm}};
+  if (auto s = env.load_topology(*spec); !s.ok()) {
+    std::fprintf(stderr, "build: %s\n", s.error().to_string().c_str());
+    return 1;
+  }
+  if (auto s = env.start(); !s.ok()) {
+    std::fprintf(stderr, "start: %s\n", s.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("topology '%s': %zu switches, %zu containers, %zu hosts\n",
+              spec->name.c_str(), env.network().switch_count(),
+              env.network().container_count(), env.network().host_count());
+
+  // --- deploy --------------------------------------------------------------
+  auto chain = env.deploy(*graph);
+  if (!chain.ok()) {
+    std::fprintf(stderr, "deploy: %s\n", chain.error().to_string().c_str());
+    return 1;
+  }
+  const ChainDeployment* dep = env.deployment(*chain);
+  std::printf("chain %u '%s' deployed with %s\n", *chain, graph->name().c_str(),
+              dep->record.mapping.to_string().c_str());
+  std::printf("setup latency: %.3f ms (virtual)\n",
+              static_cast<double>(dep->record.setup_latency()) / timeunit::kMillisecond);
+  if (opts.return_path) {
+    auto reverse = env.install_return_path(*chain);
+    if (!reverse.ok()) {
+      std::fprintf(stderr, "return path: %s\n", reverse.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("return path installed (chain %u)\n", *reverse);
+  }
+
+  // --- traffic ---------------------------------------------------------------
+  auto order = graph->chain_order();
+  netemu::Host* src = env.host(order->front());
+  netemu::Host* dst = env.host(order->back());
+  src->start_udp_flow(dst->mac(), dst->ip(), 40000, 80, opts.count, opts.rate);
+  env.run_for(seconds(opts.duration_s));
+
+  std::printf("\ntraffic %s -> %s: %llu/%llu delivered",
+              order->front().c_str(), order->back().c_str(),
+              static_cast<unsigned long long>(dst->rx_packets()),
+              static_cast<unsigned long long>(opts.count));
+  if (dst->latency_us().count()) {
+    std::printf(", latency p50 %.1f us p95 %.1f us", dst->latency_us().p50(),
+                dst->latency_us().p95());
+  }
+  std::printf("\n");
+
+  auto stats = env.chain_stats(*chain);
+  if (stats.ok()) {
+    std::printf("chain flow stats (first hop): %llu packets, %llu bytes across %zu flows\n",
+                static_cast<unsigned long long>(stats->packets),
+                static_cast<unsigned long long>(stats->bytes), stats->flows);
+  }
+
+  // --- monitoring ---------------------------------------------------------------
+  std::printf("\nVNF monitoring (NETCONF getVNFInfo):\n");
+  for (const auto& vnf : dep->record.vnfs) {
+    auto info = env.monitor_vnf(vnf.container, vnf.instance_id);
+    if (!info.ok()) continue;
+    std::printf("  %s (%s) @ %s [%s] cpu=%.2f\n", vnf.vnf_id.c_str(),
+                info->vnf_type.c_str(), vnf.container.c_str(),
+                std::string(netemu::vnf_status_name(info->status)).c_str(),
+                info->cpu_share);
+    for (const auto& [handler, value] : info->handlers) {
+      if (opts.verbose || handler.find("count") != std::string::npos ||
+          handler.find("denied") != std::string::npos ||
+          handler.find("accepted") != std::string::npos) {
+        std::printf("    %-26s %s\n", handler.c_str(), value.c_str());
+      }
+    }
+  }
+  return 0;
+}
