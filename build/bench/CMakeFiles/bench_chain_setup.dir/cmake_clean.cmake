@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chain_setup.dir/bench_chain_setup.cpp.o"
+  "CMakeFiles/bench_chain_setup.dir/bench_chain_setup.cpp.o.d"
+  "bench_chain_setup"
+  "bench_chain_setup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chain_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

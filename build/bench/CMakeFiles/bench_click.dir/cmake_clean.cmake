@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_click.dir/bench_click.cpp.o"
+  "CMakeFiles/bench_click.dir/bench_click.cpp.o.d"
+  "bench_click"
+  "bench_click.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_click.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

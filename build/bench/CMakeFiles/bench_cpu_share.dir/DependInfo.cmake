@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_cpu_share.cpp" "bench/CMakeFiles/bench_cpu_share.dir/bench_cpu_share.cpp.o" "gcc" "bench/CMakeFiles/bench_cpu_share.dir/bench_cpu_share.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/escape/CMakeFiles/escape_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/orchestrator/CMakeFiles/escape_orchestrator.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/escape_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/sg/CMakeFiles/escape_sg.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/escape_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/netconf/CMakeFiles/escape_netconf.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/escape_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/netemu/CMakeFiles/escape_netemu.dir/DependInfo.cmake"
+  "/root/repo/build/src/click/CMakeFiles/escape_click.dir/DependInfo.cmake"
+  "/root/repo/build/src/pox/CMakeFiles/escape_pox.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/escape_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/escape_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/escape_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

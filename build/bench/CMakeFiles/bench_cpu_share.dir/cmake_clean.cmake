@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cpu_share.dir/bench_cpu_share.cpp.o"
+  "CMakeFiles/bench_cpu_share.dir/bench_cpu_share.cpp.o.d"
+  "bench_cpu_share"
+  "bench_cpu_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cpu_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

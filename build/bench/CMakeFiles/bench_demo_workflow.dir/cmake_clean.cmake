@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_demo_workflow.dir/bench_demo_workflow.cpp.o"
+  "CMakeFiles/bench_demo_workflow.dir/bench_demo_workflow.cpp.o.d"
+  "bench_demo_workflow"
+  "bench_demo_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_demo_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_netconf.dir/bench_netconf.cpp.o"
+  "CMakeFiles/bench_netconf.dir/bench_netconf.cpp.o.d"
+  "bench_netconf"
+  "bench_netconf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_netconf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_openflow.dir/bench_openflow.cpp.o"
+  "CMakeFiles/bench_openflow.dir/bench_openflow.cpp.o.d"
+  "bench_openflow"
+  "bench_openflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_openflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_orchestration.dir/custom_orchestration.cpp.o"
+  "CMakeFiles/custom_orchestration.dir/custom_orchestration.cpp.o.d"
+  "custom_orchestration"
+  "custom_orchestration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_orchestration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reactive_steering.dir/reactive_steering.cpp.o"
+  "CMakeFiles/reactive_steering.dir/reactive_steering.cpp.o.d"
+  "reactive_steering"
+  "reactive_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reactive_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

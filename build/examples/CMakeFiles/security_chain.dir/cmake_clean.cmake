@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_chain.dir/security_chain.cpp.o"
+  "CMakeFiles/security_chain.dir/security_chain.cpp.o.d"
+  "security_chain"
+  "security_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

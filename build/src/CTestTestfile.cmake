@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("xml")
+subdirs("json")
+subdirs("net")
+subdirs("click")
+subdirs("openflow")
+subdirs("pox")
+subdirs("netemu")
+subdirs("netconf")
+subdirs("sg")
+subdirs("service")
+subdirs("orchestrator")
+subdirs("escape")

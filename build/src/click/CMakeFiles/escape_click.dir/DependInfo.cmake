@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/click/config.cpp" "src/click/CMakeFiles/escape_click.dir/config.cpp.o" "gcc" "src/click/CMakeFiles/escape_click.dir/config.cpp.o.d"
+  "/root/repo/src/click/element.cpp" "src/click/CMakeFiles/escape_click.dir/element.cpp.o" "gcc" "src/click/CMakeFiles/escape_click.dir/element.cpp.o.d"
+  "/root/repo/src/click/elements_basic.cpp" "src/click/CMakeFiles/escape_click.dir/elements_basic.cpp.o" "gcc" "src/click/CMakeFiles/escape_click.dir/elements_basic.cpp.o.d"
+  "/root/repo/src/click/elements_ip.cpp" "src/click/CMakeFiles/escape_click.dir/elements_ip.cpp.o" "gcc" "src/click/CMakeFiles/escape_click.dir/elements_ip.cpp.o.d"
+  "/root/repo/src/click/elements_queue.cpp" "src/click/CMakeFiles/escape_click.dir/elements_queue.cpp.o" "gcc" "src/click/CMakeFiles/escape_click.dir/elements_queue.cpp.o.d"
+  "/root/repo/src/click/elements_shaping.cpp" "src/click/CMakeFiles/escape_click.dir/elements_shaping.cpp.o" "gcc" "src/click/CMakeFiles/escape_click.dir/elements_shaping.cpp.o.d"
+  "/root/repo/src/click/elements_vnf.cpp" "src/click/CMakeFiles/escape_click.dir/elements_vnf.cpp.o" "gcc" "src/click/CMakeFiles/escape_click.dir/elements_vnf.cpp.o.d"
+  "/root/repo/src/click/filter_expr.cpp" "src/click/CMakeFiles/escape_click.dir/filter_expr.cpp.o" "gcc" "src/click/CMakeFiles/escape_click.dir/filter_expr.cpp.o.d"
+  "/root/repo/src/click/registry.cpp" "src/click/CMakeFiles/escape_click.dir/registry.cpp.o" "gcc" "src/click/CMakeFiles/escape_click.dir/registry.cpp.o.d"
+  "/root/repo/src/click/router.cpp" "src/click/CMakeFiles/escape_click.dir/router.cpp.o" "gcc" "src/click/CMakeFiles/escape_click.dir/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/escape_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/escape_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escape_click.dir/config.cpp.o"
+  "CMakeFiles/escape_click.dir/config.cpp.o.d"
+  "CMakeFiles/escape_click.dir/element.cpp.o"
+  "CMakeFiles/escape_click.dir/element.cpp.o.d"
+  "CMakeFiles/escape_click.dir/elements_basic.cpp.o"
+  "CMakeFiles/escape_click.dir/elements_basic.cpp.o.d"
+  "CMakeFiles/escape_click.dir/elements_ip.cpp.o"
+  "CMakeFiles/escape_click.dir/elements_ip.cpp.o.d"
+  "CMakeFiles/escape_click.dir/elements_queue.cpp.o"
+  "CMakeFiles/escape_click.dir/elements_queue.cpp.o.d"
+  "CMakeFiles/escape_click.dir/elements_shaping.cpp.o"
+  "CMakeFiles/escape_click.dir/elements_shaping.cpp.o.d"
+  "CMakeFiles/escape_click.dir/elements_vnf.cpp.o"
+  "CMakeFiles/escape_click.dir/elements_vnf.cpp.o.d"
+  "CMakeFiles/escape_click.dir/filter_expr.cpp.o"
+  "CMakeFiles/escape_click.dir/filter_expr.cpp.o.d"
+  "CMakeFiles/escape_click.dir/registry.cpp.o"
+  "CMakeFiles/escape_click.dir/registry.cpp.o.d"
+  "CMakeFiles/escape_click.dir/router.cpp.o"
+  "CMakeFiles/escape_click.dir/router.cpp.o.d"
+  "libescape_click.a"
+  "libescape_click.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escape_click.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

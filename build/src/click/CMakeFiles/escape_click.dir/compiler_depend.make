@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for escape_click.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escape_env.dir/environment.cpp.o"
+  "CMakeFiles/escape_env.dir/environment.cpp.o.d"
+  "libescape_env.a"
+  "libescape_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escape_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escape_json.dir/json.cpp.o"
+  "CMakeFiles/escape_json.dir/json.cpp.o.d"
+  "libescape_json.a"
+  "libescape_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escape_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escape_net.dir/addr.cpp.o"
+  "CMakeFiles/escape_net.dir/addr.cpp.o.d"
+  "CMakeFiles/escape_net.dir/builder.cpp.o"
+  "CMakeFiles/escape_net.dir/builder.cpp.o.d"
+  "CMakeFiles/escape_net.dir/flow.cpp.o"
+  "CMakeFiles/escape_net.dir/flow.cpp.o.d"
+  "CMakeFiles/escape_net.dir/headers.cpp.o"
+  "CMakeFiles/escape_net.dir/headers.cpp.o.d"
+  "CMakeFiles/escape_net.dir/packet.cpp.o"
+  "CMakeFiles/escape_net.dir/packet.cpp.o.d"
+  "libescape_net.a"
+  "libescape_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escape_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

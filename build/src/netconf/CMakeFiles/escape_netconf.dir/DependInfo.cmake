@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netconf/session.cpp" "src/netconf/CMakeFiles/escape_netconf.dir/session.cpp.o" "gcc" "src/netconf/CMakeFiles/escape_netconf.dir/session.cpp.o.d"
+  "/root/repo/src/netconf/transport.cpp" "src/netconf/CMakeFiles/escape_netconf.dir/transport.cpp.o" "gcc" "src/netconf/CMakeFiles/escape_netconf.dir/transport.cpp.o.d"
+  "/root/repo/src/netconf/vnf_agent.cpp" "src/netconf/CMakeFiles/escape_netconf.dir/vnf_agent.cpp.o" "gcc" "src/netconf/CMakeFiles/escape_netconf.dir/vnf_agent.cpp.o.d"
+  "/root/repo/src/netconf/yang.cpp" "src/netconf/CMakeFiles/escape_netconf.dir/yang.cpp.o" "gcc" "src/netconf/CMakeFiles/escape_netconf.dir/yang.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xml/CMakeFiles/escape_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/netemu/CMakeFiles/escape_netemu.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/escape_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/click/CMakeFiles/escape_click.dir/DependInfo.cmake"
+  "/root/repo/build/src/pox/CMakeFiles/escape_pox.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/escape_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/escape_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escape_netconf.dir/session.cpp.o"
+  "CMakeFiles/escape_netconf.dir/session.cpp.o.d"
+  "CMakeFiles/escape_netconf.dir/transport.cpp.o"
+  "CMakeFiles/escape_netconf.dir/transport.cpp.o.d"
+  "CMakeFiles/escape_netconf.dir/vnf_agent.cpp.o"
+  "CMakeFiles/escape_netconf.dir/vnf_agent.cpp.o.d"
+  "CMakeFiles/escape_netconf.dir/yang.cpp.o"
+  "CMakeFiles/escape_netconf.dir/yang.cpp.o.d"
+  "libescape_netconf.a"
+  "libescape_netconf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escape_netconf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

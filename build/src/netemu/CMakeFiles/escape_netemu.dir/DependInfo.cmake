@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netemu/host.cpp" "src/netemu/CMakeFiles/escape_netemu.dir/host.cpp.o" "gcc" "src/netemu/CMakeFiles/escape_netemu.dir/host.cpp.o.d"
+  "/root/repo/src/netemu/link.cpp" "src/netemu/CMakeFiles/escape_netemu.dir/link.cpp.o" "gcc" "src/netemu/CMakeFiles/escape_netemu.dir/link.cpp.o.d"
+  "/root/repo/src/netemu/network.cpp" "src/netemu/CMakeFiles/escape_netemu.dir/network.cpp.o" "gcc" "src/netemu/CMakeFiles/escape_netemu.dir/network.cpp.o.d"
+  "/root/repo/src/netemu/node.cpp" "src/netemu/CMakeFiles/escape_netemu.dir/node.cpp.o" "gcc" "src/netemu/CMakeFiles/escape_netemu.dir/node.cpp.o.d"
+  "/root/repo/src/netemu/pcap.cpp" "src/netemu/CMakeFiles/escape_netemu.dir/pcap.cpp.o" "gcc" "src/netemu/CMakeFiles/escape_netemu.dir/pcap.cpp.o.d"
+  "/root/repo/src/netemu/switch_node.cpp" "src/netemu/CMakeFiles/escape_netemu.dir/switch_node.cpp.o" "gcc" "src/netemu/CMakeFiles/escape_netemu.dir/switch_node.cpp.o.d"
+  "/root/repo/src/netemu/vnf_container.cpp" "src/netemu/CMakeFiles/escape_netemu.dir/vnf_container.cpp.o" "gcc" "src/netemu/CMakeFiles/escape_netemu.dir/vnf_container.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/click/CMakeFiles/escape_click.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/escape_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/pox/CMakeFiles/escape_pox.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/escape_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/escape_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escape_netemu.dir/host.cpp.o"
+  "CMakeFiles/escape_netemu.dir/host.cpp.o.d"
+  "CMakeFiles/escape_netemu.dir/link.cpp.o"
+  "CMakeFiles/escape_netemu.dir/link.cpp.o.d"
+  "CMakeFiles/escape_netemu.dir/network.cpp.o"
+  "CMakeFiles/escape_netemu.dir/network.cpp.o.d"
+  "CMakeFiles/escape_netemu.dir/node.cpp.o"
+  "CMakeFiles/escape_netemu.dir/node.cpp.o.d"
+  "CMakeFiles/escape_netemu.dir/pcap.cpp.o"
+  "CMakeFiles/escape_netemu.dir/pcap.cpp.o.d"
+  "CMakeFiles/escape_netemu.dir/switch_node.cpp.o"
+  "CMakeFiles/escape_netemu.dir/switch_node.cpp.o.d"
+  "CMakeFiles/escape_netemu.dir/vnf_container.cpp.o"
+  "CMakeFiles/escape_netemu.dir/vnf_container.cpp.o.d"
+  "libescape_netemu.a"
+  "libescape_netemu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escape_netemu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

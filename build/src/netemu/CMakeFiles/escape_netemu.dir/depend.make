@@ -1,0 +1,2 @@
+# Empty dependencies file for escape_netemu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/openflow/actions.cpp" "src/openflow/CMakeFiles/escape_openflow.dir/actions.cpp.o" "gcc" "src/openflow/CMakeFiles/escape_openflow.dir/actions.cpp.o.d"
+  "/root/repo/src/openflow/flow_table.cpp" "src/openflow/CMakeFiles/escape_openflow.dir/flow_table.cpp.o" "gcc" "src/openflow/CMakeFiles/escape_openflow.dir/flow_table.cpp.o.d"
+  "/root/repo/src/openflow/match.cpp" "src/openflow/CMakeFiles/escape_openflow.dir/match.cpp.o" "gcc" "src/openflow/CMakeFiles/escape_openflow.dir/match.cpp.o.d"
+  "/root/repo/src/openflow/switch.cpp" "src/openflow/CMakeFiles/escape_openflow.dir/switch.cpp.o" "gcc" "src/openflow/CMakeFiles/escape_openflow.dir/switch.cpp.o.d"
+  "/root/repo/src/openflow/wire.cpp" "src/openflow/CMakeFiles/escape_openflow.dir/wire.cpp.o" "gcc" "src/openflow/CMakeFiles/escape_openflow.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/escape_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/escape_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

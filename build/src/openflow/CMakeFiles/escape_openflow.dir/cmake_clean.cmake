@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escape_openflow.dir/actions.cpp.o"
+  "CMakeFiles/escape_openflow.dir/actions.cpp.o.d"
+  "CMakeFiles/escape_openflow.dir/flow_table.cpp.o"
+  "CMakeFiles/escape_openflow.dir/flow_table.cpp.o.d"
+  "CMakeFiles/escape_openflow.dir/match.cpp.o"
+  "CMakeFiles/escape_openflow.dir/match.cpp.o.d"
+  "CMakeFiles/escape_openflow.dir/switch.cpp.o"
+  "CMakeFiles/escape_openflow.dir/switch.cpp.o.d"
+  "CMakeFiles/escape_openflow.dir/wire.cpp.o"
+  "CMakeFiles/escape_openflow.dir/wire.cpp.o.d"
+  "libescape_openflow.a"
+  "libescape_openflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escape_openflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libescape_openflow.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escape_orchestrator.dir/deployment.cpp.o"
+  "CMakeFiles/escape_orchestrator.dir/deployment.cpp.o.d"
+  "CMakeFiles/escape_orchestrator.dir/mapping.cpp.o"
+  "CMakeFiles/escape_orchestrator.dir/mapping.cpp.o.d"
+  "CMakeFiles/escape_orchestrator.dir/view.cpp.o"
+  "CMakeFiles/escape_orchestrator.dir/view.cpp.o.d"
+  "libescape_orchestrator.a"
+  "libescape_orchestrator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escape_orchestrator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pox/core.cpp" "src/pox/CMakeFiles/escape_pox.dir/core.cpp.o" "gcc" "src/pox/CMakeFiles/escape_pox.dir/core.cpp.o.d"
+  "/root/repo/src/pox/discovery.cpp" "src/pox/CMakeFiles/escape_pox.dir/discovery.cpp.o" "gcc" "src/pox/CMakeFiles/escape_pox.dir/discovery.cpp.o.d"
+  "/root/repo/src/pox/l2_learning.cpp" "src/pox/CMakeFiles/escape_pox.dir/l2_learning.cpp.o" "gcc" "src/pox/CMakeFiles/escape_pox.dir/l2_learning.cpp.o.d"
+  "/root/repo/src/pox/steering.cpp" "src/pox/CMakeFiles/escape_pox.dir/steering.cpp.o" "gcc" "src/pox/CMakeFiles/escape_pox.dir/steering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/openflow/CMakeFiles/escape_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/escape_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/escape_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escape_pox.dir/core.cpp.o"
+  "CMakeFiles/escape_pox.dir/core.cpp.o.d"
+  "CMakeFiles/escape_pox.dir/discovery.cpp.o"
+  "CMakeFiles/escape_pox.dir/discovery.cpp.o.d"
+  "CMakeFiles/escape_pox.dir/l2_learning.cpp.o"
+  "CMakeFiles/escape_pox.dir/l2_learning.cpp.o.d"
+  "CMakeFiles/escape_pox.dir/steering.cpp.o"
+  "CMakeFiles/escape_pox.dir/steering.cpp.o.d"
+  "libescape_pox.a"
+  "libescape_pox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escape_pox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/service/catalog.cpp" "src/service/CMakeFiles/escape_service.dir/catalog.cpp.o" "gcc" "src/service/CMakeFiles/escape_service.dir/catalog.cpp.o.d"
+  "/root/repo/src/service/formats.cpp" "src/service/CMakeFiles/escape_service.dir/formats.cpp.o" "gcc" "src/service/CMakeFiles/escape_service.dir/formats.cpp.o.d"
+  "/root/repo/src/service/layer.cpp" "src/service/CMakeFiles/escape_service.dir/layer.cpp.o" "gcc" "src/service/CMakeFiles/escape_service.dir/layer.cpp.o.d"
+  "/root/repo/src/service/topologies.cpp" "src/service/CMakeFiles/escape_service.dir/topologies.cpp.o" "gcc" "src/service/CMakeFiles/escape_service.dir/topologies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sg/CMakeFiles/escape_sg.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/escape_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/netemu/CMakeFiles/escape_netemu.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/escape_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/click/CMakeFiles/escape_click.dir/DependInfo.cmake"
+  "/root/repo/build/src/pox/CMakeFiles/escape_pox.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/escape_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/escape_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escape_service.dir/catalog.cpp.o"
+  "CMakeFiles/escape_service.dir/catalog.cpp.o.d"
+  "CMakeFiles/escape_service.dir/formats.cpp.o"
+  "CMakeFiles/escape_service.dir/formats.cpp.o.d"
+  "CMakeFiles/escape_service.dir/layer.cpp.o"
+  "CMakeFiles/escape_service.dir/layer.cpp.o.d"
+  "CMakeFiles/escape_service.dir/topologies.cpp.o"
+  "CMakeFiles/escape_service.dir/topologies.cpp.o.d"
+  "libescape_service.a"
+  "libescape_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escape_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escape_sg.dir/resource_model.cpp.o"
+  "CMakeFiles/escape_sg.dir/resource_model.cpp.o.d"
+  "CMakeFiles/escape_sg.dir/service_graph.cpp.o"
+  "CMakeFiles/escape_sg.dir/service_graph.cpp.o.d"
+  "libescape_sg.a"
+  "libescape_sg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escape_sg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

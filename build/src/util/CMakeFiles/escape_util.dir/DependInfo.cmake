@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/event.cpp" "src/util/CMakeFiles/escape_util.dir/event.cpp.o" "gcc" "src/util/CMakeFiles/escape_util.dir/event.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/util/CMakeFiles/escape_util.dir/logging.cpp.o" "gcc" "src/util/CMakeFiles/escape_util.dir/logging.cpp.o.d"
+  "/root/repo/src/util/random.cpp" "src/util/CMakeFiles/escape_util.dir/random.cpp.o" "gcc" "src/util/CMakeFiles/escape_util.dir/random.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/escape_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/escape_util.dir/stats.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/util/CMakeFiles/escape_util.dir/strings.cpp.o" "gcc" "src/util/CMakeFiles/escape_util.dir/strings.cpp.o.d"
+  "/root/repo/src/util/token_bucket.cpp" "src/util/CMakeFiles/escape_util.dir/token_bucket.cpp.o" "gcc" "src/util/CMakeFiles/escape_util.dir/token_bucket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escape_util.dir/event.cpp.o"
+  "CMakeFiles/escape_util.dir/event.cpp.o.d"
+  "CMakeFiles/escape_util.dir/logging.cpp.o"
+  "CMakeFiles/escape_util.dir/logging.cpp.o.d"
+  "CMakeFiles/escape_util.dir/random.cpp.o"
+  "CMakeFiles/escape_util.dir/random.cpp.o.d"
+  "CMakeFiles/escape_util.dir/stats.cpp.o"
+  "CMakeFiles/escape_util.dir/stats.cpp.o.d"
+  "CMakeFiles/escape_util.dir/strings.cpp.o"
+  "CMakeFiles/escape_util.dir/strings.cpp.o.d"
+  "CMakeFiles/escape_util.dir/token_bucket.cpp.o"
+  "CMakeFiles/escape_util.dir/token_bucket.cpp.o.d"
+  "libescape_util.a"
+  "libescape_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escape_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escape_xml.dir/xml.cpp.o"
+  "CMakeFiles/escape_xml.dir/xml.cpp.o.d"
+  "libescape_xml.a"
+  "libescape_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escape_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

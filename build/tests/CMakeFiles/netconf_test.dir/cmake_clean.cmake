@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netconf_test.dir/netconf_test.cpp.o"
+  "CMakeFiles/netconf_test.dir/netconf_test.cpp.o.d"
+  "netconf_test"
+  "netconf_test.pdb"
+  "netconf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netconf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netemu_test.dir/netemu_test.cpp.o"
+  "CMakeFiles/netemu_test.dir/netemu_test.cpp.o.d"
+  "netemu_test"
+  "netemu_test.pdb"
+  "netemu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netemu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

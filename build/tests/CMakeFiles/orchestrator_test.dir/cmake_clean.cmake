@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orchestrator_test.dir/orchestrator_test.cpp.o"
+  "CMakeFiles/orchestrator_test.dir/orchestrator_test.cpp.o.d"
+  "orchestrator_test"
+  "orchestrator_test.pdb"
+  "orchestrator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orchestrator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

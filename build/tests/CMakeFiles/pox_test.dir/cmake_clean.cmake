@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pox_test.dir/pox_test.cpp.o"
+  "CMakeFiles/pox_test.dir/pox_test.cpp.o.d"
+  "pox_test"
+  "pox_test.pdb"
+  "pox_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

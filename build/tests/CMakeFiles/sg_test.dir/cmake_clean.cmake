@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_test.dir/sg_test.cpp.o"
+  "CMakeFiles/sg_test.dir/sg_test.cpp.o.d"
+  "sg_test"
+  "sg_test.pdb"
+  "sg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escape-run.dir/escape_run.cpp.o"
+  "CMakeFiles/escape-run.dir/escape_run.cpp.o.d"
+  "escape-run"
+  "escape-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escape-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
