@@ -15,6 +15,7 @@
 #include "click/element.hpp"
 #include "click/filter_expr.hpp"
 #include "net/builder.hpp"
+#include "net/packet_pool.hpp"
 #include "util/random.hpp"
 #include "util/token_bucket.hpp"
 
@@ -35,6 +36,13 @@ struct PacketTemplate {
 
   Status load(const ConfigArgs& args);
   Packet make(std::size_t length, std::uint64_t seq, SimTime now) const;
+
+ private:
+  // Prototype frame cache: building the headers once and copying from a
+  // pooled buffer is much cheaper than re-encoding per packet. Keyed by
+  // length; invalidated by load().
+  mutable std::optional<Packet> proto_;
+  mutable std::size_t proto_length_ = 0;
 };
 
 // --- sources & sinks ---------------------------------------------------------
@@ -45,6 +53,7 @@ class Discard : public Element {
   Discard();
   std::string_view class_name() const override { return "Discard"; }
   void push(int port, Packet&& p) override;
+  void push_batch(int port, PacketBatch&& batch) override;
 
  private:
   std::uint64_t count_ = 0;
@@ -120,6 +129,7 @@ class Counter : public SimpleElement {
  public:
   Counter();
   std::string_view class_name() const override { return "Counter"; }
+  void push_batch(int port, PacketBatch&& batch) override;
 
   std::uint64_t count() const { return count_; }
   std::uint64_t byte_count() const { return bytes_; }
@@ -159,6 +169,7 @@ class Tee : public Element {
   std::string_view class_name() const override { return "Tee"; }
   Status configure(const ConfigArgs& args) override;
   void push(int port, Packet&& p) override;
+  void push_batch(int port, PacketBatch&& batch) override;
 };
 
 /// Statically routes every packet to output K; K settable at runtime via
@@ -169,6 +180,7 @@ class Switch : public Element {
   std::string_view class_name() const override { return "Switch"; }
   Status configure(const ConfigArgs& args) override;
   void push(int port, Packet&& p) override;
+  void push_batch(int port, PacketBatch&& batch) override;
 
  private:
   int current_ = 0;
@@ -207,6 +219,7 @@ class PaintSwitch : public Element {
   std::string_view class_name() const override { return "PaintSwitch"; }
   Status configure(const ConfigArgs& args) override;
   void push(int port, Packet&& p) override;
+  void push_batch(int port, PacketBatch&& batch) override;
 };
 
 /// CheckPaint(COLOR c): packets painted c -> output 0, others -> output 1.
@@ -216,6 +229,7 @@ class CheckPaint : public Element {
   std::string_view class_name() const override { return "CheckPaint"; }
   Status configure(const ConfigArgs& args) override;
   void push(int port, Packet&& p) override;
+  void push_batch(int port, PacketBatch&& batch) override;
 
  private:
   std::uint8_t color_ = 0;
@@ -229,8 +243,11 @@ class Classifier : public Element {
   std::string_view class_name() const override { return "Classifier"; }
   Status configure(const ConfigArgs& args) override;
   void push(int port, Packet&& p) override;
+  void push_batch(int port, PacketBatch&& batch) override;
 
  private:
+  int classify(const Packet& p) const;
+
   struct Pattern {
     bool catch_all = false;
     std::size_t offset = 0;
@@ -247,8 +264,11 @@ class IPClassifier : public Element {
   std::string_view class_name() const override { return "IPClassifier"; }
   Status configure(const ConfigArgs& args) override;
   void push(int port, Packet&& p) override;
+  void push_batch(int port, PacketBatch&& batch) override;
 
  private:
+  int classify(const Packet& p) const;
+
   struct Rule {
     bool catch_all = false;
     FilterExpr expr;
@@ -264,6 +284,7 @@ class IPFilter : public Element {
   std::string_view class_name() const override { return "IPFilter"; }
   Status configure(const ConfigArgs& args) override;
   void push(int port, Packet&& p) override;
+  void push_batch(int port, PacketBatch&& batch) override;
 
  private:
   std::optional<FilterExpr> expr_;
@@ -282,6 +303,8 @@ class Queue : public Element {
   Status configure(const ConfigArgs& args) override;
   void push(int port, Packet&& p) override;
   std::optional<Packet> pull(int port) override;
+  void push_batch(int port, PacketBatch&& batch) override;
+  PacketBatch pull_batch(int port, std::size_t max) override;
 
   std::size_t length() const { return queue_.size(); }
   std::uint64_t drops() const { return drops_; }
@@ -424,6 +447,7 @@ class BandwidthShaper : public Element {
   std::string_view class_name() const override { return "BandwidthShaper"; }
   Status configure(const ConfigArgs& args) override;
   std::optional<Packet> pull(int port) override;
+  PacketBatch pull_batch(int port, std::size_t max) override;
 
  private:
   std::uint64_t rate_ = 1'000'000;  // bytes/s
@@ -468,6 +492,7 @@ class Meter : public Element {
   std::string_view class_name() const override { return "Meter"; }
   Status configure(const ConfigArgs& args) override;
   void push(int port, Packet&& p) override;
+  void push_batch(int port, PacketBatch&& batch) override;
 
  private:
   std::uint64_t rate_ = 1000;
@@ -487,6 +512,7 @@ class Firewall : public Element {
   std::string_view class_name() const override { return "Firewall"; }
   Status configure(const ConfigArgs& args) override;
   void push(int port, Packet&& p) override;
+  void push_batch(int port, PacketBatch&& batch) override;
 
   std::uint64_t accepted() const { return accepted_; }
   std::uint64_t denied() const { return denied_; }
@@ -581,6 +607,9 @@ class FromDevice : public Element {
 
   /// Called by the VNF container when a packet arrives on the device.
   void inject(Packet&& p);
+
+  /// Burst entry: injects a whole batch into the graph in one call.
+  void inject_batch(PacketBatch&& batch);
 
  private:
   std::string devname_;

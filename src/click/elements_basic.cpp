@@ -15,6 +15,7 @@ Logger g_log{"click.elements"};
 }  // namespace
 
 Status PacketTemplate::load(const ConfigArgs& args) {
+  proto_.reset();  // header fields may change below; rebuild on next make()
   if (auto v = args.keyword("SRC_IP")) {
     auto a = net::Ipv4Addr::parse(*v);
     if (!a) return make_error("click.config.bad-arg", "invalid SRC_IP: " + *v);
@@ -41,7 +42,13 @@ Status PacketTemplate::load(const ConfigArgs& args) {
 }
 
 Packet PacketTemplate::make(std::size_t length, std::uint64_t seq, SimTime now) const {
-  Packet p = net::make_udp_packet(eth_src, eth_dst, ip_src, ip_dst, sport, dport, length);
+  if (!proto_ || proto_length_ != length) {
+    proto_ = net::make_udp_packet(eth_src, eth_dst, ip_src, ip_dst, sport, dport, length);
+    proto_length_ = length;
+  }
+  // Copy the prototype bytes into a recycled buffer instead of encoding
+  // headers (and allocating) per packet.
+  Packet p = net::default_packet_pool().acquire_copy(*proto_);
   p.set_seq(seq);
   p.set_timestamp(now);
   return p;
@@ -54,7 +61,15 @@ Discard::Discard() {
   add_read_handler("count", [this] { return std::to_string(count_); });
 }
 
-void Discard::push(int, Packet&&) { ++count_; }
+void Discard::push(int, Packet&& p) {
+  ++count_;
+  net::default_packet_pool().recycle(std::move(p));
+}
+
+void Discard::push_batch(int, PacketBatch&& batch) {
+  count_ += batch.size();
+  net::default_packet_pool().recycle(std::move(batch));
+}
 
 // --- InfiniteSource -------------------------------------------------------------
 
@@ -182,6 +197,24 @@ Counter::Verdict Counter::process(Packet& p) {
   return {true, 0};
 }
 
+void Counter::push_batch(int, PacketBatch&& batch) {
+  if (batch.empty()) return;
+  // Same arithmetic as process() once per packet: every packet of a
+  // batch shares one arrival instant, so at most the first packet can
+  // cross the rate window boundary and the rest just increment.
+  count_ += batch.size();
+  bytes_ += batch.total_bytes();
+  const SimTime now = router() ? router()->scheduler().now() : 0;
+  if (now - window_start_ >= timeunit::kSecond) {
+    last_rate_ = static_cast<double>(window_count_) /
+                 (static_cast<double>(now - window_start_) / timeunit::kSecond);
+    window_start_ = now;
+    window_count_ = 0;
+  }
+  window_count_ += batch.size();
+  output_push_batch(0, std::move(batch));
+}
+
 // --- Print -----------------------------------------------------------------------
 
 Status Print::configure(const ConfigArgs& args) {
@@ -211,14 +244,9 @@ Status Tee::configure(const ConfigArgs& args) {
   return ok_status();
 }
 
-void Tee::push(int, Packet&& p) {
-  const int n = n_outputs();
-  for (int i = 0; i + 1 < n; ++i) {
-    Packet copy = p;  // deep copy for all but the last output
-    output_push(i, std::move(copy));
-  }
-  if (n > 0) output_push(n - 1, std::move(p));
-}
+void Tee::push(int, Packet&& p) { output_push_all(std::move(p)); }
+
+void Tee::push_batch(int, PacketBatch&& batch) { output_push_all_batch(std::move(batch)); }
 
 // --- Switch ----------------------------------------------------------------------
 
@@ -252,6 +280,10 @@ Status Switch::configure(const ConfigArgs& args) {
 
 void Switch::push(int, Packet&& p) {
   if (current_ >= 0) output_push(current_, std::move(p));
+}
+
+void Switch::push_batch(int, PacketBatch&& batch) {
+  if (current_ >= 0) output_push_batch(current_, std::move(batch));
 }
 
 // --- RoundRobinSwitch --------------------------------------------------------------
@@ -318,6 +350,15 @@ void PaintSwitch::push(int, Packet&& p) {
   output_push(port, std::move(p));
 }
 
+void PaintSwitch::push_batch(int, PacketBatch&& batch) {
+  RunEmitter out(*this, std::move(batch));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    int port = out[i].paint();
+    if (port >= n_outputs()) port = n_outputs() - 1;
+    out.keep(i, port);
+  }
+}
+
 CheckPaint::CheckPaint() {
   declare_ports({PortMode::kPush}, {PortMode::kPush, PortMode::kPush});
 }
@@ -333,6 +374,13 @@ Status CheckPaint::configure(const ConfigArgs& args) {
 
 void CheckPaint::push(int, Packet&& p) {
   output_push(p.paint() == color_ ? 0 : 1, std::move(p));
+}
+
+void CheckPaint::push_batch(int, PacketBatch&& batch) {
+  RunEmitter out(*this, std::move(batch));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.keep(i, out[i].paint() == color_ ? 0 : 1);
+  }
 }
 
 // --- Classifier ---------------------------------------------------------------------
@@ -381,20 +429,31 @@ Status Classifier::configure(const ConfigArgs& args) {
   return ok_status();
 }
 
-void Classifier::push(int, Packet&& p) {
+int Classifier::classify(const Packet& p) const {
   for (std::size_t i = 0; i < patterns_.size(); ++i) {
     const Pattern& pat = patterns_[i];
-    if (pat.catch_all) {
-      output_push(static_cast<int>(i), std::move(p));
-      return;
-    }
+    if (pat.catch_all) return static_cast<int>(i);
     if (pat.offset + pat.value.size() > p.size()) continue;
-    if (std::equal(pat.value.begin(), pat.value.end(), p.bytes().begin() + static_cast<long>(pat.offset))) {
-      output_push(static_cast<int>(i), std::move(p));
-      return;
+    if (std::equal(pat.value.begin(), pat.value.end(),
+                   p.bytes().begin() + static_cast<long>(pat.offset))) {
+      return static_cast<int>(i);
     }
   }
+  return -1;
+}
+
+void Classifier::push(int, Packet&& p) {
+  const int port = classify(p);
+  if (port >= 0) output_push(port, std::move(p));
   // No match: drop (Click semantics).
+}
+
+void Classifier::push_batch(int, PacketBatch&& batch) {
+  RunEmitter out(*this, std::move(batch));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const int port = classify(out[i]);
+    if (port >= 0) out.keep(i, port);
+  }
 }
 
 // --- IPClassifier -------------------------------------------------------------------
@@ -427,15 +486,40 @@ Status IPClassifier::configure(const ConfigArgs& args) {
   return ok_status();
 }
 
-void IPClassifier::push(int, Packet&& p) {
+int IPClassifier::classify(const Packet& p) const {
   const ClassifyCtx ctx = ClassifyCtx::from_packet(p);
   for (std::size_t i = 0; i < rules_.size(); ++i) {
-    if (rules_[i].catch_all || rules_[i].expr.matches(ctx)) {
-      output_push(static_cast<int>(i), std::move(p));
-      return;
-    }
+    if (rules_[i].catch_all || rules_[i].expr.matches(ctx)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void IPClassifier::push(int, Packet&& p) {
+  const int port = classify(p);
+  if (port >= 0) {
+    output_push(port, std::move(p));
+    return;
   }
   ++no_match_drops_;
+}
+
+void IPClassifier::push_batch(int, PacketBatch&& batch) {
+  RunEmitter out(*this, std::move(batch));
+  // Flow-run verdict cache (see IPFilter::push_batch).
+  const Packet* prev = nullptr;
+  int prev_port = -1;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const Packet& p = out[i];
+    const int port =
+        (prev && classify_equivalent(*prev, p)) ? prev_port : classify(p);
+    prev = &p;
+    prev_port = port;
+    if (port >= 0) {
+      out.keep(i, port);
+    } else {
+      ++no_match_drops_;
+    }
+  }
 }
 
 // --- IPFilter ------------------------------------------------------------------------
@@ -466,6 +550,29 @@ void IPFilter::push(int, Packet&& p) {
   } else {
     ++rejected_;
     output_push(1, std::move(p));  // dropped if unconnected
+  }
+}
+
+void IPFilter::push_batch(int, PacketBatch&& batch) {
+  RunEmitter out(*this, std::move(batch));
+  // Flow-run verdict cache: byte-identical headers classify identically,
+  // so a run of one flow evaluates the expression once.
+  const Packet* prev = nullptr;
+  bool prev_hit = false;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const Packet& p = out[i];
+    const bool hit = (prev && classify_equivalent(*prev, p))
+                         ? prev_hit
+                         : (expr_ && expr_->matches(p));
+    prev = &p;
+    prev_hit = hit;
+    if (hit) {
+      ++matched_;
+      out.keep(i, 0);
+    } else {
+      ++rejected_;
+      out.keep(i, 1);
+    }
   }
 }
 

@@ -82,6 +82,39 @@ void Firewall::push(int, Packet&& p) {
   }
 }
 
+void Firewall::push_batch(int, PacketBatch&& batch) {
+  RunEmitter out(*this, std::move(batch));
+  // Flow-run verdict cache: byte-identical headers hit the same rule,
+  // so a run of one flow walks the rule list once.
+  const Packet* prev = nullptr;
+  bool prev_allow = false;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const Packet& p = out[i];
+    bool allow;
+    if (prev && classify_equivalent(*prev, p)) {
+      allow = prev_allow;
+    } else {
+      const ClassifyCtx ctx = ClassifyCtx::from_packet(p);
+      allow = default_allow_;
+      for (const auto& rule : rules_) {
+        if (rule.expr.matches(ctx)) {
+          allow = rule.allow;
+          break;  // first match wins
+        }
+      }
+    }
+    prev = &p;
+    prev_allow = allow;
+    if (allow) {
+      ++accepted_;
+      out.keep(i, 0);
+    } else {
+      ++denied_;
+      if (output_connected(1)) out.keep(i, 1);
+    }
+  }
+}
+
 // --- NAPT ------------------------------------------------------------------------
 
 NAPT::NAPT() {
@@ -239,6 +272,11 @@ Status FromDevice::configure(const ConfigArgs& args) {
 void FromDevice::inject(Packet&& p) {
   ++received_;
   output_push(0, std::move(p));
+}
+
+void FromDevice::inject_batch(PacketBatch&& batch) {
+  received_ += batch.size();
+  output_push_batch(0, std::move(batch));
 }
 
 ToDevice::ToDevice() {

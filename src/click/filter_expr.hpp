@@ -27,6 +27,14 @@
 
 namespace escape::click {
 
+/// True when two frames are byte-identical over every byte the
+/// classification layer can inspect (Ethernet + maximal IPv4 header +
+/// L4 ports/flags) and have equal length. Equal frames classify
+/// identically, so batch overrides may reuse the previous packet's
+/// verdict within a run of one flow -- the Click-side analogue of the
+/// OpenFlow flow-run lookup cache.
+bool classify_equivalent(const net::Packet& a, const net::Packet& b);
+
 /// Per-packet classification context: the extracted flow key plus TCP
 /// flags (0 when not TCP).
 struct ClassifyCtx {

@@ -59,6 +59,16 @@ class Packet {
   std::uint32_t chain_tag() const { return chain_tag_; }
   void set_chain_tag(std::uint32_t t) { chain_tag_ = t; }
 
+  /// Restores every annotation to its freshly-constructed value (used by
+  /// PacketPool so recycled buffers carry no stale state).
+  void reset_annotations() {
+    paint_ = 0;
+    in_port_ = -1;
+    timestamp_ = kNoTimestamp;
+    seq_ = 0;
+    chain_tag_ = 0;
+  }
+
   /// Short debug rendering: "pkt[len=98 paint=0 seq=7]".
   std::string to_string() const;
 

@@ -1,0 +1,14 @@
+#include "net/packet_batch.hpp"
+
+#include "util/stats.hpp"
+
+namespace escape::net {
+
+PacketBatch PacketBatch::clone() const {
+  PacketBatch out(packets_.size());
+  for (const auto& p : packets_) out.push_back(Packet(p));
+  stats::packet_clones().add(packets_.size());
+  return out;
+}
+
+}  // namespace escape::net

@@ -1,6 +1,7 @@
 #include "netemu/host.hpp"
 
 #include "net/headers.hpp"
+#include "net/packet_pool.hpp"
 
 namespace escape::netemu {
 
@@ -64,6 +65,8 @@ void Host::deliver(std::uint16_t, net::Packet&& packet) {
     }
   }
   for (auto& fn : observers_) fn(packet);
+  // The host is this packet's terminal: give the buffer back for reuse.
+  net::default_packet_pool().recycle(std::move(packet));
 }
 
 void Host::send(net::Packet&& packet) {
@@ -91,8 +94,11 @@ void Host::send_next_flow_packet() {
     flow_.reset();
     return;
   }
-  net::Packet p = net::make_udp_packet(mac_, flow_->dst_mac, ip_, flow_->dst_ip, flow_->sport,
-                                       flow_->dport, flow_->frame_size);
+  if (!flow_->proto) {
+    flow_->proto = net::make_udp_packet(mac_, flow_->dst_mac, ip_, flow_->dst_ip, flow_->sport,
+                                        flow_->dport, flow_->frame_size);
+  }
+  net::Packet p = net::default_packet_pool().acquire_copy(*flow_->proto);
   p.set_seq(flow_->seq++);
   p.set_timestamp(scheduler().now());
   --flow_->remaining;

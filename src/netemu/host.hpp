@@ -75,6 +75,8 @@ class Host : public Node {
     std::uint64_t seq = 0;
     SimDuration gap = 0;
     std::size_t frame_size = 98;
+    // Prototype frame: headers encoded once, copied into pooled buffers.
+    std::optional<net::Packet> proto;
   };
   std::optional<FlowState> flow_;
 

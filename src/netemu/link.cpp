@@ -16,43 +16,76 @@ Link::Link(Node* node_a, std::uint16_t port_a, Node* node_b, std::uint16_t port_
       scheduler_(&scheduler),
       loss_rng_(loss_seed) {}
 
+Link::~Link() {
+  dir_[0].event.cancel();
+  dir_[1].event.cancel();
+}
+
 SimDuration Link::tx_time(std::size_t bytes) const {
   // bits / (bits per second) in nanoseconds, rounded up.
   const std::uint64_t bits = static_cast<std::uint64_t>(bytes) * 8;
   return (bits * timeunit::kSecond + config_.bandwidth_bps - 1) / config_.bandwidth_bps;
 }
 
-void Link::transmit(int from_endpoint, net::Packet&& packet) {
-  Direction& dir = dir_[from_endpoint];
-  const SimTime now = scheduler_->now();
-
+bool Link::enqueue_frame(Direction& dir, net::Packet&& packet) {
   if (config_.loss > 0.0 && loss_rng_.next_bool(config_.loss)) {
     ++dir.dropped;
-    return;
+    return false;
   }
 
   // Queue admission: frames in flight beyond the queue bound are dropped
   // (tail drop), emulating the interface transmit ring.
-  if (dir.in_flight >= config_.queue_frames) {
+  if (dir.pending.size() >= config_.queue_frames) {
     ++dir.dropped;
-    return;
+    return false;
   }
 
+  const SimTime now = scheduler_->now();
   const SimTime start = std::max(now, dir.busy_until);
   const SimTime tx_done = start + tx_time(packet.size());
   dir.busy_until = tx_done;
-  ++dir.in_flight;
+  dir.pending.push_back(PendingFrame{tx_done + config_.delay, std::move(packet)});
+  return true;
+}
 
+void Link::transmit(int from_endpoint, net::Packet&& packet) {
+  enqueue_frame(dir_[from_endpoint], std::move(packet));
+  arm(from_endpoint);
+}
+
+void Link::transmit_batch(int from_endpoint, net::PacketBatch&& batch) {
+  Direction& dir = dir_[from_endpoint];
+  for (auto& p : batch) enqueue_frame(dir, std::move(p));
+  arm(from_endpoint);
+}
+
+void Link::arm(int from_endpoint) {
+  Direction& dir = dir_[from_endpoint];
+  if (dir.pending.empty() || dir.event.pending()) return;
+  dir.event = scheduler_->schedule_at(dir.pending.front().deliver_at,
+                                      [this, from_endpoint] { fire(from_endpoint); });
+}
+
+void Link::fire(int from_endpoint) {
+  Direction& dir = dir_[from_endpoint];
+  const SimTime now = scheduler_->now();
+
+  net::PacketBatch due;
+  while (!dir.pending.empty() && dir.pending.front().deliver_at <= now) {
+    due.push_back(std::move(dir.pending.front().packet));
+    dir.pending.pop_front();
+  }
+  dir.delivered += due.size();
+
+  // Re-arm for the next frame before delivering: delivery can re-enter
+  // transmit() on this same direction (forwarding loops), and that path
+  // only arms when no event is pending.
+  arm(from_endpoint);
+
+  if (due.empty()) return;
   Node* dst = from_endpoint == 0 ? node_b_ : node_a_;
   const std::uint16_t dst_port = from_endpoint == 0 ? port_b_ : port_a_;
-
-  auto shared = std::make_shared<net::Packet>(std::move(packet));
-  scheduler_->schedule_at(tx_done + config_.delay, [this, from_endpoint, dst, dst_port, shared] {
-    Direction& d = dir_[from_endpoint];
-    --d.in_flight;
-    ++d.delivered;
-    dst->deliver(dst_port, std::move(*shared));
-  });
+  dst->deliver_batch(dst_port, std::move(due));
 }
 
 std::string Link::to_string() const {

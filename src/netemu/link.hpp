@@ -6,11 +6,22 @@
 // arriving while the "wire" is busy waits in the transmit queue (FIFO,
 // at most `queue_frames`); excess frames are dropped. A transmitted
 // frame is delivered `delay` after its serialization completes.
+//
+// Scheduling: instead of one scheduler event per frame, each direction
+// keeps a deque of pending frames and a single armed event for the
+// earliest delivery. When it fires, every frame whose delivery time has
+// been reached leaves as one batch (Node::deliver_batch) and the event
+// re-arms for the next frame. Per-frame delivery times are exactly
+// those of the per-event model, so timing-sensitive tests see no
+// difference; a burst of N queued frames holds one pending event
+// instead of N.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
 
+#include "net/packet_batch.hpp"
 #include "netemu/node.hpp"
 #include "util/random.hpp"
 #include "util/time.hpp"
@@ -30,10 +41,16 @@ class Link {
   /// nodes is performed by Network::add_link.
   Link(Node* node_a, std::uint16_t port_a, Node* node_b, std::uint16_t port_b,
        LinkConfig config, EventScheduler& scheduler, std::uint64_t loss_seed = 1);
+  ~Link();
 
   /// Called by a node: transmit `packet` from the endpoint `from_endpoint`
   /// (0 = a-side, 1 = b-side) toward the other side.
   void transmit(int from_endpoint, net::Packet&& packet);
+
+  /// Burst transmit: enqueues every frame with the same admission and
+  /// serialization rules as per-packet transmit, arming the delivery
+  /// event once.
+  void transmit_batch(int from_endpoint, net::PacketBatch&& batch);
 
   const LinkConfig& config() const { return config_; }
   Node* node(int endpoint) const { return endpoint == 0 ? node_a_ : node_b_; }
@@ -45,14 +62,28 @@ class Link {
   std::string to_string() const;
 
  private:
+  struct PendingFrame {
+    SimTime deliver_at = 0;
+    net::Packet packet;
+  };
   struct Direction {
     SimTime busy_until = 0;
-    std::size_t in_flight = 0;  // frames queued or serializing
+    std::deque<PendingFrame> pending;  // FIFO; deliver_at is monotonic
+    EventHandle event;                 // armed for pending.front()
     std::uint64_t delivered = 0;
     std::uint64_t dropped = 0;
   };
 
   SimDuration tx_time(std::size_t bytes) const;
+
+  /// Admission + serialization for one frame; returns false if dropped.
+  bool enqueue_frame(Direction& dir, net::Packet&& packet);
+
+  /// Arms the delivery event for the front frame if none is pending.
+  void arm(int from_endpoint);
+
+  /// Delivers every frame that is due, then re-arms.
+  void fire(int from_endpoint);
 
   Node* node_a_;
   std::uint16_t port_a_;

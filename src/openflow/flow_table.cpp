@@ -60,6 +60,7 @@ void FlowTable::delete_matching(const Match& match, bool strict,
 }
 
 void FlowTable::apply(const FlowMod& mod, SimTime now) {
+  ++version_;  // any flow-mod may add/remove/rewrite entries
   switch (mod.command) {
     case FlowModCommand::kAdd: {
       // OF 1.0: identical match+priority overwrites (counters reset).
@@ -142,6 +143,7 @@ FlowEntry* FlowTable::lookup(const net::FlowKey& key, std::size_t packet_bytes, 
                        ? FlowRemovedReason::kHardTimeout
                        : FlowRemovedReason::kIdleTimeout);
       exact_.erase(it);
+      ++version_;
     } else {
       // An exact entry always outranks wildcards only if no wildcard has
       // strictly higher priority; check the top of the wildcard list.
@@ -171,6 +173,7 @@ FlowEntry* FlowTable::lookup(const net::FlowKey& key, std::size_t packet_bytes, 
                             ? FlowRemovedReason::kHardTimeout
                             : FlowRemovedReason::kIdleTimeout);
       it = wildcard_.erase(it);
+      ++version_;
       continue;
     }
     if (it->match.matches(key)) {
@@ -209,7 +212,16 @@ std::size_t FlowTable::expire(SimTime now) {
     }
     return false;
   });
+  if (evicted) ++version_;
   return evicted;
+}
+
+void FlowTable::record_hit(FlowEntry& entry, std::size_t packet_bytes, SimTime now) {
+  ++lookups_;
+  entry.packet_count++;
+  entry.byte_count += packet_bytes;
+  entry.last_hit = now;
+  ++matched_;
 }
 
 std::vector<FlowStatsEntry> FlowTable::stats(SimTime now) const {
@@ -234,6 +246,7 @@ std::vector<FlowStatsEntry> FlowTable::stats(SimTime now) const {
 void FlowTable::clear() {
   exact_.clear();
   wildcard_.clear();
+  ++version_;
 }
 
 }  // namespace escape::openflow

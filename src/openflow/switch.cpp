@@ -1,6 +1,7 @@
 #include "openflow/switch.hpp"
 
 #include "net/flow.hpp"
+#include "util/stats.hpp"
 
 namespace escape::openflow {
 
@@ -105,6 +106,51 @@ void OpenFlowSwitch::receive(std::uint16_t port_no, net::Packet&& packet) {
   }
 }
 
+void OpenFlowSwitch::receive_batch(std::uint16_t port_no, net::PacketBatch&& batch) {
+  auto pit = ports_.find(port_no);
+  if (pit == ports_.end()) return;
+
+  // Flow-run cache: consecutive packets carrying the same flow key reuse
+  // the previous lookup's entry. Guarded by the table version so any
+  // mutation mid-batch (a synchronous controller installing a flow from
+  // a packet-in, an expiry) forces a fresh walk. Misses are never cached:
+  // each missed packet goes through the full lookup + packet-in path.
+  std::optional<net::FlowKey> cached_key;
+  FlowEntry* cached_entry = nullptr;
+  std::uint64_t cached_version = 0;
+
+  for (auto& packet : batch) {
+    pit->second.stats.rx_packets++;
+    pit->second.stats.rx_bytes += packet.size();
+    packet.set_in_port(port_no);
+
+    auto key = net::extract_flow_key(packet, port_no);
+    if (!key) {
+      pit->second.stats.rx_dropped++;
+      continue;
+    }
+    FlowEntry* entry;
+    if (cached_entry && cached_key == *key && table_.version() == cached_version) {
+      entry = cached_entry;
+      table_.record_hit(*entry, packet.size(), scheduler_->now());
+    } else {
+      entry = table_.lookup(*key, packet.size(), scheduler_->now());
+      if (entry) {
+        cached_key = *key;
+        cached_entry = entry;
+        cached_version = table_.version();
+      } else {
+        cached_entry = nullptr;
+      }
+    }
+    if (entry) {
+      apply_actions(entry->actions, std::move(packet), port_no, /*allow_packet_in=*/true);
+    } else {
+      send_packet_in(std::move(packet), port_no, PacketInReason::kNoMatch);
+    }
+  }
+}
+
 void OpenFlowSwitch::send_packet_in(net::Packet&& packet, std::uint16_t in_port,
                                     PacketInReason reason) {
   if (!connected()) return;  // no controller: table-miss drops
@@ -125,45 +171,75 @@ void OpenFlowSwitch::transmit(std::uint16_t port_no, net::Packet&& packet) {
   it->second.tx(std::move(packet));
 }
 
-void OpenFlowSwitch::flood(const net::Packet& packet, std::uint16_t in_port,
-                           bool include_in_port) {
+void OpenFlowSwitch::flood(net::Packet& packet, std::uint16_t in_port, bool include_in_port,
+                           bool consume) {
+  // Clone for all but the last eligible port; when the caller is done
+  // with the packet (`consume`) the last port gets the original moved in.
+  std::uint16_t last_port = 0;
+  bool any = false;
+  for (const auto& [no, port] : ports_) {
+    if (!include_in_port && no == in_port) continue;
+    last_port = no;
+    any = true;
+  }
+  if (!any) return;
   for (auto& [no, port] : ports_) {
     if (!include_in_port && no == in_port) continue;
+    if (consume && no == last_port) break;
     net::Packet copy = packet;
+    stats::packet_clones().add();
     transmit(no, std::move(copy));
   }
+  if (consume) transmit(last_port, std::move(packet));
 }
 
 void OpenFlowSwitch::apply_actions(const ActionList& actions, net::Packet&& packet,
                                    std::uint16_t in_port, bool allow_packet_in) {
   // Rewrites apply in order; every output action emits the packet in its
-  // current (possibly rewritten) state, as per OF 1.0 semantics.
-  for (const auto& action : actions) {
+  // current (possibly rewritten) state, as per OF 1.0 semantics. Only the
+  // final action may consume the packet; earlier output actions clone it
+  // (counted in stats::packet_clones()).
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    const auto& action = actions[i];
+    const bool last_action = i + 1 == actions.size();
     if (const auto* out = std::get_if<ActionOutput>(&action)) {
       switch (out->port) {
         case kPortController:
           if (allow_packet_in) {
-            net::Packet copy = packet;
-            send_packet_in(std::move(copy), in_port, PacketInReason::kAction);
+            if (last_action) {
+              send_packet_in(std::move(packet), in_port, PacketInReason::kAction);
+            } else {
+              net::Packet copy = packet;
+              stats::packet_clones().add();
+              send_packet_in(std::move(copy), in_port, PacketInReason::kAction);
+            }
           }
           break;
         case kPortFlood:
-          flood(packet, in_port, /*include_in_port=*/false);
+          flood(packet, in_port, /*include_in_port=*/false, /*consume=*/last_action);
           break;
         case kPortAll:
-          flood(packet, in_port, /*include_in_port=*/true);
+          flood(packet, in_port, /*include_in_port=*/true, /*consume=*/last_action);
           break;
-        case kPortInPort: {
-          net::Packet copy = packet;
-          transmit(in_port, std::move(copy));
+        case kPortInPort:
+          if (last_action) {
+            transmit(in_port, std::move(packet));
+          } else {
+            net::Packet copy = packet;
+            stats::packet_clones().add();
+            transmit(in_port, std::move(copy));
+          }
           break;
-        }
         case kPortNone:
           break;
-        default: {
-          net::Packet copy = packet;
-          transmit(out->port, std::move(copy));
-        }
+        default:
+          if (last_action) {
+            transmit(out->port, std::move(packet));
+          } else {
+            net::Packet copy = packet;
+            stats::packet_clones().add();
+            transmit(out->port, std::move(copy));
+          }
       }
     } else {
       apply_rewrite(action, packet);

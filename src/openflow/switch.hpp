@@ -12,6 +12,7 @@
 #include <memory>
 #include <optional>
 
+#include "net/packet_batch.hpp"
 #include "openflow/flow_table.hpp"
 #include "openflow/messages.hpp"
 #include "util/event.hpp"
@@ -48,6 +49,12 @@ class OpenFlowSwitch {
   /// Datapath entry: a frame arrives on `port_no`.
   void receive(std::uint16_t port_no, net::Packet&& packet);
 
+  /// Burst entry: frames arriving back-to-back on one port. The table
+  /// lookup runs once per flow run (consecutive packets with the same
+  /// flow key reuse the previous entry and its actions, with counters
+  /// updated as if looked up per packet).
+  void receive_batch(std::uint16_t port_no, net::PacketBatch&& batch);
+
   /// Control messages arriving from the controller.
   void handle_message(const Message& message);
 
@@ -72,7 +79,9 @@ class OpenFlowSwitch {
   void apply_actions(const ActionList& actions, net::Packet&& packet, std::uint16_t in_port,
                      bool allow_packet_in);
   void transmit(std::uint16_t port_no, net::Packet&& packet);
-  void flood(const net::Packet& packet, std::uint16_t in_port, bool include_in_port);
+  /// Emits a copy per eligible port; when `consume` is set the last
+  /// eligible port receives the original instead of a clone.
+  void flood(net::Packet& packet, std::uint16_t in_port, bool include_in_port, bool consume);
   void send_packet_in(net::Packet&& packet, std::uint16_t in_port, PacketInReason reason);
   std::uint32_t buffer_packet(const net::Packet& packet);
 

@@ -55,4 +55,14 @@ class Histogram {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
+namespace stats {
+
+/// Process-wide count of deep packet copies made by fan-out points
+/// (Tee, OpenFlow flood/multi-output actions). Every clone is a full
+/// buffer copy, so this counter is the first thing to look at when the
+/// data plane is slower than expected.
+Counter& packet_clones();
+
+}  // namespace stats
+
 }  // namespace escape

@@ -2,9 +2,12 @@
 // builder.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "net/builder.hpp"
 #include "net/flow.hpp"
 #include "net/headers.hpp"
+#include "net/packet_pool.hpp"
 
 namespace escape::net {
 namespace {
@@ -315,6 +318,72 @@ TEST_P(FrameSizeSweep, LengthsConsistent) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, FrameSizeSweep,
                          ::testing::Values(64, 98, 128, 512, 1024, 1500));
+
+// --- PacketPool ----------------------------------------------------------------------
+
+TEST(PacketPool, RecycledBufferIsHandedOutAgain) {
+  PacketPool pool;
+  Packet p = pool.acquire(128);
+  EXPECT_EQ(pool.fresh_allocs(), 1u);
+  const std::uint8_t* buffer = p.bytes().data();
+
+  pool.recycle(std::move(p));
+  EXPECT_EQ(pool.free_buffers(), 1u);
+  EXPECT_EQ(pool.recycled(), 1u);
+
+  Packet q = pool.acquire(64);
+  EXPECT_EQ(q.bytes().data(), buffer);  // same storage, no fresh allocation
+  EXPECT_EQ(q.size(), 64u);
+  EXPECT_EQ(pool.reuses(), 1u);
+  EXPECT_EQ(pool.fresh_allocs(), 1u);
+  EXPECT_EQ(pool.free_buffers(), 0u);
+}
+
+TEST(PacketPool, ReusedPacketHasAnnotationsReset) {
+  PacketPool pool;
+  Packet p = pool.acquire(100);
+  p.set_paint(7);
+  p.set_in_port(3);
+  p.set_seq(42);
+  p.set_timestamp(123456);
+  p.set_chain_tag(9);
+  pool.recycle(std::move(p));
+
+  Packet q = pool.acquire(100);
+  EXPECT_EQ(q.paint(), 0);
+  EXPECT_EQ(q.in_port(), -1);
+  EXPECT_EQ(q.seq(), 0u);
+  EXPECT_FALSE(q.has_timestamp());
+  EXPECT_EQ(q.chain_tag(), 0u);
+}
+
+TEST(PacketPool, AcquireCopyReplicatesBytesFromRecycledBuffer) {
+  PacketPool pool;
+  Packet proto = make_udp_packet(MacAddr::from_u64(1), MacAddr::from_u64(2),
+                                 Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2), 1, 2, 200);
+  pool.recycle(pool.acquire(1500));  // seed the free list with a big buffer
+  Packet copy = pool.acquire_copy(proto);
+  EXPECT_EQ(pool.reuses(), 1u);
+  ASSERT_EQ(copy.size(), proto.size());
+  EXPECT_TRUE(std::equal(copy.bytes().begin(), copy.bytes().end(), proto.bytes().begin()));
+}
+
+TEST(PacketPool, MaxFreeBoundsTheFreeList) {
+  PacketPool pool(/*max_free=*/2);
+  std::vector<Packet> live;
+  for (int i = 0; i < 5; ++i) live.push_back(pool.acquire(64));
+  for (auto& p : live) pool.recycle(std::move(p));
+  EXPECT_EQ(pool.free_buffers(), 2u);  // excess buffers freed normally
+  EXPECT_EQ(pool.recycled(), 2u);
+}
+
+TEST(PacketPool, RecyclesWholeBatches) {
+  PacketPool pool;
+  PacketBatch batch(4);
+  for (int i = 0; i < 4; ++i) batch.push_back(pool.acquire(64));
+  pool.recycle(std::move(batch));
+  EXPECT_EQ(pool.free_buffers(), 4u);
+}
 
 }  // namespace
 }  // namespace escape::net

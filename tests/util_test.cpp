@@ -124,6 +124,27 @@ TEST(EventScheduler, FifoTieBreakAtEqualTime) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
+TEST(EventScheduler, FifoTieBreakSurvivesNestedSchedulingAndCancellation) {
+  // The batched link model relies on insertion order being preserved at
+  // equal timestamps even when handlers schedule more work *at the
+  // current time* and other same-time events are cancelled in between.
+  EventScheduler sched;
+  std::vector<int> order;
+  sched.schedule(50, [&] {
+    order.push_back(0);
+    // Scheduled from inside a handler at the already-reached timestamp:
+    // must run after everything previously queued for t=50.
+    sched.schedule_at(50, [&] { order.push_back(3); });
+  });
+  auto cancelled = sched.schedule(50, [&] { order.push_back(99); });
+  sched.schedule(50, [&] { order.push_back(1); });
+  sched.schedule(50, [&] { order.push_back(2); });
+  cancelled.cancel();
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(sched.now(), 50u);
+}
+
 TEST(EventScheduler, CancelPreventsExecutionAndUpdatesCount) {
   EventScheduler sched;
   bool ran = false;
