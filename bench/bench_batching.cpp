@@ -6,6 +6,7 @@
 // path amortizes virtual dispatch per hop and recycles buffers through
 // the Discard sink, so it should win comfortably (the PR's acceptance
 // bar is >= 1.3x).
+#include "bench_common.hpp"
 #include <benchmark/benchmark.h>
 
 #include "click/config.hpp"
@@ -115,4 +116,4 @@ static void BM_Batching_PooledCopy(benchmark::State& state) {
 }
 BENCHMARK(BM_Batching_PooledCopy)->Arg(64)->Arg(1500);
 
-BENCHMARK_MAIN();
+ESCAPE_BENCH_MAIN("batching");

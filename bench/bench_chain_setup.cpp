@@ -71,4 +71,4 @@ BENCHMARK(BM_ChainSetup_NetconfDelay)
     ->Arg(50)->Arg(200)->Arg(1000)->Arg(5000)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+ESCAPE_BENCH_MAIN("chain_setup");

@@ -3,6 +3,7 @@
 // Measures host packets/second through element chains of varying depth
 // (throughput degrades ~1/depth -- each element touches the packet) and
 // through each catalog VNF configuration.
+#include "bench_common.hpp"
 #include <benchmark/benchmark.h>
 
 #include "click/config.hpp"
@@ -145,4 +146,4 @@ CATALOG_BENCH(BM_Vnf_HeaderRewriter, "headerrewriter",
               {{"spec", "SRC_IP 192.0.2.7, DST_PORT 8080"}});
 CATALOG_BENCH(BM_Vnf_Delay, "delay", {{"ns", "1000"}});
 
-BENCHMARK_MAIN();
+ESCAPE_BENCH_MAIN("click");

@@ -1,9 +1,32 @@
-// Shared topology builders for the benchmark suite.
+// Shared topology builders for the benchmark suite, plus the
+// ESCAPE_BENCH_MAIN entry point that dumps the metrics registry to
+// BENCH_<name>.json after the run (CI uploads these as artifacts).
 #pragma once
 
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+
 #include "escape/environment.hpp"
+#include "obs/metrics.hpp"
 
 namespace escape::benchutil {
+
+/// Writes the process-wide metrics snapshot to BENCH_<name>.json in the
+/// working directory. Returns false (with a note on stderr) on I/O error
+/// so benches still exit 0 -- the artifact is best-effort.
+inline bool write_bench_json(const std::string& name) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << obs::MetricsRegistry::global().snapshot_json().dump(2) << "\n";
+  std::fprintf(stderr, "bench: metrics snapshot -> %s\n", path.c_str());
+  return true;
+}
 
 /// Linear topology: sap1 - s1 - s2 - ... - sN - sap2, one container per
 /// switch. Every link 1 Gb/s, 100 us.
@@ -43,3 +66,18 @@ inline sg::ServiceGraph monitor_chain(int k, double cpu = 0.05,
 }
 
 }  // namespace escape::benchutil
+
+/// Drop-in replacement for BENCHMARK_MAIN() that also emits the
+/// BENCH_<name>.json metrics artifact after the benchmarks ran.
+#define ESCAPE_BENCH_MAIN(name)                                      \
+  int main(int argc, char** argv) {                                  \
+    ::benchmark::Initialize(&argc, argv);                            \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {      \
+      return 1;                                                      \
+    }                                                                \
+    ::benchmark::RunSpecifiedBenchmarks();                           \
+    ::benchmark::Shutdown();                                         \
+    ::escape::benchutil::write_bench_json(name);                     \
+    return 0;                                                        \
+  }                                                                  \
+  static_assert(true, "require a trailing semicolon")

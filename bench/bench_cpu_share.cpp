@@ -56,4 +56,4 @@ BENCHMARK(BM_CpuShare_WorkerThroughput)
     ->Arg(100)->Arg(80)->Arg(50)->Arg(25)->Arg(10)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+ESCAPE_BENCH_MAIN("cpu_share");

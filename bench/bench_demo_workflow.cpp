@@ -74,4 +74,4 @@ static void BM_DemoWorkflow(benchmark::State& state) {
 }
 BENCHMARK(BM_DemoWorkflow)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+ESCAPE_BENCH_MAIN("demo_workflow");

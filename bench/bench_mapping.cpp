@@ -4,6 +4,7 @@
 // greedy family stays ~linear in chain length x containers while
 // backtracking explodes combinatorially; acceptance under load differs
 // per algorithm (loadbalance accepts more chains on tight CPU budgets).
+#include "bench_common.hpp"
 #include <benchmark/benchmark.h>
 
 #include "orchestrator/mapping.hpp"
@@ -125,4 +126,4 @@ static void BM_Map_AcceptanceUntilFull(benchmark::State& state) {
 }
 BENCHMARK(BM_Map_AcceptanceUntilFull)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+ESCAPE_BENCH_MAIN("mapping");

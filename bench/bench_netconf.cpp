@@ -4,6 +4,7 @@
 // encode -> frame -> parse -> dispatch -> instrument -> reply, for each
 // RPC type, plus the ablations called out in DESIGN.md (schema
 // validation on the <get> path; raw XML parse/serialize baselines).
+#include "bench_common.hpp"
 #include <benchmark/benchmark.h>
 
 #include "netconf/vnf_agent.hpp"
@@ -167,4 +168,4 @@ static void BM_Yang_ValidateStateTree(benchmark::State& state) {
 }
 BENCHMARK(BM_Yang_ValidateStateTree)->Arg(1)->Arg(16)->Arg(64);
 
-BENCHMARK_MAIN();
+ESCAPE_BENCH_MAIN("netconf");

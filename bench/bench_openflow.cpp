@@ -3,6 +3,7 @@
 // Lookup cost: exact-match entries hit a hash table (O(1)-ish, flat in
 // table size); wildcard entries are scanned in priority order (linear).
 // Install rate: flow-mods per second into a growing table.
+#include "bench_common.hpp"
 #include <benchmark/benchmark.h>
 
 #include "net/builder.hpp"
@@ -175,4 +176,4 @@ static void BM_Wire_RoundTripPacketIn(benchmark::State& state) {
 }
 BENCHMARK(BM_Wire_RoundTripPacketIn)->Arg(64)->Arg(1500);
 
-BENCHMARK_MAIN();
+ESCAPE_BENCH_MAIN("openflow");

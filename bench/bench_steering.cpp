@@ -128,4 +128,4 @@ static void BM_Steering_PacketInRate(benchmark::State& state) {
 }
 BENCHMARK(BM_Steering_PacketInRate);
 
-BENCHMARK_MAIN();
+ESCAPE_BENCH_MAIN("steering");

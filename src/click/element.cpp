@@ -1,7 +1,7 @@
 #include "click/element.hpp"
 
 #include "click/router.hpp"
-#include "util/stats.hpp"
+#include "obs/metrics.hpp"
 #include "util/strings.hpp"
 
 namespace escape::click {

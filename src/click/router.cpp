@@ -2,10 +2,36 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "util/strings.hpp"
 
 namespace escape::click {
+
+Router::~Router() {
+  if (metrics_registry_) metrics_registry_->remove_callbacks(this);
+}
+
+void Router::export_metrics(obs::MetricsRegistry& registry, obs::Labels base_labels) {
+  metrics_registry_ = &registry;
+  for (const Element* e : order_) {
+    for (const auto& handler : e->read_handler_names()) {
+      obs::Labels labels = base_labels;
+      labels.emplace_back("element", e->name());
+      labels.emplace_back("handler", handler);
+      registry.callback_gauge(
+          "escape_click_handler_value", std::move(labels), this,
+          [e, handler]() -> std::optional<double> {
+            auto value = e->call_read(handler);
+            if (!value.ok()) return std::nullopt;
+            char* end = nullptr;
+            const double parsed = std::strtod(value->c_str(), &end);
+            if (end == value->c_str() || (end && *end != '\0')) return std::nullopt;
+            return parsed;
+          });
+    }
+  }
+}
 
 void Router::set_cpu_share(double share) {
   cpu_share_ = std::clamp(share, 0.001, 1.0);

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "click/element.hpp"
+#include "obs/metrics.hpp"
 #include "util/event.hpp"
 #include "util/logging.hpp"
 #include "util/result.hpp"
@@ -30,6 +31,9 @@ class Router {
 
   Router(const Router&) = delete;
   Router& operator=(const Router&) = delete;
+
+  /// Unregisters any metrics exported via export_metrics().
+  ~Router();
 
   EventScheduler& scheduler() { return *scheduler_; }
 
@@ -66,11 +70,21 @@ class Router {
   /// All "element.handler" read handler names, for discovery.
   std::vector<std::string> list_read_handlers() const;
 
+  /// Exports every numeric read handler into `registry` as a callback
+  /// gauge escape_click_handler_value{<base_labels>,element=...,
+  /// handler=...} -- the Clicky monitoring surface made scrapeable.
+  /// Handlers whose value does not parse as a number are skipped at
+  /// exposition time. The registration is keyed to this router and
+  /// removed automatically on destruction (a stopped VNF disappears
+  /// from the registry). Call after initialize().
+  void export_metrics(obs::MetricsRegistry& registry, obs::Labels base_labels);
+
  private:
   Status resolve_processing();
   Status validate_connections();
 
   EventScheduler* scheduler_;
+  obs::MetricsRegistry* metrics_registry_ = nullptr;
   double cpu_share_ = 1.0;
   bool initialized_ = false;
   std::map<std::string, std::unique_ptr<Element>, std::less<>> elements_;

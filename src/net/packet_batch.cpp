@@ -1,6 +1,6 @@
 #include "net/packet_batch.hpp"
 
-#include "util/stats.hpp"
+#include "obs/metrics.hpp"
 
 namespace escape::net {
 

@@ -1,5 +1,7 @@
 #include "netconf/session.hpp"
 
+#include "obs/trace.hpp"
+
 namespace escape::netconf {
 
 std::string build_hello(const std::vector<std::string>& capabilities) {
@@ -27,6 +29,9 @@ std::vector<std::string> parse_capabilities(const xml::Element& hello) {
 NetconfServer::NetconfServer(std::shared_ptr<TransportEndpoint> transport,
                              std::vector<std::string> capabilities)
     : transport_(std::move(transport)) {
+  auto& registry = obs::MetricsRegistry::global();
+  m_rpcs_ = &registry.counter("escape_netconf_rpcs_total", {{"side", "server"}});
+  m_errors_ = &registry.counter("escape_netconf_rpc_errors_total", {{"side", "server"}});
   transport_->set_on_bytes([this](std::string bytes) { on_bytes(std::move(bytes)); });
   transport_->send(FrameReader::frame(build_hello(capabilities)));
 }
@@ -61,6 +66,7 @@ void NetconfServer::send_reply(const std::string& message_id,
     }
   } else {
     ++rpc_errors_;
+    m_errors_->add();
     auto& err = reply.add_child("rpc-error");
     err.add_leaf("error-type", "application");
     err.add_leaf("error-tag", result.error().code);
@@ -100,6 +106,7 @@ void NetconfServer::handle_message(const std::string& message) {
     return;
   }
   ++rpcs_handled_;
+  m_rpcs_->add();
   send_reply(message_id, it->second(operation));
 }
 
@@ -107,6 +114,9 @@ void NetconfServer::handle_message(const std::string& message) {
 
 NetconfClient::NetconfClient(std::shared_ptr<TransportEndpoint> transport)
     : transport_(std::move(transport)) {
+  auto& registry = obs::MetricsRegistry::global();
+  m_rpcs_ = &registry.counter("escape_netconf_rpcs_total", {{"side", "client"}});
+  m_rtt_us_ = &registry.histogram("escape_netconf_rpc_rtt_us");
   transport_->set_on_bytes([this](std::string bytes) { on_bytes(std::move(bytes)); });
   transport_->send(FrameReader::frame(
       build_hello({std::string(kBaseCapability), std::string(kVnfCapability)})));
@@ -122,11 +132,16 @@ void NetconfClient::on_established(std::function<void()> fn) {
 
 void NetconfClient::rpc(std::unique_ptr<xml::Element> operation, ReplyCallback cb) {
   const std::string id = std::to_string(next_message_id_++);
+  const std::string op_name = operation->local_name();
   xml::Element rpc("rpc");
   rpc.set_attr("xmlns", std::string(kNetconfNs));
   rpc.set_attr("message-id", id);
   rpc.add_child(std::move(operation));
-  pending_[id] = std::move(cb);
+  const SimTime now = transport_->now();
+  const std::uint64_t span =
+      obs::tracer().begin_span(now, "netconf", "rpc", op_name + " id=" + id);
+  pending_[id] = PendingRpc{std::move(cb), now, span};
+  m_rpcs_->add();
   transport_->send(FrameReader::frame(rpc.to_string()));
 }
 
@@ -170,8 +185,14 @@ void NetconfClient::handle_message(const std::string& message) {
     log_.warn("rpc-reply with unknown message-id ", root.attr("message-id"));
     return;
   }
-  ReplyCallback cb = std::move(it->second);
+  PendingRpc pending = std::move(it->second);
   pending_.erase(it);
+  const SimTime now = transport_->now();
+  if (now >= pending.sent_at) {
+    m_rtt_us_->record(static_cast<double>(now - pending.sent_at) / timeunit::kMicrosecond);
+  }
+  obs::tracer().end_span(pending.span_id, now);
+  ReplyCallback cb = std::move(pending.cb);
 
   if (const xml::Element* error = root.child("rpc-error")) {
     cb(make_error(error->child_text("error-tag"), error->child_text("error-message")));

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "netconf/transport.hpp"
+#include "obs/metrics.hpp"
 #include "util/logging.hpp"
 #include "util/result.hpp"
 #include "xml/xml.hpp"
@@ -59,6 +60,8 @@ class NetconfServer {
   std::vector<std::string> peer_capabilities_;
   std::uint64_t rpcs_handled_ = 0;
   std::uint64_t rpc_errors_ = 0;
+  obs::Counter* m_rpcs_;
+  obs::Counter* m_errors_;
   Logger log_{"netconf.server"};
 };
 
@@ -94,15 +97,24 @@ class NetconfClient {
   void on_bytes(std::string bytes);
   void handle_message(const std::string& message);
 
+  /// Outstanding RPC: reply callback + send time/span for RTT metrics.
+  struct PendingRpc {
+    ReplyCallback cb;
+    SimTime sent_at = 0;
+    std::uint64_t span_id = 0;
+  };
+
   std::shared_ptr<TransportEndpoint> transport_;
   FrameReader reader_;
   bool established_ = false;
   std::vector<std::string> server_capabilities_;
   std::vector<std::function<void()>> established_callbacks_;
   std::uint64_t next_message_id_ = 1;
-  std::map<std::string, ReplyCallback> pending_;
+  std::map<std::string, PendingRpc> pending_;
   NotificationCallback notification_cb_;
   std::uint64_t notifications_ = 0;
+  obs::Counter* m_rpcs_;
+  obs::BoundedHistogram* m_rtt_us_;
   Logger log_{"netconf.client"};
 };
 

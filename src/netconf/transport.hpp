@@ -29,6 +29,10 @@ class TransportEndpoint {
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t bytes_received() const { return bytes_received_; }
 
+  /// Current virtual time of the scheduler driving this pipe (0 for an
+  /// unwired endpoint). Lets sessions timestamp RPCs for RTT metrics.
+  SimTime now() const { return scheduler_ ? scheduler_->now() : 0; }
+
  private:
   friend std::pair<std::shared_ptr<TransportEndpoint>, std::shared_ptr<TransportEndpoint>>
   make_pipe(EventScheduler& scheduler, SimDuration delay);

@@ -6,7 +6,14 @@
 namespace escape::netemu {
 
 Host::Host(std::string name, EventScheduler& scheduler, net::MacAddr mac, net::Ipv4Addr ip)
-    : Node(std::move(name), scheduler), mac_(mac), ip_(ip) {}
+    : Node(std::move(name), scheduler), mac_(mac), ip_(ip) {
+  auto& registry = obs::MetricsRegistry::global();
+  const obs::Labels labels{{"host", this->name()}};
+  m_rx_packets_ = &registry.counter("escape_host_rx_packets_total", labels);
+  m_rx_bytes_ = &registry.counter("escape_host_rx_bytes_total", labels);
+  m_tx_packets_ = &registry.counter("escape_host_tx_packets_total", labels);
+  m_latency_us_ = &registry.histogram("escape_host_latency_us", labels);
+}
 
 void Host::deliver(std::uint16_t, net::Packet&& packet) {
   // Protocol reflexes of a "standard tools" host: answer ARP requests
@@ -32,6 +39,8 @@ void Host::deliver(std::uint16_t, net::Packet&& packet) {
             if (icmp->type == net::IcmpView::kEchoRequest) {
               ++rx_packets_;
               rx_bytes_ += packet.size();
+              m_rx_packets_->add();
+              m_rx_bytes_->add(packet.size());
               ++echo_requests_;
               const std::vector<std::uint8_t> echo_payload(icmp->payload.begin(),
                                                            icmp->payload.end());
@@ -56,12 +65,16 @@ void Host::deliver(std::uint16_t, net::Packet&& packet) {
 
   ++rx_packets_;
   rx_bytes_ += packet.size();
+  m_rx_packets_->add();
+  m_rx_bytes_->add(packet.size());
   if (packet.seq() + 1 > max_seq_seen_) max_seq_seen_ = packet.seq() + 1;
   if (packet.has_timestamp()) {
     const SimTime now = scheduler().now();
     if (now >= packet.timestamp()) {
-      latency_us_.record(static_cast<double>(now - packet.timestamp()) /
-                         timeunit::kMicrosecond);
+      const double us =
+          static_cast<double>(now - packet.timestamp()) / timeunit::kMicrosecond;
+      latency_us_.record(us);
+      m_latency_us_->record(us);
     }
   }
   for (auto& fn : observers_) fn(packet);
@@ -71,6 +84,7 @@ void Host::deliver(std::uint16_t, net::Packet&& packet) {
 
 void Host::send(net::Packet&& packet) {
   ++tx_packets_;
+  m_tx_packets_->add();
   send_out(0, std::move(packet));
 }
 

@@ -8,7 +8,7 @@
 
 #include "net/builder.hpp"
 #include "netemu/node.hpp"
-#include "util/stats.hpp"
+#include "obs/metrics.hpp"
 
 namespace escape::netemu {
 
@@ -53,7 +53,9 @@ class Host : public Node {
   std::uint64_t tx_packets() const { return tx_packets_; }
 
   /// One-way latency of received timestamped frames, in microseconds.
-  const Histogram& latency_us() const { return latency_us_; }
+  /// Bounded-memory histogram: count/mean/min/max exact, percentiles
+  /// bucket estimates (see obs/metrics.hpp).
+  const obs::BoundedHistogram& latency_us() const { return latency_us_; }
 
   /// Highest sequence number seen + 1 (0 when none), for loss estimation.
   std::uint64_t max_seq_seen() const { return max_seq_seen_; }
@@ -85,7 +87,13 @@ class Host : public Node {
   std::uint64_t tx_packets_ = 0;
   std::uint64_t max_seq_seen_ = 0;
   std::uint64_t echo_requests_ = 0;
-  Histogram latency_us_;
+  // Per-instance histogram (authoritative for tests/benches); the
+  // registry mirrors below feed the process-wide view.
+  obs::BoundedHistogram latency_us_;
+  obs::Counter* m_rx_packets_;
+  obs::Counter* m_rx_bytes_;
+  obs::Counter* m_tx_packets_;
+  obs::BoundedHistogram* m_latency_us_;
   std::vector<std::function<void(const net::Packet&)>> observers_;
 };
 

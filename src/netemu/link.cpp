@@ -14,7 +14,19 @@ Link::Link(Node* node_a, std::uint16_t port_a, Node* node_b, std::uint16_t port_
       port_b_(port_b),
       config_(config),
       scheduler_(&scheduler),
-      loss_rng_(loss_seed) {}
+      loss_rng_(loss_seed) {
+  auto& registry = obs::MetricsRegistry::global();
+  const std::string id = strings::format("%s:%u-%s:%u", node_a_->name().c_str(), port_a_,
+                                         node_b_->name().c_str(), port_b_);
+  const char* dir_name[2] = {"ab", "ba"};
+  for (int d = 0; d < 2; ++d) {
+    obs::Labels labels{{"link", id}, {"dir", dir_name[d]}};
+    dir_[d].m_delivered = &registry.counter("escape_link_delivered_total", labels);
+    dir_[d].m_bytes = &registry.counter("escape_link_delivered_bytes_total", labels);
+    dir_[d].m_dropped = &registry.counter("escape_link_dropped_total", labels);
+    dir_[d].m_queue_depth = &registry.gauge("escape_link_queue_depth", labels);
+  }
+}
 
 Link::~Link() {
   dir_[0].event.cancel();
@@ -30,6 +42,7 @@ SimDuration Link::tx_time(std::size_t bytes) const {
 bool Link::enqueue_frame(Direction& dir, net::Packet&& packet) {
   if (config_.loss > 0.0 && loss_rng_.next_bool(config_.loss)) {
     ++dir.dropped;
+    dir.m_dropped->add();
     return false;
   }
 
@@ -37,6 +50,7 @@ bool Link::enqueue_frame(Direction& dir, net::Packet&& packet) {
   // (tail drop), emulating the interface transmit ring.
   if (dir.pending.size() >= config_.queue_frames) {
     ++dir.dropped;
+    dir.m_dropped->add();
     return false;
   }
 
@@ -45,6 +59,7 @@ bool Link::enqueue_frame(Direction& dir, net::Packet&& packet) {
   const SimTime tx_done = start + tx_time(packet.size());
   dir.busy_until = tx_done;
   dir.pending.push_back(PendingFrame{tx_done + config_.delay, std::move(packet)});
+  dir.m_queue_depth->set(static_cast<double>(dir.pending.size()));
   return true;
 }
 
@@ -71,11 +86,16 @@ void Link::fire(int from_endpoint) {
   const SimTime now = scheduler_->now();
 
   net::PacketBatch due;
+  std::uint64_t due_bytes = 0;
   while (!dir.pending.empty() && dir.pending.front().deliver_at <= now) {
+    due_bytes += dir.pending.front().packet.size();
     due.push_back(std::move(dir.pending.front().packet));
     dir.pending.pop_front();
   }
   dir.delivered += due.size();
+  dir.m_delivered->add(due.size());
+  dir.m_bytes->add(due_bytes);
+  dir.m_queue_depth->set(static_cast<double>(dir.pending.size()));
 
   // Re-arm for the next frame before delivering: delivery can re-enter
   // transmit() on this same direction (forwarding loops), and that path

@@ -23,6 +23,7 @@
 
 #include "net/packet_batch.hpp"
 #include "netemu/node.hpp"
+#include "obs/metrics.hpp"
 #include "util/random.hpp"
 #include "util/time.hpp"
 
@@ -72,6 +73,14 @@ class Link {
     EventHandle event;                 // armed for pending.front()
     std::uint64_t delivered = 0;
     std::uint64_t dropped = 0;
+    // Registry mirrors of the per-instance counters above: the
+    // process-wide view (escape_link_*{link=...,dir=...}). The members
+    // stay authoritative for per-link accessors, so counts never
+    // alias across environments sharing a link name.
+    obs::Counter* m_delivered = nullptr;
+    obs::Counter* m_bytes = nullptr;
+    obs::Counter* m_dropped = nullptr;
+    obs::Gauge* m_queue_depth = nullptr;
   };
 
   SimDuration tx_time(std::size_t bytes) const;

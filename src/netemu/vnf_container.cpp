@@ -95,6 +95,11 @@ Status VnfContainer::start_vnf(const std::string& vnf_id) {
   inst->router->set_cpu_share(inst->cpu_share);
   inst->status = VnfStatus::kRunning;
   wire_devices(*inst);
+  // Clicky surface -> registry: every read handler of the running VNF
+  // becomes a scrapeable gauge, labelled by container and VNF id. The
+  // export dies with the router (stop_vnf resets it).
+  inst->router->export_metrics(obs::MetricsRegistry::global(),
+                               {{"container", name()}, {"vnf", vnf_id}});
   log_.info(name(), ": started VNF ", vnf_id);
   notify(vnf_id, VnfStatus::kRunning);
   return ok_status();

@@ -1,0 +1,330 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace escape::obs {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view raw) {
+  for (char c : raw) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+void sort_labels(Labels& labels) {
+  std::sort(labels.begin(), labels.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+Logger& obs_log() {
+  static Logger log{"obs.metrics"};
+  return log;
+}
+
+/// Formats a value the way Prometheus text exposition expects: integral
+/// values without a fractional part, everything else with %g.
+std::string format_value(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    return strings::format("%lld", static_cast<long long>(v));
+  }
+  return strings::format("%g", v);
+}
+
+}  // namespace
+
+std::string format_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  Labels sorted = labels;
+  sort_labels(sorted);
+  std::string out = "{";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i) out += ",";
+    out += sorted[i].first;
+    out += "=\"";
+    append_escaped(out, sorted[i].second);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+// --- BoundedHistogram ---------------------------------------------------------
+
+BoundedHistogram::BoundedHistogram(HistogramOptions options)
+    : options_(options), log_growth_(std::log(options.growth)) {
+  if (options_.buckets < 2) options_.buckets = 2;
+  if (options_.growth <= 1.0) {
+    options_.growth = 1.189207115002721;
+    log_growth_ = std::log(options_.growth);
+  }
+  if (options_.min_bound <= 0) options_.min_bound = 1.0;
+  counts_.assign(options_.buckets, 0);
+}
+
+std::size_t BoundedHistogram::bucket_index(double sample) const {
+  if (!(sample > options_.min_bound)) return 0;
+  const double i = std::ceil(std::log(sample / options_.min_bound) / log_growth_);
+  if (i >= static_cast<double>(counts_.size() - 1)) return counts_.size() - 1;
+  return static_cast<std::size_t>(i);
+}
+
+double BoundedHistogram::bucket_upper(std::size_t i) const {
+  return options_.min_bound * std::pow(options_.growth, static_cast<double>(i));
+}
+
+void BoundedHistogram::record(double sample) {
+  ++counts_[bucket_index(sample)];
+  ++count_;
+  sum_ += sample;
+  min_ = std::min(min_, sample);
+  max_ = std::max(max_, sample);
+}
+
+double BoundedHistogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      // Geometric bucket midpoint, clamped to the observed range so
+      // single-valued and extreme distributions stay exact.
+      double estimate;
+      if (i == 0) {
+        estimate = options_.min_bound;
+      } else {
+        estimate = bucket_upper(i) / std::sqrt(options_.growth);
+      }
+      return std::clamp(estimate, min_, max_);
+    }
+  }
+  return max_;
+}
+
+void BoundedHistogram::clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+std::string BoundedHistogram::summary() const {
+  return strings::format("n=%zu mean=%.3f p50=%.3f p95=%.3f max=%.3f",
+                         count(), mean(), p50(), p95(), max());
+}
+
+// --- MetricsRegistry ----------------------------------------------------------
+
+std::string_view metric_kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kCallbackGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+std::string MetricsRegistry::key_of(std::string_view name, const Labels& labels) {
+  return std::string(name) + format_labels(labels);
+}
+
+MetricsRegistry::Entry* MetricsRegistry::find_or_create(std::string_view name,
+                                                        Labels&& labels, MetricKind kind) {
+  sort_labels(labels);
+  const std::string key = key_of(name, labels);
+  auto it = metrics_.find(key);
+  if (it != metrics_.end()) {
+    // Callback gauges are re-registrable (a restarted VNF re-exports its
+    // handlers); everything else must match the original kind.
+    if (it->second.kind == kind) return &it->second;
+    obs_log().warn("metric '", key, "' re-registered as ",
+                   metric_kind_name(kind), " but exists as ",
+                   metric_kind_name(it->second.kind), "; returning detached metric");
+    detached_.push_back(std::make_unique<Entry>());
+    Entry* orphan = detached_.back().get();
+    orphan->name = std::string(name);
+    orphan->labels = std::move(labels);
+    orphan->kind = kind;
+    return orphan;
+  }
+  Entry entry;
+  entry.name = std::string(name);
+  entry.labels = std::move(labels);
+  entry.kind = kind;
+  return &metrics_.emplace(key, std::move(entry)).first->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* e = find_or_create(name, std::move(labels), MetricKind::kCounter);
+  if (!e->counter) e->counter = std::make_unique<Counter>();
+  return *e->counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* e = find_or_create(name, std::move(labels), MetricKind::kGauge);
+  if (!e->gauge) e->gauge = std::make_unique<Gauge>();
+  return *e->gauge;
+}
+
+BoundedHistogram& MetricsRegistry::histogram(std::string_view name, Labels labels,
+                                             HistogramOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* e = find_or_create(name, std::move(labels), MetricKind::kHistogram);
+  if (!e->histogram) e->histogram = std::make_unique<BoundedHistogram>(options);
+  return *e->histogram;
+}
+
+void MetricsRegistry::callback_gauge(std::string_view name, Labels labels,
+                                     const void* owner, CallbackFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* e = find_or_create(name, std::move(labels), MetricKind::kCallbackGauge);
+  e->owner = owner;
+  e->callback = std::move(fn);
+}
+
+void MetricsRegistry::remove_callbacks(const void* owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = metrics_.begin(); it != metrics_.end();) {
+    if (it->second.kind == MetricKind::kCallbackGauge && it->second.owner == owner) {
+      it = metrics_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_.size();
+}
+
+bool MetricsRegistry::has(std::string_view name, const Labels& labels) const {
+  Labels sorted = labels;
+  sort_labels(sorted);
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_.count(key_of(name, sorted)) > 0;
+}
+
+std::string MetricsRegistry::render_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  std::set<std::string> typed;
+  for (const auto& [key, e] : metrics_) {
+    const std::string labels = format_labels(e.labels);
+    if (typed.insert(e.name).second) {
+      out += "# TYPE " + e.name + " " + std::string(metric_kind_name(e.kind)) + "\n";
+    }
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        out += e.name + labels + " " + std::to_string(e.counter->value()) + "\n";
+        break;
+      case MetricKind::kGauge:
+        out += e.name + labels + " " + format_value(e.gauge->value()) + "\n";
+        break;
+      case MetricKind::kCallbackGauge: {
+        auto v = e.callback ? e.callback() : std::nullopt;
+        if (v) out += e.name + labels + " " + format_value(*v) + "\n";
+        break;
+      }
+      case MetricKind::kHistogram: {
+        const BoundedHistogram& h = *e.histogram;
+        out += e.name + "_count" + labels + " " + std::to_string(h.count()) + "\n";
+        out += e.name + "_sum" + labels + " " + format_value(h.sum()) + "\n";
+        for (double q : {50.0, 95.0, 99.0}) {
+          Labels ql = e.labels;
+          ql.emplace_back("quantile", strings::format("%.2f", q / 100.0));
+          out += e.name + format_labels(ql) + " " + format_value(h.percentile(q)) + "\n";
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+json::Value MetricsRegistry::snapshot_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  json::Array metrics;
+  for (const auto& [key, e] : metrics_) {
+    json::Object m;
+    m["name"] = e.name;
+    m["kind"] = std::string(metric_kind_name(e.kind));
+    json::Object labels;
+    for (const auto& [k, v] : e.labels) labels[k] = v;
+    m["labels"] = std::move(labels);
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        m["value"] = e.counter->value();
+        break;
+      case MetricKind::kGauge:
+        m["value"] = e.gauge->value();
+        break;
+      case MetricKind::kCallbackGauge: {
+        auto v = e.callback ? e.callback() : std::nullopt;
+        if (!v) continue;
+        m["value"] = *v;
+        break;
+      }
+      case MetricKind::kHistogram: {
+        const BoundedHistogram& h = *e.histogram;
+        m["count"] = static_cast<std::uint64_t>(h.count());
+        m["sum"] = h.sum();
+        m["min"] = h.min();
+        m["max"] = h.max();
+        m["mean"] = h.mean();
+        m["p50"] = h.p50();
+        m["p95"] = h.p95();
+        m["p99"] = h.p99();
+        break;
+      }
+    }
+    metrics.push_back(std::move(m));
+  }
+  json::Object doc;
+  doc["metrics"] = std::move(metrics);
+  return doc;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, e] : metrics_) {
+    if (e.counter) e.counter->reset();
+    if (e.gauge) e.gauge->set(0);
+    if (e.histogram) e.histogram->clear();
+  }
+}
+
+}  // namespace escape::obs
+
+namespace escape::stats {
+
+obs::Counter& packet_clones() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("escape_packet_clones_total");
+  return counter;
+}
+
+}  // namespace escape::stats

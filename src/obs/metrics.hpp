@@ -1,0 +1,207 @@
+// The observability layer's metric model: a process-wide registry of
+// named counters, gauges and bounded-memory histograms, with
+// Prometheus-style text exposition and a JSON snapshot.
+//
+// Design rules:
+//   * metric objects are allocated once and never move or die for the
+//     lifetime of the registry, so components may cache references and
+//     bump them on hot paths without ever re-hashing the name;
+//   * Counter::add is a relaxed atomic fetch-add: concurrent writers (a
+//     future threaded scheduler) can never corrupt the count, and on
+//     today's single-threaded hot paths it compiles to a plain add;
+//   * histograms are fixed-size geometric-bucket summaries (HDR-style):
+//     count/sum/min/max are exact, percentiles are bucket estimates with
+//     a bounded relative error, and memory does not grow with samples --
+//     unlike util/stats Histogram, which keeps every sample and is only
+//     suitable for test/bench scale;
+//   * identity is (name, labels); registration is get-or-create, so two
+//     components asking for the same metric share one instance.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace escape::obs {
+
+/// Metric labels: key/value pairs, kept sorted by key so label order at
+/// the call site never changes metric identity.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Renders labels Prometheus-style: {a="x",b="y"} ("" when empty).
+/// Values are escaped (backslash, quote, newline); keys are sorted.
+std::string format_labels(const Labels& labels);
+
+/// A monotonically increasing counter. Relaxed atomics: safe to bump
+/// from concurrent contexts without locks; reads may lag writes but can
+/// never tear or corrupt the value.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A point-in-time value that can go up and down (queue depth, CPU
+/// share). Same relaxed-atomic contract as Counter.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  void sub(double d) { value_.fetch_sub(d, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+struct HistogramOptions {
+  /// Upper bound of the first bucket; samples <= this land in bucket 0.
+  double min_bound = 1.0;
+  /// Geometric growth per bucket. 2^(1/4) keeps the percentile estimate
+  /// within ~9% of the true value (half a bucket either way).
+  double growth = 1.189207115002721;
+  /// Bucket count. 192 buckets at 2^(1/4) growth span 48 octaves.
+  std::size_t buckets = 192;
+};
+
+/// A bounded-memory histogram: geometric buckets plus exact
+/// count/sum/min/max. The hot-path replacement for the keep-all-samples
+/// util/stats Histogram; API-compatible for the accessors tests and
+/// benches use (count/mean/min/max/p50/p95/p99/summary).
+class BoundedHistogram {
+ public:
+  explicit BoundedHistogram(HistogramOptions options = {});
+
+  void record(double sample);
+
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+
+  /// Nearest-rank percentile estimated from the bucket boundaries;
+  /// clamped into [min(), max()] so degenerate distributions are exact.
+  double percentile(double p) const;
+  double p50() const { return percentile(50); }
+  double p95() const { return percentile(95); }
+  double p99() const { return percentile(99); }
+
+  void clear();
+
+  /// One-line summary matching util/stats Histogram::summary().
+  std::string summary() const;
+
+  std::size_t bucket_count() const { return counts_.size(); }
+
+ private:
+  std::size_t bucket_index(double sample) const;
+  double bucket_upper(std::size_t i) const;
+
+  HistogramOptions options_;
+  double log_growth_;
+  std::vector<std::uint64_t> counts_;
+  std::size_t count_ = 0;
+  double sum_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kCallbackGauge, kHistogram };
+
+std::string_view metric_kind_name(MetricKind kind);
+
+/// The process-wide metric registry. Registration is get-or-create on
+/// (name, labels); returned references stay valid for the registry's
+/// lifetime. Registering an existing (name, labels) under a *different*
+/// kind is a programming error: it is logged once and a detached metric
+/// (never exported) is returned so the caller's reference is still safe
+/// to use.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide instance every layer registers into.
+  static MetricsRegistry& global();
+
+  Counter& counter(std::string_view name, Labels labels = {});
+  Gauge& gauge(std::string_view name, Labels labels = {});
+  BoundedHistogram& histogram(std::string_view name, Labels labels = {},
+                              HistogramOptions options = {});
+
+  /// A gauge whose value is computed at exposition time (the Click
+  /// read-handler surface). `owner` keys bulk removal: a component that
+  /// registered callbacks MUST call remove_callbacks(owner) before it is
+  /// destroyed, or exposition would call into freed memory. Returning
+  /// nullopt from `fn` skips the sample (non-numeric handler).
+  using CallbackFn = std::function<std::optional<double>()>;
+  void callback_gauge(std::string_view name, Labels labels, const void* owner, CallbackFn fn);
+
+  /// Removes every callback gauge registered under `owner`.
+  void remove_callbacks(const void* owner);
+
+  std::size_t size() const;
+  bool has(std::string_view name, const Labels& labels = {}) const;
+
+  /// Prometheus text exposition: "# TYPE" comment per metric name, then
+  /// 'name{labels} value' lines, sorted. Histograms expose _count, _sum
+  /// and quantile series.
+  std::string render_text() const;
+
+  /// Same data as a JSON document: {"metrics": [{name, labels, kind,
+  /// ...value fields}]}.
+  json::Value snapshot_json() const;
+
+  /// Zeroes counters/gauges and clears histograms; callbacks and the
+  /// metric set itself are untouched. For tests and bench isolation.
+  void reset_values();
+
+ private:
+  struct Entry {
+    std::string name;
+    Labels labels;
+    MetricKind kind;
+    const void* owner = nullptr;  // callback gauges only
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<BoundedHistogram> histogram;
+    CallbackFn callback;
+  };
+
+  Entry* find_or_create(std::string_view name, Labels&& labels, MetricKind kind);
+  static std::string key_of(std::string_view name, const Labels& labels);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> metrics_;
+  // Kind-mismatch registrations park here: alive forever, never exported.
+  std::vector<std::unique_ptr<Entry>> detached_;
+};
+
+}  // namespace escape::obs
+
+namespace escape::stats {
+
+/// Process-wide count of deep packet copies made by fan-out points (Tee,
+/// OpenFlow flood/multi-output actions). Lives in the metrics registry
+/// as escape_packet_clones_total; every clone is a full buffer copy, so
+/// this counter is the first thing to look at when the data plane is
+/// slower than expected.
+obs::Counter& packet_clones();
+
+}  // namespace escape::stats

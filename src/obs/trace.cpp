@@ -1,0 +1,121 @@
+#include "obs/trace.hpp"
+
+namespace escape::obs {
+
+std::string_view trace_phase_name(TracePhase phase) {
+  switch (phase) {
+    case TracePhase::kInstant: return "instant";
+    case TracePhase::kBegin: return "begin";
+    case TracePhase::kEnd: return "end";
+  }
+  return "unknown";
+}
+
+TraceRing::TraceRing(std::size_t capacity) : capacity_(capacity ? capacity : 1) {
+  ring_.reserve(capacity_);
+}
+
+void TraceRing::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity ? capacity : 1;
+  ring_.clear();
+  ring_.reserve(capacity_);
+  head_ = size_ = 0;
+  total_ = 0;  // the old events are discarded, not "dropped"
+}
+
+std::size_t TraceRing::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void TraceRing::push(TraceEvent&& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  if (size_ < capacity_) {
+    ring_.push_back(std::move(event));
+    ++size_;
+    return;
+  }
+  ring_[head_] = std::move(event);
+  head_ = (head_ + 1) % capacity_;
+}
+
+void TraceRing::instant(SimTime ts, std::string_view category, std::string_view name,
+                        std::string arg) {
+  push(TraceEvent{ts, TracePhase::kInstant, 0, std::string(category), std::string(name),
+                  std::move(arg)});
+}
+
+std::uint64_t TraceRing::begin_span(SimTime ts, std::string_view category,
+                                    std::string_view name, std::string arg) {
+  std::uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_span_++;
+  }
+  push(TraceEvent{ts, TracePhase::kBegin, id, std::string(category), std::string(name),
+                  std::move(arg)});
+  return id;
+}
+
+void TraceRing::end_span(std::uint64_t span_id, SimTime ts, std::string arg) {
+  push(TraceEvent{ts, TracePhase::kEnd, span_id, "", "", std::move(arg)});
+}
+
+std::vector<TraceEvent> TraceRing::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(head_ + i) % size_]);
+  }
+  return out;
+}
+
+std::size_t TraceRing::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+std::uint64_t TraceRing::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::uint64_t TraceRing::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ - size_;
+}
+
+void TraceRing::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = size_ = 0;
+  total_ = 0;
+}
+
+json::Value TraceRing::to_json() const {
+  json::Array events;
+  for (const auto& e : this->events()) {
+    json::Object o;
+    o["ts"] = e.ts;
+    o["phase"] = std::string(trace_phase_name(e.phase));
+    if (e.span_id) o["span"] = e.span_id;
+    if (!e.category.empty()) o["category"] = e.category;
+    if (!e.name.empty()) o["name"] = e.name;
+    if (!e.arg.empty()) o["arg"] = e.arg;
+    events.push_back(std::move(o));
+  }
+  json::Object doc;
+  doc["events"] = std::move(events);
+  doc["dropped"] = dropped();
+  return doc;
+}
+
+TraceRing& tracer() {
+  static TraceRing ring;
+  return ring;
+}
+
+}  // namespace escape::obs

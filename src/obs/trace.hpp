@@ -1,0 +1,81 @@
+// The observability layer's event tracer: a fixed-capacity ring buffer
+// of timestamped events with optional begin/end spans. Recording is
+// O(1) and allocation-free apart from the event strings; when the ring
+// is full the oldest events are overwritten (the dropped count keeps
+// the loss visible). Timestamps are virtual nanoseconds supplied by the
+// caller, so a span across two scheduler events measures real
+// control-plane latency (e.g. packet-in -> flow-mod).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json/json.hpp"
+#include "util/time.hpp"
+
+namespace escape::obs {
+
+enum class TracePhase : std::uint8_t { kInstant, kBegin, kEnd };
+
+std::string_view trace_phase_name(TracePhase phase);
+
+struct TraceEvent {
+  SimTime ts = 0;  // virtual ns
+  TracePhase phase = TracePhase::kInstant;
+  std::uint64_t span_id = 0;  // correlates kBegin/kEnd; 0 for instants
+  std::string category;
+  std::string name;
+  std::string arg;
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 4096);
+
+  /// Drops all recorded events and resizes the ring.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const;
+
+  /// Records a point event.
+  void instant(SimTime ts, std::string_view category, std::string_view name,
+               std::string arg = "");
+
+  /// Opens a span; returns its id (never 0) for end_span.
+  std::uint64_t begin_span(SimTime ts, std::string_view category, std::string_view name,
+                           std::string arg = "");
+
+  /// Closes a span opened by begin_span. Unknown/already-closed ids
+  /// still record the end event (the ring may have dropped the begin).
+  void end_span(std::uint64_t span_id, SimTime ts, std::string arg = "");
+
+  /// Events currently held, oldest first.
+  std::vector<TraceEvent> events() const;
+
+  std::size_t size() const;
+  std::uint64_t total_recorded() const;
+  std::uint64_t dropped() const;
+
+  void clear();
+
+  /// {"events": [{ts, phase, span, category, name, arg}], "dropped": N}.
+  json::Value to_json() const;
+
+ private:
+  void push(TraceEvent&& event);
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // next write slot once the ring has wrapped
+  std::size_t size_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t next_span_ = 1;
+};
+
+/// The process-wide trace ring every layer records into.
+TraceRing& tracer();
+
+}  // namespace escape::obs

@@ -1,7 +1,8 @@
 #include "openflow/switch.hpp"
 
 #include "net/flow.hpp"
-#include "util/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace escape::openflow {
 
@@ -19,6 +20,12 @@ std::string_view message_type_name(const Message& m) {
 
 OpenFlowSwitch::OpenFlowSwitch(DatapathId dpid, EventScheduler& scheduler)
     : dpid_(dpid), scheduler_(&scheduler) {
+  auto& registry = obs::MetricsRegistry::global();
+  const obs::Labels labels{{"dpid", std::to_string(dpid)}};
+  m_table_hits_ = &registry.counter("escape_of_table_hits_total", labels);
+  m_table_misses_ = &registry.counter("escape_of_table_misses_total", labels);
+  m_packet_ins_ = &registry.counter("escape_of_packet_ins_total", labels);
+  m_packet_in_rtt_us_ = &registry.histogram("escape_of_packet_in_rtt_us", labels);
   table_.set_removed_callback([this](const FlowEntry& e, FlowRemovedReason reason) {
     if (!connected()) return;
     FlowRemoved msg;
@@ -81,9 +88,24 @@ void OpenFlowSwitch::sweep_expired() { table_.expire(scheduler_->now()); }
 
 std::uint32_t OpenFlowSwitch::buffer_packet(const net::Packet& packet) {
   const std::uint32_t id = next_buffer_id_++;
-  if (buffers_.size() >= kNumBuffers) buffers_.erase(buffers_.begin());  // oldest
+  if (buffers_.size() >= kNumBuffers) {
+    buffer_sent_at_.erase(buffers_.begin()->first);
+    buffers_.erase(buffers_.begin());  // oldest
+  }
   buffers_[id] = packet;
   return id;
+}
+
+void OpenFlowSwitch::record_buffer_release(std::uint32_t buffer_id) {
+  auto it = buffer_sent_at_.find(buffer_id);
+  if (it == buffer_sent_at_.end()) return;
+  const SimTime sent = it->second.first;
+  const SimTime now = scheduler_->now();
+  if (now >= sent) {
+    m_packet_in_rtt_us_->record(static_cast<double>(now - sent) / timeunit::kMicrosecond);
+  }
+  obs::tracer().end_span(it->second.second, now);
+  buffer_sent_at_.erase(it);
 }
 
 void OpenFlowSwitch::receive(std::uint16_t port_no, net::Packet&& packet) {
@@ -100,8 +122,10 @@ void OpenFlowSwitch::receive(std::uint16_t port_no, net::Packet&& packet) {
   }
   FlowEntry* entry = table_.lookup(*key, packet.size(), scheduler_->now());
   if (entry) {
+    m_table_hits_->add();
     apply_actions(entry->actions, std::move(packet), port_no, /*allow_packet_in=*/true);
   } else {
+    m_table_misses_->add();
     send_packet_in(std::move(packet), port_no, PacketInReason::kNoMatch);
   }
 }
@@ -144,8 +168,10 @@ void OpenFlowSwitch::receive_batch(std::uint16_t port_no, net::PacketBatch&& bat
       }
     }
     if (entry) {
+      m_table_hits_->add();
       apply_actions(entry->actions, std::move(packet), port_no, /*allow_packet_in=*/true);
     } else {
+      m_table_misses_->add();
       send_packet_in(std::move(packet), port_no, PacketInReason::kNoMatch);
     }
   }
@@ -160,6 +186,12 @@ void OpenFlowSwitch::send_packet_in(net::Packet&& packet, std::uint16_t in_port,
   msg.reason = reason;
   msg.packet = std::move(packet);
   ++packet_ins_;
+  m_packet_ins_->add();
+  const SimTime now = scheduler_->now();
+  const std::uint64_t span = obs::tracer().begin_span(
+      now, "openflow", "packet_in",
+      "dpid=" + std::to_string(dpid_) + " buffer=" + std::to_string(*msg.buffer_id));
+  buffer_sent_at_[*msg.buffer_id] = {now, span};
   channel_->to_controller(std::move(msg));
 }
 
@@ -270,6 +302,7 @@ void OpenFlowSwitch::handle_message(const Message& message) {
         } else if constexpr (std::is_same_v<T, FlowMod>) {
           table_.apply(msg, scheduler_->now());
           if (msg.buffer_id) {
+            record_buffer_release(*msg.buffer_id);
             auto it = buffers_.find(*msg.buffer_id);
             if (it != buffers_.end()) {
               net::Packet packet = std::move(it->second);
@@ -282,6 +315,7 @@ void OpenFlowSwitch::handle_message(const Message& message) {
         } else if constexpr (std::is_same_v<T, PacketOut>) {
           net::Packet packet;
           if (msg.buffer_id) {
+            record_buffer_release(*msg.buffer_id);
             auto it = buffers_.find(*msg.buffer_id);
             if (it == buffers_.end()) return;
             packet = std::move(it->second);

@@ -13,6 +13,7 @@
 #include <optional>
 
 #include "net/packet_batch.hpp"
+#include "obs/metrics.hpp"
 #include "openflow/flow_table.hpp"
 #include "openflow/messages.hpp"
 #include "util/event.hpp"
@@ -84,6 +85,9 @@ class OpenFlowSwitch {
   void flood(net::Packet& packet, std::uint16_t in_port, bool include_in_port, bool consume);
   void send_packet_in(net::Packet&& packet, std::uint16_t in_port, PacketInReason reason);
   std::uint32_t buffer_packet(const net::Packet& packet);
+  /// Closes the packet-in RTT measurement for a buffer the controller
+  /// just referenced (flow-mod or packet-out).
+  void record_buffer_release(std::uint32_t buffer_id);
 
   DatapathId dpid_;
   EventScheduler* scheduler_;
@@ -95,8 +99,16 @@ class OpenFlowSwitch {
   static constexpr std::uint32_t kNumBuffers = 256;
   std::uint32_t next_buffer_id_ = 0;
   std::map<std::uint32_t, net::Packet> buffers_;
+  // Virtual send time + trace span of each outstanding packet-in, so the
+  // controller's reaction (flow-mod / packet-out releasing the buffer)
+  // yields a measurable round-trip latency.
+  std::map<std::uint32_t, std::pair<SimTime, std::uint64_t>> buffer_sent_at_;
 
   std::uint64_t packet_ins_ = 0;
+  obs::Counter* m_table_hits_;
+  obs::Counter* m_table_misses_;
+  obs::Counter* m_packet_ins_;
+  obs::BoundedHistogram* m_packet_in_rtt_us_;
   EventHandle sweep_timer_;
   Logger log_{"openflow.switch"};
 };

@@ -265,7 +265,13 @@ void DeploymentEngine::deploy(std::uint32_t chain_id, const MappingResult& mappi
 
   auto* engine = this;
   auto run_all = std::make_shared<std::function<void(std::size_t)>>();
-  *run_all = [engine, steps, record, done, run_all](std::size_t index) {
+  // The stored function must only hold a weak self-reference: capturing
+  // run_all by value would form a shared_ptr cycle (function -> itself)
+  // that leaks the record and every capture. The pending step callback
+  // takes a strong ref, which is what keeps the loop alive between
+  // scheduler events.
+  std::weak_ptr<std::function<void(std::size_t)>> weak_run = run_all;
+  *run_all = [engine, steps, record, done, weak_run](std::size_t index) {
     if (index == steps->size()) {
       // Phase 3: steering.
       if (auto s = engine->steering_->install_chain(record->chain_path); !s.ok()) {
@@ -278,12 +284,13 @@ void DeploymentEngine::deploy(std::uint32_t chain_id, const MappingResult& mappi
       });
       return;
     }
-    (*steps)[index].run([engine, record, done, run_all, index](Status s) {
+    auto self = weak_run.lock();
+    (*steps)[index].run([engine, record, done, self, index](Status s) {
       if (!s.ok()) {
         done(s.error());
         return;
       }
-      (*run_all)(index + 1);
+      (*self)(index + 1);
     });
   };
   (*run_all)(0);
@@ -298,7 +305,10 @@ void DeploymentEngine::teardown(const DeploymentRecord& record,
   auto vnfs = std::make_shared<std::vector<VnfDeployment>>(record.vnfs);
   auto* engine = this;
   auto run = std::make_shared<std::function<void(std::size_t)>>();
-  *run = [engine, vnfs, done, run](std::size_t index) {
+  // Weak self-reference for the same reason as in deploy(): the pending
+  // RPC callbacks hold the strong refs that keep the loop alive.
+  std::weak_ptr<std::function<void(std::size_t)>> weak_run = run;
+  *run = [engine, vnfs, done, weak_run](std::size_t index) {
     if (index == vnfs->size()) {
       done(ok_status());
       return;
@@ -309,18 +319,19 @@ void DeploymentEngine::teardown(const DeploymentRecord& record,
       done(make_error("deploy.no-agent", "no management agent for " + d.container));
       return;
     }
+    auto self = weak_run.lock();
     netconf::VnfAgentClient* agent = it->second;
-    agent->stop_vnf(d.instance_id, [agent, d, done, run, index](Status s) {
+    agent->stop_vnf(d.instance_id, [agent, d, done, self, index](Status s) {
       if (!s.ok()) {
         done(s);
         return;
       }
-      agent->remove_vnf(d.instance_id, [run, index, done](Status s2) {
+      agent->remove_vnf(d.instance_id, [self, index, done](Status s2) {
         if (!s2.ok()) {
           done(s2);
           return;
         }
-        (*run)(index + 1);
+        (*self)(index + 1);
       });
     });
   };

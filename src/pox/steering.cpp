@@ -1,8 +1,36 @@
 #include "pox/steering.hpp"
 
+#include <chrono>
+
 #include "net/flow.hpp"
+#include "obs/trace.hpp"
 
 namespace escape::pox {
+
+namespace {
+
+/// Wall-clock microseconds: flow-mod construction happens within one
+/// scheduler event, so virtual time cannot resolve install latency.
+double wall_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void TrafficSteering::on_startup(Controller& controller) {
+  controller_ = &controller;
+  auto& registry = obs::MetricsRegistry::global();
+  m_flowmods_ = &registry.counter("escape_steering_flowmods_total");
+  m_reactive_installs_ = &registry.counter("escape_steering_reactive_installs_total");
+  m_chains_installed_ = &registry.gauge("escape_steering_chains_installed");
+  m_install_latency_us_ = &registry.histogram("escape_steering_install_latency_us");
+}
+
+void TrafficSteering::sync_installed_gauge() {
+  if (m_chains_installed_) m_chains_installed_->set(static_cast<double>(installed_.size()));
+}
 
 Status TrafficSteering::push_flow_mods(const ChainPath& path,
                                        std::optional<std::uint32_t> buffer_id,
@@ -32,6 +60,7 @@ Status TrafficSteering::push_flow_mods(const ChainPath& path,
       buffer_id.reset();  // release the buffer at most once
     }
     conn->send_flow_mod(mod);
+    if (m_flowmods_) m_flowmods_->add();
   }
   return ok_status();
 }
@@ -40,8 +69,18 @@ Status TrafficSteering::install_chain(const ChainPath& path) {
   if (path.hops.empty()) {
     return make_error("pox.steering.empty-path", "chain has no hops");
   }
-  if (auto s = push_flow_mods(path, std::nullopt, 0); !s.ok()) return s;
+  const SimTime ts = controller_ ? controller_->scheduler().now() : 0;
+  const std::uint64_t span = obs::tracer().begin_span(
+      ts, "steering", "install_chain", "chain=" + std::to_string(path.chain_id));
+  const double start_us = wall_us();
+  if (auto s = push_flow_mods(path, std::nullopt, 0); !s.ok()) {
+    obs::tracer().end_span(span, ts);
+    return s;
+  }
+  if (m_install_latency_us_) m_install_latency_us_->record(wall_us() - start_us);
+  obs::tracer().end_span(span, ts);
   installed_[path.chain_id] = path;
+  sync_installed_gauge();
   log_.info("installed chain ", path.chain_id, " over ", path.hops.size(), " hops");
   return ok_status();
 }
@@ -67,8 +106,10 @@ Status TrafficSteering::remove_chain(std::uint32_t chain_id) {
     mod.match.in_port(hop.in_port);
     mod.priority = path.priority;
     conn->send_flow_mod(mod);
+    if (m_flowmods_) m_flowmods_->add();
   }
   installed_.erase(it);
+  sync_installed_gauge();
   return ok_status();
 }
 
@@ -85,13 +126,17 @@ bool TrafficSteering::on_packet_in(SwitchConnection& conn, const openflow::Packe
         path.hops.front().in_port != msg.in_port) {
       continue;
     }
+    const double start_us = wall_us();
     if (auto s = push_flow_mods(path, msg.buffer_id, conn.dpid()); !s.ok()) {
       log_.warn("reactive install failed: ", s.error().to_string());
       return false;
     }
+    if (m_install_latency_us_) m_install_latency_us_->record(wall_us() - start_us);
     ++reactive_installs_;
+    if (m_reactive_installs_) m_reactive_installs_->add();
     installed_[it->first] = path;
     pending_.erase(it);
+    sync_installed_gauge();
     return true;
   }
   return false;
@@ -145,6 +190,7 @@ void TrafficSteering::on_flow_removed(SwitchConnection&, const openflow::FlowRem
   if (msg.reason == openflow::FlowRemovedReason::kDelete) return;
   pending_[it->first] = it->second;
   installed_.erase(it);
+  sync_installed_gauge();
 }
 
 }  // namespace escape::pox

@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "pox/core.hpp"
 #include "util/result.hpp"
 
@@ -54,7 +55,7 @@ class TrafficSteering : public App {
  public:
   std::string_view name() const override { return "traffic_steering"; }
 
-  void on_startup(Controller& controller) override { controller_ = &controller; }
+  void on_startup(Controller& controller) override;
   bool on_packet_in(SwitchConnection& conn, const openflow::PacketIn& msg) override;
   void on_flow_removed(SwitchConnection& conn, const openflow::FlowRemoved& msg) override;
   void on_stats_reply(SwitchConnection& conn, const openflow::StatsReply& msg) override;
@@ -84,10 +85,17 @@ class TrafficSteering : public App {
   Status push_flow_mods(const ChainPath& path, std::optional<std::uint32_t> buffer_id,
                         DatapathId buffer_dpid);
 
+  /// Keeps the chains-installed gauge in sync with installed_.size().
+  void sync_installed_gauge();
+
   Controller* controller_ = nullptr;
   std::map<std::uint32_t, ChainPath> installed_;
   std::map<std::uint32_t, ChainPath> pending_;  // reactive, not yet installed
   std::uint64_t reactive_installs_ = 0;
+  obs::Counter* m_flowmods_ = nullptr;
+  obs::Counter* m_reactive_installs_ = nullptr;
+  obs::Gauge* m_chains_installed_ = nullptr;
+  obs::BoundedHistogram* m_install_latency_us_ = nullptr;
   // Outstanding stats queries, FIFO per switch (stats replies carry no
   // correlation id in OF 1.0).
   struct StatsQuery {

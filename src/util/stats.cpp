@@ -62,13 +62,4 @@ std::string Histogram::summary() const {
                          count(), mean(), p50(), p95(), max());
 }
 
-namespace stats {
-
-Counter& packet_clones() {
-  static Counter counter;
-  return counter;
-}
-
-}  // namespace stats
-
 }  // namespace escape

@@ -1,5 +1,9 @@
-// Measurement helpers shared by tests, benches and the VNF monitor:
-// counters and a simple sample-keeping histogram with percentiles.
+// Measurement helpers shared by tests and benches: an exact
+// keep-all-samples histogram with true percentiles. Hot paths use the
+// bounded-memory metrics in obs/metrics.hpp instead; this Histogram is
+// the accuracy reference the obs::BoundedHistogram tests compare
+// against. Counters (including stats::packet_clones()) moved to the
+// metrics registry in obs/metrics.hpp.
 #pragma once
 
 #include <cstdint>
@@ -8,17 +12,6 @@
 #include <vector>
 
 namespace escape {
-
-/// A monotonically increasing counter (packets, bytes, RPCs, ...).
-class Counter {
- public:
-  void add(std::uint64_t n = 1) { value_ += n; }
-  std::uint64_t value() const { return value_; }
-  void reset() { value_ = 0; }
-
- private:
-  std::uint64_t value_ = 0;
-};
 
 /// A histogram that keeps all samples; fine for test/bench scale.
 class Histogram {
@@ -54,15 +47,5 @@ class Histogram {
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
 };
-
-namespace stats {
-
-/// Process-wide count of deep packet copies made by fan-out points
-/// (Tee, OpenFlow flood/multi-output actions). Every clone is a full
-/// buffer copy, so this counter is the first thing to look at when the
-/// data plane is slower than expected.
-Counter& packet_clones();
-
-}  // namespace stats
 
 }  // namespace escape

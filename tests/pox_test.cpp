@@ -168,6 +168,9 @@ TEST_F(LineFixture, ReactiveChainInstallsOnFirstPacket) {
   controller.add_app(steering);
   net.attach_controller(controller);
   sched.run_for(milliseconds(1));
+  auto& rtt = obs::MetricsRegistry::global().histogram("escape_of_packet_in_rtt_us",
+                                                       {{"dpid", "1"}});
+  const std::size_t rtt_before = rtt.count();
 
   ChainPath path;
   path.chain_id = 9;
@@ -184,6 +187,10 @@ TEST_F(LineFixture, ReactiveChainInstallsOnFirstPacket) {
   EXPECT_EQ(steering->reactive_installs(), 1u);
   // The triggering (buffered) packet itself is released through the chain.
   EXPECT_EQ(h2->rx_packets(), 1u);
+  // The flow-mod releasing the buffer closed the packet-in RTT span:
+  // one round trip of the 10 us control channel, so >= 20 us.
+  ASSERT_GT(rtt.count(), rtt_before);
+  EXPECT_GE(rtt.max(), 20.0);
 
   // Follow-up traffic uses the installed flows.
   h1->send(net::make_udp_packet(h1->mac(), h2->mac(), h1->ip(), h2->ip(), 1, 2));

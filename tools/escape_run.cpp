@@ -8,12 +8,15 @@
 //              [--algorithm greedy|loadbalance|delaygreedy|backtracking]
 //              [--rate PPS] [--count N] [--duration SECONDS]
 //              [--return-path] [--verbose]
+//              [--metrics] [--metrics-json FILE]
+//              [--monitor VNF] [--monitor-interval MS]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "escape/environment.hpp"
+#include "obs/metrics.hpp"
 
 using namespace escape;
 
@@ -36,13 +39,34 @@ struct Options {
   std::uint64_t duration_s = 2;
   bool return_path = false;
   bool verbose = false;
+  bool metrics = false;
+  std::string metrics_json_path;
+  std::string monitor_vnf;  // live per-VNF monitor (Clicky-style)
+  std::uint64_t monitor_interval_ms = 500;
 };
+
+/// Prints the registry lines that belong to one VNF (matched by its
+/// vnf="..." label), prefixed with the current virtual time. This reads
+/// the metrics registry directly -- it must NOT issue NETCONF monitoring
+/// RPCs, because it runs inside a scheduler event.
+void print_monitor_sample(const Options& opts, SimTime now) {
+  const std::string needle = "vnf=\"" + opts.monitor_vnf + "\"";
+  std::istringstream lines(obs::MetricsRegistry::global().render_text());
+  std::printf("-- t=%.1f ms  vnf=%s --\n",
+              static_cast<double>(now) / timeunit::kMillisecond, opts.monitor_vnf.c_str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find(needle) != std::string::npos) std::printf("  %s\n", line.c_str());
+  }
+}
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <topology.json> <service_graph.json>\n"
                "          [--algorithm NAME] [--rate PPS] [--count N]\n"
-               "          [--duration SECONDS] [--return-path] [--verbose]\n",
+               "          [--duration SECONDS] [--return-path] [--verbose]\n"
+               "          [--metrics] [--metrics-json FILE]\n"
+               "          [--monitor VNF] [--monitor-interval MS]\n",
                argv0);
   return 2;
 }
@@ -75,6 +99,21 @@ int main(int argc, char** argv) {
       opts.return_path = true;
     } else if (arg == "--verbose") {
       opts.verbose = true;
+    } else if (arg == "--metrics") {
+      opts.metrics = true;
+    } else if (arg == "--metrics-json") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opts.metrics_json_path = v;
+    } else if (arg == "--monitor") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opts.monitor_vnf = v;
+    } else if (arg == "--monitor-interval") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opts.monitor_interval_ms = std::strtoull(v, nullptr, 10);
+      if (opts.monitor_interval_ms == 0) opts.monitor_interval_ms = 1;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return usage(argv[0]);
@@ -149,7 +188,28 @@ int main(int argc, char** argv) {
   netemu::Host* src = env.host(order->front());
   netemu::Host* dst = env.host(order->back());
   src->start_udp_flow(dst->mac(), dst->ip(), 40000, 80, opts.count, opts.rate);
+
+  // Clicky-style live monitor: a self-rescheduling virtual-time event
+  // that samples the metrics registry while the traffic runs.
+  struct Monitor {
+    const Options* opts;
+    EventScheduler* sched;
+    SimDuration interval;
+    bool active = true;
+    void fire() {
+      if (!active) return;
+      print_monitor_sample(*opts, sched->now());
+      sched->schedule(interval, [this] { fire(); });
+    }
+  };
+  Monitor monitor{&opts, &env.scheduler(), opts.monitor_interval_ms * timeunit::kMillisecond};
+  if (!opts.monitor_vnf.empty()) {
+    std::printf("\nlive monitor (every %llu ms virtual):\n",
+                static_cast<unsigned long long>(opts.monitor_interval_ms));
+    env.scheduler().schedule(monitor.interval, [&monitor] { monitor.fire(); });
+  }
   env.run_for(seconds(opts.duration_s));
+  monitor.active = false;  // keep later pump_until phases quiet
 
   std::printf("\ntraffic %s -> %s: %llu/%llu delivered",
               order->front().c_str(), order->back().c_str(),
@@ -184,6 +244,21 @@ int main(int argc, char** argv) {
         std::printf("    %-26s %s\n", handler.c_str(), value.c_str());
       }
     }
+  }
+
+  // --- observability snapshot -----------------------------------------------
+  if (opts.metrics) {
+    std::printf("\n=== metrics (Prometheus text exposition) ===\n%s",
+                obs::MetricsRegistry::global().render_text().c_str());
+  }
+  if (!opts.metrics_json_path.empty()) {
+    std::ofstream out(opts.metrics_json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", opts.metrics_json_path.c_str());
+      return 1;
+    }
+    out << obs::MetricsRegistry::global().snapshot_json().dump(2) << "\n";
+    std::printf("\nmetrics snapshot written to %s\n", opts.metrics_json_path.c_str());
   }
   return 0;
 }
