@@ -1,0 +1,133 @@
+// Experiment E6: time-to-recover after a container power failure.
+//
+// recovery_virtual_ms is the virtual time from kill_container() to the
+// chain reporting ACTIVE again: failure detection (session close
+// propagating through the control network), best-effort teardown of the
+// stale remnants, re-mapping against the surviving view and the
+// re-embedding bring-up on another container. The emitted
+// BENCH_recovery.json carries the escape_recovery_latency_ms histogram
+// (count/sum/percentiles) accumulated across all iterations.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "netconf/session.hpp"
+
+using namespace escape;
+using benchutil::build_linear;
+using benchutil::monitor_chain;
+
+static void BM_Recovery(benchmark::State& state) {
+  const int switches = static_cast<int>(state.range(0));
+  const int chain_len = static_cast<int>(state.range(1));
+
+  double recovery_ms = 0;
+  double detect_ms = 0;
+  for (auto _ : state) {
+    Environment env;
+    build_linear(env, switches);
+    if (auto s = env.start(); !s.ok()) {
+      state.SkipWithError(s.error().message.c_str());
+      break;
+    }
+    if (auto s = env.enable_self_healing(); !s.ok()) {
+      state.SkipWithError(s.error().message.c_str());
+      break;
+    }
+    auto chain = env.deploy(monitor_chain(chain_len));
+    if (!chain.ok()) {
+      state.SkipWithError(chain.error().message.c_str());
+      break;
+    }
+    // Kill the container carrying the chain's first VNF and run virtual
+    // time until the self-healing loop brings the chain back.
+    const std::string victim = env.deployment(*chain)->record.mapping.placements.at("v0");
+    const SimTime killed_at = env.scheduler().now();
+    if (auto s = env.kill_container(victim); !s.ok()) {
+      state.SkipWithError(s.error().message.c_str());
+      break;
+    }
+    SimTime degraded_at = 0;
+    bool recovered = false;
+    for (int i = 0; i < 2000 && !recovered; ++i) {
+      env.run_for(timeunit::kMillisecond);
+      auto st = env.chain_state(*chain);
+      if (!degraded_at && st.ok() && *st != ChainState::kActive) {
+        degraded_at = env.scheduler().now();
+      }
+      recovered = degraded_at && st.ok() && *st == ChainState::kActive;
+    }
+    if (!recovered) {
+      state.SkipWithError("chain did not recover within 2 s of virtual time");
+      break;
+    }
+    const auto& histogram =
+        obs::MetricsRegistry::global().histogram("escape_recovery_latency_ms");
+    recovery_ms = histogram.count() ? histogram.max() : 0.0;
+    detect_ms = static_cast<double>(degraded_at - killed_at) / timeunit::kMillisecond;
+    benchmark::DoNotOptimize(recovery_ms);
+  }
+  state.counters["recovery_virtual_ms"] = recovery_ms;
+  state.counters["detect_virtual_ms"] = detect_ms;
+  state.counters["switches"] = switches;
+  state.counters["chain_len"] = chain_len;
+}
+BENCHMARK(BM_Recovery)
+    ->ArgsProduct({{2, 4, 8}, {1, 2, 4}})
+    ->Unit(benchmark::kMillisecond);
+
+/// Ablation: the cost of the retry envelope on a flaky management
+/// network. 50 RPCs through drop_pct% frame loss (both directions) with
+/// a 6-attempt backoff envelope; completion_virtual_ms is how long the
+/// whole batch takes to resolve (every RPC ends in success or a clean
+/// budget-exhausted error -- nothing hangs), success_pct how many made
+/// it through.
+static void BM_FlakyRpcRetries(benchmark::State& state) {
+  const double drop = static_cast<double>(state.range(0)) / 100.0;
+  double completion_ms = 0;
+  double retries = 0;
+  double success_pct = 0;
+  for (auto _ : state) {
+    EventScheduler sched;
+    auto [server_end, client_end] = netconf::make_pipe(sched, 200 * timeunit::kMicrosecond);
+    netconf::NetconfServer server{server_end};
+    server.register_rpc("echo",
+                        [](const xml::Element&) -> Result<std::unique_ptr<xml::Element>> {
+                          return std::unique_ptr<xml::Element>{};  // <ok/>
+                        });
+    netconf::NetconfClient client{client_end};
+    sched.run();
+    client_end->set_faults({drop, 0.0, 0, 101});
+    server_end->set_faults({drop, 0.0, 0, 202});
+
+    netconf::RpcOptions opts;
+    opts.timeout = 5 * timeunit::kMillisecond;
+    opts.max_attempts = 6;
+    opts.backoff_base = timeunit::kMillisecond;
+    int ok = 0;
+    int done = 0;
+    constexpr int kRpcs = 50;
+    for (int i = 0; i < kRpcs; ++i) {
+      client.rpc(std::make_unique<xml::Element>("echo"), opts,
+                 [&ok, &done](Result<std::unique_ptr<xml::Element>> r) {
+                   ok += r.ok();
+                   ++done;
+                 });
+    }
+    sched.run();
+    if (done != kRpcs) {
+      state.SkipWithError("an RPC neither succeeded nor failed (hang)");
+      break;
+    }
+    completion_ms = static_cast<double>(sched.now()) / timeunit::kMillisecond;
+    retries = static_cast<double>(client.rpc_retries());
+    success_pct = 100.0 * ok / kRpcs;
+  }
+  state.counters["completion_virtual_ms"] = completion_ms;
+  state.counters["rpc_retries"] = retries;
+  state.counters["success_pct"] = success_pct;
+  state.counters["drop_pct"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_FlakyRpcRetries)->Arg(0)->Arg(10)->Arg(30)->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+ESCAPE_BENCH_MAIN("recovery");

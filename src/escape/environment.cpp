@@ -1,6 +1,18 @@
 #include "escape/environment.hpp"
 
+#include "obs/trace.hpp"
+
 namespace escape {
+
+std::string_view chain_state_name(ChainState state) {
+  switch (state) {
+    case ChainState::kActive: return "ACTIVE";
+    case ChainState::kDegraded: return "DEGRADED";
+    case ChainState::kRecovering: return "RECOVERING";
+    case ChainState::kFailed: return "FAILED";
+  }
+  return "?";
+}
 
 Environment::Environment(EnvironmentOptions options)
     : options_(std::move(options)), network_(scheduler_) {
@@ -36,6 +48,13 @@ Status Environment::start() {
       ContainerMgmt m;
       m.agent = std::make_unique<netconf::VnfAgent>(server_end, *c);
       m.client = std::make_unique<netconf::VnfAgentClient>(client_end);
+      m.server_end = server_end;
+      m.client_end = client_end;
+      if (health_) {
+        m.client->set_rpc_options(recovery_.rpc);
+        m.client->set_circuit_breaker(recovery_.breaker);
+        health_->watch_agent(name, m.client.get());
+      }
       mgmt_[name] = std::move(m);
     }
   }
@@ -70,10 +89,12 @@ Status Environment::start() {
   // links are append-only, so recorded link indices stay valid).
   view_ = orchestrator::resource_view_from(network_);
   for (const auto& [id, dep] : deployments_) {
+    if (!dep.reservations_held) continue;
     for (const auto& lm : dep.record.mapping.link_mappings) {
       view_->reserve_path(lm.path, lm.bandwidth_bps);
     }
   }
+  for (const auto& name : unavailable_containers_) view_->set_node_available(name, false);
   started_ = true;
   log_.info("environment up: ", network_.switch_count(), " switches, ",
             network_.container_count(), " containers, ", network_.host_count(), " hosts");
@@ -224,6 +245,7 @@ Result<std::uint32_t> Environment::install_return_path(std::uint32_t chain_id) {
   record.graph = sg::ServiceGraph("return-of-" + std::to_string(chain_id));
   record.record.chain_id = reverse.chain_id;
   record.record.chain_path = reverse;
+  record.reservations_held = false;  // pure steering, nothing reserved
   deployments_[reverse.chain_id] = std::move(record);
   return reverse.chain_id;
 }
@@ -253,18 +275,23 @@ Status Environment::undeploy(std::uint32_t chain_id) {
   if (auto s = pump_until(done, "undeploy"); !s.ok()) return s;
   if (!outcome.ok()) return outcome;
   // Give the chain's substrate reservations back to the view.
-  if (view_) {
-    for (const auto& lm : it->second.record.mapping.link_mappings) {
-      view_->release_path(lm.path, lm.bandwidth_bps);
-    }
-    for (const auto& [vnf, container] : it->second.record.mapping.placements) {
-      if (const sg::VnfNode* node = it->second.graph.vnf(vnf)) {
-        view_->release_vnf(container, node->cpu_demand);
-      }
-    }
-  }
+  release_chain_reservations(it->second);
   deployments_.erase(it);
   return ok_status();
+}
+
+void Environment::release_chain_reservations(ChainDeployment& dep) {
+  if (!dep.reservations_held) return;
+  dep.reservations_held = false;
+  if (!view_) return;
+  for (const auto& lm : dep.record.mapping.link_mappings) {
+    view_->release_path(lm.path, lm.bandwidth_bps);
+  }
+  for (const auto& [vnf, container] : dep.record.mapping.placements) {
+    if (const sg::VnfNode* node = dep.graph.vnf(vnf)) {
+      view_->release_vnf(container, node->cpu_demand);
+    }
+  }
 }
 
 netconf::VnfAgentClient* Environment::agent_client(const std::string& container_name) {
@@ -301,6 +328,322 @@ Status Environment::watch_vnf_events(
     if (!outcome.ok()) return outcome;
   }
   return ok_status();
+}
+
+// --- fault injection hooks -----------------------------------------------------
+
+Status Environment::kill_container(const std::string& name) {
+  netemu::VnfContainer* c = network_.container(name);
+  auto it = mgmt_.find(name);
+  if (!c || it == mgmt_.end()) {
+    return make_error("escape.unknown-container", "no managed container named " + name);
+  }
+  log_.warn("fault: killing container ", name);
+  // The agent dies with its container: close the transport first so the
+  // client (and the health monitor) learn within one control delay.
+  it->second.server_end->close();
+  c->crash();
+  unavailable_containers_.insert(name);
+  if (view_) view_->set_node_available(name, false);
+  return ok_status();
+}
+
+Status Environment::restore_container(const std::string& name) {
+  netemu::VnfContainer* c = network_.container(name);
+  if (!c || !mgmt_.count(name)) {
+    return make_error("escape.unknown-container", "no managed container named " + name);
+  }
+  c->restore();
+  return respawn_agent(name);
+}
+
+Status Environment::crash_agent(const std::string& name) {
+  auto it = mgmt_.find(name);
+  if (it == mgmt_.end()) {
+    return make_error("escape.unknown-container", "no managed container named " + name);
+  }
+  log_.warn("fault: crashing NETCONF agent of ", name);
+  it->second.server_end->close();
+  // Unmanageable == unusable for new placements until the agent returns.
+  unavailable_containers_.insert(name);
+  if (view_) view_->set_node_available(name, false);
+  return ok_status();
+}
+
+Status Environment::respawn_agent(const std::string& name) {
+  netemu::VnfContainer* c = network_.container(name);
+  auto it = mgmt_.find(name);
+  if (!c || it == mgmt_.end()) {
+    return make_error("escape.unknown-container", "no managed container named " + name);
+  }
+  ContainerMgmt& m = it->second;
+  if (m.server_end && !m.server_end->closed()) m.server_end->close();
+  m.agent.reset();  // unregisters its container state listener
+  auto [server_end, client_end] = netconf::make_pipe(scheduler_, options_.netconf_delay);
+  m.server_end = server_end;
+  m.client_end = client_end;
+  m.agent = std::make_unique<netconf::VnfAgent>(server_end, *c);
+  m.client->session().rebind(client_end);
+  if (c->alive()) {
+    unavailable_containers_.erase(name);
+    if (view_) view_->set_node_available(name, true);
+  }
+  log_.info("fault: respawned agent for ", name, " (session re-establishing)");
+  return ok_status();
+}
+
+Status Environment::set_link_state(const std::string& a, const std::string& b, bool up) {
+  if (auto s = network_.set_link_state(a, b, up); !s.ok()) return s;
+  // Keep the orchestration view in sync even without a health monitor.
+  if (view_) view_->set_link_available(a, b, up);
+  return ok_status();
+}
+
+Status Environment::set_netconf_faults(const std::string& name,
+                                       const netconf::TransportFaults& faults) {
+  auto it = mgmt_.find(name);
+  if (it == mgmt_.end()) {
+    return make_error("escape.unknown-container", "no managed container named " + name);
+  }
+  netconf::TransportFaults f = faults;
+  it->second.client_end->set_faults(f);
+  f.seed = faults.seed + 1;  // decorrelate the two directions
+  it->second.server_end->set_faults(f);
+  return ok_status();
+}
+
+Status Environment::clear_netconf_faults(const std::string& name) {
+  auto it = mgmt_.find(name);
+  if (it == mgmt_.end()) {
+    return make_error("escape.unknown-container", "no managed container named " + name);
+  }
+  it->second.client_end->clear_faults();
+  it->second.server_end->clear_faults();
+  return ok_status();
+}
+
+// --- self-healing ---------------------------------------------------------------
+
+Status Environment::enable_self_healing(RecoveryOptions options) {
+  if (!started_) {
+    return make_error("escape.not-started", "call start() before enable_self_healing()");
+  }
+  recovery_ = options;
+  health_ = std::make_unique<orchestrator::HealthMonitor>(scheduler_, options.health);
+  for (auto& [name, m] : mgmt_) {
+    m.client->set_rpc_options(options.rpc);
+    m.client->set_circuit_breaker(options.breaker);
+    health_->watch_agent(name, m.client.get());
+  }
+  health_->watch_links(network_);
+
+  std::weak_ptr<bool> alive = alive_;
+  health_->on_agent_down([this, alive](const std::string& container) {
+    if (alive.expired()) return;
+    unavailable_containers_.insert(container);
+    if (view_) view_->set_node_available(container, false);
+    degrade_chains_on_container(container);
+  });
+  health_->on_agent_up([this, alive](const std::string& container) {
+    if (alive.expired()) return;
+    netemu::VnfContainer* node = network_.container(container);
+    if (node && node->alive()) {
+      unavailable_containers_.erase(container);
+      if (view_) view_->set_node_available(container, true);
+    }
+    // Fresh capacity may unblock chains that could not be re-embedded.
+    for (auto& [id, dep] : deployments_) {
+      if (dep.state != ChainState::kDegraded && dep.state != ChainState::kFailed) continue;
+      dep.recovery_attempts = 0;
+      dep.state = ChainState::kDegraded;
+      const std::uint32_t chain_id = id;
+      scheduler_.schedule(0, [this, alive, chain_id] {
+        if (!alive.expired()) recover_chain(chain_id);
+      });
+    }
+  });
+  health_->on_link_state([this, alive](const std::string& a, const std::string& b, bool up) {
+    if (alive.expired()) return;
+    if (view_) view_->set_link_available(a, b, up);
+    if (!up) degrade_chains_on_link(a, b);
+  });
+  health_->start();
+  log_.info("self-healing enabled: probing ", mgmt_.size(), " agents every ",
+            static_cast<double>(options.health.probe_interval) / timeunit::kMillisecond,
+            " ms");
+  return ok_status();
+}
+
+void Environment::disable_self_healing() { health_.reset(); }
+
+Result<ChainState> Environment::chain_state(std::uint32_t chain_id) const {
+  const ChainDeployment* dep = deployment(chain_id);
+  if (!dep) {
+    return make_error("escape.unknown-chain",
+                      "chain not deployed: " + std::to_string(chain_id));
+  }
+  return dep->state;
+}
+
+void Environment::update_degraded_gauge() {
+  std::size_t n = 0;
+  for (const auto& [_, dep] : deployments_) n += dep.state != ChainState::kActive;
+  obs::MetricsRegistry::global().gauge("escape_chains_degraded").set(static_cast<double>(n));
+}
+
+void Environment::degrade_chains_on_container(const std::string& container) {
+  for (auto& [id, dep] : deployments_) {
+    if (dep.state == ChainState::kRecovering) continue;
+    bool uses = false;
+    for (const auto& [vnf, placed_on] : dep.record.mapping.placements) {
+      uses = uses || placed_on == container;
+    }
+    if (!uses) continue;
+    queue_recovery(id);
+  }
+}
+
+void Environment::degrade_chains_on_link(const std::string& a, const std::string& b) {
+  for (auto& [id, dep] : deployments_) {
+    if (dep.state == ChainState::kRecovering) continue;
+    bool uses = false;
+    // Substrate segments of the mapping...
+    for (const auto& lm : dep.record.mapping.link_mappings) {
+      const auto& nodes = lm.path.nodes;
+      for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+        uses = uses || (nodes[i] == a && nodes[i + 1] == b) ||
+               (nodes[i] == b && nodes[i + 1] == a);
+      }
+    }
+    // ...and the dynamically created veths.
+    for (const auto& v : dep.record.vnfs) {
+      const bool veth_a = v.container == a && (v.in_switch == b || v.out_switch == b);
+      const bool veth_b = v.container == b && (v.in_switch == a || v.out_switch == a);
+      uses = uses || veth_a || veth_b;
+    }
+    if (!uses) continue;
+    queue_recovery(id);
+  }
+}
+
+void Environment::queue_recovery(std::uint32_t chain_id) {
+  auto it = deployments_.find(chain_id);
+  if (it == deployments_.end() || it->second.state == ChainState::kRecovering) return;
+  it->second.state = ChainState::kDegraded;
+  update_degraded_gauge();
+  log_.warn("chain ", chain_id, " marked DEGRADED");
+  std::weak_ptr<bool> alive = alive_;
+  scheduler_.schedule(0, [this, alive, chain_id] {
+    if (!alive.expired()) recover_chain(chain_id);
+  });
+}
+
+void Environment::recover_chain(std::uint32_t chain_id) {
+  auto it = deployments_.find(chain_id);
+  if (it == deployments_.end()) return;
+  ChainDeployment& dep = it->second;
+  if (dep.state != ChainState::kDegraded || !engine_ || !view_) return;
+  if (dep.recovery_attempts >= recovery_.max_recovery_attempts) {
+    dep.state = ChainState::kFailed;
+    update_degraded_gauge();
+    log_.error("chain ", chain_id, " FAILED: recovery attempts exhausted");
+    return;
+  }
+  ++dep.recovery_attempts;
+  dep.state = ChainState::kRecovering;
+  update_degraded_gauge();
+  const SimTime started = scheduler_.now();
+  const std::uint64_t span = obs::tracer().begin_span(
+      started, "recovery", "re-embed",
+      "chain " + std::to_string(chain_id) + " attempt " +
+          std::to_string(dep.recovery_attempts));
+  log_.warn("recovering chain ", chain_id, " (attempt ", dep.recovery_attempts, "/",
+            recovery_.max_recovery_attempts, ")");
+
+  std::weak_ptr<bool> alive = alive_;
+  // Step 1: best-effort teardown of the stale remnants (dead agents and
+  // already-gone VNFs are fine -- that is the point).
+  engine_->teardown_best_effort(dep.record, [this, alive, chain_id, started, span](Status) {
+    if (alive.expired()) return;
+    auto it = deployments_.find(chain_id);
+    if (it == deployments_.end()) return;
+    ChainDeployment& dep = it->second;
+    release_chain_reservations(dep);
+
+    // Step 2: re-map against the surviving resource view.
+    auto rendered = service_layer_.prepare(dep.graph);
+    if (!rendered.ok()) {
+      finish_recovery(chain_id, started, span, rendered.error());
+      return;
+    }
+    auto algorithm =
+        orchestrator::MappingRegistry::global().create(options_.mapping_algorithm);
+    if (!algorithm) {
+      finish_recovery(chain_id, started, span,
+                      make_error("escape.unknown-algorithm",
+                                 "no mapping algorithm named '" +
+                                     options_.mapping_algorithm + "'"));
+      return;
+    }
+    auto mapping = algorithm->map(dep.graph, *view_);
+    if (!mapping.ok()) {
+      finish_recovery(chain_id, started, span, mapping.error());
+      return;
+    }
+    dep.reservations_held = true;  // map() committed the new reservations
+    log_.info("chain ", chain_id, " re-mapped: ", mapping->to_string());
+
+    // Step 3: redeploy under the same chain id (fresh veths + steering).
+    const openflow::Match match = dep.record.chain_path.match;
+    engine_->deploy(
+        chain_id, *mapping, *view_, *rendered, match,
+        [this, alive, chain_id, started, span](Result<orchestrator::DeploymentRecord> r) {
+          if (alive.expired()) return;
+          auto it = deployments_.find(chain_id);
+          if (it == deployments_.end()) return;
+          if (r.ok()) {
+            it->second.record = std::move(*r);
+            finish_recovery(chain_id, started, span, ok_status());
+          } else {
+            release_chain_reservations(it->second);
+            finish_recovery(chain_id, started, span, r.error());
+          }
+        });
+  });
+}
+
+void Environment::finish_recovery(std::uint32_t chain_id, SimTime started,
+                                  std::uint64_t span, Status outcome) {
+  auto& registry = obs::MetricsRegistry::global();
+  obs::tracer().end_span(span, scheduler_.now(),
+                         outcome.ok() ? "ok" : outcome.error().code);
+  auto it = deployments_.find(chain_id);
+  if (it == deployments_.end()) return;
+  ChainDeployment& dep = it->second;
+  if (outcome.ok()) {
+    dep.state = ChainState::kActive;
+    dep.recovery_attempts = 0;
+    const double latency_ms =
+        static_cast<double>(scheduler_.now() - started) / timeunit::kMillisecond;
+    registry.counter("escape_recovery_total", {{"result", "ok"}}).add();
+    registry.histogram("escape_recovery_latency_ms").record(latency_ms);
+    log_.info("chain ", chain_id, " recovered in ", latency_ms, " ms (virtual)");
+  } else {
+    registry.counter("escape_recovery_total", {{"result", "failed"}}).add();
+    log_.warn("chain ", chain_id, " recovery attempt failed: ",
+              outcome.error().to_string());
+    if (dep.recovery_attempts >= recovery_.max_recovery_attempts) {
+      dep.state = ChainState::kFailed;
+      log_.error("chain ", chain_id, " FAILED: recovery attempts exhausted");
+    } else {
+      dep.state = ChainState::kDegraded;
+      std::weak_ptr<bool> alive = alive_;
+      scheduler_.schedule(recovery_.retry_delay, [this, alive, chain_id] {
+        if (!alive.expired()) recover_chain(chain_id);
+      });
+    }
+  }
+  update_degraded_gauge();
 }
 
 Result<netemu::VnfInfo> Environment::monitor_vnf(const std::string& container_name,

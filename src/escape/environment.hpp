@@ -20,10 +20,12 @@
 
 #include <map>
 #include <memory>
+#include <set>
 
 #include "netconf/vnf_agent.hpp"
 #include "netemu/network.hpp"
 #include "orchestrator/deployment.hpp"
+#include "orchestrator/health_monitor.hpp"
 #include "orchestrator/mapping.hpp"
 #include "orchestrator/view.hpp"
 #include "pox/l2_learning.hpp"
@@ -47,11 +49,37 @@ struct EnvironmentOptions {
   bool serialize_control_channel = false;
 };
 
+/// Self-healing policy: how aggressively the environment probes agents
+/// and retries/recovers failed chains once enable_self_healing() is on.
+struct RecoveryOptions {
+  orchestrator::HealthMonitorOptions health;
+  /// Reliability envelope applied to every management RPC (deployment
+  /// and teardown traffic included): per-RPC timeout + bounded backoff.
+  netconf::RpcOptions rpc{20 * timeunit::kMillisecond, 4, 2 * timeunit::kMillisecond,
+                          50 * timeunit::kMillisecond, 0.2};
+  netconf::CircuitBreakerOptions breaker;
+  /// Re-embedding attempts per chain before it is declared failed.
+  int max_recovery_attempts = 3;
+  /// Pause between failed recovery attempts.
+  SimDuration retry_delay = 100 * timeunit::kMillisecond;
+};
+
+/// Lifecycle of a deployed chain under the fault plane.
+enum class ChainState : std::uint8_t { kActive, kDegraded, kRecovering, kFailed };
+
+std::string_view chain_state_name(ChainState state);
+
 /// A deployed service chain with its measured bring-up record.
 struct ChainDeployment {
   std::uint32_t id = 0;
   sg::ServiceGraph graph;
   orchestrator::DeploymentRecord record;
+  ChainState state = ChainState::kActive;
+  /// True while this chain's CPU/slot/bandwidth reservations are
+  /// committed in the orchestration view (recovery releases and
+  /// re-commits them; the flag prevents double release).
+  bool reservations_held = true;
+  int recovery_attempts = 0;
 };
 
 class Environment {
@@ -140,9 +168,74 @@ class Environment {
   /// SAP's address to the exit SAP's address.
   Result<openflow::Match> default_match(const sg::ServiceGraph& graph);
 
+  // --- fault injection hooks (driven by escape::fault::FaultPlane) --------
+
+  /// Power-fails a container: its VNF processes die, frames to it are
+  /// dropped, and its NETCONF agent's transport closes (the client
+  /// learns one control-network delay later).
+  Status kill_container(const std::string& name);
+
+  /// Powers a killed container back on (empty) and respawns its agent.
+  Status restore_container(const std::string& name);
+
+  /// Crashes only the NETCONF agent process; the container and its VNFs
+  /// keep running, but become unmanageable until respawn_agent().
+  Status crash_agent(const std::string& name);
+
+  /// Starts a fresh agent for the container on a new transport and
+  /// rebinds the management client to it (new hello exchange). Retrying
+  /// RPCs re-send on the new session once it establishes.
+  Status respawn_agent(const std::string& name);
+
+  /// Administrative link up/down (frames on a downed link are dropped).
+  Status set_link_state(const std::string& a, const std::string& b, bool up);
+
+  /// Installs / clears a frame-fault profile (drop/corrupt/extra delay)
+  /// on both directions of a container's NETCONF transport.
+  Status set_netconf_faults(const std::string& name,
+                            const netconf::TransportFaults& faults);
+  Status clear_netconf_faults(const std::string& name);
+
+  // --- self-healing --------------------------------------------------------
+
+  /// Turns the recovery loop on: every management client gets the retry
+  /// envelope + circuit breaker from `options`, a HealthMonitor starts
+  /// probing the agents and watching link state, and chains touched by a
+  /// failure are torn down (best effort), re-mapped against the
+  /// surviving resource view and re-embedded under the same chain id.
+  /// Off by default -- without it the environment stays fail-stop.
+  Status enable_self_healing(RecoveryOptions options = {});
+  void disable_self_healing();
+  bool self_healing() const { return health_ != nullptr; }
+  orchestrator::HealthMonitor* health_monitor() { return health_.get(); }
+
+  /// State of a deployed chain (kActive unless the fault plane got it).
+  Result<ChainState> chain_state(std::uint32_t chain_id) const;
+
  private:
   /// Runs the scheduler until `flag` is set; errors on quiescence.
   Status pump_until(const bool& flag, std::string_view what);
+
+  /// Gives a chain's substrate reservations back to the view (no-op if
+  /// it holds none).
+  void release_chain_reservations(ChainDeployment& dep);
+
+  /// Marks every chain placed on `container` / crossing link `a<->b`
+  /// degraded and queues its recovery.
+  void degrade_chains_on_container(const std::string& container);
+  void degrade_chains_on_link(const std::string& a, const std::string& b);
+
+  /// Marks a chain degraded (if not already recovering) and schedules
+  /// its recovery as a zero-delay event.
+  void queue_recovery(std::uint32_t chain_id);
+  void update_degraded_gauge();
+
+  /// Async re-embedding of a degraded chain: best-effort teardown of the
+  /// stale remnants, re-map against the surviving view, redeploy under
+  /// the same chain id. Runs entirely inside scheduler events.
+  void recover_chain(std::uint32_t chain_id);
+  void finish_recovery(std::uint32_t chain_id, SimTime started, std::uint64_t span,
+                       Status outcome);
 
   EnvironmentOptions options_;
   EventScheduler scheduler_;
@@ -155,6 +248,9 @@ class Environment {
   struct ContainerMgmt {
     std::unique_ptr<netconf::VnfAgent> agent;
     std::unique_ptr<netconf::VnfAgentClient> client;
+    // Both pipe ends are kept so the fault plane can close or fault them.
+    std::shared_ptr<netconf::TransportEndpoint> server_end;
+    std::shared_ptr<netconf::TransportEndpoint> client_end;
   };
   std::map<std::string, ContainerMgmt> mgmt_;
   std::unique_ptr<orchestrator::DeploymentEngine> engine_;
@@ -166,6 +262,15 @@ class Environment {
   // bandwidth) accumulate across deployments and are released on
   // undeploy, so chains cannot double-book substrate resources.
   std::optional<sg::ResourceGraph> view_;
+  // Containers currently excluded from placement (crashed container or
+  // dead agent); re-applied when the view is rebuilt by start().
+  std::set<std::string> unavailable_containers_;
+  RecoveryOptions recovery_;
+  // Declared after mgmt_ so the monitor (holding client pointers) is
+  // destroyed first.
+  std::unique_ptr<orchestrator::HealthMonitor> health_;
+  // Liveness guard for recovery events scheduled into virtual time.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   Logger log_{"escape.env"};
 };
 

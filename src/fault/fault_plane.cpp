@@ -1,0 +1,149 @@
+#include "fault/fault_plane.hpp"
+
+#include "json/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace escape::fault {
+
+namespace {
+
+bool known_action(const std::string& action) {
+  return action == "kill-container" || action == "restore-container" ||
+         action == "crash-agent" || action == "respawn-agent" || action == "link-down" ||
+         action == "link-up" || action == "netconf-faults" ||
+         action == "netconf-faults-clear";
+}
+
+bool link_action(const std::string& action) {
+  return action == "link-down" || action == "link-up";
+}
+
+obs::Counter& injection_counter(const std::string& action) {
+  return obs::MetricsRegistry::global().counter("escape_fault_injections_total",
+                                                {{"action", action}});
+}
+
+}  // namespace
+
+FaultPlane::FaultPlane(Environment& env, std::uint64_t seed) : env_(&env), rng_(seed) {}
+
+Status FaultPlane::validate(const FaultEvent& event) {
+  if (!known_action(event.action)) {
+    return make_error("fault.unknown-action", "unknown fault action: " + event.action);
+  }
+  if (link_action(event.action)) {
+    if (event.a.empty() || event.b.empty()) {
+      return make_error("fault.bad-event", event.action + " needs \"a\" and \"b\"");
+    }
+  } else if (event.target.empty()) {
+    return make_error("fault.bad-event", event.action + " needs \"target\"");
+  }
+  if (event.prob < 0.0 || event.prob > 1.0) {
+    return make_error("fault.bad-event", "prob must be in [0, 1]");
+  }
+  if (event.count < 1) {
+    return make_error("fault.bad-event", "count must be >= 1");
+  }
+  if (event.count > 1 && event.repeat <= 0) {
+    return make_error("fault.bad-event", "count > 1 needs repeat_ms > 0");
+  }
+  return ok_status();
+}
+
+Status FaultPlane::apply(const FaultEvent& event) {
+  if (auto s = validate(event); !s.ok()) return s;
+  Status outcome = ok_status();
+  if (event.action == "kill-container") {
+    outcome = env_->kill_container(event.target);
+  } else if (event.action == "restore-container") {
+    outcome = env_->restore_container(event.target);
+  } else if (event.action == "crash-agent") {
+    outcome = env_->crash_agent(event.target);
+  } else if (event.action == "respawn-agent") {
+    outcome = env_->respawn_agent(event.target);
+  } else if (event.action == "link-down") {
+    outcome = env_->set_link_state(event.a, event.b, false);
+  } else if (event.action == "link-up") {
+    outcome = env_->set_link_state(event.a, event.b, true);
+  } else if (event.action == "netconf-faults") {
+    outcome = env_->set_netconf_faults(event.target, event.faults);
+  } else if (event.action == "netconf-faults-clear") {
+    outcome = env_->clear_netconf_faults(event.target);
+  }
+  if (outcome.ok()) {
+    ++injections_;
+    injection_counter(event.action).add();
+  }
+  return outcome;
+}
+
+void FaultPlane::arm(const FaultEvent& event, SimDuration delay, int remaining) {
+  ++scheduled_;
+  std::weak_ptr<bool> alive = alive_;
+  env_->scheduler().schedule(delay, [this, alive, event, remaining] {
+    if (alive.expired()) return;
+    if (event.prob >= 1.0 || rng_.next_bool(event.prob)) {
+      if (auto s = apply(event); !s.ok()) {
+        log_.warn("fault ", event.action, " failed: ", s.error().to_string());
+      }
+    } else {
+      log_.info("fault ", event.action, " skipped by probability gate");
+    }
+    if (remaining > 1) arm(event, event.repeat, remaining - 1);
+  });
+}
+
+Status FaultPlane::schedule(FaultEvent event) {
+  if (auto s = validate(event); !s.ok()) return s;
+  log_.info("scheduling ", event.action, " at +",
+            static_cast<double>(event.at) / timeunit::kMillisecond, " ms (x", event.count,
+            ")");
+  arm(event, event.at, event.count);
+  return ok_status();
+}
+
+Status FaultPlane::load_json(const std::string& text) {
+  auto doc = json::parse(text);
+  if (!doc.ok()) return doc.error();
+  if (!doc->is_object()) {
+    return make_error("fault.bad-script", "fault script must be a JSON object");
+  }
+  if ((*doc)["seed"].is_number()) {
+    rng_ = Rng(static_cast<std::uint64_t>((*doc)["seed"].as_int()));
+  }
+  const json::Value& events = (*doc)["events"];
+  if (!events.is_array()) {
+    return make_error("fault.bad-script", "fault script needs an \"events\" array");
+  }
+
+  std::vector<FaultEvent> parsed;
+  for (const json::Value& e : events.as_array()) {
+    if (!e.is_object()) {
+      return make_error("fault.bad-script", "each event must be an object");
+    }
+    FaultEvent event;
+    event.at = static_cast<SimDuration>(e["at_ms"].as_double() * timeunit::kMillisecond);
+    event.action = e["action"].as_string();
+    event.target = e["target"].as_string();
+    event.a = e["a"].as_string();
+    event.b = e["b"].as_string();
+    event.prob = e.has("prob") ? e["prob"].as_double() : 1.0;
+    event.repeat =
+        static_cast<SimDuration>(e["repeat_ms"].as_double() * timeunit::kMillisecond);
+    event.count = e.has("count") ? static_cast<int>(e["count"].as_int()) : 1;
+    event.faults.drop_prob = e["drop_prob"].as_double();
+    event.faults.corrupt_prob = e["corrupt_prob"].as_double();
+    event.faults.extra_delay_max =
+        static_cast<SimDuration>(e["extra_delay_ms"].as_double() * timeunit::kMillisecond);
+    if (e.has("fault_seed")) {
+      event.faults.seed = static_cast<std::uint64_t>(e["fault_seed"].as_int());
+    }
+    if (auto s = validate(event); !s.ok()) return s;
+    parsed.push_back(std::move(event));
+  }
+  for (auto& event : parsed) schedule(std::move(event));
+  log_.info("loaded fault script: ", parsed.size(), " events");
+  return ok_status();
+}
+
+}  // namespace escape::fault

@@ -1,0 +1,85 @@
+// escape::fault -- the deterministic, virtual-time fault-injection plane.
+//
+// A FaultPlane drives an Environment's fault hooks from a script: kill /
+// restore VNF containers, crash / respawn NETCONF agents, take links
+// down / up, and install frame-fault profiles (drop / corrupt / delay)
+// on NETCONF transports. Events fire at scheduled virtual times, may
+// repeat, and may fire probabilistically (deterministic RNG, so a seeded
+// chaos run is exactly reproducible).
+//
+// Scripts come from code (schedule()/apply()) or JSON
+// (`escape-run --faults FILE`):
+//
+//   {
+//     "seed": 42,
+//     "events": [
+//       {"at_ms": 250, "action": "kill-container", "target": "c1"},
+//       {"at_ms": 400, "action": "link-down", "a": "s1", "b": "s2"},
+//       {"at_ms": 500, "action": "link-up", "a": "s1", "b": "s2"},
+//       {"at_ms": 800, "action": "restore-container", "target": "c1"},
+//       {"at_ms": 100, "action": "netconf-faults", "target": "c2",
+//        "drop_prob": 0.3, "corrupt_prob": 0.05, "extra_delay_ms": 2},
+//       {"at_ms": 900, "action": "netconf-faults-clear", "target": "c2"},
+//       {"at_ms": 50, "action": "link-down", "a": "s1", "b": "s2",
+//        "prob": 0.5, "repeat_ms": 100, "count": 5}
+//     ]
+//   }
+//
+// Actions: kill-container, restore-container, crash-agent,
+// respawn-agent, link-down, link-up, netconf-faults,
+// netconf-faults-clear. `prob` (default 1.0) gates each firing;
+// `repeat_ms`/`count` re-arm the event.
+#pragma once
+
+#include "escape/environment.hpp"
+#include "util/random.hpp"
+
+namespace escape::fault {
+
+struct FaultEvent {
+  SimDuration at = 0;       // virtual time offset from schedule()
+  std::string action;
+  std::string target;       // container name (container/agent actions)
+  std::string a, b;         // link endpoints (link actions)
+  double prob = 1.0;        // firing probability per occurrence
+  SimDuration repeat = 0;   // re-fire interval; 0 = one-shot
+  int count = 1;            // total occurrences when repeating
+  netconf::TransportFaults faults;  // payload of netconf-faults
+};
+
+class FaultPlane {
+ public:
+  explicit FaultPlane(Environment& env, std::uint64_t seed = 0xfa17ULL);
+
+  FaultPlane(const FaultPlane&) = delete;
+  FaultPlane& operator=(const FaultPlane&) = delete;
+
+  /// Parses a JSON fault script and schedules every event. Rejects the
+  /// whole script on the first malformed event (nothing scheduled).
+  Status load_json(const std::string& text);
+
+  /// Schedules one event `event.at` from now (plus repeats).
+  Status schedule(FaultEvent event);
+
+  /// Executes one event immediately (ignores at/prob/repeat).
+  Status apply(const FaultEvent& event);
+
+  /// Injections actually executed (after the probability gate).
+  std::uint64_t injections() const { return injections_; }
+  /// Events armed so far (including repeats still pending).
+  std::size_t scheduled() const { return scheduled_; }
+
+ private:
+  static Status validate(const FaultEvent& event);
+  void arm(const FaultEvent& event, SimDuration delay, int remaining);
+
+  Environment* env_;
+  Rng rng_;
+  std::uint64_t injections_ = 0;
+  std::size_t scheduled_ = 0;
+  // Scheduled lambdas hold a weak ref and no-op once the plane dies.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  Logger log_{"fault.plane"};
+};
+
+}  // namespace escape::fault

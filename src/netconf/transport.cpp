@@ -4,16 +4,75 @@
 
 namespace escape::netconf {
 
+namespace {
+
+obs::Counter& fault_counter(const char* kind) {
+  return obs::MetricsRegistry::global().counter("escape_netconf_transport_faults_total",
+                                                {{"kind", kind}});
+}
+
+}  // namespace
+
+void TransportEndpoint::set_faults(const TransportFaults& faults) {
+  faults_ = faults;
+  faults_active_ = true;
+  fault_rng_ = Rng(faults.seed);
+}
+
 void TransportEndpoint::send(std::string bytes) {
+  if (closed_) return;
   bytes_sent_ += bytes.size();
   auto peer = peer_.lock();
   if (!peer) return;
-  scheduler_->schedule(delay_, [peer, data = std::move(bytes)]() mutable {
+
+  SimDuration delay = delay_;
+  if (faults_active_) {
+    if (faults_.drop_prob > 0.0 && fault_rng_.next_bool(faults_.drop_prob)) {
+      ++frames_dropped_;
+      fault_counter("drop").add();
+      return;
+    }
+    if (faults_.corrupt_prob > 0.0 && fault_rng_.next_bool(faults_.corrupt_prob) &&
+        bytes.size() > FrameReader::kDelimiter.size() + 2) {
+      // Mangle the message's opening byte: framing survives, but the XML
+      // no longer parses (a mid-payload flip could land in an attribute
+      // value and slip through).
+      bytes[0] = '\x01';
+      ++frames_corrupted_;
+      fault_counter("corrupt").add();
+    }
+    if (faults_.extra_delay_max > 0) {
+      delay += static_cast<SimDuration>(
+          fault_rng_.next_below(static_cast<std::uint64_t>(faults_.extra_delay_max) + 1));
+      fault_counter("delay").add();
+    }
+  }
+
+  scheduler_->schedule(delay, [peer, data = std::move(bytes)]() mutable {
     peer->deliver(std::move(data));
   });
 }
 
+void TransportEndpoint::close() {
+  if (closed_) return;
+  closed_ = true;
+  on_bytes_ = nullptr;
+  if (on_close_) {
+    OnClose cb = std::move(on_close_);
+    on_close_ = nullptr;
+    cb();
+  }
+  // The peer learns about the close one propagation delay later, like a
+  // TCP RST travelling the control network. The capture keeps the peer
+  // endpoint alive until the event fires.
+  auto peer = peer_.lock();
+  if (peer && !peer->closed_ && scheduler_) {
+    scheduler_->schedule(delay_, [peer] { peer->close(); });
+  }
+}
+
 void TransportEndpoint::deliver(std::string bytes) {
+  if (closed_) return;
   bytes_received_ += bytes.size();
   if (on_bytes_) on_bytes_(std::move(bytes));
 }

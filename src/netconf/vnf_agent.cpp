@@ -16,7 +16,7 @@ VnfAgent::VnfAgent(std::shared_ptr<TransportEndpoint> transport,
                                "urn:ietf:params:netconf:capability:notification:1.0"});
   register_operations();
   // Push lifecycle transitions to subscribed managers.
-  container_->add_state_listener(
+  listener_id_ = container_->add_state_listener(
       [this](const std::string& vnf_id, netemu::VnfStatus status) {
         if (!subscribed_) return;
         auto event = std::make_unique<xml::Element>("vnf-state-change");
@@ -27,6 +27,8 @@ VnfAgent::VnfAgent(std::shared_ptr<TransportEndpoint> transport,
                                    std::to_string(container_->scheduler().now()));
       });
 }
+
+VnfAgent::~VnfAgent() { container_->remove_state_listener(listener_id_); }
 
 std::unique_ptr<xml::Element> VnfAgent::state_tree(bool include_handlers) const {
   auto vnfs = std::make_unique<xml::Element>("vnfs");

@@ -22,6 +22,10 @@ class VnfAgent {
   /// Serves the agent on `transport` instrumenting `container` (which
   /// must outlive the agent).
   VnfAgent(std::shared_ptr<TransportEndpoint> transport, netemu::VnfContainer& container);
+  ~VnfAgent();
+
+  VnfAgent(const VnfAgent&) = delete;
+  VnfAgent& operator=(const VnfAgent&) = delete;
 
   const NetconfServer& server() const { return *server_; }
 
@@ -35,6 +39,7 @@ class VnfAgent {
 
   netemu::VnfContainer* container_;
   std::unique_ptr<NetconfServer> server_;
+  std::uint64_t listener_id_ = 0;
   // RFC 5277 subscription state: set by <create-subscription>; when on,
   // VNF lifecycle transitions are pushed as <vnf-state-change> events.
   bool subscribed_ = false;
@@ -51,6 +56,15 @@ class VnfAgentClient {
   explicit VnfAgentClient(std::shared_ptr<TransportEndpoint> transport);
 
   NetconfClient& session() { return *client_; }
+
+  /// Reliability envelope applied to every typed call below (forwards to
+  /// NetconfClient::set_default_rpc_options).
+  void set_rpc_options(const RpcOptions& options) {
+    client_->set_default_rpc_options(options);
+  }
+  void set_circuit_breaker(const CircuitBreakerOptions& options) {
+    client_->set_circuit_breaker(options);
+  }
 
   void initiate_vnf(const std::string& id, const std::string& type,
                     const std::string& click_config, double cpu_share, StatusCallback cb);

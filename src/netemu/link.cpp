@@ -39,7 +39,40 @@ SimDuration Link::tx_time(std::size_t bytes) const {
   return (bits * timeunit::kSecond + config_.bandwidth_bps - 1) / config_.bandwidth_bps;
 }
 
+void Link::set_up(bool up) {
+  if (up == up_) return;
+  up_ = up;
+  if (!up_) {
+    // The wire is cut: everything in flight is lost.
+    for (auto& dir : dir_) {
+      const std::uint64_t lost = dir.pending.size();
+      dir.dropped += lost;
+      dir.m_dropped->add(lost);
+      dir.pending.clear();
+      dir.event.cancel();
+      dir.busy_until = 0;
+      dir.m_queue_depth->set(0);
+    }
+  }
+  for (auto& [_, fn] : listeners_) fn(*this, up_);
+}
+
+std::uint64_t Link::add_state_listener(StateListener fn) {
+  const std::uint64_t id = next_listener_id_++;
+  listeners_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void Link::remove_state_listener(std::uint64_t id) {
+  std::erase_if(listeners_, [id](const auto& entry) { return entry.first == id; });
+}
+
 bool Link::enqueue_frame(Direction& dir, net::Packet&& packet) {
+  if (!up_) {
+    ++dir.dropped;
+    dir.m_dropped->add();
+    return false;
+  }
   if (config_.loss > 0.0 && loss_rng_.next_bool(config_.loss)) {
     ++dir.dropped;
     dir.m_dropped->add();

@@ -60,6 +60,17 @@ class Link {
   std::uint64_t delivered(int direction) const { return dir_[direction].delivered; }
   std::uint64_t dropped(int direction) const { return dir_[direction].dropped; }
 
+  /// Administrative state (the fault plane's `link-down`/`link-up`).
+  /// Taking the link down drops every queued frame and every frame
+  /// offered while down (counted as drops); bringing it back up starts
+  /// from an idle wire. State listeners fire after each transition.
+  void set_up(bool up);
+  bool up() const { return up_; }
+
+  using StateListener = std::function<void(Link& link, bool up)>;
+  std::uint64_t add_state_listener(StateListener fn);
+  void remove_state_listener(std::uint64_t id);
+
   std::string to_string() const;
 
  private:
@@ -102,6 +113,9 @@ class Link {
   EventScheduler* scheduler_;
   Rng loss_rng_;
   Direction dir_[2];
+  bool up_ = true;
+  std::uint64_t next_listener_id_ = 1;
+  std::vector<std::pair<std::uint64_t, StateListener>> listeners_;
 };
 
 }  // namespace escape::netemu

@@ -57,6 +57,24 @@ Status Network::add_link(const std::string& a, std::uint16_t port_a, const std::
   return ok_status();
 }
 
+Link* Network::find_link(const std::string& a, const std::string& b) {
+  for (auto& link : links_) {
+    const std::string& na = link->node(0)->name();
+    const std::string& nb = link->node(1)->name();
+    if ((na == a && nb == b) || (na == b && nb == a)) return link.get();
+  }
+  return nullptr;
+}
+
+Status Network::set_link_state(const std::string& a, const std::string& b, bool up) {
+  Link* link = find_link(a, b);
+  if (!link) {
+    return make_error("netemu.unknown-link", "no link between " + a + " and " + b);
+  }
+  link->set_up(up);
+  return ok_status();
+}
+
 Node* Network::node(const std::string& name) {
   auto it = nodes_.find(name);
   return it == nodes_.end() ? nullptr : it->second.get();

@@ -46,6 +46,14 @@ class Network {
   std::vector<std::string> node_names() const;
   const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
 
+  /// First link between the named nodes, either orientation (nullptr if
+  /// none). With parallel links, returns the earliest-added one.
+  Link* find_link(const std::string& a, const std::string& b);
+
+  /// Administratively raises/lowers the first link between `a` and `b`
+  /// (the fault plane's link-down / link-up).
+  Status set_link_state(const std::string& a, const std::string& b, bool up);
+
   /// Attaches every switch to the controller (OF handshake begins; run
   /// the scheduler to complete it).
   void attach_controller(pox::Controller& controller);

@@ -1,5 +1,7 @@
 #include "netemu/vnf_container.hpp"
 
+#include <algorithm>
+
 namespace escape::netemu {
 
 std::string_view vnf_status_name(VnfStatus status) {
@@ -23,6 +25,24 @@ double VnfContainer::cpu_in_use() const {
   return used;
 }
 
+void VnfContainer::remove_state_listener(std::uint64_t id) {
+  std::erase_if(listeners_, [id](const auto& entry) { return entry.first == id; });
+}
+
+void VnfContainer::crash() {
+  if (!alive_) return;
+  alive_ = false;
+  log_.warn(name(), ": container crashed (", vnfs_.size(), " VNFs lost)");
+  port_rx_.clear();
+  vnfs_.clear();
+}
+
+void VnfContainer::restore() {
+  if (alive_) return;
+  alive_ = true;
+  log_.info(name(), ": container restored (empty)");
+}
+
 VnfContainer::Instance* VnfContainer::find(const std::string& vnf_id) {
   auto it = vnfs_.find(vnf_id);
   return it == vnfs_.end() ? nullptr : &it->second;
@@ -35,6 +55,7 @@ const VnfContainer::Instance* VnfContainer::find(const std::string& vnf_id) cons
 
 Status VnfContainer::init_vnf(const std::string& vnf_id, const std::string& vnf_type,
                               const std::string& click_config, double cpu_share) {
+  if (!alive_) return make_error("container.dead", name() + " is crashed");
   if (vnfs_.count(vnf_id)) {
     return make_error("container.vnf-exists", name() + ": VNF already defined: " + vnf_id);
   }
@@ -77,6 +98,7 @@ void VnfContainer::wire_devices(Instance& inst) {
 }
 
 Status VnfContainer::start_vnf(const std::string& vnf_id) {
+  if (!alive_) return make_error("container.dead", name() + " is crashed");
   Instance* inst = find(vnf_id);
   if (!inst) return make_error("container.unknown-vnf", name() + ": no such VNF: " + vnf_id);
   if (inst->status == VnfStatus::kRunning) {
@@ -149,6 +171,7 @@ Status VnfContainer::remove_vnf(const std::string& vnf_id) {
 
 Status VnfContainer::connect_vnf(const std::string& vnf_id, const std::string& devname,
                                  std::uint16_t port) {
+  if (!alive_) return make_error("container.dead", name() + " is crashed");
   Instance* inst = find(vnf_id);
   if (!inst) return make_error("container.unknown-vnf", name() + ": no such VNF: " + vnf_id);
   // The port must not be claimed by a different VNF device already.
@@ -180,6 +203,7 @@ Status VnfContainer::disconnect_vnf(const std::string& vnf_id, const std::string
 }
 
 void VnfContainer::deliver(std::uint16_t port, net::Packet&& packet) {
+  if (!alive_) return;  // crashed containers eat frames
   auto it = port_rx_.find(port);
   if (it == port_rx_.end()) return;  // no running VNF on this port
   packet.set_in_port(port);
@@ -187,6 +211,7 @@ void VnfContainer::deliver(std::uint16_t port, net::Packet&& packet) {
 }
 
 void VnfContainer::deliver_batch(std::uint16_t port, net::PacketBatch&& batch) {
+  if (!alive_) return;  // crashed containers eat frames
   auto it = port_rx_.find(port);
   if (it == port_rx_.end()) return;  // no running VNF on this port
   for (auto& p : batch) p.set_in_port(port);

@@ -87,13 +87,33 @@ class VnfContainer : public Node {
 
   /// Observer for VNF lifecycle transitions (the NETCONF agent hooks in
   /// here to push notifications). Fires after the transition commits.
+  /// Returns an id for remove_state_listener -- agents unregister on
+  /// destruction so a respawned agent never leaves a dangling callback.
   using StateListener =
       std::function<void(const std::string& vnf_id, VnfStatus new_status)>;
-  void add_state_listener(StateListener fn) { listeners_.push_back(std::move(fn)); }
+  std::uint64_t add_state_listener(StateListener fn) {
+    const std::uint64_t id = next_listener_id_++;
+    listeners_.emplace_back(id, std::move(fn));
+    return id;
+  }
+  void remove_state_listener(std::uint64_t id);
+
+  // --- fault-plane hooks ---------------------------------------------------
+
+  /// Power-fails the container: every VNF process dies instantly (no
+  /// handler snapshots, no lifecycle notifications -- nobody is left to
+  /// send them), the instance table is wiped and frames are dropped
+  /// until restore(). Management operations fail with container.dead.
+  void crash();
+
+  /// Powers a crashed container back on, empty; VNFs must be re-initiated.
+  void restore();
+
+  bool alive() const { return alive_; }
 
  private:
   void notify(const std::string& vnf_id, VnfStatus status) {
-    for (auto& fn : listeners_) fn(vnf_id, status);
+    for (auto& [_, fn] : listeners_) fn(vnf_id, status);
   }
   struct Instance {
     std::string id;
@@ -113,7 +133,9 @@ class VnfContainer : public Node {
 
   double cpu_capacity_;
   std::size_t max_vnfs_;
-  std::vector<StateListener> listeners_;
+  bool alive_ = true;
+  std::uint64_t next_listener_id_ = 1;
+  std::vector<std::pair<std::uint64_t, StateListener>> listeners_;
   std::map<std::string, Instance> vnfs_;
   // port -> (vnf, FromDevice element) for fast delivery.
   std::map<std::uint16_t, std::pair<Instance*, click::FromDevice*>> port_rx_;

@@ -249,9 +249,11 @@ void DeploymentEngine::deploy(std::uint32_t chain_id, const MappingResult& mappi
       return;
     }
 
-    steps->push_back({[agent, vnf, id = d.instance_id](auto cb) {
-      agent->initiate_vnf(id, vnf->vnf_type, vnf->click_config, vnf->cpu_demand,
-                          std::move(cb));
+    // Copied, not pointed-to: the caller's `rendered` vector may be a
+    // temporary (the recovery path's is), and this step runs from a
+    // scheduler callback long after deploy() returned.
+    steps->push_back({[agent, v = *vnf, id = d.instance_id](auto cb) {
+      agent->initiate_vnf(id, v.vnf_type, v.click_config, v.cpu_demand, std::move(cb));
     }});
     steps->push_back(
         {[agent, id = d.instance_id](auto cb) { agent->start_vnf(id, std::move(cb)); }});
@@ -275,7 +277,8 @@ void DeploymentEngine::deploy(std::uint32_t chain_id, const MappingResult& mappi
     if (index == steps->size()) {
       // Phase 3: steering.
       if (auto s = engine->steering_->install_chain(record->chain_path); !s.ok()) {
-        done(s.error());
+        Error error = s.error();
+        engine->teardown_best_effort(*record, [done, error](Status) { done(error); });
         return;
       }
       engine->network_->scheduler().schedule(kSettle, [engine, record, done] {
@@ -285,9 +288,19 @@ void DeploymentEngine::deploy(std::uint32_t chain_id, const MappingResult& mappi
       return;
     }
     auto self = weak_run.lock();
-    (*steps)[index].run([engine, record, done, self, index](Status s) {
+    (*steps)[index].run([engine, steps, record, done, self, index](Status s) {
       if (!s.ok()) {
-        done(s.error());
+        // Partial-result reporting: annotate how far bring-up got, then
+        // roll back the VNFs already touched (best effort -- some of them
+        // may live on an agent that just died).
+        DeploymentRecord partial = *record;
+        partial.vnfs.resize(std::min(partial.vnfs.size(), index / 4 + 1));
+        Error error = make_error(
+            s.error().code,
+            "chain " + std::to_string(record->chain_id) + " failed at bring-up step " +
+                std::to_string(index + 1) + "/" + std::to_string(steps->size()) + ": " +
+                s.error().message + " (partial bring-up rolled back)");
+        engine->teardown_best_effort(partial, [done, error](Status) { done(error); });
         return;
       }
       (*self)(index + 1);
@@ -296,9 +309,34 @@ void DeploymentEngine::deploy(std::uint32_t chain_id, const MappingResult& mappi
   (*run_all)(0);
 }
 
+namespace {
+
+/// "Already gone" outcomes an idempotent teardown steps over: the flow /
+/// VNF / agent the step wanted to remove no longer exists, which is the
+/// desired end state anyway.
+bool benign_teardown_error(const Error& error) {
+  return error.code == "pox.steering.unknown-chain" ||
+         error.code == "container.unknown-vnf" ||
+         error.code == "container.not-running" || error.code == "container.dead" ||
+         error.code == "netconf.session.closed" || error.code == "netconf.circuit-open";
+}
+
+}  // namespace
+
 void DeploymentEngine::teardown(const DeploymentRecord& record,
                                 std::function<void(Status)> done) {
-  if (auto s = steering_->remove_chain(record.chain_id); !s.ok()) {
+  teardown_impl(record, /*best_effort=*/false, std::move(done));
+}
+
+void DeploymentEngine::teardown_best_effort(const DeploymentRecord& record,
+                                            std::function<void(Status)> done) {
+  teardown_impl(record, /*best_effort=*/true, std::move(done));
+}
+
+void DeploymentEngine::teardown_impl(const DeploymentRecord& record, bool best_effort,
+                                     std::function<void(Status)> done) {
+  if (auto s = steering_->remove_chain(record.chain_id);
+      !s.ok() && !best_effort && !benign_teardown_error(s.error())) {
     done(s);
     return;
   }
@@ -308,26 +346,33 @@ void DeploymentEngine::teardown(const DeploymentRecord& record,
   // Weak self-reference for the same reason as in deploy(): the pending
   // RPC callbacks hold the strong refs that keep the loop alive.
   std::weak_ptr<std::function<void(std::size_t)>> weak_run = run;
-  *run = [engine, vnfs, done, weak_run](std::size_t index) {
+  *run = [engine, vnfs, done, weak_run, best_effort](std::size_t index) {
     if (index == vnfs->size()) {
       done(ok_status());
       return;
     }
+    auto tolerated = [best_effort](const Error& error) {
+      return best_effort || benign_teardown_error(error);
+    };
     const VnfDeployment d = (*vnfs)[index];
+    auto self = weak_run.lock();
     auto it = engine->agents_.find(d.container);
     if (it == engine->agents_.end()) {
-      done(make_error("deploy.no-agent", "no management agent for " + d.container));
+      if (best_effort) {
+        (*self)(index + 1);
+      } else {
+        done(make_error("deploy.no-agent", "no management agent for " + d.container));
+      }
       return;
     }
-    auto self = weak_run.lock();
     netconf::VnfAgentClient* agent = it->second;
-    agent->stop_vnf(d.instance_id, [agent, d, done, self, index](Status s) {
-      if (!s.ok()) {
+    agent->stop_vnf(d.instance_id, [agent, d, done, self, index, tolerated](Status s) {
+      if (!s.ok() && !tolerated(s.error())) {
         done(s);
         return;
       }
-      agent->remove_vnf(d.instance_id, [self, index, done](Status s2) {
-        if (!s2.ok()) {
+      agent->remove_vnf(d.instance_id, [self, index, done, tolerated](Status s2) {
+        if (!s2.ok() && !tolerated(s2.error())) {
           done(s2);
           return;
         }

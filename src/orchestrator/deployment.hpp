@@ -72,7 +72,16 @@ class DeploymentEngine {
               CompletionCallback done);
 
   /// Tears a chain down: removes steering flows and stops its VNFs.
+  /// Idempotent: benign "already gone" outcomes (flows already removed,
+  /// VNF already stopped or unknown, container crashed, agent session
+  /// dead) are skipped over instead of aborting, so tearing down a
+  /// half-dead chain -- or the same chain twice -- succeeds.
   void teardown(const DeploymentRecord& record, std::function<void(Status)> done);
+
+  /// Teardown that tolerates *every* per-step error and always reports
+  /// ok. Used for rollback of failed deploys and for recovery-triggered
+  /// cleanup of stale remnants, where only best effort is possible.
+  void teardown_best_effort(const DeploymentRecord& record, std::function<void(Status)> done);
 
   /// Link configuration used for dynamically created container<->switch
   /// links (the veth pairs).
@@ -81,6 +90,8 @@ class DeploymentEngine {
  private:
   struct Job;
 
+  void teardown_impl(const DeploymentRecord& record, bool best_effort,
+                     std::function<void(Status)> done);
   std::uint16_t next_free_port(netemu::Node* node) const;
   Result<std::vector<VnfDeployment>> allocate_veths(std::uint32_t chain_id,
                                                     const MappingResult& mapping);

@@ -75,6 +75,7 @@ std::vector<Candidate> feasible_containers(const sg::ResourceGraph& view,
   std::vector<Candidate> out;
   for (const auto& name : view.containers()) {
     const sg::ResourceNode* node = view.node(name);
+    if (!node->available) continue;  // crashed / quarantined container
     if (node->cpu_free() + 1e-9 < vnf.cpu_demand || node->slots_free() == 0) continue;
     auto path = view.shortest_path(prev, name, bw);
     if (!path) continue;

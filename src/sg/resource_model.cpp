@@ -90,6 +90,7 @@ std::optional<RoutedPath> ResourceGraph::shortest_path(const std::string& from,
     if (u != from && node(u)->kind != ResourceKind::kSwitch) continue;
     for (const auto& [link_idx, v] : neighbors(u)) {
       const ResourceLink& l = links_[static_cast<std::size_t>(link_idx)];
+      if (!l.available) continue;
       if (l.bandwidth_free() < min_bw) continue;
       const SimDuration nd = d + l.delay;
       if (nd < dist[v]) {
@@ -150,6 +151,17 @@ void ResourceGraph::release_vnf(const std::string& container, double cpu) {
   if (!n) return;
   n->cpu_used = std::max(0.0, n->cpu_used - cpu);
   if (n->vnf_slots_used > 0) n->vnf_slots_used -= 1;
+}
+
+void ResourceGraph::set_node_available(const std::string& name, bool available) {
+  if (ResourceNode* n = node(name)) n->available = available;
+}
+
+void ResourceGraph::set_link_available(const std::string& a, const std::string& b,
+                                       bool available) {
+  for (auto& l : links_) {
+    if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) l.available = available;
+  }
 }
 
 std::uint16_t ResourceGraph::port_on(int link_index, const std::string& node_name) const {

@@ -25,6 +25,10 @@ struct ResourceNode {
   double cpu_used = 0;
   std::size_t vnf_slots = 0;
   std::size_t vnf_slots_used = 0;
+  // Administrative availability: a crashed container (or a node behind a
+  // dead agent) is excluded from placement without touching its resource
+  // accounting, so releases after recovery stay balanced.
+  bool available = true;
 
   double cpu_free() const { return cpu_capacity - cpu_used; }
   std::size_t slots_free() const { return vnf_slots - vnf_slots_used; }
@@ -38,6 +42,7 @@ struct ResourceLink {
   std::uint64_t bandwidth_bps = 0;
   std::uint64_t bandwidth_used = 0;
   SimDuration delay = 0;
+  bool available = true;  // a downed link is skipped by shortest_path
 
   std::uint64_t bandwidth_free() const { return bandwidth_bps - bandwidth_used; }
 };
@@ -95,6 +100,13 @@ class ResourceGraph {
 
   /// The node on the other end of `link_index` from `node_name`.
   const std::string& peer_of(int link_index, const std::string& node_name) const;
+
+  /// Marks a node (un)available for placement/routing. Unknown names are
+  /// ignored (the view may predate a dynamically added node).
+  void set_node_available(const std::string& name, bool available);
+
+  /// Marks every link between `a` and `b` (un)available for routing.
+  void set_link_available(const std::string& a, const std::string& b, bool available);
 
  private:
   std::vector<ResourceNode> nodes_;

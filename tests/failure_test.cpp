@@ -175,6 +175,99 @@ TEST(Failure, WorkerAtFullShareCarriesSameLoad) {
   EXPECT_EQ(dst->rx_packets(), 4000u);
 }
 
+/// Dual-container variant of build_topology: c2 hangs off s2, giving
+/// the recovery loop somewhere to re-embed a chain that lost c1.
+void build_chaos_topology(Environment& env) {
+  netemu::LinkConfig core;
+  core.bandwidth_bps = 1'000'000'000;
+  core.delay = 50 * timeunit::kMicrosecond;
+  build_topology(env, core);
+  auto& net = env.network();
+  net.add_container("c2", 1.0, 8);
+  netemu::LinkConfig edge;
+  edge.bandwidth_bps = 1'000'000'000;
+  edge.delay = 50 * timeunit::kMicrosecond;
+  ASSERT_TRUE(net.add_link("c2", 0, "s2", 3, edge).ok());
+}
+
+TEST(Failure, ChaosKillContainerMidTrafficTrafficResumesAfterReembed) {
+  Environment env;
+  build_chaos_topology(env);
+  ASSERT_TRUE(env.start().ok());
+  ASSERT_TRUE(env.enable_self_healing().ok());
+  auto chain = env.deploy(monitor_graph());
+  ASSERT_TRUE(chain.ok()) << chain.error().to_string();
+  ASSERT_EQ(env.deployment(*chain)->record.mapping.placements.at("mon"), "c1");
+
+  auto* src = env.host("sap1");
+  auto* dst = env.host("sap2");
+  src->start_udp_flow(dst->mac(), dst->ip(), 1, 80, 100, 1000);
+  env.run_for(seconds(1));
+  EXPECT_EQ(dst->rx_packets(), 100u);
+
+  // Power-fail the container carrying the chain, mid-life. Traffic sent
+  // right after dies at the dead container or the torn-down steering.
+  ASSERT_TRUE(env.kill_container("c1").ok());
+  env.run_for(seconds(1));  // recovery runs inside virtual time
+  EXPECT_EQ(*env.chain_state(*chain), ChainState::kActive);
+  EXPECT_EQ(env.deployment(*chain)->record.mapping.placements.at("mon"), "c2");
+
+  // The re-embedded chain carries traffic end to end again.
+  src->start_udp_flow(dst->mac(), dst->ip(), 1, 80, 50, 1000);
+  env.run_for(seconds(1));
+  EXPECT_EQ(dst->rx_packets(), 150u);
+}
+
+TEST(Failure, ChaosAgentCrashDuringDeployFailsCleanly) {
+  Environment env;
+  build_chaos_topology(env);
+  ASSERT_TRUE(env.start().ok());
+
+  // The agent dies while the bring-up RPC sequence is mid-flight; the
+  // deploy must come back with an annotated error, not hang, and must
+  // roll its partial state back.
+  env.scheduler().schedule(500 * timeunit::kMicrosecond,
+                           [&env] { ASSERT_TRUE(env.crash_agent("c1").ok()); });
+  auto chain = env.deploy(monitor_graph());
+  ASSERT_FALSE(chain.ok());
+  EXPECT_NE(chain.error().message.find("bring-up"), std::string::npos)
+      << chain.error().to_string();
+  EXPECT_TRUE(env.deployed_chains().empty());
+
+  // The failed attempt released its reservations and c2 still has a live
+  // agent: a fresh deploy succeeds on the survivor.
+  auto retry = env.deploy(monitor_graph());
+  ASSERT_TRUE(retry.ok()) << retry.error().to_string();
+  EXPECT_EQ(env.deployment(*retry)->record.mapping.placements.at("mon"), "c2");
+}
+
+TEST(Failure, TeardownToleratesManuallyRemovedVnf) {
+  Environment env;
+  netemu::LinkConfig core;
+  core.bandwidth_bps = 1'000'000'000;
+  core.delay = 50 * timeunit::kMicrosecond;
+  build_topology(env, core);
+  ASSERT_TRUE(env.start().ok());
+  auto chain = env.deploy(monitor_graph());
+  ASSERT_TRUE(chain.ok()) << chain.error().to_string();
+  const auto vnf = env.deployment(*chain)->record.vnfs[0];
+
+  // An operator rips the VNF out from under the orchestrator.
+  bool stopped = false, removed = false;
+  env.agent_client(vnf.container)
+      ->stop_vnf(vnf.instance_id, [&](Status s) { stopped = s.ok(); });
+  env.run_for(milliseconds(10));
+  env.agent_client(vnf.container)
+      ->remove_vnf(vnf.instance_id, [&](Status s) { removed = s.ok(); });
+  env.run_for(milliseconds(10));
+  ASSERT_TRUE(stopped);
+  ASSERT_TRUE(removed);
+
+  // Teardown is idempotent: already-gone pieces are benign.
+  EXPECT_TRUE(env.undeploy(*chain).ok());
+  EXPECT_TRUE(env.deployed_chains().empty());
+}
+
 TEST(Failure, SchedulerStaysQuietAfterTrafficEnds) {
   // Guard against runaway periodic work: after all flows end, a bounded
   // run_for must not execute unbounded event counts (the switch sweep

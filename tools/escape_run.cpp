@@ -10,12 +10,14 @@
 //              [--return-path] [--verbose]
 //              [--metrics] [--metrics-json FILE]
 //              [--monitor VNF] [--monitor-interval MS]
+//              [--faults FILE] [--self-heal]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "escape/environment.hpp"
+#include "fault/fault_plane.hpp"
 #include "obs/metrics.hpp"
 
 using namespace escape;
@@ -43,6 +45,8 @@ struct Options {
   std::string metrics_json_path;
   std::string monitor_vnf;  // live per-VNF monitor (Clicky-style)
   std::uint64_t monitor_interval_ms = 500;
+  std::string faults_path;  // chaos script (fault::FaultPlane JSON)
+  bool self_heal = false;
 };
 
 /// Prints the registry lines that belong to one VNF (matched by its
@@ -66,7 +70,8 @@ int usage(const char* argv0) {
                "          [--algorithm NAME] [--rate PPS] [--count N]\n"
                "          [--duration SECONDS] [--return-path] [--verbose]\n"
                "          [--metrics] [--metrics-json FILE]\n"
-               "          [--monitor VNF] [--monitor-interval MS]\n",
+               "          [--monitor VNF] [--monitor-interval MS]\n"
+               "          [--faults FILE] [--self-heal]\n",
                argv0);
   return 2;
 }
@@ -114,6 +119,12 @@ int main(int argc, char** argv) {
       if (!v) return usage(argv[0]);
       opts.monitor_interval_ms = std::strtoull(v, nullptr, 10);
       if (opts.monitor_interval_ms == 0) opts.monitor_interval_ms = 1;
+    } else if (arg == "--faults") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opts.faults_path = v;
+    } else if (arg == "--self-heal") {
+      opts.self_heal = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return usage(argv[0]);
@@ -162,6 +173,31 @@ int main(int argc, char** argv) {
   std::printf("topology '%s': %zu switches, %zu containers, %zu hosts\n",
               spec->name.c_str(), env.network().switch_count(),
               env.network().container_count(), env.network().host_count());
+
+  if (opts.self_heal) {
+    if (auto s = env.enable_self_healing(); !s.ok()) {
+      std::fprintf(stderr, "self-heal: %s\n", s.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("self-healing enabled (health probes + chain re-embedding)\n");
+  }
+
+  // The fault plane must outlive the traffic run: repeating events stay
+  // armed in the scheduler until the plane is destroyed.
+  fault::FaultPlane faults{env};
+  if (!opts.faults_path.empty()) {
+    auto script = read_file(opts.faults_path);
+    if (!script.ok()) {
+      std::fprintf(stderr, "%s\n", script.error().to_string().c_str());
+      return 1;
+    }
+    if (auto s = faults.load_json(*script); !s.ok()) {
+      std::fprintf(stderr, "faults: %s\n", s.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("fault script '%s': %zu events armed\n", opts.faults_path.c_str(),
+                faults.scheduled());
+  }
 
   // --- deploy --------------------------------------------------------------
   auto chain = env.deploy(*graph);
@@ -220,6 +256,18 @@ int main(int argc, char** argv) {
                 dst->latency_us().p95());
   }
   std::printf("\n");
+
+  if (!opts.faults_path.empty()) {
+    std::printf("faults injected: %llu\n",
+                static_cast<unsigned long long>(faults.injections()));
+    for (std::uint32_t id : env.deployed_chains()) {
+      auto state = env.chain_state(id);
+      if (state.ok()) {
+        std::printf("chain %u state: %s\n", id,
+                    std::string(chain_state_name(*state)).c_str());
+      }
+    }
+  }
 
   auto stats = env.chain_stats(*chain);
   if (stats.ok()) {
