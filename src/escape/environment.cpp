@@ -591,6 +591,11 @@ void Environment::recover_chain(std::uint32_t chain_id) {
       return;
     }
     dep.reservations_held = true;  // map() committed the new reservations
+    // The redeploy-failure path below releases via dep.record.mapping, so
+    // the record must describe the reservations map() just committed --
+    // releasing the stale pre-recovery mapping would double-release it and
+    // leak the new one on every failed attempt.
+    dep.record.mapping = *mapping;
     log_.info("chain ", chain_id, " re-mapped: ", mapping->to_string());
 
     // Step 3: redeploy under the same chain id (fresh veths + steering).

@@ -224,6 +224,12 @@ void NetconfClient::rpc(std::unique_ptr<xml::Element> operation, const RpcOption
                         ReplyCallback cb) {
   if (breaker_.failure_threshold > 0 &&
       consecutive_failures_ >= breaker_.failure_threshold) {
+    if (breaker_half_open_probe_ && transport_->now() >= breaker_probe_expires_) {
+      // The previous probe never resolved (no reply, no timeout configured,
+      // frame silently dropped). A wedged probe must not hold the breaker
+      // open forever: after a full cooldown window, allow a fresh probe.
+      breaker_half_open_probe_ = false;
+    }
     if (transport_->now() < breaker_open_until_ || breaker_half_open_probe_) {
       cb(make_error("netconf.circuit-open",
                     "circuit breaker open after " + std::to_string(consecutive_failures_) +
@@ -232,6 +238,7 @@ void NetconfClient::rpc(std::unique_ptr<xml::Element> operation, const RpcOption
     }
     // Cooldown elapsed: let exactly one probe through (half-open).
     breaker_half_open_probe_ = true;
+    breaker_probe_expires_ = transport_->now() + breaker_.open_for;
   }
   auto retry = std::make_shared<RetryState>();
   retry->operation = std::move(operation);

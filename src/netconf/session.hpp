@@ -210,6 +210,9 @@ class NetconfClient {
   int consecutive_failures_ = 0;
   SimTime breaker_open_until_ = 0;
   bool breaker_half_open_probe_ = false;
+  /// When the in-flight half-open probe is considered lost (one cooldown
+  /// window after it was sent); a wedged probe past this no longer blocks.
+  SimTime breaker_probe_expires_ = 0;
   Rng jitter_rng_{0x5eedULL};
   // Liveness guard for timer callbacks: scheduled lambdas hold a weak_ptr
   // and become no-ops once the client is destroyed.

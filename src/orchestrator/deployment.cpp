@@ -9,6 +9,11 @@ namespace {
 // channel delay so the chain is actually forwarding when the completion
 // callback fires.
 constexpr SimDuration kSettle = timeunit::kMillisecond;
+
+// Bring-up steps queued per VNF in deploy() (initiate, start, connect in,
+// connect out). Rollback sizing derives the owning VNF from the failing
+// step index via this constant -- keep it in sync with the push_backs.
+constexpr std::size_t kStepsPerVnf = 4;
 }  // namespace
 
 DeploymentEngine::DeploymentEngine(netemu::Network& network, pox::TrafficSteering& steering,
@@ -263,6 +268,7 @@ void DeploymentEngine::deploy(std::uint32_t chain_id, const MappingResult& mappi
     steps->push_back({[agent, id = d.instance_id, port = d.container_out_port](auto cb) {
       agent->connect_vnf(id, "out0", port, std::move(cb));
     }});
+    static_assert(kStepsPerVnf == 4, "step pushes above must match kStepsPerVnf");
   }
 
   auto* engine = this;
@@ -294,7 +300,7 @@ void DeploymentEngine::deploy(std::uint32_t chain_id, const MappingResult& mappi
         // roll back the VNFs already touched (best effort -- some of them
         // may live on an agent that just died).
         DeploymentRecord partial = *record;
-        partial.vnfs.resize(std::min(partial.vnfs.size(), index / 4 + 1));
+        partial.vnfs.resize(std::min(partial.vnfs.size(), index / kStepsPerVnf + 1));
         Error error = make_error(
             s.error().code,
             "chain " + std::to_string(record->chain_id) + " failed at bring-up step " +

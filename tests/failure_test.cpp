@@ -218,6 +218,41 @@ TEST(Failure, ChaosKillContainerMidTrafficTrafficResumesAfterReembed) {
   EXPECT_EQ(dst->rx_packets(), 150u);
 }
 
+TEST(Failure, FailedRecoveryAttemptsDoNotLeakReservations) {
+  Environment env;
+  build_chaos_topology(env);
+  ASSERT_TRUE(env.start().ok());
+  ASSERT_TRUE(env.enable_self_healing().ok());
+
+  // Full-CPU chain: if a failed recovery attempt leaks (or double-releases)
+  // reservations, re-placement on c2 is corrupted forever after.
+  sg::ServiceGraph g("heavy");
+  g.add_sap("sap1").add_sap("sap2");
+  g.add_vnf("w", "monitor", {}, 1.0);
+  g.add_link("sap1", "w").add_link("w", "sap2");
+  auto chain = env.deploy(g);
+  ASSERT_TRUE(chain.ok()) << chain.error().to_string();
+  ASSERT_EQ(env.deployment(*chain)->record.mapping.placements.at("w"), "c1");
+
+  // Black-hole c2's management transport so every redeploy fails *after*
+  // mapping committed new reservations on c2, then kill c1. Each failed
+  // attempt must release exactly what it committed.
+  netconf::TransportFaults faults;
+  faults.drop_prob = 1.0;
+  ASSERT_TRUE(env.set_netconf_faults("c2", faults).ok());
+  ASSERT_TRUE(env.kill_container("c1").ok());
+  env.run_for(seconds(2));
+  ASSERT_EQ(*env.chain_state(*chain), ChainState::kFailed);
+
+  // Heal c2: the agent-up event re-queues the failed chain. Recovery can
+  // only fit on c2 if the failed attempts left the view's accounting
+  // intact -- a leaked 1.0-CPU reservation makes this stay kFailed.
+  ASSERT_TRUE(env.clear_netconf_faults("c2").ok());
+  env.run_for(seconds(2));
+  EXPECT_EQ(*env.chain_state(*chain), ChainState::kActive);
+  EXPECT_EQ(env.deployment(*chain)->record.mapping.placements.at("w"), "c2");
+}
+
 TEST(Failure, ChaosAgentCrashDuringDeployFailsCleanly) {
   Environment env;
   build_chaos_topology(env);
