@@ -1,0 +1,99 @@
+// Experiment E7: flow-table reconciliation cost after control-plane loss.
+//
+// Every switch in a linear topology restarts at once (tables wiped,
+// unsolicited Hello), and the steering app's cookie-based audit must
+// purge/reinstall until every dpid is barrier-confirmed clean again.
+// resync_virtual_ms is the virtual time from the mass restart to
+// dirty_count() == 0 -- detection (unsolicited-Hello handling),
+// re-handshake, flow-stats audit, reinstall burst and the trailing
+// barrier, for the slowest switch. Scales with rules per switch
+// (chains) and topology size (switches). The emitted BENCH_resync.json
+// carries escape_of_resync_total, escape_of_rules_reinstalled_total and
+// the echo RTT histograms accumulated across all iterations.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using namespace escape;
+using benchutil::build_linear;
+
+static void BM_Resync(benchmark::State& state) {
+  const int switches = static_cast<int>(state.range(0));
+  const int chains = static_cast<int>(state.range(1));
+
+  double resync_ms = 0;
+  double reinstalled = 0;
+  for (auto _ : state) {
+    EnvironmentOptions opts;
+    opts.controller_liveness.echo_interval = 5 * timeunit::kMillisecond;
+    opts.controller_liveness.miss_threshold = 2;
+    opts.switch_liveness.echo_interval = 5 * timeunit::kMillisecond;
+    opts.switch_liveness.miss_threshold = 2;
+    Environment env(opts);
+    build_linear(env, switches);
+    if (auto s = env.start(); !s.ok()) {
+      state.SkipWithError(s.error().message.c_str());
+      break;
+    }
+
+    // `chains` pure-steering chains spanning the full line: one rule per
+    // switch per chain, installed straight through the steering app.
+    for (int c = 0; c < chains; ++c) {
+      pox::ChainPath path;
+      path.chain_id = static_cast<std::uint32_t>(c + 1);
+      path.match = openflow::Match()
+                       .dl_type(net::ethertype::kIpv4)
+                       .nw_dst(net::Ipv4Addr(10, 1, (c >> 8) & 0xff, c & 0xff));
+      for (int i = 1; i <= switches; ++i) {
+        const std::uint16_t in = i == 1 ? 10 : 1;
+        const std::uint16_t out = i == switches ? 10 : 2;
+        path.hops.push_back({static_cast<openflow::DatapathId>(i), in, out});
+      }
+      if (auto s = env.steering().install_chain(path); !s.ok()) {
+        state.SkipWithError(s.error().message.c_str());
+        return;
+      }
+    }
+    env.run_for(10 * timeunit::kMillisecond);  // flow-mods land
+
+    const std::uint64_t reinstalled_before = env.steering().rules_reinstalled();
+    const SimTime restarted_at = env.scheduler().now();
+    for (int i = 1; i <= switches; ++i) {
+      env.network().switch_node("s" + std::to_string(i))->datapath().restart();
+    }
+    // Detection first: the unsolicited Hello must cross the control
+    // channel and mark the dpids dirty before "clean" means anything.
+    bool detected = false;
+    for (int i = 0; i < 40'000 && !detected; ++i) {
+      env.run_for(50 * timeunit::kMicrosecond);
+      detected = env.steering().dirty_count() > 0;
+    }
+    if (!detected) {
+      state.SkipWithError("controller never noticed the restart");
+      break;
+    }
+    bool clean = false;
+    for (int i = 0; i < 40'000 && !clean; ++i) {  // 2 s at 50 us resolution
+      env.run_for(50 * timeunit::kMicrosecond);
+      clean = env.steering().dirty_count() == 0;
+    }
+    if (!clean) {
+      state.SkipWithError("steering did not reconverge within 2 s of virtual time");
+      break;
+    }
+    resync_ms = static_cast<double>(env.scheduler().now() - restarted_at) /
+                timeunit::kMillisecond;
+    reinstalled = static_cast<double>(env.steering().rules_reinstalled() -
+                                      reinstalled_before);
+    benchmark::DoNotOptimize(resync_ms);
+  }
+  state.counters["resync_virtual_ms"] = resync_ms;
+  state.counters["rules_reinstalled"] = reinstalled;
+  state.counters["rules_per_switch"] = chains;
+  state.counters["switches"] = switches;
+}
+BENCHMARK(BM_Resync)
+    ->ArgsProduct({{2, 4, 8}, {4, 32, 128}})
+    ->Unit(benchmark::kMillisecond);
+
+ESCAPE_BENCH_MAIN("resync");

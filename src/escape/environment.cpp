@@ -18,6 +18,7 @@ Environment::Environment(EnvironmentOptions options)
     : options_(std::move(options)), network_(scheduler_) {
   controller_ = std::make_unique<pox::Controller>(scheduler_, options_.control_delay);
   controller_->set_wire_serialization(options_.serialize_control_channel);
+  controller_->set_liveness(options_.controller_liveness);
   steering_ = std::make_shared<pox::TrafficSteering>();
   controller_->add_app(steering_);
   if (options_.enable_l2_learning) {
@@ -36,6 +37,7 @@ Status Environment::start() {
   for (const auto& name : network_.node_names()) {
     if (auto* sw = network_.switch_node(name)) {
       if (!controller_->connection(sw->dpid())) {
+        sw->datapath().set_liveness(options_.switch_liveness);
         controller_->attach_switch(sw->datapath());
       }
     }
@@ -422,6 +424,44 @@ Status Environment::clear_netconf_faults(const std::string& name) {
   return ok_status();
 }
 
+Status Environment::set_of_channel_state(const std::string& switch_name, bool up) {
+  auto* sw = network_.switch_node(switch_name);
+  if (!sw) return make_error("escape.unknown-switch", "no switch named " + switch_name);
+  return controller_->set_channel_admin(sw->dpid(), up);
+}
+
+Status Environment::flap_of_channel(const std::string& switch_name, SimDuration down_for) {
+  if (auto s = set_of_channel_state(switch_name, false); !s.ok()) return s;
+  std::weak_ptr<bool> alive = alive_;
+  scheduler_.schedule(down_for, [this, alive, name = switch_name] {
+    if (alive.expired()) return;
+    if (auto s = set_of_channel_state(name, true); !s.ok()) {
+      log_.warn("of-channel flap restore failed for ", name, ": ", s.error().to_string());
+    }
+  });
+  return ok_status();
+}
+
+Status Environment::set_of_channel_faults(const std::string& switch_name, double drop_prob,
+                                          SimDuration extra_delay, std::uint64_t seed) {
+  auto* sw = network_.switch_node(switch_name);
+  if (!sw) return make_error("escape.unknown-switch", "no switch named " + switch_name);
+  return controller_->set_channel_faults(sw->dpid(), drop_prob, extra_delay, seed);
+}
+
+Status Environment::clear_of_channel_faults(const std::string& switch_name) {
+  auto* sw = network_.switch_node(switch_name);
+  if (!sw) return make_error("escape.unknown-switch", "no switch named " + switch_name);
+  return controller_->clear_channel_faults(sw->dpid());
+}
+
+Status Environment::restart_switch(const std::string& switch_name) {
+  auto* sw = network_.switch_node(switch_name);
+  if (!sw) return make_error("escape.unknown-switch", "no switch named " + switch_name);
+  sw->datapath().restart();
+  return ok_status();
+}
+
 // --- self-healing ---------------------------------------------------------------
 
 Status Environment::enable_self_healing(RecoveryOptions options) {
@@ -466,6 +506,17 @@ Status Environment::enable_self_healing(RecoveryOptions options) {
     if (alive.expired()) return;
     if (view_) view_->set_link_available(a, b, up);
     if (!up) degrade_chains_on_link(a, b);
+  });
+  // Steering divergence feed: chains whose rules sit on a diverged dpid
+  // degrade, and the resync (not a re-embed) brings them back.
+  health_->watch_steering(*steering_);
+  health_->on_dpid_diverged([this, alive](openflow::DatapathId dpid) {
+    if (alive.expired()) return;
+    degrade_chains_on_dpid(dpid);
+  });
+  health_->on_dpid_resynced([this, alive](openflow::DatapathId dpid, std::size_t) {
+    if (alive.expired()) return;
+    handle_dpid_resynced(dpid);
   });
   health_->start();
   log_.info("self-healing enabled: probing ", mgmt_.size(), " agents every ",
@@ -526,10 +577,44 @@ void Environment::degrade_chains_on_link(const std::string& a, const std::string
   }
 }
 
+void Environment::degrade_chains_on_dpid(openflow::DatapathId dpid) {
+  for (const std::uint32_t chain_id : steering_->chains_on(dpid)) {
+    auto it = deployments_.find(chain_id);
+    if (it == deployments_.end()) continue;
+    ChainDeployment& dep = it->second;
+    dep.dirty_dpids.insert(dpid);
+    if (dep.state == ChainState::kActive) {
+      // Steering-only degradation: the chain's VNFs are untouched, only
+      // the switch rules are untrusted. The post-reconnect resync
+      // repairs them in place, so no recovery (re-embed) is queued.
+      dep.state = ChainState::kDegraded;
+      dep.steering_degraded = true;
+      update_degraded_gauge();
+      log_.warn("chain ", chain_id, " DEGRADED: steering diverged on dpid=", dpid);
+    }
+  }
+}
+
+void Environment::handle_dpid_resynced(openflow::DatapathId dpid) {
+  for (auto& [id, dep] : deployments_) {
+    if (dep.dirty_dpids.erase(dpid) == 0) continue;
+    if (dep.steering_degraded && dep.dirty_dpids.empty() &&
+        dep.state == ChainState::kDegraded) {
+      dep.state = ChainState::kActive;
+      dep.steering_degraded = false;
+      update_degraded_gauge();
+      log_.info("chain ", id, " ACTIVE again: steering rules resynced");
+    }
+  }
+}
+
 void Environment::queue_recovery(std::uint32_t chain_id) {
   auto it = deployments_.find(chain_id);
   if (it == deployments_.end() || it->second.state == ChainState::kRecovering) return;
   it->second.state = ChainState::kDegraded;
+  // A queued re-embed supersedes any steering-only degradation: the
+  // recovery path reinstalls the chain's rules itself.
+  it->second.steering_degraded = false;
   update_degraded_gauge();
   log_.warn("chain ", chain_id, " marked DEGRADED");
   std::weak_ptr<bool> alive = alive_;

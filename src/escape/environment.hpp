@@ -47,6 +47,10 @@ struct EnvironmentOptions {
   /// Run the OpenFlow control channel through the real ofp10 wire codec
   /// (encode -> bytes -> decode) instead of moving typed structs.
   bool serialize_control_channel = false;
+  /// Echo keepalive policy of the controller toward each switch.
+  pox::ControllerLiveness controller_liveness;
+  /// Echo keepalive + fail-mode policy applied to every switch datapath.
+  openflow::SwitchLiveness switch_liveness;
 };
 
 /// Self-healing policy: how aggressively the environment probes agents
@@ -80,6 +84,13 @@ struct ChainDeployment {
   /// re-commits them; the flag prevents double release).
   bool reservations_held = true;
   int recovery_attempts = 0;
+  /// Dpids whose flow tables diverged (OpenFlow channel drop / switch
+  /// restart) while this chain had rules on them; drained as the
+  /// steering audits barrier-confirm each one clean again.
+  std::set<openflow::DatapathId> dirty_dpids;
+  /// True when the ONLY reason this chain is degraded is steering
+  /// divergence: the resync repairs rules in place, no re-embedding.
+  bool steering_degraded = false;
 };
 
 class Environment {
@@ -196,6 +207,29 @@ class Environment {
                             const netconf::TransportFaults& faults);
   Status clear_netconf_faults(const std::string& name);
 
+  /// Administratively severs (up=false) / restores (up=true) the
+  /// OpenFlow control channel of a switch, both directions. Detection
+  /// is echo-driven: the controller and the switch each notice after
+  /// their miss threshold, fire connection-down, and the switch drops
+  /// into its configured fail-mode until the channel heals.
+  Status set_of_channel_state(const std::string& switch_name, bool up);
+
+  /// Severs the channel now and schedules its restoration `down_for`
+  /// later (of-channel-flap fault event).
+  Status flap_of_channel(const std::string& switch_name, SimDuration down_for);
+
+  /// Installs / clears a degradation profile on the channel: each
+  /// message in either direction is dropped with `drop_prob` and
+  /// delayed by `extra_delay` on top of the base control delay.
+  Status set_of_channel_faults(const std::string& switch_name, double drop_prob,
+                               SimDuration extra_delay, std::uint64_t seed);
+  Status clear_of_channel_faults(const std::string& switch_name);
+
+  /// Reboots a switch losing all soft state (flow table, packet
+  /// buffers); the fresh Hello it sends lets the controller detect the
+  /// restart and resync the steering rules.
+  Status restart_switch(const std::string& switch_name);
+
   // --- self-healing --------------------------------------------------------
 
   /// Turns the recovery loop on: every management client gets the retry
@@ -224,6 +258,12 @@ class Environment {
   /// degraded and queues its recovery.
   void degrade_chains_on_container(const std::string& container);
   void degrade_chains_on_link(const std::string& a, const std::string& b);
+
+  /// Steering divergence: chains with rules on `dpid` go DEGRADED but
+  /// are NOT re-embedded -- the steering resync repairs rules in place
+  /// and handle_dpid_resynced() flips them back to ACTIVE.
+  void degrade_chains_on_dpid(openflow::DatapathId dpid);
+  void handle_dpid_resynced(openflow::DatapathId dpid);
 
   /// Marks a chain degraded (if not already recovering) and schedules
   /// its recovery as a zero-delay event.

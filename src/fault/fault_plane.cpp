@@ -11,7 +11,10 @@ bool known_action(const std::string& action) {
   return action == "kill-container" || action == "restore-container" ||
          action == "crash-agent" || action == "respawn-agent" || action == "link-down" ||
          action == "link-up" || action == "netconf-faults" ||
-         action == "netconf-faults-clear";
+         action == "netconf-faults-clear" || action == "of-channel-down" ||
+         action == "of-channel-up" || action == "of-channel-flap" ||
+         action == "of-channel-faults" || action == "of-channel-faults-clear" ||
+         action == "switch-restart";
 }
 
 bool link_action(const std::string& action) {
@@ -47,6 +50,9 @@ Status FaultPlane::validate(const FaultEvent& event) {
   if (event.count > 1 && event.repeat <= 0) {
     return make_error("fault.bad-event", "count > 1 needs repeat_ms > 0");
   }
+  if (event.action == "of-channel-flap" && event.down <= 0) {
+    return make_error("fault.bad-event", "of-channel-flap needs down_ms > 0");
+  }
   return ok_status();
 }
 
@@ -69,6 +75,19 @@ Status FaultPlane::apply(const FaultEvent& event) {
     outcome = env_->set_netconf_faults(event.target, event.faults);
   } else if (event.action == "netconf-faults-clear") {
     outcome = env_->clear_netconf_faults(event.target);
+  } else if (event.action == "of-channel-down") {
+    outcome = env_->set_of_channel_state(event.target, false);
+  } else if (event.action == "of-channel-up") {
+    outcome = env_->set_of_channel_state(event.target, true);
+  } else if (event.action == "of-channel-flap") {
+    outcome = env_->flap_of_channel(event.target, event.down);
+  } else if (event.action == "of-channel-faults") {
+    outcome = env_->set_of_channel_faults(event.target, event.faults.drop_prob,
+                                          event.faults.extra_delay_max, event.faults.seed);
+  } else if (event.action == "of-channel-faults-clear") {
+    outcome = env_->clear_of_channel_faults(event.target);
+  } else if (event.action == "switch-restart") {
+    outcome = env_->restart_switch(event.target);
   }
   if (outcome.ok()) {
     ++injections_;
@@ -131,6 +150,7 @@ Status FaultPlane::load_json(const std::string& text) {
     event.repeat =
         static_cast<SimDuration>(e["repeat_ms"].as_double() * timeunit::kMillisecond);
     event.count = e.has("count") ? static_cast<int>(e["count"].as_int()) : 1;
+    event.down = static_cast<SimDuration>(e["down_ms"].as_double() * timeunit::kMillisecond);
     event.faults.drop_prob = e["drop_prob"].as_double();
     event.faults.corrupt_prob = e["corrupt_prob"].as_double();
     event.faults.extra_delay_max =

@@ -21,14 +21,24 @@
 //        "drop_prob": 0.3, "corrupt_prob": 0.05, "extra_delay_ms": 2},
 //       {"at_ms": 900, "action": "netconf-faults-clear", "target": "c2"},
 //       {"at_ms": 50, "action": "link-down", "a": "s1", "b": "s2",
-//        "prob": 0.5, "repeat_ms": 100, "count": 5}
+//        "prob": 0.5, "repeat_ms": 100, "count": 5},
+//       {"at_ms": 600, "action": "of-channel-flap", "target": "s1",
+//        "down_ms": 250},
+//       {"at_ms": 700, "action": "of-channel-faults", "target": "s2",
+//        "drop_prob": 0.4, "extra_delay_ms": 1, "fault_seed": 7},
+//       {"at_ms": 950, "action": "switch-restart", "target": "s2"}
 //     ]
 //   }
 //
 // Actions: kill-container, restore-container, crash-agent,
 // respawn-agent, link-down, link-up, netconf-faults,
-// netconf-faults-clear. `prob` (default 1.0) gates each firing;
-// `repeat_ms`/`count` re-arm the event.
+// netconf-faults-clear, of-channel-down, of-channel-up,
+// of-channel-flap (needs down_ms > 0), of-channel-faults,
+// of-channel-faults-clear, switch-restart. The of-channel-* and
+// switch-restart actions target a *switch* name and exercise the
+// OpenFlow control plane (echo-driven detection, fail-modes, steering
+// resync). `prob` (default 1.0) gates each firing; `repeat_ms`/`count`
+// re-arm the event.
 #pragma once
 
 #include "escape/environment.hpp"
@@ -39,12 +49,13 @@ namespace escape::fault {
 struct FaultEvent {
   SimDuration at = 0;       // virtual time offset from schedule()
   std::string action;
-  std::string target;       // container name (container/agent actions)
+  std::string target;       // container name, or switch name (of-channel-*)
   std::string a, b;         // link endpoints (link actions)
   double prob = 1.0;        // firing probability per occurrence
   SimDuration repeat = 0;   // re-fire interval; 0 = one-shot
   int count = 1;            // total occurrences when repeating
-  netconf::TransportFaults faults;  // payload of netconf-faults
+  SimDuration down = 0;     // of-channel-flap: how long the channel stays dead
+  netconf::TransportFaults faults;  // payload of netconf-faults / of-channel-faults
 };
 
 class FaultPlane {

@@ -18,6 +18,10 @@ std::string_view message_type_name(const Message& m) {
   return kNames[m.index()];
 }
 
+std::string_view fail_mode_name(FailMode mode) {
+  return mode == FailMode::kSecure ? "secure" : "standalone";
+}
+
 OpenFlowSwitch::OpenFlowSwitch(DatapathId dpid, EventScheduler& scheduler)
     : dpid_(dpid), scheduler_(&scheduler) {
   auto& registry = obs::MetricsRegistry::global();
@@ -26,6 +30,10 @@ OpenFlowSwitch::OpenFlowSwitch(DatapathId dpid, EventScheduler& scheduler)
   m_table_misses_ = &registry.counter("escape_of_table_misses_total", labels);
   m_packet_ins_ = &registry.counter("escape_of_packet_ins_total", labels);
   m_packet_in_rtt_us_ = &registry.histogram("escape_of_packet_in_rtt_us", labels);
+  obs::Labels side_labels = labels;
+  side_labels.emplace_back("side", "switch");
+  m_channel_down_ = &registry.counter("escape_of_channel_down_total", side_labels);
+  m_echo_rtt_ms_ = &registry.histogram("escape_of_echo_rtt_ms", side_labels);
   table_.set_removed_callback([this](const FlowEntry& e, FlowRemovedReason reason) {
     if (!connected()) return;
     FlowRemoved msg;
@@ -70,6 +78,8 @@ std::vector<PortInfo> OpenFlowSwitch::ports() const {
 
 void OpenFlowSwitch::connect(std::shared_ptr<ControlChannel> channel) {
   channel_ = std::move(channel);
+  channel_live_ = true;
+  echo_outstanding_.clear();
   channel_->to_controller(Hello{});
   // Periodic self-rescheduling expiry sweep so timeouts fire even
   // without traffic.
@@ -82,6 +92,64 @@ void OpenFlowSwitch::connect(std::shared_ptr<ControlChannel> channel) {
     }
   };
   sweep_timer_ = scheduler_->schedule(kSweepInterval, Sweeper{this});
+  // Keepalive loop (same self-rescheduling shape as the sweep).
+  echo_timer_.cancel();
+  if (liveness_.enabled) {
+    struct Prober {
+      OpenFlowSwitch* sw;
+      void operator()() {
+        sw->echo_tick();
+        sw->echo_timer_ = sw->scheduler_->schedule(sw->liveness_.echo_interval, Prober{sw});
+      }
+    };
+    echo_timer_ = scheduler_->schedule(liveness_.echo_interval, Prober{this});
+  }
+}
+
+void OpenFlowSwitch::set_liveness(SwitchLiveness liveness) {
+  liveness_ = liveness;
+  if (!liveness_.enabled) echo_timer_.cancel();
+}
+
+void OpenFlowSwitch::echo_tick() {
+  if (!channel_) return;
+  if (channel_live_ &&
+      echo_outstanding_.size() >= static_cast<std::size_t>(liveness_.miss_threshold)) {
+    channel_live_ = false;
+    standalone_macs_.clear();
+    m_channel_down_->add();
+    log_.warn("dpid=", dpid_, ": control channel dead (", echo_outstanding_.size(),
+              " echo probes unanswered), entering fail-", fail_mode_name(liveness_.fail_mode));
+  }
+  // Bound the probe backlog while the channel stays dead.
+  while (echo_outstanding_.size() > static_cast<std::size_t>(liveness_.miss_threshold)) {
+    echo_outstanding_.erase(echo_outstanding_.begin());
+  }
+  const std::uint32_t payload = next_echo_payload_++;
+  echo_outstanding_[payload] = scheduler_->now();
+  channel_->to_controller(EchoRequest{payload});
+}
+
+void OpenFlowSwitch::note_controller_activity() {
+  echo_outstanding_.clear();
+  if (!channel_live_) {
+    channel_live_ = true;
+    standalone_macs_.clear();
+    log_.info("dpid=", dpid_, ": control channel live again, leaving fail-",
+              fail_mode_name(liveness_.fail_mode));
+  }
+}
+
+void OpenFlowSwitch::restart() {
+  table_.clear();
+  buffers_.clear();
+  for (auto& [_, sent] : buffer_sent_at_) obs::tracer().end_span(sent.second, scheduler_->now());
+  buffer_sent_at_.clear();
+  standalone_macs_.clear();
+  echo_outstanding_.clear();
+  channel_live_ = channel_ != nullptr;
+  log_.warn("dpid=", dpid_, ": restarting (flow table lost)");
+  if (channel_) channel_->to_controller(Hello{});
 }
 
 void OpenFlowSwitch::sweep_expired() { table_.expire(scheduler_->now()); }
@@ -126,7 +194,7 @@ void OpenFlowSwitch::receive(std::uint16_t port_no, net::Packet&& packet) {
     apply_actions(entry->actions, std::move(packet), port_no, /*allow_packet_in=*/true);
   } else {
     m_table_misses_->add();
-    send_packet_in(std::move(packet), port_no, PacketInReason::kNoMatch);
+    handle_table_miss(std::move(packet), port_no, *key);
   }
 }
 
@@ -172,8 +240,33 @@ void OpenFlowSwitch::receive_batch(std::uint16_t port_no, net::PacketBatch&& bat
       apply_actions(entry->actions, std::move(packet), port_no, /*allow_packet_in=*/true);
     } else {
       m_table_misses_->add();
-      send_packet_in(std::move(packet), port_no, PacketInReason::kNoMatch);
+      handle_table_miss(std::move(packet), port_no, *key);
     }
+  }
+}
+
+void OpenFlowSwitch::handle_table_miss(net::Packet&& packet, std::uint16_t in_port,
+                                       const net::FlowKey& key) {
+  if (connected()) {
+    send_packet_in(std::move(packet), in_port, PacketInReason::kNoMatch);
+    return;
+  }
+  if (liveness_.fail_mode == FailMode::kStandalone) {
+    standalone_forward(std::move(packet), in_port, key);
+  } else {
+    ++failmode_drops_;  // fail-secure: installed flows keep working, misses drop
+  }
+}
+
+void OpenFlowSwitch::standalone_forward(net::Packet&& packet, std::uint16_t in_port,
+                                        const net::FlowKey& key) {
+  ++standalone_forwards_;
+  standalone_macs_[key.dl_src] = in_port;
+  auto it = standalone_macs_.find(key.dl_dst);
+  if (key.dl_dst.is_multicast() || it == standalone_macs_.end()) {
+    flood(packet, in_port, /*include_in_port=*/false, /*consume=*/true);
+  } else {
+    transmit(it->second, std::move(packet));
   }
 }
 
@@ -280,6 +373,17 @@ void OpenFlowSwitch::apply_actions(const ActionList& actions, net::Packet&& pack
 }
 
 void OpenFlowSwitch::handle_message(const Message& message) {
+  // Echo RTT must be sampled before note_controller_activity() clears
+  // the outstanding-probe map.
+  if (const auto* reply = std::get_if<EchoReply>(&message)) {
+    auto it = echo_outstanding_.find(reply->payload);
+    if (it != echo_outstanding_.end() && scheduler_->now() >= it->second) {
+      m_echo_rtt_ms_->record(static_cast<double>(scheduler_->now() - it->second) /
+                             timeunit::kMillisecond);
+    }
+  }
+  // Any message from the controller proves the channel passes traffic.
+  note_controller_activity();
   std::visit(
       [this](const auto& msg) {
         using T = std::decay_t<decltype(msg)>;

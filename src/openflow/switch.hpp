@@ -30,6 +30,25 @@ class ControlChannel {
   virtual bool connected() const = 0;
 };
 
+/// Behaviour of the datapath while its control channel is dead.
+enum class FailMode : std::uint8_t {
+  kSecure,      // drop table-miss packets (installed flows keep forwarding)
+  kStandalone,  // fall back to local L2 learning, like OVS fail-mode=standalone
+};
+
+std::string_view fail_mode_name(FailMode mode);
+
+/// Switch-side control-channel liveness: periodic EchoRequest keepalives
+/// with a miss threshold. When `miss_threshold` echo probes are
+/// outstanding unanswered, the channel is declared dead and the switch
+/// enters `fail_mode` until controller traffic is seen again.
+struct SwitchLiveness {
+  bool enabled = true;
+  SimDuration echo_interval = timeunit::kSecond;
+  int miss_threshold = 3;
+  FailMode fail_mode = FailMode::kSecure;
+};
+
 class OpenFlowSwitch {
  public:
   using TxCallback = std::function<void(net::Packet&&)>;
@@ -45,7 +64,25 @@ class OpenFlowSwitch {
 
   /// Attaches the control channel and sends the OF handshake (Hello).
   void connect(std::shared_ptr<ControlChannel> channel);
-  bool connected() const { return channel_ && channel_->connected(); }
+
+  /// True while the channel exists AND the echo state machine considers
+  /// it live. A half-open channel (object alive, peer gone) flips to
+  /// disconnected once `miss_threshold` echo probes go unanswered.
+  bool connected() const { return channel_ && channel_->connected() && channel_live_; }
+
+  /// Configures the keepalive/fail-mode policy. Takes effect on the next
+  /// echo tick; call before connect() for deterministic behaviour.
+  void set_liveness(SwitchLiveness liveness);
+  const SwitchLiveness& liveness() const { return liveness_; }
+
+  /// The echo state machine's verdict alone (channel object ignored).
+  bool channel_live() const { return channel_live_; }
+
+  /// Simulates a switch reboot that loses all soft state: the flow
+  /// table, packet buffers and standalone MAC table are wiped, and a
+  /// fresh OF handshake (Hello) is initiated on the (surviving) channel
+  /// so the controller can detect the restart and resync.
+  void restart();
 
   /// Datapath entry: a frame arrives on `port_no`.
   void receive(std::uint16_t port_no, net::Packet&& packet);
@@ -69,6 +106,10 @@ class OpenFlowSwitch {
   void sweep_expired();
 
   std::uint64_t packet_ins_sent() const { return packet_ins_; }
+  /// Table-miss packets forwarded locally while in fail-standalone mode.
+  std::uint64_t standalone_forwards() const { return standalone_forwards_; }
+  /// Table-miss packets dropped while in fail-secure mode.
+  std::uint64_t failmode_drops() const { return failmode_drops_; }
 
  private:
   struct Port {
@@ -77,6 +118,18 @@ class OpenFlowSwitch {
     PortStatsEntry stats;
   };
 
+  void handle_table_miss(net::Packet&& packet, std::uint16_t in_port,
+                         const net::FlowKey& key);
+  /// Local L2-learning forwarding used in fail-standalone mode.
+  void standalone_forward(net::Packet&& packet, std::uint16_t in_port,
+                          const net::FlowKey& key);
+  /// One keepalive round: declare the channel dead on miss-threshold,
+  /// then send the next EchoRequest probe (probing continues while dead
+  /// so a restored channel is detected within one interval).
+  void echo_tick();
+  /// Any controller->switch message proves the channel passes traffic:
+  /// clears outstanding echo misses and leaves fail mode.
+  void note_controller_activity();
   void apply_actions(const ActionList& actions, net::Packet&& packet, std::uint16_t in_port,
                      bool allow_packet_in);
   void transmit(std::uint16_t port_no, net::Packet&& packet);
@@ -104,11 +157,25 @@ class OpenFlowSwitch {
   // yields a measurable round-trip latency.
   std::map<std::uint32_t, std::pair<SimTime, std::uint64_t>> buffer_sent_at_;
 
+  // Control-channel liveness (switch side of the echo state machine).
+  SwitchLiveness liveness_;
+  bool channel_live_ = false;  // no channel attached yet
+  std::uint32_t next_echo_payload_ = 1;
+  std::map<std::uint32_t, SimTime> echo_outstanding_;  // payload -> sent at
+  EventHandle echo_timer_;
+  // Fail-standalone soft state: locally learned MAC -> port, cleared on
+  // channel revival and on restart.
+  std::map<net::MacAddr, std::uint16_t> standalone_macs_;
+
   std::uint64_t packet_ins_ = 0;
+  std::uint64_t standalone_forwards_ = 0;
+  std::uint64_t failmode_drops_ = 0;
   obs::Counter* m_table_hits_;
   obs::Counter* m_table_misses_;
   obs::Counter* m_packet_ins_;
+  obs::Counter* m_channel_down_;
   obs::BoundedHistogram* m_packet_in_rtt_us_;
+  obs::BoundedHistogram* m_echo_rtt_ms_;
   EventHandle sweep_timer_;
   Logger log_{"openflow.switch"};
 };

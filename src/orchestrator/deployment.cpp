@@ -5,11 +5,6 @@
 namespace escape::orchestrator {
 
 namespace {
-// Settle allowance after the last flow-mod is sent: covers the control
-// channel delay so the chain is actually forwarding when the completion
-// callback fires.
-constexpr SimDuration kSettle = timeunit::kMillisecond;
-
 // Bring-up steps queued per VNF in deploy() (initiate, start, connect in,
 // connect out). Rollback sizing derives the owning VNF from the failing
 // step index via this constant -- keep it in sync with the push_backs.
@@ -281,16 +276,20 @@ void DeploymentEngine::deploy(std::uint32_t chain_id, const MappingResult& mappi
   std::weak_ptr<std::function<void(std::size_t)>> weak_run = run_all;
   *run_all = [engine, steps, record, done, weak_run](std::size_t index) {
     if (index == steps->size()) {
-      // Phase 3: steering.
-      if (auto s = engine->steering_->install_chain(record->chain_path); !s.ok()) {
-        Error error = s.error();
-        engine->teardown_best_effort(*record, [done, error](Status) { done(error); });
-        return;
-      }
-      engine->network_->scheduler().schedule(kSettle, [engine, record, done] {
-        record->completed_at = engine->network_->scheduler().now();
-        done(*record);
-      });
+      // Phase 3: steering. Barrier-confirmed: the completion only fires
+      // once every touched switch has committed the chain's rules, so a
+      // chain cannot report deployed while its flow-mods are in flight
+      // (the old fixed settle delay just hoped they had landed).
+      engine->steering_->install_chain_confirmed(
+          record->chain_path, [engine, record, done](Status s) {
+            if (!s.ok()) {
+              Error error = s.error();
+              engine->teardown_best_effort(*record, [done, error](Status) { done(error); });
+              return;
+            }
+            record->completed_at = engine->network_->scheduler().now();
+            done(*record);
+          });
       return;
     }
     auto self = weak_run.lock();

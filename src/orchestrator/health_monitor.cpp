@@ -8,6 +8,7 @@ HealthMonitor::HealthMonitor(EventScheduler& scheduler, HealthMonitorOptions opt
   m_probe_ok_ = &registry.counter("escape_health_probes_total", {{"result", "ok"}});
   m_probe_fail_ = &registry.counter("escape_health_probes_total", {{"result", "fail"}});
   m_agents_down_ = &registry.gauge("escape_health_agents_down");
+  m_dpids_diverged_ = &registry.gauge("escape_health_dpids_diverged");
 }
 
 HealthMonitor::~HealthMonitor() {
@@ -41,6 +42,25 @@ void HealthMonitor::watch_links(netemu::Network& network) {
         });
     link_listeners_.emplace_back(link.get(), id);
   }
+}
+
+void HealthMonitor::watch_steering(pox::TrafficSteering& steering) {
+  std::weak_ptr<bool> alive = alive_;
+  steering.set_divergence_callbacks(
+      [this, alive](openflow::DatapathId dpid) {
+        if (alive.expired()) return;
+        if (!diverged_.insert(dpid).second) return;
+        m_dpids_diverged_->set(static_cast<double>(diverged_.size()));
+        log_.warn("steering state diverged on dpid=", dpid);
+        if (dpid_diverged_) dpid_diverged_(dpid);
+      },
+      [this, alive](openflow::DatapathId dpid, std::size_t repaired) {
+        if (alive.expired()) return;
+        diverged_.erase(dpid);
+        m_dpids_diverged_->set(static_cast<double>(diverged_.size()));
+        if (repaired > 0) log_.info("steering resynced dpid=", dpid, ", repaired ", repaired, " rule(s)");
+        if (dpid_resynced_) dpid_resynced_(dpid, repaired);
+      });
 }
 
 void HealthMonitor::start() {

@@ -11,11 +11,13 @@
 
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 
 #include "netconf/vnf_agent.hpp"
 #include "netemu/network.hpp"
 #include "obs/metrics.hpp"
+#include "pox/steering.hpp"
 #include "util/event.hpp"
 #include "util/logging.hpp"
 
@@ -45,11 +47,23 @@ class HealthMonitor {
   /// `network` (links added later are not covered).
   void watch_links(netemu::Network& network);
 
+  /// Subscribes to the steering app's divergence signal: a dpid whose
+  /// OpenFlow connection dropped counts as diverged (its flow table can
+  /// no longer be trusted) until a post-reconnect audit barrier-confirms
+  /// it clean again.
+  void watch_steering(pox::TrafficSteering& steering);
+
   using AgentCallback = std::function<void(const std::string& container)>;
   using LinkCallback = std::function<void(const std::string& a, const std::string& b, bool up)>;
+  using DpidCallback = std::function<void(openflow::DatapathId)>;
+  using DpidResyncCallback = std::function<void(openflow::DatapathId, std::size_t repaired)>;
   void on_agent_down(AgentCallback fn) { agent_down_ = std::move(fn); }
   void on_agent_up(AgentCallback fn) { agent_up_ = std::move(fn); }
   void on_link_state(LinkCallback fn) { link_state_ = std::move(fn); }
+  void on_dpid_diverged(DpidCallback fn) { dpid_diverged_ = std::move(fn); }
+  void on_dpid_resynced(DpidResyncCallback fn) { dpid_resynced_ = std::move(fn); }
+
+  std::size_t dpids_diverged() const { return diverged_.size(); }
 
   /// Starts / stops the periodic probe loop. Idle when no agents are
   /// watched. start() probes immediately, then every probe_interval.
@@ -79,13 +93,17 @@ class HealthMonitor {
   EventHandle tick_;
   std::map<std::string, Watch> watches_;
   std::vector<std::pair<netemu::Link*, std::uint64_t>> link_listeners_;
+  std::set<openflow::DatapathId> diverged_;
   AgentCallback agent_down_;
   AgentCallback agent_up_;
   LinkCallback link_state_;
+  DpidCallback dpid_diverged_;
+  DpidResyncCallback dpid_resynced_;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   obs::Counter* m_probe_ok_;
   obs::Counter* m_probe_fail_;
   obs::Gauge* m_agents_down_;
+  obs::Gauge* m_dpids_diverged_;
   Logger log_{"orchestrator.health"};
 };
 

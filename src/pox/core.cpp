@@ -26,9 +26,13 @@ class Controller::Channel : public openflow::ControlChannel {
   void to_controller(Message message) override {
     auto* c = controller_;
     auto dpid = dpid_;
+    auto it = c->connections_.find(dpid);
+    if (it == c->connections_.end()) return;
+    auto delay = c->channel_hop_delay(*it->second);
+    if (!delay) return;  // channel fault dropped the message
     auto wired = c->through_wire(std::move(message));
     if (!wired) return;
-    c->scheduler_->schedule(c->channel_delay_, [c, dpid, msg = std::move(*wired)]() mutable {
+    c->scheduler_->schedule(*delay, [c, dpid, msg = std::move(*wired)]() mutable {
       c->deliver_from_switch(dpid, std::move(msg));
     });
   }
@@ -61,10 +65,15 @@ void Controller::attach_switch(openflow::OpenFlowSwitch& sw) {
   conn->deliver_to_switch_ = [&sw](Message msg) { sw.handle_message(msg); };
   SwitchConnection* raw = conn.get();
   connections_[dpid] = std::move(conn);
+  auto& registry = obs::MetricsRegistry::global();
+  obs::Labels labels{{"dpid", std::to_string(dpid)}, {"side", "controller"}};
+  raw->m_channel_down_ = &registry.counter("escape_of_channel_down_total", labels);
+  raw->m_echo_rtt_ms_ = &registry.histogram("escape_of_echo_rtt_ms", labels);
   sw.connect(std::make_shared<Channel>(this, dpid));
   // Controller side of the handshake: Hello prompts the switch to
   // announce its features, which flips the connection up.
   raw->send(openflow::Hello{});
+  if (liveness_.enabled) start_echo_loop(dpid);
 }
 
 SwitchConnection* Controller::connection(DatapathId dpid) {
@@ -83,14 +92,98 @@ std::vector<DatapathId> Controller::connected_switches() const {
 void SwitchConnection::send(Message message) {
   ++sent_;
   auto* c = controller_;
+  auto delay = c->channel_hop_delay(*this);
+  if (!delay) return;  // channel fault dropped the message
   auto wired = c->through_wire(std::move(message));
   if (!wired) return;
   // Deliver through the scheduler to model the channel delay; capture the
   // delivery function by value so a torn-down connection cannot dangle.
   auto deliver = deliver_to_switch_;
-  c->scheduler_->schedule(c->channel_delay_, [deliver, msg = std::move(*wired)]() mutable {
+  c->scheduler_->schedule(*delay, [deliver, msg = std::move(*wired)]() mutable {
     if (deliver) deliver(std::move(msg));
   });
+}
+
+std::optional<SimDuration> Controller::channel_hop_delay(SwitchConnection& conn) {
+  if (!conn.admin_up_) return std::nullopt;
+  if (conn.drop_prob_ > 0.0 && conn.fault_rng_.next_bool(conn.drop_prob_)) return std::nullopt;
+  return channel_delay_ + conn.extra_delay_;
+}
+
+Status Controller::set_channel_admin(DatapathId dpid, bool up) {
+  auto it = connections_.find(dpid);
+  if (it == connections_.end()) {
+    return make_error("pox.channel.unknown-dpid", "no connection to dpid " + std::to_string(dpid));
+  }
+  it->second->admin_up_ = up;
+  log_.warn("control channel to dpid=", dpid, " administratively ", up ? "restored" : "severed");
+  return ok_status();
+}
+
+Status Controller::set_channel_faults(DatapathId dpid, double drop_prob, SimDuration extra_delay,
+                                      std::uint64_t seed) {
+  auto it = connections_.find(dpid);
+  if (it == connections_.end()) {
+    return make_error("pox.channel.unknown-dpid", "no connection to dpid " + std::to_string(dpid));
+  }
+  it->second->drop_prob_ = drop_prob;
+  it->second->extra_delay_ = extra_delay;
+  it->second->fault_rng_ = Rng{seed};
+  return ok_status();
+}
+
+Status Controller::clear_channel_faults(DatapathId dpid) {
+  return set_channel_faults(dpid, 0.0, 0, 1);
+}
+
+bool Controller::channel_admin_up(DatapathId dpid) const {
+  auto it = connections_.find(dpid);
+  return it != connections_.end() && it->second->admin_up_;
+}
+
+void Controller::start_echo_loop(DatapathId dpid) {
+  auto it = connections_.find(dpid);
+  if (it == connections_.end()) return;
+  struct Prober {
+    Controller* c;
+    DatapathId dpid;
+    void operator()() {
+      c->echo_tick(dpid);
+      auto it = c->connections_.find(dpid);
+      if (it != c->connections_.end()) {
+        it->second->echo_timer_ =
+            c->scheduler_->schedule(c->liveness_.echo_interval, Prober{c, dpid});
+      }
+    }
+  };
+  it->second->echo_timer_.cancel();
+  it->second->echo_timer_ = scheduler_->schedule(liveness_.echo_interval, Prober{this, dpid});
+}
+
+void Controller::echo_tick(DatapathId dpid) {
+  auto it = connections_.find(dpid);
+  if (it == connections_.end()) return;
+  SwitchConnection& conn = *it->second;
+  if (conn.up_ &&
+      conn.echo_outstanding_.size() >= static_cast<std::size_t>(liveness_.miss_threshold)) {
+    mark_connection_down(conn, "echo timeout");
+  }
+  // Bound the probe backlog while the channel stays dead.
+  while (conn.echo_outstanding_.size() > static_cast<std::size_t>(liveness_.miss_threshold)) {
+    conn.echo_outstanding_.erase(conn.echo_outstanding_.begin());
+  }
+  const std::uint32_t payload = conn.next_echo_payload_++;
+  conn.echo_outstanding_[payload] = scheduler_->now();
+  conn.send(openflow::EchoRequest{payload});
+}
+
+void Controller::mark_connection_down(SwitchConnection& conn, std::string_view reason) {
+  if (!conn.up_) return;
+  conn.up_ = false;
+  conn.echo_outstanding_.clear();
+  if (conn.m_channel_down_) conn.m_channel_down_->add();
+  log_.warn("connection down: dpid=", conn.dpid(), " (", reason, ")");
+  for (auto& app : apps_) app->on_connection_down(conn);
 }
 
 void Controller::raise_packet_in(SwitchConnection& conn, const openflow::PacketIn& msg) {
@@ -105,12 +198,37 @@ void Controller::deliver_from_switch(DatapathId dpid, Message message) {
   if (it == connections_.end()) return;
   SwitchConnection& conn = *it->second;
 
+  // Sample the echo RTT before the activity note clears the probe map.
+  if (const auto* reply = std::get_if<openflow::EchoReply>(&message)) {
+    auto oit = conn.echo_outstanding_.find(reply->payload);
+    if (oit != conn.echo_outstanding_.end() && scheduler_->now() >= oit->second) {
+      if (conn.m_echo_rtt_ms_) {
+        conn.m_echo_rtt_ms_->record(static_cast<double>(scheduler_->now() - oit->second) /
+                                    timeunit::kMillisecond);
+      }
+    }
+  }
+  // Any message from the switch proves the channel passes traffic.
+  conn.echo_outstanding_.clear();
+
   std::visit(
       [this, &conn](auto& msg) {
         using T = std::decay_t<decltype(msg)>;
         if constexpr (std::is_same_v<T, openflow::Hello>) {
-          // Handshake continues implicitly; the switch sends features
-          // after Hello on its own in this implementation.
+          // The initial handshake Hello arrives while the connection is
+          // still down and needs no reply (attach_switch sends ours).
+          // An unsolicited Hello on an up connection means the switch
+          // restarted and lost its soft state: tear the connection down
+          // and re-handshake so apps resync on the ConnectionUp that
+          // follows the fresh FeaturesReply.
+          if (conn.up_) {
+            mark_connection_down(conn, "switch restart (unsolicited hello)");
+            conn.send(openflow::Hello{});
+          }
+        } else if constexpr (std::is_same_v<T, openflow::EchoReply>) {
+          // A live channel while the connection is marked down: the
+          // fault that killed it has cleared, so re-handshake.
+          if (!conn.up_) conn.send(openflow::Hello{});
         } else if constexpr (std::is_same_v<T, openflow::FeaturesReply>) {
           conn.ports_ = msg.ports;
           const bool was_up = conn.up_;

@@ -17,6 +17,8 @@
 #include "openflow/switch.hpp"
 #include "util/event.hpp"
 #include "util/logging.hpp"
+#include "util/random.hpp"
+#include "util/result.hpp"
 
 namespace escape::pox {
 
@@ -24,6 +26,17 @@ using openflow::DatapathId;
 using openflow::Message;
 
 class Controller;
+
+/// Controller-side control-channel liveness: mirror of the switch's
+/// echo state machine. When `miss_threshold` probes to a dpid go
+/// unanswered the connection is torn down (on_connection_down fires);
+/// probing continues while down so a restored channel triggers a
+/// re-handshake and a fresh ConnectionUp.
+struct ControllerLiveness {
+  bool enabled = true;
+  SimDuration echo_interval = timeunit::kSecond;
+  int miss_threshold = 3;
+};
 
 /// The controller's handle to one connected switch.
 class SwitchConnection {
@@ -53,6 +66,20 @@ class SwitchConnection {
   std::uint64_t sent_ = 0;
   // Delivery function into the switch (set when attached).
   std::function<void(Message)> deliver_to_switch_;
+
+  // Scripted channel-fault model, consulted on every hop in BOTH
+  // directions (fault plane: of-channel-down / of-channel-faults).
+  bool admin_up_ = true;
+  double drop_prob_ = 0.0;
+  SimDuration extra_delay_ = 0;
+  Rng fault_rng_{1};
+
+  // Controller-side echo state machine.
+  std::uint32_t next_echo_payload_ = 1;
+  std::map<std::uint32_t, SimTime> echo_outstanding_;  // payload -> sent at
+  EventHandle echo_timer_;
+  obs::Counter* m_channel_down_ = nullptr;
+  obs::BoundedHistogram* m_echo_rtt_ms_ = nullptr;
 };
 
 /// Base class for controller applications. Register with
@@ -106,6 +133,24 @@ class Controller {
   SwitchConnection* connection(DatapathId dpid);
   std::vector<DatapathId> connected_switches() const;
 
+  /// Configures keepalive probing toward switches. Call before
+  /// attach_switch for deterministic behaviour.
+  void set_liveness(ControllerLiveness liveness) { liveness_ = liveness; }
+  const ControllerLiveness& liveness() const { return liveness_; }
+
+  /// Fault-plane hooks. `set_channel_admin(dpid, false)` severs the
+  /// control channel in both directions (messages silently dropped, like
+  /// a cut management link); liveness detection is still echo-driven, so
+  /// both ends notice after miss_threshold * echo_interval.
+  Status set_channel_admin(DatapathId dpid, bool up);
+  /// Degrades (rather than severs) the channel: each hop in either
+  /// direction is dropped with `drop_prob` and delayed by `extra_delay`
+  /// on top of the base channel delay. Deterministic under `seed`.
+  Status set_channel_faults(DatapathId dpid, double drop_prob, SimDuration extra_delay,
+                            std::uint64_t seed);
+  Status clear_channel_faults(DatapathId dpid);
+  bool channel_admin_up(DatapathId dpid) const;
+
   /// Statistics for benches/tests.
   std::uint64_t packet_ins_handled() const { return packet_ins_; }
 
@@ -116,6 +161,13 @@ class Controller {
 
   void deliver_from_switch(DatapathId dpid, Message message);
   void raise_packet_in(SwitchConnection& conn, const openflow::PacketIn& msg);
+  void start_echo_loop(DatapathId dpid);
+  void echo_tick(DatapathId dpid);
+  /// Flips the connection down and fires on_connection_down (idempotent).
+  void mark_connection_down(SwitchConnection& conn, std::string_view reason);
+  /// Applies the per-connection fault model to one channel hop: returns
+  /// the delivery delay, or nullopt when the hop drops the message.
+  std::optional<SimDuration> channel_hop_delay(SwitchConnection& conn);
 
   /// Round-trips a message through the OF 1.0 codec when serialization
   /// is on; returns it untouched otherwise. Codec failures are logged
@@ -125,6 +177,7 @@ class Controller {
 
   EventScheduler* scheduler_;
   SimDuration channel_delay_;
+  ControllerLiveness liveness_;
   bool serialize_ = false;
   std::uint64_t wire_bytes_ = 0;
   std::map<DatapathId, std::unique_ptr<SwitchConnection>> connections_;

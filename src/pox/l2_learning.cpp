@@ -46,6 +46,8 @@ bool L2Learning::on_packet_in(SwitchConnection& conn, const openflow::PacketIn& 
 
 void L2Learning::on_connection_down(SwitchConnection& conn) { tables_.erase(conn.dpid()); }
 
+void L2Learning::on_connection_up(SwitchConnection& conn) { tables_.erase(conn.dpid()); }
+
 const std::unordered_map<net::MacAddr, std::uint16_t>* L2Learning::table(DatapathId dpid) const {
   auto it = tables_.find(dpid);
   return it == tables_.end() ? nullptr : &it->second;

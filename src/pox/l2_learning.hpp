@@ -19,7 +19,12 @@ class L2Learning : public App {
   std::string_view name() const override { return "l2_learning"; }
 
   bool on_packet_in(SwitchConnection& conn, const openflow::PacketIn& msg) override;
+  // Learned MACs are port-bindings on one datapath incarnation: a dead
+  // channel or a restarted/reconnected switch invalidates them (ports
+  // may renumber, the network may have reconverged), so both edges drop
+  // the dpid's table instead of steering traffic by stale mappings.
   void on_connection_down(SwitchConnection& conn) override;
+  void on_connection_up(SwitchConnection& conn) override;
 
   /// Learned MAC -> port table of one switch (for tests).
   const std::unordered_map<net::MacAddr, std::uint16_t>* table(DatapathId dpid) const;

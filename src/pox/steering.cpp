@@ -26,6 +26,61 @@ void TrafficSteering::on_startup(Controller& controller) {
   m_reactive_installs_ = &registry.counter("escape_steering_reactive_installs_total");
   m_chains_installed_ = &registry.gauge("escape_steering_chains_installed");
   m_install_latency_us_ = &registry.histogram("escape_steering_install_latency_us");
+  m_resyncs_ = &registry.counter("escape_of_resync_total");
+  m_rules_purged_ = &registry.counter("escape_of_rules_purged_total");
+  m_rules_reinstalled_ = &registry.counter("escape_of_rules_reinstalled_total");
+}
+
+void TrafficSteering::set_divergence_callbacks(
+    std::function<void(DatapathId)> diverged,
+    std::function<void(DatapathId, std::size_t)> resynced) {
+  on_diverged_ = std::move(diverged);
+  on_resynced_ = std::move(resynced);
+}
+
+const std::vector<IntentRule>* TrafficSteering::intent(DatapathId dpid) const {
+  auto it = intent_.find(dpid);
+  return it == intent_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::uint32_t> TrafficSteering::chains_on(DatapathId dpid) const {
+  std::vector<std::uint32_t> out;
+  auto it = intent_.find(dpid);
+  if (it == intent_.end()) return out;
+  for (const auto& rule : it->second) {
+    if (std::find(out.begin(), out.end(), rule.chain_id) == out.end()) {
+      out.push_back(rule.chain_id);
+    }
+  }
+  return out;
+}
+
+void TrafficSteering::record_intent(const ChainPath& path) {
+  for (const auto& hop : path.hops) {
+    IntentRule rule;
+    rule.chain_id = path.chain_id;
+    rule.match = path.match;
+    rule.match.in_port(hop.in_port);
+    rule.priority = path.priority;
+    rule.idle_timeout = path.idle_timeout;
+    rule.out_port = hop.out_port;
+    auto& rules = intent_[hop.dpid];
+    auto existing = std::find_if(rules.begin(), rules.end(), [&](const IntentRule& r) {
+      return r.chain_id == rule.chain_id && r.priority == rule.priority && r.match == rule.match;
+    });
+    if (existing != rules.end()) {
+      *existing = rule;
+    } else {
+      rules.push_back(rule);
+    }
+  }
+}
+
+void TrafficSteering::erase_intent(std::uint32_t chain_id) {
+  for (auto it = intent_.begin(); it != intent_.end();) {
+    std::erase_if(it->second, [&](const IntentRule& r) { return r.chain_id == chain_id; });
+    it = it->second.empty() ? intent_.erase(it) : std::next(it);
+  }
 }
 
 void TrafficSteering::sync_installed_gauge() {
@@ -62,7 +117,101 @@ Status TrafficSteering::push_flow_mods(const ChainPath& path,
     conn->send_flow_mod(mod);
     if (m_flowmods_) m_flowmods_->add();
   }
+  record_intent(path);
   return ok_status();
+}
+
+void TrafficSteering::send_barrier_with(SwitchConnection& conn, std::function<void()> done) {
+  barrier_waiters_[conn.dpid()].push_back(std::move(done));
+  conn.send_barrier();
+}
+
+void TrafficSteering::on_barrier_reply(SwitchConnection& conn) {
+  auto it = barrier_waiters_.find(conn.dpid());
+  if (it == barrier_waiters_.end() || it->second.empty()) return;
+  auto done = std::move(it->second.front());
+  it->second.pop_front();
+  done();
+}
+
+void TrafficSteering::install_chain_confirmed(const ChainPath& path,
+                                              std::function<void(Status)> done) {
+  if (path.hops.empty()) {
+    done(make_error("pox.steering.empty-path", "chain has no hops"));
+    return;
+  }
+  if (!controller_) {
+    done(make_error("pox.steering.no-controller", "app not started"));
+    return;
+  }
+  auto p = std::make_shared<PendingInstall>();
+  p->path = path;
+  p->done = std::move(done);
+  p->span = obs::tracer().begin_span(controller_->scheduler().now(), "steering",
+                                     "install_confirmed", "chain=" + std::to_string(path.chain_id));
+  attempt_install(std::move(p));
+}
+
+void TrafficSteering::finish_install(PendingInstall& p, Status s) {
+  if (p.finished) return;
+  p.finished = true;
+  p.timeout.cancel();
+  obs::tracer().end_span(p.span, controller_->scheduler().now());
+  if (s.ok()) {
+    log_.info("chain ", p.path.chain_id, " install confirmed after ", p.attempt, " attempt(s)");
+  } else {
+    // Roll back: the chain was never confirmed anywhere. Dropping the
+    // intent also means the next audit purges whatever rules did land
+    // (their cookie is no longer anyone's intent).
+    erase_intent(p.path.chain_id);
+    installed_.erase(p.path.chain_id);
+    sync_installed_gauge();
+    log_.warn("chain ", p.path.chain_id, " install failed: ", s.error().to_string());
+  }
+  p.done(std::move(s));
+}
+
+void TrafficSteering::attempt_install(std::shared_ptr<PendingInstall> p) {
+  ++p->attempt;
+  // Doubling backoff: attempt N waits confirm_timeout * 2^(N-1).
+  const SimDuration wait = options_.confirm_timeout * (SimDuration{1} << (p->attempt - 1));
+  const double start_us = wall_us();
+  if (auto s = push_flow_mods(p->path, std::nullopt, 0); !s.ok()) {
+    if (p->attempt >= options_.max_attempts) {
+      finish_install(*p, std::move(s));
+      return;
+    }
+    p->timeout.cancel();
+    p->timeout = controller_->scheduler().schedule(wait, [this, p] {
+      if (!p->finished) attempt_install(p);
+    });
+    return;
+  }
+  if (m_install_latency_us_) m_install_latency_us_->record(wall_us() - start_us);
+  installed_[p->path.chain_id] = p->path;
+  sync_installed_gauge();
+  p->awaiting.clear();
+  for (const auto& hop : p->path.hops) p->awaiting.insert(hop.dpid);
+  for (const DatapathId dpid : std::set<DatapathId>(p->awaiting)) {
+    SwitchConnection* conn = controller_->connection(dpid);
+    send_barrier_with(*conn, [this, p, dpid] {
+      if (p->finished) return;
+      p->awaiting.erase(dpid);
+      if (p->awaiting.empty()) finish_install(*p, ok_status());
+    });
+  }
+  p->timeout.cancel();
+  p->timeout = controller_->scheduler().schedule(wait, [this, p] {
+    if (p->finished) return;
+    if (p->attempt >= options_.max_attempts) {
+      finish_install(*p, make_error("pox.steering.confirm-timeout",
+                                    "chain " + std::to_string(p->path.chain_id) +
+                                        " not barrier-confirmed after " +
+                                        std::to_string(p->attempt) + " attempts"));
+      return;
+    }
+    attempt_install(p);
+  });
 }
 
 Status TrafficSteering::install_chain(const ChainPath& path) {
@@ -109,6 +258,7 @@ Status TrafficSteering::remove_chain(std::uint32_t chain_id) {
     if (m_flowmods_) m_flowmods_->add();
   }
   installed_.erase(it);
+  erase_intent(chain_id);
   sync_installed_gauge();
   return ok_status();
 }
@@ -156,17 +306,25 @@ void TrafficSteering::query_chain_stats(std::uint32_t chain_id,
     cb(make_error("pox.steering.switch-down", "first-hop switch not connected"));
     return;
   }
-  stats_queries_[dpid].push_back(
-      StatsQuery{chain_id, it->second.hops.front().in_port, std::move(cb)});
+  PendingStats query;
+  query.kind = PendingStats::Kind::kChainStats;
+  query.chain_id = chain_id;
+  query.entry_in_port = it->second.hops.front().in_port;
+  query.cb = std::move(cb);
+  pending_stats_[dpid].push_back(std::move(query));
   conn->send(openflow::StatsRequest{openflow::StatsRequest::Kind::kFlow});
 }
 
 void TrafficSteering::on_stats_reply(SwitchConnection& conn,
                                      const openflow::StatsReply& msg) {
-  auto qit = stats_queries_.find(conn.dpid());
-  if (qit == stats_queries_.end() || qit->second.empty()) return;
-  StatsQuery query = std::move(qit->second.front());
+  auto qit = pending_stats_.find(conn.dpid());
+  if (qit == pending_stats_.end() || qit->second.empty()) return;
+  PendingStats query = std::move(qit->second.front());
   qit->second.pop_front();
+  if (query.kind == PendingStats::Kind::kAudit) {
+    handle_audit_reply(conn, msg, query.audit_gen);
+    return;
+  }
 
   ChainStats stats;
   stats.chain_id = query.chain_id;
@@ -183,7 +341,18 @@ void TrafficSteering::on_stats_reply(SwitchConnection& conn,
   query.cb(stats);
 }
 
-void TrafficSteering::on_flow_removed(SwitchConnection&, const openflow::FlowRemoved& msg) {
+void TrafficSteering::on_flow_removed(SwitchConnection& conn, const openflow::FlowRemoved& msg) {
+  // The rule is gone from that switch, so it leaves the intent store
+  // regardless of whether the chain as a whole falls back to pending
+  // (later FlowRemoveds of the same chain arrive after installed_ was
+  // already cleared and must still be dropped from the intent).
+  auto iit = intent_.find(conn.dpid());
+  if (iit != intent_.end()) {
+    std::erase_if(iit->second, [&](const IntentRule& r) {
+      return r.chain_id == msg.cookie && r.priority == msg.priority && r.match == msg.match;
+    });
+    if (iit->second.empty()) intent_.erase(iit);
+  }
   // Idle-timeout chains fall back to pending so a later packet re-installs.
   auto it = installed_.find(static_cast<std::uint32_t>(msg.cookie));
   if (it == installed_.end()) return;
@@ -191,6 +360,156 @@ void TrafficSteering::on_flow_removed(SwitchConnection&, const openflow::FlowRem
   pending_[it->first] = it->second;
   installed_.erase(it);
   sync_installed_gauge();
+}
+
+void TrafficSteering::on_connection_down(SwitchConnection& conn) {
+  const DatapathId dpid = conn.dpid();
+  auto& audit = audits_[dpid];
+  ++audit.gen;  // squash in-flight audit replies/timers from before the drop
+  audit.in_flight = false;
+  audit.timer.cancel();
+  if (audit.span != 0) {
+    obs::tracer().end_span(audit.span, controller_->scheduler().now());
+    audit.span = 0;
+  }
+  dirty_.insert(dpid);
+  // Flush the dpid's FIFO waiters: their replies will never arrive, or
+  // would mispair with post-reconnect requests.
+  auto pit = pending_stats_.find(dpid);
+  if (pit != pending_stats_.end()) {
+    auto queue = std::move(pit->second);
+    pending_stats_.erase(pit);
+    for (auto& q : queue) {
+      if (q.kind == PendingStats::Kind::kChainStats && q.cb) {
+        q.cb(make_error("pox.steering.connection-down",
+                        "switch connection dropped: dpid=" + std::to_string(dpid)));
+      }
+    }
+  }
+  barrier_waiters_.erase(dpid);  // pending installs retry via their timeout
+  if (on_diverged_) on_diverged_(dpid);
+}
+
+void TrafficSteering::on_connection_up(SwitchConnection& conn) {
+  const DatapathId dpid = conn.dpid();
+  // Untrusted until the audit barrier-confirms it: the switch may have
+  // restarted (empty table) or carry rules installed before the drop.
+  dirty_.insert(dpid);
+  audits_[dpid].attempt = 0;
+  start_audit(dpid);
+}
+
+void TrafficSteering::start_audit(DatapathId dpid) {
+  if (!controller_) return;
+  SwitchConnection* conn = controller_->connection(dpid);
+  if (!conn || !conn->up()) return;
+  auto& audit = audits_[dpid];
+  audit.in_flight = true;
+  ++audit.attempt;
+  if (audit.span == 0) {
+    audit.span = obs::tracer().begin_span(controller_->scheduler().now(), "steering", "resync",
+                                          "dpid=" + std::to_string(dpid));
+  }
+  const std::uint64_t gen = audit.gen;
+  PendingStats query;
+  query.kind = PendingStats::Kind::kAudit;
+  query.audit_gen = gen;
+  pending_stats_[dpid].push_back(std::move(query));
+  conn->send(openflow::StatsRequest{openflow::StatsRequest::Kind::kFlow});
+  audit.timer.cancel();
+  audit.timer = controller_->scheduler().schedule(options_.audit_timeout, [this, dpid, gen] {
+    auto& a = audits_[dpid];
+    if (a.gen != gen || !a.in_flight) return;
+    if (a.attempt >= options_.max_audit_attempts) {
+      a.in_flight = false;
+      log_.error("audit of dpid=", dpid, " gave up after ", a.attempt,
+                 " attempts; table stays untrusted");
+      return;
+    }
+    start_audit(dpid);
+  });
+}
+
+void TrafficSteering::handle_audit_reply(SwitchConnection& conn, const openflow::StatsReply& msg,
+                                         std::uint64_t gen) {
+  const DatapathId dpid = conn.dpid();
+  auto& audit = audits_[dpid];
+  if (audit.gen != gen) return;  // connection flapped again since this audit started
+
+  static const std::vector<IntentRule> kNoRules;
+  auto iit = intent_.find(dpid);
+  const std::vector<IntentRule>& rules = iit == intent_.end() ? kNoRules : iit->second;
+  const auto entry_wanted = [&](const openflow::FlowStatsEntry& entry) {
+    for (const auto& rule : rules) {
+      if (rule.chain_id == entry.cookie && rule.priority == entry.priority &&
+          rule.match == entry.match && entry.actions == openflow::output_to(rule.out_port)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  const auto rule_present = [&](const IntentRule& rule) {
+    for (const auto& entry : msg.flows) {
+      if (rule.chain_id == entry.cookie && rule.priority == entry.priority &&
+          rule.match == entry.match && entry.actions == openflow::output_to(rule.out_port)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Purge steering-owned (cookie != 0) entries we no longer intend;
+  // deletes go first so a reinstall of the same (match, priority) key
+  // is not wiped by a trailing DeleteStrict.
+  std::size_t purged = 0;
+  for (const auto& entry : msg.flows) {
+    if (entry.cookie == 0 || entry_wanted(entry)) continue;
+    openflow::FlowMod mod;
+    mod.command = openflow::FlowModCommand::kDeleteStrict;
+    mod.match = entry.match;
+    mod.priority = entry.priority;
+    conn.send_flow_mod(mod);
+    if (m_flowmods_) m_flowmods_->add();
+    ++purged;
+  }
+  // Reinstall intended rules the switch lost.
+  std::size_t reinstalled = 0;
+  for (const auto& rule : rules) {
+    if (rule_present(rule)) continue;
+    openflow::FlowMod mod;
+    mod.command = openflow::FlowModCommand::kAdd;
+    mod.match = rule.match;
+    mod.priority = rule.priority;
+    mod.cookie = rule.chain_id;
+    mod.idle_timeout = rule.idle_timeout;
+    mod.send_flow_removed = rule.idle_timeout != 0;
+    mod.actions = openflow::output_to(rule.out_port);
+    conn.send_flow_mod(mod);
+    if (m_flowmods_) m_flowmods_->add();
+    ++reinstalled;
+  }
+  rules_purged_ += purged;
+  rules_reinstalled_ += reinstalled;
+  if (m_rules_purged_ && purged > 0) m_rules_purged_->add(purged);
+  if (m_rules_reinstalled_ && reinstalled > 0) m_rules_reinstalled_->add(reinstalled);
+
+  // Barrier-confirm before declaring the dpid clean.
+  send_barrier_with(conn, [this, dpid, gen, purged, reinstalled] {
+    auto& a = audits_[dpid];
+    if (a.gen != gen) return;
+    a.in_flight = false;
+    a.timer.cancel();
+    dirty_.erase(dpid);
+    ++resyncs_;
+    if (m_resyncs_) m_resyncs_->add();
+    if (a.span != 0) {
+      obs::tracer().end_span(a.span, controller_->scheduler().now());
+      a.span = 0;
+    }
+    log_.info("resync dpid=", dpid, ": purged ", purged, ", reinstalled ", reinstalled,
+              " rule(s), table clean");
+    if (on_resynced_) on_resynced_(dpid, purged + reinstalled);
+  });
 }
 
 }  // namespace escape::pox

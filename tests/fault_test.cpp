@@ -262,9 +262,70 @@ TEST(FaultPlane, RejectsMalformedScripts) {
                 .error()
                 .code,
             "fault.bad-event");
+  EXPECT_EQ(plane
+                .load_json(
+                    R"({"events": [{"at_ms": 1, "action": "of-channel-flap", "target": "s1"}]})")
+                .error()
+                .code,
+            "fault.bad-event");  // flap needs down_ms > 0
+  EXPECT_EQ(plane.load_json(R"({"events": [{"at_ms": 1, "action": "of-channel-down"}]})")
+                .error()
+                .code,
+            "fault.bad-event");  // of-channel-* needs a target
   // A bad event anywhere rejects the whole script: nothing was armed.
   EXPECT_EQ(plane.scheduled(), 0u);
   EXPECT_EQ(plane.injections(), 0u);
+}
+
+TEST(FaultPlane, OfChannelActionsRejectUnknownSwitch) {
+  Environment env;
+  build_dual_topology(env);
+  ASSERT_TRUE(env.start().ok());
+  fault::FaultPlane plane{env};
+  fault::FaultEvent event;
+  event.action = "of-channel-down";
+  event.target = "nope";
+  auto s = plane.apply(event);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, "escape.unknown-switch");
+  EXPECT_EQ(plane.injections(), 0u);
+}
+
+TEST(FaultPlane, ScriptedOfChannelActionsDriveControlPlane) {
+  Environment env;
+  build_dual_topology(env);
+  ASSERT_TRUE(env.start().ok());
+  const auto dpid1 = env.network().switch_node("s1")->dpid();
+  const auto dpid2 = env.network().switch_node("s2")->dpid();
+  fault::FaultPlane plane{env};
+  ASSERT_TRUE(plane
+                  .load_json(R"({"events": [
+                    {"at_ms": 5, "action": "of-channel-down", "target": "s1"},
+                    {"at_ms": 10, "action": "of-channel-up", "target": "s1"},
+                    {"at_ms": 15, "action": "of-channel-flap", "target": "s2",
+                     "down_ms": 10},
+                    {"at_ms": 20, "action": "of-channel-faults", "target": "s1",
+                     "drop_prob": 0.5, "extra_delay_ms": 1, "fault_seed": 7},
+                    {"at_ms": 30, "action": "of-channel-faults-clear", "target": "s1"},
+                    {"at_ms": 35, "action": "switch-restart", "target": "s2"}
+                  ]})")
+                  .ok());
+
+  env.run_for(7 * timeunit::kMillisecond);  // t = 7 ms
+  EXPECT_FALSE(env.controller().channel_admin_up(dpid1));
+  EXPECT_TRUE(env.controller().channel_admin_up(dpid2));
+
+  env.run_for(5 * timeunit::kMillisecond);  // t = 12 ms
+  EXPECT_TRUE(env.controller().channel_admin_up(dpid1));
+
+  env.run_for(8 * timeunit::kMillisecond);  // t = 20 ms: mid-flap on s2
+  EXPECT_FALSE(env.controller().channel_admin_up(dpid2));
+
+  env.run_for(10 * timeunit::kMillisecond);  // t = 30 ms: flap restored
+  EXPECT_TRUE(env.controller().channel_admin_up(dpid2));
+
+  env.run_for(10 * timeunit::kMillisecond);  // t = 40 ms: restart fired
+  EXPECT_EQ(plane.injections(), 6u);
 }
 
 TEST(FaultPlane, ScriptedKillAndLinkFlapFireAtVirtualTime) {

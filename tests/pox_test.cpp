@@ -257,5 +257,260 @@ TEST(ControllerApps, AppLookupByName) {
   EXPECT_EQ(controller.app("nope"), nullptr);
 }
 
+/// One switch with fast echo keepalives on both ends, so channel death
+/// is detected within tens of virtual milliseconds.
+struct LivenessFixture : OneSwitchFixture {
+  openflow::OpenFlowSwitch* sw = nullptr;
+
+  void fast_liveness(openflow::FailMode mode = openflow::FailMode::kSecure) {
+    ControllerLiveness cl;
+    cl.echo_interval = 10 * timeunit::kMillisecond;
+    cl.miss_threshold = 2;
+    controller.set_liveness(cl);
+
+    sw = &net.switch_node("s1")->datapath();
+    openflow::SwitchLiveness sl;
+    sl.echo_interval = 10 * timeunit::kMillisecond;
+    sl.miss_threshold = 2;
+    sl.fail_mode = mode;
+    sw->set_liveness(sl);
+  }
+};
+
+TEST_F(LivenessFixture, EchoTimeoutDeclaresChannelDeadAndRevives) {
+  fast_liveness();
+  connect();
+  SwitchConnection* conn = controller.connection(1);
+  ASSERT_NE(conn, nullptr);
+  EXPECT_TRUE(conn->up());
+  EXPECT_TRUE(sw->connected());
+
+  // Sever the channel silently (admin down drops frames; neither side
+  // gets a FIN). Both echo state machines must notice the half-open
+  // channel within miss_threshold * echo_interval.
+  ASSERT_TRUE(controller.set_channel_admin(1, false).ok());
+  sched.run_for(milliseconds(100));
+  EXPECT_FALSE(conn->up());
+  EXPECT_FALSE(sw->channel_live());
+  EXPECT_FALSE(sw->connected());  // half-open: channel attached, but dead
+
+  // Restore the channel: the next probe round trips, the switch revives
+  // and the controller re-handshakes.
+  ASSERT_TRUE(controller.set_channel_admin(1, true).ok());
+  sched.run_for(milliseconds(100));
+  EXPECT_TRUE(conn->up());
+  EXPECT_TRUE(sw->connected());
+}
+
+TEST_F(LivenessFixture, FailSecureDropsTableMisses) {
+  fast_liveness(openflow::FailMode::kSecure);
+  controller.add_app(std::make_shared<L2Learning>());
+  connect();
+
+  ASSERT_TRUE(controller.set_channel_admin(1, false).ok());
+  sched.run_for(milliseconds(100));
+  ASSERT_FALSE(sw->connected());
+
+  const auto drops_before = sw->failmode_drops();
+  h1->send(net::make_udp_packet(h1->mac(), h2->mac(), h1->ip(), h2->ip(), 1000, 2000));
+  sched.run_for(milliseconds(10));
+  EXPECT_EQ(h2->rx_packets(), 0u);  // fail-secure: misses are dropped
+  EXPECT_GT(sw->failmode_drops(), drops_before);
+  EXPECT_EQ(sw->standalone_forwards(), 0u);
+}
+
+TEST_F(LivenessFixture, FailStandaloneFallsBackToLocalL2) {
+  fast_liveness(openflow::FailMode::kStandalone);
+  connect();
+
+  ASSERT_TRUE(controller.set_channel_admin(1, false).ok());
+  sched.run_for(milliseconds(100));
+  ASSERT_FALSE(sw->connected());
+
+  // Unknown destination floods; the reply uses the learned port.
+  h1->send(net::make_udp_packet(h1->mac(), h2->mac(), h1->ip(), h2->ip(), 1000, 2000));
+  sched.run_for(milliseconds(10));
+  EXPECT_EQ(h2->rx_packets(), 1u);
+  h2->send(net::make_udp_packet(h2->mac(), h1->mac(), h2->ip(), h1->ip(), 2000, 1000));
+  sched.run_for(milliseconds(10));
+  EXPECT_EQ(h1->rx_packets(), 1u);
+  EXPECT_GE(sw->standalone_forwards(), 2u);
+  EXPECT_EQ(sw->failmode_drops(), 0u);
+  // The controller never saw these packets (channel is down).
+  EXPECT_EQ(controller.packet_ins_handled(), 0u);
+}
+
+TEST_F(LivenessFixture, L2TablesEvictedOnChannelDownAndSwitchRestart) {
+  fast_liveness();
+  auto l2 = std::make_shared<L2Learning>();
+  controller.add_app(l2);
+  connect();
+
+  h1->send(net::make_udp_packet(h1->mac(), h2->mac(), h1->ip(), h2->ip(), 1000, 2000));
+  h2->send(net::make_udp_packet(h2->mac(), h1->mac(), h2->ip(), h1->ip(), 2000, 1000));
+  sched.run_for(milliseconds(5));
+  ASSERT_NE(l2->table(1), nullptr);
+
+  // Channel death invalidates the learned MACs (the datapath may have
+  // been rewired while we could not see it).
+  ASSERT_TRUE(controller.set_channel_admin(1, false).ok());
+  sched.run_for(milliseconds(100));
+  EXPECT_EQ(l2->table(1), nullptr);
+
+  // Relearn after revival, then a switch restart (unsolicited Hello)
+  // must evict again even though the channel itself stayed healthy.
+  ASSERT_TRUE(controller.set_channel_admin(1, true).ok());
+  sched.run_for(milliseconds(100));
+  h1->send(net::make_udp_packet(h1->mac(), h2->mac(), h1->ip(), h2->ip(), 1000, 2000));
+  sched.run_for(milliseconds(5));
+  ASSERT_NE(l2->table(1), nullptr);
+
+  sw->restart();
+  sched.run_for(milliseconds(50));
+  EXPECT_EQ(l2->table(1), nullptr);
+  SwitchConnection* conn = controller.connection(1);
+  ASSERT_NE(conn, nullptr);
+  EXPECT_TRUE(conn->up());  // restart re-handshakes automatically
+}
+
+TEST_F(LivenessFixture, ResyncPurgesForeignRulesAndReinstallsMissing) {
+  fast_liveness();
+  auto steering = std::make_shared<TrafficSteering>();
+  controller.add_app(steering);
+  connect();
+
+  ChainPath path;
+  path.chain_id = 7;
+  path.match = openflow::Match().dl_type(net::ethertype::kIpv4).nw_dst(Ipv4Addr(10, 0, 0, 2));
+  path.hops = {{1, 1, 2}};
+  ASSERT_TRUE(steering->install_chain(path).ok());
+  sched.run_for(milliseconds(1));
+  ASSERT_NE(steering->intent(1), nullptr);
+  const std::size_t intent_rules = steering->intent(1)->size();
+  ASSERT_GE(intent_rules, 1u);
+
+  const auto resyncs_before = steering->resyncs();
+  const auto purged_before = steering->rules_purged();
+  const auto reinstalled_before = steering->rules_reinstalled();
+
+  // Take the channel down, then tamper with the table behind the
+  // controller's back: wipe the intended rules and plant a foreign
+  // steering-cookie entry.
+  ASSERT_TRUE(controller.set_channel_admin(1, false).ok());
+  sched.run_for(milliseconds(100));
+  ASSERT_TRUE(steering->dirty(1));
+  sw->flow_table().clear();
+  openflow::FlowMod foreign;
+  foreign.match = openflow::Match().dl_type(net::ethertype::kIpv4).nw_dst(Ipv4Addr(10, 0, 0, 99));
+  foreign.priority = 0x9000;
+  foreign.cookie = 999;  // steering namespace, but nobody's intent
+  foreign.actions = openflow::output_to(2);
+  sw->flow_table().apply(foreign, sched.now());
+
+  // Reconnect: the audit must purge the foreign entry, reinstall the
+  // missing chain rules and barrier-confirm the dpid clean.
+  ASSERT_TRUE(controller.set_channel_admin(1, true).ok());
+  sched.run_for(milliseconds(200));
+  EXPECT_FALSE(steering->dirty(1));
+  EXPECT_GT(steering->resyncs(), resyncs_before);
+  EXPECT_GE(steering->rules_purged(), purged_before + 1);
+  EXPECT_GE(steering->rules_reinstalled(), reinstalled_before + intent_rules);
+
+  // The table now mirrors the intent store exactly (steering cookies).
+  std::size_t chain_entries = 0;
+  bool foreign_present = false;
+  for (const auto& e : sw->flow_table().stats(sched.now())) {
+    if (e.cookie == 999) foreign_present = true;
+    if (e.cookie == 7) ++chain_entries;
+  }
+  EXPECT_FALSE(foreign_present);
+  EXPECT_EQ(chain_entries, intent_rules);
+
+  // And the chain carries traffic again.
+  h1->send(net::make_udp_packet(h1->mac(), h2->mac(), h1->ip(), h2->ip(), 1000, 2000));
+  sched.run_for(milliseconds(10));
+  EXPECT_EQ(h2->rx_packets(), 1u);
+}
+
+TEST_F(OneSwitchFixture, ConfirmedInstallFiresOnlyAfterBarrier) {
+  auto steering = std::make_shared<TrafficSteering>();
+  controller.add_app(steering);
+  connect();
+
+  ChainPath path;
+  path.chain_id = 11;
+  path.match = openflow::Match().dl_type(net::ethertype::kIpv4).nw_dst(Ipv4Addr(10, 0, 0, 2));
+  path.hops = {{1, 1, 2}};
+
+  int done_calls = 0;
+  Status result = ok_status();
+  steering->install_chain_confirmed(path, [&](Status s) {
+    ++done_calls;
+    result = std::move(s);
+  });
+  // The rules + barrier are still in flight on the control channel.
+  EXPECT_EQ(done_calls, 0);
+  sched.run_for(milliseconds(1));
+  EXPECT_EQ(done_calls, 1);
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(steering->installed(11));
+}
+
+TEST_F(OneSwitchFixture, ConfirmedInstallRetriesThroughChannelOutage) {
+  auto steering = std::make_shared<TrafficSteering>();
+  controller.add_app(steering);
+  connect();
+  steering->install_options().confirm_timeout = 2 * timeunit::kMillisecond;
+
+  ChainPath path;
+  path.chain_id = 12;
+  path.match = openflow::Match().dl_type(net::ethertype::kIpv4).nw_dst(Ipv4Addr(10, 0, 0, 2));
+  path.hops = {{1, 1, 2}};
+
+  // First attempt's flow-mods are dropped on the admin-down channel; the
+  // channel recovers before the confirm timeout, so the retry succeeds.
+  // (Default slow echo keepalives: the connection is never declared
+  // dead during this short outage.)
+  ASSERT_TRUE(controller.set_channel_admin(1, false).ok());
+  int done_calls = 0;
+  Status result = ok_status();
+  steering->install_chain_confirmed(path, [&](Status s) {
+    ++done_calls;
+    result = std::move(s);
+  });
+  sched.run_for(milliseconds(1));
+  EXPECT_EQ(done_calls, 0);
+  ASSERT_TRUE(controller.set_channel_admin(1, true).ok());
+  sched.run_for(milliseconds(20));
+  EXPECT_EQ(done_calls, 1);
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(steering->installed(12));
+}
+
+TEST_F(OneSwitchFixture, ConfirmedInstallFailsAfterBoundedRetries) {
+  auto steering = std::make_shared<TrafficSteering>();
+  controller.add_app(steering);
+  connect();
+  steering->install_options().confirm_timeout = 2 * timeunit::kMillisecond;
+  steering->install_options().max_attempts = 3;
+
+  ChainPath path;
+  path.chain_id = 13;
+  path.match = openflow::Match().dl_type(net::ethertype::kIpv4).nw_dst(Ipv4Addr(10, 0, 0, 2));
+  path.hops = {{1, 1, 2}};
+
+  ASSERT_TRUE(controller.set_channel_admin(1, false).ok());
+  int done_calls = 0;
+  Status result = ok_status();
+  steering->install_chain_confirmed(path, [&](Status s) {
+    ++done_calls;
+    result = std::move(s);
+  });
+  sched.run_for(milliseconds(200));
+  EXPECT_EQ(done_calls, 1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_FALSE(steering->installed(13));
+}
+
 }  // namespace
 }  // namespace escape::pox

@@ -47,6 +47,7 @@ struct Options {
   std::uint64_t monitor_interval_ms = 500;
   std::string faults_path;  // chaos script (fault::FaultPlane JSON)
   bool self_heal = false;
+  std::uint64_t of_echo_ms = 0;  // 0 = default OpenFlow keepalive cadence
 };
 
 /// Prints the registry lines that belong to one VNF (matched by its
@@ -71,7 +72,7 @@ int usage(const char* argv0) {
                "          [--duration SECONDS] [--return-path] [--verbose]\n"
                "          [--metrics] [--metrics-json FILE]\n"
                "          [--monitor VNF] [--monitor-interval MS]\n"
-               "          [--faults FILE] [--self-heal]\n",
+               "          [--faults FILE] [--self-heal] [--of-echo-ms MS]\n",
                argv0);
   return 2;
 }
@@ -123,6 +124,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       opts.faults_path = v;
+    } else if (arg == "--of-echo-ms") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opts.of_echo_ms = std::strtoull(v, nullptr, 10);
     } else if (arg == "--self-heal") {
       opts.self_heal = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -161,7 +166,14 @@ int main(int argc, char** argv) {
   }
 
   // --- bring the environment up ------------------------------------------
-  Environment env{EnvironmentOptions{.mapping_algorithm = opts.algorithm}};
+  EnvironmentOptions env_opts{.mapping_algorithm = opts.algorithm};
+  if (opts.of_echo_ms > 0) {
+    // Faster OpenFlow keepalives so short chaos runs can actually see
+    // echo-timeout detection (default cadence is one probe per second).
+    env_opts.controller_liveness.echo_interval = opts.of_echo_ms * timeunit::kMillisecond;
+    env_opts.switch_liveness.echo_interval = opts.of_echo_ms * timeunit::kMillisecond;
+  }
+  Environment env{env_opts};
   if (auto s = env.load_topology(*spec); !s.ok()) {
     std::fprintf(stderr, "build: %s\n", s.error().to_string().c_str());
     return 1;
