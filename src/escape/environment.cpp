@@ -15,8 +15,8 @@ std::string_view chain_state_name(ChainState state) {
 }
 
 Environment::Environment(EnvironmentOptions options)
-    : options_(std::move(options)), network_(scheduler_) {
-  controller_ = std::make_unique<pox::Controller>(scheduler_, options_.control_delay);
+    : options_(std::move(options)), network_(scheduler_.shard(0)) {
+  controller_ = std::make_unique<pox::Controller>(scheduler_.shard(0), options_.control_delay);
   controller_->set_wire_serialization(options_.serialize_control_channel);
   controller_->set_liveness(options_.controller_liveness);
   steering_ = std::make_shared<pox::TrafficSteering>();
@@ -32,6 +32,21 @@ Status Environment::load_topology(const service::TopologySpec& spec) {
 }
 
 Status Environment::start() {
+  // Partition the topology into shards before anything is wired across
+  // it: controller channels and management pipes then register their
+  // delays as cross-shard lookahead edges. Done once -- a re-start after
+  // adding nodes keeps the existing partition (new nodes stay on shard
+  // 0, which is always correct, just not load-balanced).
+  if (!partitioned_) {
+    partitioned_ = true;
+    netemu::ShardBy mode = options_.shard_by;
+    if (mode == netemu::ShardBy::kNone && options_.threads > 1) mode = netemu::ShardBy::kSwitch;
+    const std::size_t shards = network_.partition(scheduler_, mode, options_.threads);
+    if (shards > 1) {
+      log_.info("partitioned network into ", shards, " shards, ",
+                scheduler_.thread_count(), " worker threads");
+    }
+  }
   // Attach any unattached switches (Controller::attach_switch is
   // idempotent per dpid map insert, but avoid duplicate channels).
   for (const auto& name : network_.node_names()) {
@@ -46,9 +61,13 @@ Status Environment::start() {
   for (const auto& name : network_.node_names()) {
     if (auto* c = network_.container(name)) {
       if (mgmt_.count(name)) continue;
-      auto [server_end, client_end] = netconf::make_pipe(scheduler_, options_.netconf_delay);
+      // Agent end on the container's shard, client end on the control
+      // shard; the pipe registers its delay as the edge lookahead.
+      auto [server_end, client_end] =
+          netconf::make_pipe(c->scheduler(), scheduler_.shard(0), options_.netconf_delay);
       ContainerMgmt m;
-      m.agent = std::make_unique<netconf::VnfAgent>(server_end, *c);
+      m.slot = std::make_shared<AgentSlot>();
+      m.slot->agent = std::make_unique<netconf::VnfAgent>(server_end, *c);
       m.client = std::make_unique<netconf::VnfAgentClient>(client_end);
       m.server_end = server_end;
       m.client_end = client_end;
@@ -101,6 +120,16 @@ Status Environment::start() {
   log_.info("environment up: ", network_.switch_count(), " switches, ",
             network_.container_count(), " containers, ", network_.host_count(), " hosts");
   return ok_status();
+}
+
+void Environment::on_shard_of(netemu::Node* node, std::function<void()> fn) {
+  EventScheduler& target = node->scheduler();
+  EventScheduler* cur = ShardedScheduler::current_shard();
+  if (cur == nullptr || target.owner() == nullptr || cur == &target) {
+    fn();
+  } else {
+    target.owner()->post_admin(target.shard_id(), std::move(fn));
+  }
 }
 
 Status Environment::pump_until(const bool& flag, std::string_view what) {
@@ -342,9 +371,13 @@ Status Environment::kill_container(const std::string& name) {
   }
   log_.warn("fault: killing container ", name);
   // The agent dies with its container: close the transport first so the
-  // client (and the health monitor) learn within one control delay.
-  it->second.server_end->close();
-  c->crash();
+  // client (and the health monitor) learn within one control delay. Both
+  // operations belong to the container's shard.
+  on_shard_of(c, [server = it->second.server_end, c] {
+    server->close();
+    c->crash();
+  });
+  dead_containers_.insert(name);
   unavailable_containers_.insert(name);
   if (view_) view_->set_node_available(name, false);
   return ok_status();
@@ -355,7 +388,8 @@ Status Environment::restore_container(const std::string& name) {
   if (!c || !mgmt_.count(name)) {
     return make_error("escape.unknown-container", "no managed container named " + name);
   }
-  c->restore();
+  on_shard_of(c, [c] { c->restore(); });
+  dead_containers_.erase(name);
   return respawn_agent(name);
 }
 
@@ -365,7 +399,8 @@ Status Environment::crash_agent(const std::string& name) {
     return make_error("escape.unknown-container", "no managed container named " + name);
   }
   log_.warn("fault: crashing NETCONF agent of ", name);
-  it->second.server_end->close();
+  netemu::VnfContainer* c = network_.container(name);
+  on_shard_of(c, [server = it->second.server_end] { server->close(); });
   // Unmanageable == unusable for new placements until the agent returns.
   unavailable_containers_.insert(name);
   if (view_) view_->set_node_available(name, false);
@@ -379,14 +414,22 @@ Status Environment::respawn_agent(const std::string& name) {
     return make_error("escape.unknown-container", "no managed container named " + name);
   }
   ContainerMgmt& m = it->second;
-  if (m.server_end && !m.server_end->closed()) m.server_end->close();
-  m.agent.reset();  // unregisters its container state listener
-  auto [server_end, client_end] = netconf::make_pipe(scheduler_, options_.netconf_delay);
+  auto old_server = m.server_end;
+  auto [server_end, client_end] =
+      netconf::make_pipe(c->scheduler(), scheduler_.shard(0), options_.netconf_delay);
   m.server_end = server_end;
   m.client_end = client_end;
-  m.agent = std::make_unique<netconf::VnfAgent>(server_end, *c);
+  // Old-agent teardown (unregisters its container state listener) and
+  // the new agent's construction touch container-shard state; the slot
+  // keeps the handover ordered on that shard. Posted before the client
+  // rebind below so the fresh hello finds the new agent listening.
+  on_shard_of(c, [slot = m.slot, old_server, server_end, c] {
+    if (old_server && !old_server->closed()) old_server->close();
+    slot->agent.reset();
+    slot->agent = std::make_unique<netconf::VnfAgent>(server_end, *c);
+  });
   m.client->session().rebind(client_end);
-  if (c->alive()) {
+  if (!dead_containers_.count(name)) {
     unavailable_containers_.erase(name);
     if (view_) view_->set_node_available(name, true);
   }
@@ -410,7 +453,9 @@ Status Environment::set_netconf_faults(const std::string& name,
   netconf::TransportFaults f = faults;
   it->second.client_end->set_faults(f);
   f.seed = faults.seed + 1;  // decorrelate the two directions
-  it->second.server_end->set_faults(f);
+  on_shard_of(network_.container(name), [server = it->second.server_end, f] {
+    server->set_faults(f);
+  });
   return ok_status();
 }
 
@@ -420,7 +465,8 @@ Status Environment::clear_netconf_faults(const std::string& name) {
     return make_error("escape.unknown-container", "no managed container named " + name);
   }
   it->second.client_end->clear_faults();
-  it->second.server_end->clear_faults();
+  on_shard_of(network_.container(name),
+              [server = it->second.server_end] { server->clear_faults(); });
   return ok_status();
 }
 
@@ -458,7 +504,7 @@ Status Environment::clear_of_channel_faults(const std::string& switch_name) {
 Status Environment::restart_switch(const std::string& switch_name) {
   auto* sw = network_.switch_node(switch_name);
   if (!sw) return make_error("escape.unknown-switch", "no switch named " + switch_name);
-  sw->datapath().restart();
+  on_shard_of(sw, [sw] { sw->datapath().restart(); });
   return ok_status();
 }
 
@@ -469,7 +515,7 @@ Status Environment::enable_self_healing(RecoveryOptions options) {
     return make_error("escape.not-started", "call start() before enable_self_healing()");
   }
   recovery_ = options;
-  health_ = std::make_unique<orchestrator::HealthMonitor>(scheduler_, options.health);
+  health_ = std::make_unique<orchestrator::HealthMonitor>(scheduler_.shard(0), options.health);
   for (auto& [name, m] : mgmt_) {
     m.client->set_rpc_options(options.rpc);
     m.client->set_circuit_breaker(options.breaker);

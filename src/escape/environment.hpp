@@ -51,6 +51,16 @@ struct EnvironmentOptions {
   pox::ControllerLiveness controller_liveness;
   /// Echo keepalive + fail-mode policy applied to every switch datapath.
   openflow::SwitchLiveness switch_liveness;
+  /// Parallel execution: worker threads for the sharded event engine
+  /// (1 = sequential). Results are bit-identical across thread counts
+  /// for a fixed shard_by mode.
+  std::size_t threads = 1;
+  /// How start() partitions the topology into shards. kNone keeps
+  /// everything on one queue; threads > 1 with kNone defaults to
+  /// kSwitch. NOTE: the partition (not the thread count) fixes event
+  /// ordering, so kNone/threads=1 runs are comparable with each other
+  /// but not with kSwitch runs.
+  netemu::ShardBy shard_by = netemu::ShardBy::kNone;
 };
 
 /// Self-healing policy: how aggressively the environment probes agents
@@ -97,7 +107,11 @@ class Environment {
  public:
   explicit Environment(EnvironmentOptions options = {});
 
-  EventScheduler& scheduler() { return scheduler_; }
+  /// The sharded engine driving virtual time. Single-shard (the
+  /// default) behaves exactly like the classic single EventScheduler;
+  /// shard(0) is the control shard hosting the controller and the
+  /// orchestration-side management endpoints.
+  ShardedScheduler& scheduler() { return scheduler_; }
   netemu::Network& network() { return network_; }
   pox::Controller& controller() { return *controller_; }
   pox::TrafficSteering& steering() { return *steering_; }
@@ -250,6 +264,13 @@ class Environment {
   /// Runs the scheduler until `flag` is set; errors on quiescence.
   Status pump_until(const bool& flag, std::string_view what);
 
+  /// Runs `fn` against state owned by `node`'s shard: synchronously when
+  /// the calling context may touch it (main thread, or already executing
+  /// on that shard), else deferred through the owner's mailbox -- the
+  /// fault lands one lookahead later, like a command crossing the
+  /// management network.
+  void on_shard_of(netemu::Node* node, std::function<void()> fn);
+
   /// Gives a chain's substrate reservations back to the view (no-op if
   /// it holds none).
   void release_chain_reservations(ChainDeployment& dep);
@@ -278,15 +299,21 @@ class Environment {
                        Status outcome);
 
   EnvironmentOptions options_;
-  EventScheduler scheduler_;
+  ShardedScheduler scheduler_;
   netemu::Network network_;
   std::unique_ptr<pox::Controller> controller_;
   std::shared_ptr<pox::TrafficSteering> steering_;
   std::shared_ptr<pox::L2Learning> l2_;
   service::ServiceLayer service_layer_;
 
-  struct ContainerMgmt {
+  /// The agent lives on its container's shard: its lifecycle (creation,
+  /// teardown on respawn) must execute there, so it sits in a slot that
+  /// shard-0 code never dereferences -- only passes to admin hops.
+  struct AgentSlot {
     std::unique_ptr<netconf::VnfAgent> agent;
+  };
+  struct ContainerMgmt {
+    std::shared_ptr<AgentSlot> slot;
     std::unique_ptr<netconf::VnfAgentClient> client;
     // Both pipe ends are kept so the fault plane can close or fault them.
     std::shared_ptr<netconf::TransportEndpoint> server_end;
@@ -296,6 +323,7 @@ class Environment {
   std::unique_ptr<orchestrator::DeploymentEngine> engine_;
 
   bool started_ = false;
+  bool partitioned_ = false;
   std::uint32_t next_chain_id_ = 1;
   std::map<std::uint32_t, ChainDeployment> deployments_;
   // Persistent orchestration view: reservations (CPU, slots, link
@@ -305,6 +333,10 @@ class Environment {
   // Containers currently excluded from placement (crashed container or
   // dead agent); re-applied when the view is rebuilt by start().
   std::set<std::string> unavailable_containers_;
+  // Orchestrator-side mirror of kill_container/restore_container: the
+  // container's own alive() flag lives on its shard, so shard-0 logic
+  // (respawn bookkeeping) consults this instead of peeking across.
+  std::set<std::string> dead_containers_;
   RecoveryOptions recovery_;
   // Declared after mgmt_ so the monitor (holding client pointers) is
   // destroyed first.

@@ -44,7 +44,7 @@ void PacketPool::clear() {
 }
 
 PacketPool& default_packet_pool() {
-  static PacketPool pool;
+  thread_local PacketPool pool;
   return pool;
 }
 

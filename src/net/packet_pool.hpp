@@ -61,8 +61,13 @@ class PacketPool {
   std::uint64_t recycled_ = 0;
 };
 
-/// The process-wide pool shared by sources and sinks of the emulated
-/// data plane (single-threaded, like the event scheduler driving them).
+/// The pool shared by sources and sinks of the emulated data plane.
+/// One instance per thread: under the sharded scheduler each worker
+/// recycles into and acquires from its own free list, so the pool needs
+/// no locks and a buffer never migrates between threads mid-flight.
+/// Pool *statistics* are therefore also per-thread; the contents of an
+/// acquired packet never depend on which pool served it, so thread
+/// placement cannot affect simulation results.
 PacketPool& default_packet_pool();
 
 }  // namespace escape::net

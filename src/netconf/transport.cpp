@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "util/sharded_event.hpp"
+
 namespace escape::netconf {
 
 namespace {
@@ -48,9 +50,10 @@ void TransportEndpoint::send(std::string bytes) {
     }
   }
 
-  scheduler_->schedule(delay, [peer, data = std::move(bytes)]() mutable {
-    peer->deliver(std::move(data));
-  });
+  // Same scheduler object on both ends -> identical to the classic
+  // single-queue behaviour; distinct shards -> mailbox crossing.
+  cross_schedule(*scheduler_, *peer->scheduler_, delay,
+                 [peer, data = std::move(bytes)]() mutable { peer->deliver(std::move(data)); });
 }
 
 void TransportEndpoint::close() {
@@ -67,7 +70,7 @@ void TransportEndpoint::close() {
   // endpoint alive until the event fires.
   auto peer = peer_.lock();
   if (peer && !peer->closed_ && scheduler_) {
-    scheduler_->schedule(delay_, [peer] { peer->close(); });
+    cross_schedule(*scheduler_, *peer->scheduler_, delay_, [peer] { peer->close(); });
   }
 }
 
@@ -79,14 +82,25 @@ void TransportEndpoint::deliver(std::string bytes) {
 
 std::pair<std::shared_ptr<TransportEndpoint>, std::shared_ptr<TransportEndpoint>> make_pipe(
     EventScheduler& scheduler, SimDuration delay) {
+  return make_pipe(scheduler, scheduler, delay);
+}
+
+std::pair<std::shared_ptr<TransportEndpoint>, std::shared_ptr<TransportEndpoint>> make_pipe(
+    EventScheduler& a_scheduler, EventScheduler& b_scheduler, SimDuration delay) {
   auto a = std::make_shared<TransportEndpoint>();
   auto b = std::make_shared<TransportEndpoint>();
-  a->scheduler_ = &scheduler;
-  b->scheduler_ = &scheduler;
+  a->scheduler_ = &a_scheduler;
+  b->scheduler_ = &b_scheduler;
   a->delay_ = delay;
   b->delay_ = delay;
   a->peer_ = b;
   b->peer_ = a;
+  if (&a_scheduler != &b_scheduler && a_scheduler.owner() != nullptr &&
+      a_scheduler.owner() == b_scheduler.owner()) {
+    auto* owner = a_scheduler.owner();
+    owner->add_lookahead_edge(a_scheduler.shard_id(), b_scheduler.shard_id(), delay);
+    owner->add_lookahead_edge(b_scheduler.shard_id(), a_scheduler.shard_id(), delay);
+  }
   return {a, b};
 }
 

@@ -74,7 +74,7 @@ class TransportEndpoint {
 
  private:
   friend std::pair<std::shared_ptr<TransportEndpoint>, std::shared_ptr<TransportEndpoint>>
-  make_pipe(EventScheduler& scheduler, SimDuration delay);
+  make_pipe(EventScheduler& a_scheduler, EventScheduler& b_scheduler, SimDuration delay);
 
   void deliver(std::string bytes);
 
@@ -96,6 +96,15 @@ class TransportEndpoint {
 /// Creates a connected endpoint pair with symmetric one-way delay.
 std::pair<std::shared_ptr<TransportEndpoint>, std::shared_ptr<TransportEndpoint>> make_pipe(
     EventScheduler& scheduler, SimDuration delay);
+
+/// As above, but the two ends live on (possibly) different shards: `a`
+/// is driven by a_scheduler, `b` by b_scheduler. When the schedulers
+/// are distinct shards of one ShardedScheduler, frames and close
+/// notifications cross through the mailbox and `delay` is registered as
+/// the edge's conservative lookahead in both directions (a zero delay
+/// across shards therefore forces the sequential fallback).
+std::pair<std::shared_ptr<TransportEndpoint>, std::shared_ptr<TransportEndpoint>> make_pipe(
+    EventScheduler& a_scheduler, EventScheduler& b_scheduler, SimDuration delay);
 
 /// NETCONF 1.0 end-of-message framing (]]>]]>): splits a byte stream
 /// back into messages.

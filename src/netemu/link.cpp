@@ -14,7 +14,11 @@ Link::Link(Node* node_a, std::uint16_t port_a, Node* node_b, std::uint16_t port_
       port_b_(port_b),
       config_(config),
       scheduler_(&scheduler),
+      loss_seed_(loss_seed),
       loss_rng_(loss_seed) {
+  dir_[0].sched = scheduler_;
+  dir_[1].sched = scheduler_;
+  bind_shards();
   auto& registry = obs::MetricsRegistry::global();
   const std::string id = strings::format("%s:%u-%s:%u", node_a_->name().c_str(), port_a_,
                                          node_b_->name().c_str(), port_b_);
@@ -39,19 +43,56 @@ SimDuration Link::tx_time(std::size_t bytes) const {
   return (bits * timeunit::kSecond + config_.bandwidth_bps - 1) / config_.bandwidth_bps;
 }
 
+void Link::bind_shards() {
+  Node* sender[2] = {node_a_, node_b_};
+  Node* receiver[2] = {node_b_, node_a_};
+  for (int d = 0; d < 2; ++d) {
+    Direction& dir = dir_[d];
+    dir.sched = sender[d] ? &sender[d]->scheduler() : scheduler_;
+    EventScheduler& peer = receiver[d] ? receiver[d]->scheduler() : *scheduler_;
+    dir.cross = &peer != dir.sched && dir.sched->owner() != nullptr &&
+                dir.sched->owner() == peer.owner();
+    if (dir.cross) {
+      // An independent deterministic loss stream per cross direction
+      // (two shards cannot share the link-wide RNG).
+      dir.rng = Rng(loss_seed_ ^ (0x9e3779b97f4a7c15ull + static_cast<std::uint64_t>(d)));
+      dir.sched->owner()->add_lookahead_edge(dir.sched->shard_id(), peer.shard_id(),
+                                             config_.delay);
+    }
+  }
+}
+
+bool Link::can_touch(const Direction& dir) const {
+  EventScheduler* cur = ShardedScheduler::current_shard();
+  return cur == nullptr || dir.sched->owner() == nullptr || cur == dir.sched;
+}
+
+void Link::apply_set_up(int direction, bool up) {
+  Direction& dir = dir_[direction];
+  dir.up = up;
+  if (!up) {
+    // The wire is cut: everything in flight is lost.
+    const std::uint64_t lost = dir.pending.size();
+    dir.dropped += lost;
+    dir.m_dropped->add(lost);
+    dir.pending.clear();
+    dir.event.cancel();
+    dir.busy_until = 0;
+    dir.m_queue_depth->set(0);
+  }
+}
+
 void Link::set_up(bool up) {
   if (up == up_) return;
   up_ = up;
-  if (!up_) {
-    // The wire is cut: everything in flight is lost.
-    for (auto& dir : dir_) {
-      const std::uint64_t lost = dir.pending.size();
-      dir.dropped += lost;
-      dir.m_dropped->add(lost);
-      dir.pending.clear();
-      dir.event.cancel();
-      dir.busy_until = 0;
-      dir.m_queue_depth->set(0);
+  for (int d = 0; d < 2; ++d) {
+    if (can_touch(dir_[d])) {
+      apply_set_up(d, up);
+    } else {
+      // Another shard owns this direction: the command propagates like a
+      // management-network hop and lands one lookahead later.
+      dir_[d].sched->owner()->post_admin(dir_[d].sched->shard_id(),
+                                         [this, d, up] { apply_set_up(d, up); });
     }
   }
   for (auto& [_, fn] : listeners_) fn(*this, up_);
@@ -68,12 +109,13 @@ void Link::remove_state_listener(std::uint64_t id) {
 }
 
 bool Link::enqueue_frame(Direction& dir, net::Packet&& packet) {
-  if (!up_) {
+  if (!dir.up) {
     ++dir.dropped;
     dir.m_dropped->add();
     return false;
   }
-  if (config_.loss > 0.0 && loss_rng_.next_bool(config_.loss)) {
+  Rng& rng = dir.cross ? dir.rng : loss_rng_;
+  if (config_.loss > 0.0 && rng.next_bool(config_.loss)) {
     ++dir.dropped;
     dir.m_dropped->add();
     return false;
@@ -87,11 +129,11 @@ bool Link::enqueue_frame(Direction& dir, net::Packet&& packet) {
     return false;
   }
 
-  const SimTime now = scheduler_->now();
+  const SimTime now = dir.sched->now();
   const SimTime start = std::max(now, dir.busy_until);
   const SimTime tx_done = start + tx_time(packet.size());
   dir.busy_until = tx_done;
-  dir.pending.push_back(PendingFrame{tx_done + config_.delay, std::move(packet)});
+  dir.pending.push_back(PendingFrame{tx_done, tx_done + config_.delay, std::move(packet)});
   dir.m_queue_depth->set(static_cast<double>(dir.pending.size()));
   return true;
 }
@@ -110,17 +152,23 @@ void Link::transmit_batch(int from_endpoint, net::PacketBatch&& batch) {
 void Link::arm(int from_endpoint) {
   Direction& dir = dir_[from_endpoint];
   if (dir.pending.empty() || dir.event.pending()) return;
-  dir.event = scheduler_->schedule_at(dir.pending.front().deliver_at,
-                                      [this, from_endpoint] { fire(from_endpoint); });
+  // Same-shard: fire at delivery time, exactly the classic model.
+  // Cross-shard: fire at serialization end on the sender's shard; the
+  // batch then crosses to the receiver with the propagation delay, so
+  // each frame still arrives at tx_done + delay.
+  const SimTime at =
+      dir.cross ? dir.pending.front().tx_done : dir.pending.front().deliver_at;
+  dir.event = dir.sched->schedule_at(at, [this, from_endpoint] { fire(from_endpoint); });
 }
 
 void Link::fire(int from_endpoint) {
   Direction& dir = dir_[from_endpoint];
-  const SimTime now = scheduler_->now();
+  const SimTime now = dir.sched->now();
 
   net::PacketBatch due;
   std::uint64_t due_bytes = 0;
-  while (!dir.pending.empty() && dir.pending.front().deliver_at <= now) {
+  while (!dir.pending.empty() &&
+         (dir.cross ? dir.pending.front().tx_done : dir.pending.front().deliver_at) <= now) {
     due_bytes += dir.pending.front().packet.size();
     due.push_back(std::move(dir.pending.front().packet));
     dir.pending.pop_front();
@@ -138,7 +186,15 @@ void Link::fire(int from_endpoint) {
   if (due.empty()) return;
   Node* dst = from_endpoint == 0 ? node_b_ : node_a_;
   const std::uint16_t dst_port = from_endpoint == 0 ? port_b_ : port_a_;
-  dst->deliver_batch(dst_port, std::move(due));
+  if (!dir.cross) {
+    dst->deliver_batch(dst_port, std::move(due));
+    return;
+  }
+  // shared_ptr only because EventScheduler::Callback requires a
+  // copy-constructible target; the batch has exactly one consumer.
+  auto batch = std::make_shared<net::PacketBatch>(std::move(due));
+  cross_schedule(*dir.sched, dst->scheduler(), config_.delay,
+                 [dst, dst_port, batch] { dst->deliver_batch(dst_port, std::move(*batch)); });
 }
 
 std::string Link::to_string() const {

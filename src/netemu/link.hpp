@@ -25,6 +25,7 @@
 #include "netemu/node.hpp"
 #include "obs/metrics.hpp"
 #include "util/random.hpp"
+#include "util/sharded_event.hpp"
 #include "util/time.hpp"
 
 namespace escape::netemu {
@@ -71,16 +72,35 @@ class Link {
   std::uint64_t add_state_listener(StateListener fn);
   void remove_state_listener(std::uint64_t id);
 
+  /// Re-derives each direction's shard binding from its sender node's
+  /// scheduler. A direction whose endpoints land on different shards
+  /// switches to mailbox delivery: the serialization queue stays on the
+  /// sender's shard, the delivery event is armed at serialization end,
+  /// and the due batch crosses to the receiver's shard with the link's
+  /// propagation delay -- per-frame delivery times are bit-identical to
+  /// the same-shard model, and the delay is registered as the edge's
+  /// conservative lookahead. Called by the Link constructor and again by
+  /// Network::partition; only valid while no frame is in flight.
+  void bind_shards();
+
   std::string to_string() const;
 
  private:
   struct PendingFrame {
-    SimTime deliver_at = 0;
+    SimTime tx_done = 0;     // serialization completes (sender clock)
+    SimTime deliver_at = 0;  // tx_done + propagation delay
     net::Packet packet;
   };
   struct Direction {
+    // Sender-shard-confined state: only the shard executing the sender
+    // node ever touches this struct (admin ops from other shards arrive
+    // through the owner's mailbox, see set_up).
+    EventScheduler* sched = nullptr;  // the sender endpoint's shard
+    bool cross = false;               // endpoints on different shards
+    bool up = true;                   // applied admin state
+    Rng rng{1};                       // per-direction loss stream (cross only)
     SimTime busy_until = 0;
-    std::deque<PendingFrame> pending;  // FIFO; deliver_at is monotonic
+    std::deque<PendingFrame> pending;  // FIFO; tx_done/deliver_at monotonic
     EventHandle event;                 // armed for pending.front()
     std::uint64_t delivered = 0;
     std::uint64_t dropped = 0;
@@ -95,6 +115,14 @@ class Link {
   };
 
   SimDuration tx_time(std::size_t bytes) const;
+
+  /// Whether the calling context may mutate `dir` synchronously (owns
+  /// its shard, or no sharded run is in progress).
+  bool can_touch(const Direction& dir) const;
+
+  /// Applies an administrative up/down transition to one direction, on
+  /// that direction's shard.
+  void apply_set_up(int direction, bool up);
 
   /// Admission + serialization for one frame; returns false if dropped.
   bool enqueue_frame(Direction& dir, net::Packet&& packet);
@@ -111,9 +139,14 @@ class Link {
   std::uint16_t port_b_;
   LinkConfig config_;
   EventScheduler* scheduler_;
+  std::uint64_t loss_seed_;
+  // Both same-shard directions draw from this shared stream in event
+  // order, exactly as the single-scheduler model always did; cross-shard
+  // directions use their own per-direction stream (Direction::rng), as
+  // two shards cannot share an RNG.
   Rng loss_rng_;
   Direction dir_[2];
-  bool up_ = true;
+  bool up_ = true;  // control-plane admin state (see Direction::up)
   std::uint64_t next_listener_id_ = 1;
   std::vector<std::pair<std::uint64_t, StateListener>> listeners_;
 };

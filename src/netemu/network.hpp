@@ -14,6 +14,15 @@
 
 namespace escape::netemu {
 
+/// How Network::partition groups nodes into shards.
+enum class ShardBy {
+  kNone,    // everything on shard 0 (sequential; the default)
+  kSwitch,  // one shard per switch cluster; hosts/containers join the
+            // nearest switch (hop-count BFS, ties to the smaller shard id)
+  kRegion,  // one shard per region = node-name prefix before the first '_'
+            // ("edge_s1" and "edge_h1" share the "edge" shard)
+};
+
 class Network {
  public:
   explicit Network(EventScheduler& scheduler) : scheduler_(&scheduler) {}
@@ -57,6 +66,15 @@ class Network {
   /// Attaches every switch to the controller (OF handshake begins; run
   /// the scheduler to complete it).
   void attach_controller(pox::Controller& controller);
+
+  /// Splits the topology into shards and rebinds every node and link.
+  /// Clusters joined by a zero-delay link are merged (zero lookahead
+  /// would force sequential execution anyway), and the cluster count is
+  /// capped at 64 (round-robin fold). Grows `sched` to the resulting
+  /// width with `threads` workers and returns the shard count. Must run
+  /// before the controller is attached and before any event is queued
+  /// on a node that moves off shard 0; kNone leaves everything in place.
+  std::size_t partition(ShardedScheduler& sched, ShardBy mode, std::size_t threads = 0);
 
   std::size_t switch_count() const;
   std::size_t host_count() const;

@@ -35,6 +35,15 @@ class Node {
 
   EventScheduler& scheduler() { return *scheduler_; }
 
+  /// Re-points this node at another shard's event queue
+  /// (Network::partition). Only valid while the node has nothing
+  /// scheduled -- partitioning runs before the controller attaches and
+  /// before traffic starts.
+  void rebind_scheduler(EventScheduler& scheduler) {
+    scheduler_ = &scheduler;
+    on_rebind();
+  }
+
   /// A frame arrives on `port` (called by the attached Link).
   virtual void deliver(std::uint16_t port, net::Packet&& packet) = 0;
 
@@ -50,6 +59,10 @@ class Node {
   std::vector<std::uint16_t> attached_ports() const;
 
  protected:
+  /// Hook for subclasses owning scheduler-bound helpers (the switch's
+  /// embedded datapath) to follow a rebind.
+  virtual void on_rebind() {}
+
   /// Sends a frame out of `port` into the attached link (dropped if no
   /// link is attached).
   void send_out(std::uint16_t port, net::Packet&& packet);

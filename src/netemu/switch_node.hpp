@@ -25,6 +25,9 @@ class SwitchNode : public Node {
   /// for every port before traffic flows (Network::add_link does this).
   void ensure_port(std::uint16_t port);
 
+ protected:
+  void on_rebind() override { datapath_.rebind_scheduler(scheduler()); }
+
  private:
   openflow::OpenFlowSwitch datapath_;
 };

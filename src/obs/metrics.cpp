@@ -69,7 +69,7 @@ BoundedHistogram::BoundedHistogram(HistogramOptions options)
     log_growth_ = std::log(options_.growth);
   }
   if (options_.min_bound <= 0) options_.min_bound = 1.0;
-  counts_.assign(options_.buckets, 0);
+  counts_ = std::vector<std::atomic<std::uint64_t>>(options_.buckets);
 }
 
 std::size_t BoundedHistogram::bucket_index(double sample) const {
@@ -84,22 +84,33 @@ double BoundedHistogram::bucket_upper(std::size_t i) const {
 }
 
 void BoundedHistogram::record(double sample) {
-  ++counts_[bucket_index(sample)];
-  ++count_;
-  sum_ += sample;
-  min_ = std::min(min_, sample);
-  max_ = std::max(max_, sample);
+  counts_[bucket_index(sample)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // CAS loops instead of atomic<double>::fetch_add/min/max so the same
+  // code works on toolchains without C++20 atomic-float RMW support.
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + sample, std::memory_order_relaxed)) {
+  }
+  cur = min_.load(std::memory_order_relaxed);
+  while (sample < cur &&
+         !min_.compare_exchange_weak(cur, sample, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (sample > cur &&
+         !max_.compare_exchange_weak(cur, sample, std::memory_order_relaxed)) {
+  }
 }
 
 double BoundedHistogram::percentile(double p) const {
-  if (count_ == 0) return 0.0;
+  const std::size_t n = count();
+  if (n == 0) return 0.0;
   p = std::clamp(p, 0.0, 100.0);
   auto rank = static_cast<std::uint64_t>(
-      std::ceil(p / 100.0 * static_cast<double>(count_)));
+      std::ceil(p / 100.0 * static_cast<double>(n)));
   if (rank == 0) rank = 1;
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
-    seen += counts_[i];
+    seen += counts_[i].load(std::memory_order_relaxed);
     if (seen >= rank) {
       // Geometric bucket midpoint, clamped to the observed range so
       // single-valued and extreme distributions stay exact.
@@ -109,18 +120,18 @@ double BoundedHistogram::percentile(double p) const {
       } else {
         estimate = bucket_upper(i) / std::sqrt(options_.growth);
       }
-      return std::clamp(estimate, min_, max_);
+      return std::clamp(estimate, min(), max());
     }
   }
-  return max_;
+  return max();
 }
 
 void BoundedHistogram::clear() {
-  std::fill(counts_.begin(), counts_.end(), 0);
-  count_ = 0;
-  sum_ = 0;
-  min_ = std::numeric_limits<double>::infinity();
-  max_ = -std::numeric_limits<double>::infinity();
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
 }
 
 std::string BoundedHistogram::summary() const {

@@ -82,17 +82,27 @@ struct HistogramOptions {
 /// count/sum/min/max. The hot-path replacement for the keep-all-samples
 /// util/stats Histogram; API-compatible for the accessors tests and
 /// benches use (count/mean/min/max/p50/p95/p99/summary).
+///
+/// record() is safe under concurrent writers (per-shard scheduler
+/// threads recording into one shared series): buckets and count are
+/// relaxed fetch-adds, sum/min/max are CAS loops. Readers racing
+/// writers may observe a sample in one field but not yet another
+/// (count vs sum); once writers quiesce -- at a window barrier or run
+/// end, which is when snapshots are taken -- every accessor is exact.
 class BoundedHistogram {
  public:
   explicit BoundedHistogram(HistogramOptions options = {});
 
   void record(double sample);
 
-  std::size_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double min() const { return count_ ? min_ : 0.0; }
-  double max() const { return count_ ? max_ : 0.0; }
-  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  std::size_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const { return count() ? min_.load(std::memory_order_relaxed) : 0.0; }
+  double max() const { return count() ? max_.load(std::memory_order_relaxed) : 0.0; }
+  double mean() const {
+    std::size_t n = count();
+    return n ? sum() / static_cast<double>(n) : 0.0;
+  }
 
   /// Nearest-rank percentile estimated from the bucket boundaries;
   /// clamped into [min(), max()] so degenerate distributions are exact.
@@ -114,11 +124,11 @@ class BoundedHistogram {
 
   HistogramOptions options_;
   double log_growth_;
-  std::vector<std::uint64_t> counts_;
-  std::size_t count_ = 0;
-  double sum_ = 0;
-  double min_ = std::numeric_limits<double>::infinity();
-  double max_ = -std::numeric_limits<double>::infinity();
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::size_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
 enum class MetricKind : std::uint8_t { kCounter, kGauge, kCallbackGauge, kHistogram };

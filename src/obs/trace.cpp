@@ -1,5 +1,10 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
+#include <atomic>
+
+#include "util/event.hpp"
+
 namespace escape::obs {
 
 std::string_view trace_phase_name(TracePhase phase) {
@@ -29,8 +34,20 @@ std::size_t TraceRing::capacity() const {
   return capacity_;
 }
 
+void TraceRing::set_shard(std::uint32_t shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  shard_ = shard;
+}
+
+std::uint32_t TraceRing::shard() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shard_;
+}
+
 void TraceRing::push(TraceEvent&& event) {
   std::lock_guard<std::mutex> lock(mu_);
+  event.shard = shard_;
+  event.seq = next_seq_++;
   ++total_;
   if (size_ < capacity_) {
     ring_.push_back(std::move(event));
@@ -43,8 +60,8 @@ void TraceRing::push(TraceEvent&& event) {
 
 void TraceRing::instant(SimTime ts, std::string_view category, std::string_view name,
                         std::string arg) {
-  push(TraceEvent{ts, TracePhase::kInstant, 0, std::string(category), std::string(name),
-                  std::move(arg)});
+  push(TraceEvent{ts, TracePhase::kInstant, 0, 0, 0, std::string(category),
+                  std::string(name), std::move(arg)});
 }
 
 std::uint64_t TraceRing::begin_span(SimTime ts, std::string_view category,
@@ -52,15 +69,17 @@ std::uint64_t TraceRing::begin_span(SimTime ts, std::string_view category,
   std::uint64_t id;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    id = next_span_++;
+    // Shard index in the low byte keeps ids unique across the per-shard
+    // rings without any cross-ring coordination; never 0.
+    id = (next_span_++ << 8) | (shard_ & 0xffu);
   }
-  push(TraceEvent{ts, TracePhase::kBegin, id, std::string(category), std::string(name),
-                  std::move(arg)});
+  push(TraceEvent{ts, TracePhase::kBegin, id, 0, 0, std::string(category),
+                  std::string(name), std::move(arg)});
   return id;
 }
 
 void TraceRing::end_span(std::uint64_t span_id, SimTime ts, std::string arg) {
-  push(TraceEvent{ts, TracePhase::kEnd, span_id, "", "", std::move(arg)});
+  push(TraceEvent{ts, TracePhase::kEnd, span_id, 0, 0, "", "", std::move(arg)});
 }
 
 std::vector<TraceEvent> TraceRing::events() const {
@@ -101,6 +120,7 @@ json::Value TraceRing::to_json() const {
     json::Object o;
     o["ts"] = e.ts;
     o["phase"] = std::string(trace_phase_name(e.phase));
+    if (e.shard) o["shard"] = static_cast<std::uint64_t>(e.shard);
     if (e.span_id) o["span"] = e.span_id;
     if (!e.category.empty()) o["category"] = e.category;
     if (!e.name.empty()) o["name"] = e.name;
@@ -113,9 +133,79 @@ json::Value TraceRing::to_json() const {
   return doc;
 }
 
-TraceRing& tracer() {
-  static TraceRing ring;
-  return ring;
+namespace {
+// Per-shard rings, created on first use and intentionally leaked (the
+// usual singleton pattern, immune to static destruction order). Lazy
+// creation keeps the common single-shard case at one ring.
+constexpr std::size_t kMaxShardRings = 256;
+std::atomic<TraceRing*> g_rings[kMaxShardRings];
+}  // namespace
+
+TraceRing& shard_tracer(std::size_t shard) {
+  shard %= kMaxShardRings;
+  TraceRing* ring = g_rings[shard].load(std::memory_order_acquire);
+  if (ring == nullptr) {
+    auto* fresh = new TraceRing();
+    fresh->set_shard(static_cast<std::uint32_t>(shard));
+    TraceRing* expected = nullptr;
+    if (g_rings[shard].compare_exchange_strong(expected, fresh, std::memory_order_acq_rel)) {
+      ring = fresh;
+    } else {
+      delete fresh;  // another shard's worker won the race
+      ring = expected;
+    }
+  }
+  return *ring;
+}
+
+TraceRing& tracer() { return shard_tracer(current_shard_id()); }
+
+std::vector<TraceEvent> merged_trace_events() {
+  std::vector<TraceEvent> all;
+  for (std::size_t i = 0; i < kMaxShardRings; ++i) {
+    TraceRing* ring = g_rings[i].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    auto events = ring->events();
+    all.insert(all.end(), std::make_move_iterator(events.begin()),
+               std::make_move_iterator(events.end()));
+  }
+  std::sort(all.begin(), all.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    if (a.shard != b.shard) return a.shard < b.shard;
+    return a.seq < b.seq;
+  });
+  return all;
+}
+
+json::Value merged_trace_json() {
+  json::Array events;
+  std::uint64_t dropped = 0;
+  for (std::size_t i = 0; i < kMaxShardRings; ++i) {
+    TraceRing* ring = g_rings[i].load(std::memory_order_acquire);
+    if (ring != nullptr) dropped += ring->dropped();
+  }
+  for (const auto& e : merged_trace_events()) {
+    json::Object o;
+    o["ts"] = e.ts;
+    o["phase"] = std::string(trace_phase_name(e.phase));
+    if (e.shard) o["shard"] = static_cast<std::uint64_t>(e.shard);
+    if (e.span_id) o["span"] = e.span_id;
+    if (!e.category.empty()) o["category"] = e.category;
+    if (!e.name.empty()) o["name"] = e.name;
+    if (!e.arg.empty()) o["arg"] = e.arg;
+    events.push_back(std::move(o));
+  }
+  json::Object doc;
+  doc["events"] = std::move(events);
+  doc["dropped"] = dropped;
+  return doc;
+}
+
+void clear_all_tracers() {
+  for (std::size_t i = 0; i < kMaxShardRings; ++i) {
+    TraceRing* ring = g_rings[i].load(std::memory_order_acquire);
+    if (ring != nullptr) ring->clear();
+  }
 }
 
 }  // namespace escape::obs

@@ -26,6 +26,8 @@ struct TraceEvent {
   SimTime ts = 0;  // virtual ns
   TracePhase phase = TracePhase::kInstant;
   std::uint64_t span_id = 0;  // correlates kBegin/kEnd; 0 for instants
+  std::uint32_t shard = 0;    // ring that recorded the event
+  std::uint64_t seq = 0;      // per-ring record order (merge tie-break)
   std::string category;
   std::string name;
   std::string arg;
@@ -34,6 +36,12 @@ struct TraceEvent {
 class TraceRing {
  public:
   explicit TraceRing(std::size_t capacity = 4096);
+
+  /// Tags every subsequent event with `shard` and folds it into issued
+  /// span ids (low 8 bits) so spans stay unique across the per-shard
+  /// rings without cross-ring coordination.
+  void set_shard(std::uint32_t shard);
+  std::uint32_t shard() const;
 
   /// Drops all recorded events and resizes the ring.
   void set_capacity(std::size_t capacity);
@@ -73,9 +81,29 @@ class TraceRing {
   std::size_t size_ = 0;
   std::uint64_t total_ = 0;
   std::uint64_t next_span_ = 1;
+  std::uint32_t shard_ = 0;
+  std::uint64_t next_seq_ = 0;
 };
 
-/// The process-wide trace ring every layer records into.
+/// The calling shard's trace ring. Under the sharded scheduler each
+/// worker thread records into the ring of the shard it is executing
+/// (keyed by escape::current_shard_id()), so hot-path tracing never
+/// contends across shards; outside a sharded run this is shard 0's
+/// ring, i.e. the familiar process-wide tracer.
 TraceRing& tracer();
+
+/// The ring for an explicit shard index (created on first use).
+TraceRing& shard_tracer(std::size_t shard);
+
+/// Every event across all shard rings, merged into one timeline ordered
+/// by (virtual time, shard, per-ring record order) -- a deterministic
+/// order for a deterministic run, regardless of thread count.
+std::vector<TraceEvent> merged_trace_events();
+
+/// {"events": [...merged timeline...], "dropped": total across rings}.
+json::Value merged_trace_json();
+
+/// Clears every shard ring (test/bench isolation between runs).
+void clear_all_tracers();
 
 }  // namespace escape::obs

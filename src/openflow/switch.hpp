@@ -57,6 +57,14 @@ class OpenFlowSwitch {
 
   DatapathId datapath_id() const { return dpid_; }
 
+  /// The shard queue driving this datapath's timers and timeouts.
+  EventScheduler& scheduler() { return *scheduler_; }
+
+  /// Re-points the datapath at another shard's queue
+  /// (Network::partition); must happen before connect() so no echo or
+  /// sweep timer is pending on the old queue.
+  void rebind_scheduler(EventScheduler& scheduler) { scheduler_ = &scheduler; }
+
   /// Adds a port; `tx` transmits a frame out of that port.
   void add_port(std::uint16_t port_no, std::string name, net::MacAddr hw_addr, TxCallback tx);
   void remove_port(std::uint16_t port_no);

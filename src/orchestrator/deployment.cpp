@@ -24,9 +24,18 @@ netemu::LinkConfig DeploymentEngine::veth_config() {
 }
 
 std::uint16_t DeploymentEngine::next_free_port(netemu::Node* node) const {
+  // Derived from the network's link list, not node->attached_ports():
+  // the node may live on another shard, where a just-added veth attaches
+  // asynchronously (Network::add_link defers it through the admin
+  // mailbox). The link list is updated synchronously on the
+  // orchestrator's shard, so it is the authoritative allocation record.
   std::uint16_t next = 0;
-  for (std::uint16_t p : node->attached_ports()) {
-    next = std::max<std::uint16_t>(next, static_cast<std::uint16_t>(p + 1));
+  for (const auto& link : network_->links()) {
+    for (int e = 0; e < 2; ++e) {
+      if (link->node(e) == node) {
+        next = std::max<std::uint16_t>(next, static_cast<std::uint16_t>(link->port(e) + 1));
+      }
+    }
   }
   return next;
 }

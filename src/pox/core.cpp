@@ -7,7 +7,7 @@ namespace escape::pox {
 std::optional<Message> Controller::through_wire(Message message) {
   if (!serialize_) return message;
   auto bytes = openflow::wire::encode(message);
-  wire_bytes_ += bytes.size();
+  wire_bytes_.fetch_add(bytes.size(), std::memory_order_relaxed);
   auto decoded = openflow::wire::decode(bytes);
   if (!decoded.ok()) {
     log_.warn("wire codec dropped a ", openflow::message_type_name(message),
@@ -18,30 +18,67 @@ std::optional<Message> Controller::through_wire(Message message) {
 }
 
 /// Switch-side channel endpoint: forwards switch->controller messages
-/// through the scheduler with the configured delay.
-class Controller::Channel : public openflow::ControlChannel {
+/// through the scheduler with the configured delay. When the switch
+/// lives on another shard, the hop is evaluated against this endpoint's
+/// mirrored fault state (confined to the switch's shard) and crosses
+/// through the mailbox -- the controller-side SwitchConnection state is
+/// never touched from the switch's thread.
+class Channel : public openflow::ControlChannel {
  public:
-  Channel(Controller* controller, DatapathId dpid) : controller_(controller), dpid_(dpid) {}
+  Channel(Controller* controller, DatapathId dpid, openflow::OpenFlowSwitch* sw)
+      : controller_(controller), dpid_(dpid), sw_(sw) {}
 
   void to_controller(Message message) override {
     auto* c = controller_;
     auto dpid = dpid_;
-    auto it = c->connections_.find(dpid);
-    if (it == c->connections_.end()) return;
-    auto delay = c->channel_hop_delay(*it->second);
-    if (!delay) return;  // channel fault dropped the message
+    EventScheduler& sw_sched = sw_->scheduler();
+    if (&sw_sched == c->scheduler_) {
+      // Same scheduler: the classic single-shard path, bit-identical to
+      // the pre-sharding implementation (shared fault RNG and all).
+      auto it = c->connections_.find(dpid);
+      if (it == c->connections_.end()) return;
+      auto delay = c->channel_hop_delay(*it->second);
+      if (!delay) return;  // channel fault dropped the message
+      auto wired = c->through_wire(std::move(message));
+      if (!wired) return;
+      c->scheduler_->schedule(*delay, [c, dpid, msg = std::move(*wired)]() mutable {
+        c->deliver_from_switch(dpid, std::move(msg));
+      });
+      return;
+    }
+    // Cross-shard: switch-side fault mirror, then over the mailbox.
+    if (!admin_up_) return;
+    if (drop_prob_ > 0.0 && rng_.next_bool(drop_prob_)) return;
     auto wired = c->through_wire(std::move(message));
     if (!wired) return;
-    c->scheduler_->schedule(*delay, [c, dpid, msg = std::move(*wired)]() mutable {
-      c->deliver_from_switch(dpid, std::move(msg));
-    });
+    cross_schedule(sw_sched, *c->scheduler_, c->channel_delay_ + extra_delay_,
+                   [c, dpid, msg = std::move(*wired)]() mutable {
+                     c->deliver_from_switch(dpid, std::move(msg));
+                   });
   }
 
   bool connected() const override { return true; }
 
+  /// Fault-plane mirror setters; must run on the switch's shard (the
+  /// controller routes them through Controller::on_switch_shard).
+  void set_admin(bool up) { admin_up_ = up; }
+  void set_faults(double drop_prob, SimDuration extra_delay, std::uint64_t seed) {
+    drop_prob_ = drop_prob;
+    extra_delay_ = extra_delay;
+    // Decorrelated from the controller-side stream: the two hops of a
+    // cross-shard channel draw independently.
+    rng_ = Rng{seed ^ 0x5bd1e9955bd1e995ull};
+  }
+
  private:
   Controller* controller_;
   DatapathId dpid_;
+  openflow::OpenFlowSwitch* sw_;
+  // Switch-shard-confined mirror of the connection fault model.
+  bool admin_up_ = true;
+  double drop_prob_ = 0.0;
+  SimDuration extra_delay_ = 0;
+  Rng rng_{0x5bd1e9955bd1e995ull};
 };
 
 Controller::Controller(EventScheduler& scheduler, SimDuration channel_delay)
@@ -63,13 +100,25 @@ void Controller::attach_switch(openflow::OpenFlowSwitch& sw) {
   const DatapathId dpid = sw.datapath_id();
   auto conn = std::make_unique<SwitchConnection>(this, dpid);
   conn->deliver_to_switch_ = [&sw](Message msg) { sw.handle_message(msg); };
+  conn->sw_ = &sw;
   SwitchConnection* raw = conn.get();
   connections_[dpid] = std::move(conn);
   auto& registry = obs::MetricsRegistry::global();
   obs::Labels labels{{"dpid", std::to_string(dpid)}, {"side", "controller"}};
   raw->m_channel_down_ = &registry.counter("escape_of_channel_down_total", labels);
   raw->m_echo_rtt_ms_ = &registry.histogram("escape_of_echo_rtt_ms", labels);
-  sw.connect(std::make_shared<Channel>(this, dpid));
+  auto channel = std::make_shared<Channel>(this, dpid, &sw);
+  raw->channel_ = channel.get();
+  // A switch on another shard turns the control channel into a pair of
+  // cross-shard edges with the base one-way delay as lookahead.
+  EventScheduler& ss = sw.scheduler();
+  if (&ss != scheduler_ && scheduler_->owner() != nullptr &&
+      scheduler_->owner() == ss.owner()) {
+    auto* owner = scheduler_->owner();
+    owner->add_lookahead_edge(scheduler_->shard_id(), ss.shard_id(), channel_delay_);
+    owner->add_lookahead_edge(ss.shard_id(), scheduler_->shard_id(), channel_delay_);
+  }
+  sw.connect(std::move(channel));
   // Controller side of the handshake: Hello prompts the switch to
   // announce its features, which flips the connection up.
   raw->send(openflow::Hello{});
@@ -99,9 +148,19 @@ void SwitchConnection::send(Message message) {
   // Deliver through the scheduler to model the channel delay; capture the
   // delivery function by value so a torn-down connection cannot dangle.
   auto deliver = deliver_to_switch_;
-  c->scheduler_->schedule(*delay, [deliver, msg = std::move(*wired)]() mutable {
-    if (deliver) deliver(std::move(msg));
-  });
+  EventScheduler* sw_sched = sw_ ? &sw_->scheduler() : c->scheduler_;
+  if (sw_sched == c->scheduler_) {
+    c->scheduler_->schedule(*delay, [deliver, msg = std::move(*wired)]() mutable {
+      if (deliver) deliver(std::move(msg));
+    });
+    return;
+  }
+  // The switch lives on another shard: the message crosses through the
+  // mailbox and executes the delivery function on the switch's shard.
+  cross_schedule(*c->scheduler_, *sw_sched, *delay,
+                 [deliver, msg = std::move(*wired)]() mutable {
+                   if (deliver) deliver(std::move(msg));
+                 });
 }
 
 std::optional<SimDuration> Controller::channel_hop_delay(SwitchConnection& conn) {
@@ -110,12 +169,25 @@ std::optional<SimDuration> Controller::channel_hop_delay(SwitchConnection& conn)
   return channel_delay_ + conn.extra_delay_;
 }
 
+void Controller::on_switch_shard(SwitchConnection& conn, std::function<void()> fn) {
+  EventScheduler* ss = conn.sw_ ? &conn.sw_->scheduler() : scheduler_;
+  EventScheduler* cur = ShardedScheduler::current_shard();
+  if (cur == nullptr || ss->owner() == nullptr || cur == ss) {
+    fn();
+  } else {
+    ss->owner()->post_admin(ss->shard_id(), std::move(fn));
+  }
+}
+
 Status Controller::set_channel_admin(DatapathId dpid, bool up) {
   auto it = connections_.find(dpid);
   if (it == connections_.end()) {
     return make_error("pox.channel.unknown-dpid", "no connection to dpid " + std::to_string(dpid));
   }
   it->second->admin_up_ = up;
+  if (Channel* ch = it->second->channel_) {
+    on_switch_shard(*it->second, [ch, up] { ch->set_admin(up); });
+  }
   log_.warn("control channel to dpid=", dpid, " administratively ", up ? "restored" : "severed");
   return ok_status();
 }
@@ -129,6 +201,10 @@ Status Controller::set_channel_faults(DatapathId dpid, double drop_prob, SimDura
   it->second->drop_prob_ = drop_prob;
   it->second->extra_delay_ = extra_delay;
   it->second->fault_rng_ = Rng{seed};
+  if (Channel* ch = it->second->channel_) {
+    on_switch_shard(*it->second,
+                    [ch, drop_prob, extra_delay, seed] { ch->set_faults(drop_prob, extra_delay, seed); });
+  }
   return ok_status();
 }
 

@@ -8,6 +8,7 @@
 // measurable quantity (bench_steering exercises it).
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -19,6 +20,7 @@
 #include "util/logging.hpp"
 #include "util/random.hpp"
 #include "util/result.hpp"
+#include "util/sharded_event.hpp"
 
 namespace escape::pox {
 
@@ -26,6 +28,7 @@ using openflow::DatapathId;
 using openflow::Message;
 
 class Controller;
+class Channel;  // switch-side ControlChannel endpoint (core.cpp)
 
 /// Controller-side control-channel liveness: mirror of the switch's
 /// echo state machine. When `miss_threshold` probes to a dpid go
@@ -66,9 +69,17 @@ class SwitchConnection {
   std::uint64_t sent_ = 0;
   // Delivery function into the switch (set when attached).
   std::function<void(Message)> deliver_to_switch_;
+  // The attached switch and its channel endpoint; the switch outlives
+  // the controller session (attach_switch contract), and the switch
+  // holds the Channel alive, so raw pointers suffice.
+  openflow::OpenFlowSwitch* sw_ = nullptr;
+  Channel* channel_ = nullptr;
 
   // Scripted channel-fault model, consulted on every hop in BOTH
   // directions (fault plane: of-channel-down / of-channel-faults).
+  // When the switch lives on another shard the switch->controller hop
+  // uses the Channel's mirrored copy instead (two shards cannot share
+  // this RNG); fault-plane setters keep the mirror in sync.
   bool admin_up_ = true;
   double drop_prob_ = 0.0;
   SimDuration extra_delay_ = 0;
@@ -117,7 +128,7 @@ class Controller {
 
   /// Total OF wire bytes moved (both directions); 0 unless serialization
   /// is enabled.
-  std::uint64_t wire_bytes() const { return wire_bytes_; }
+  std::uint64_t wire_bytes() const { return wire_bytes_.load(std::memory_order_relaxed); }
 
   /// Registers an application; on_startup fires immediately.
   void add_app(std::shared_ptr<App> app);
@@ -156,8 +167,7 @@ class Controller {
 
  private:
   friend class SwitchConnection;
-
-  class Channel;  // switch-side ControlChannel implementation
+  friend class Channel;
 
   void deliver_from_switch(DatapathId dpid, Message message);
   void raise_packet_in(SwitchConnection& conn, const openflow::PacketIn& msg);
@@ -169,6 +179,11 @@ class Controller {
   /// the delivery delay, or nullopt when the hop drops the message.
   std::optional<SimDuration> channel_hop_delay(SwitchConnection& conn);
 
+  /// Runs `fn` against switch-shard state: synchronously when the
+  /// caller may touch that shard, else through the owner's mailbox (the
+  /// command lands one lookahead later, like a management-network hop).
+  void on_switch_shard(SwitchConnection& conn, std::function<void()> fn);
+
   /// Round-trips a message through the OF 1.0 codec when serialization
   /// is on; returns it untouched otherwise. Codec failures are logged
   /// and the message dropped (returns nullopt), like a real parser
@@ -179,7 +194,9 @@ class Controller {
   SimDuration channel_delay_;
   ControllerLiveness liveness_;
   bool serialize_ = false;
-  std::uint64_t wire_bytes_ = 0;
+  // Atomic: both channel directions count wire bytes, and the switch
+  // side of a cross-shard channel encodes on its own shard's thread.
+  std::atomic<std::uint64_t> wire_bytes_{0};
   std::map<DatapathId, std::unique_ptr<SwitchConnection>> connections_;
   std::vector<std::shared_ptr<App>> apps_;
   std::uint64_t packet_ins_ = 0;

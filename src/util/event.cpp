@@ -4,10 +4,17 @@
 
 namespace escape {
 
+namespace {
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+}
+
 void EventHandle::cancel() {
-  if (state_ && !state_->done) {
-    state_->done = true;
-    if (state_->live) --*state_->live;
+  if (!state_) return;
+  // exchange: exactly one of {cancel, fire} flips done, so the live
+  // counter is decremented exactly once even when a cross-shard cancel
+  // races the firing shard.
+  if (!state_->done.exchange(true, std::memory_order_acq_rel)) {
+    if (state_->live) state_->live->fetch_sub(1, std::memory_order_acq_rel);
   }
 }
 
@@ -22,42 +29,87 @@ EventHandle EventScheduler::schedule_at(SimTime when, Callback cb) {
   auto state = std::make_shared<detail::EventState>();
   state->live = live_;
   queue_.push(Entry{when, next_seq_++, std::move(cb), state});
-  ++*live_;
+  live_->fetch_add(1, std::memory_order_acq_rel);
   return EventHandle{std::move(state)};
+}
+
+void EventScheduler::inject(SimTime when, Callback cb, std::shared_ptr<detail::EventState> state) {
+  // The live counter was bumped when the event was posted to the
+  // mailbox; a cancel in between marked `done` and decremented it, and
+  // the entry will be reaped from the heap like any cancelled event.
+  queue_.push(Entry{when, next_seq_++, std::move(cb), std::move(state)});
 }
 
 bool EventScheduler::pop_and_run() {
   while (!queue_.empty()) {
     Entry entry = queue_.top();
     queue_.pop();
-    if (entry.state->done) continue;  // cancelled; counter already adjusted
-    entry.state->done = true;
-    --*live_;
+    // exchange so a concurrent cross-shard cancel either wins (we skip
+    // the entry; the canceller adjusted the counter) or loses (we run
+    // it; the cancel becomes a no-op).
+    if (entry.state->done.exchange(true, std::memory_order_acq_rel)) continue;
+    live_->fetch_sub(1, std::memory_order_acq_rel);
     now_ = entry.when;
     ++executed_;
+    digest_ = (digest_ ^ entry.when) * kFnvPrime;
+    digest_ = (digest_ ^ entry.seq) * kFnvPrime;
     entry.cb();
     return true;
   }
   return false;
 }
 
-bool EventScheduler::step() { return pop_and_run(); }
+void EventScheduler::check_direct_run() const {
+  if (owner_ != nullptr) {
+    throw std::logic_error(
+        "EventScheduler: a shard queue owned by a ShardedScheduler must be run "
+        "through its owner (use the ShardedScheduler's run methods)");
+  }
+}
+
+bool EventScheduler::step() {
+  check_direct_run();
+  return pop_and_run();
+}
 
 std::size_t EventScheduler::run(std::size_t max_events) {
+  check_direct_run();
   std::size_t ran = 0;
   while (ran < max_events && pop_and_run()) ++ran;
   return ran;
 }
 
 std::size_t EventScheduler::run_until(SimTime deadline, std::size_t max_events) {
+  check_direct_run();
   std::size_t ran = 0;
   while (ran < max_events) {
-    while (!queue_.empty() && queue_.top().state->done) queue_.pop();
+    while (!queue_.empty() && queue_.top().state->done.load(std::memory_order_acquire)) {
+      queue_.pop();
+    }
     if (queue_.empty() || queue_.top().when > deadline) break;
     if (pop_and_run()) ++ran;
   }
   if (now_ < deadline) now_ = deadline;
   return ran;
+}
+
+std::size_t EventScheduler::run_window(SimTime bound, std::size_t max_events) {
+  std::size_t ran = 0;
+  while (ran < max_events) {
+    while (!queue_.empty() && queue_.top().state->done.load(std::memory_order_acquire)) {
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().when >= bound) break;
+    if (pop_and_run()) ++ran;
+  }
+  return ran;
+}
+
+SimTime EventScheduler::next_event_time() {
+  while (!queue_.empty() && queue_.top().state->done.load(std::memory_order_acquire)) {
+    queue_.pop();
+  }
+  return queue_.empty() ? kNoEvent : queue_.top().when;
 }
 
 }  // namespace escape

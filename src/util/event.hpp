@@ -1,14 +1,26 @@
-// Discrete-event scheduler: the single virtual clock driving the whole
-// emulated environment (links, Click timers, OpenFlow timeouts, traffic
-// sources, NETCONF transport).
+// Discrete-event scheduler: the virtual clock driving the emulated
+// environment (links, Click timers, OpenFlow timeouts, traffic sources,
+// NETCONF transport).
 //
-// The scheduler is deliberately single-threaded and deterministic: events
-// at equal timestamps fire in scheduling order (FIFO tie-break via a
-// monotonically increasing sequence number). Handles allow cancellation,
-// which is how Click timers are unscheduled and flow-entry timeouts are
-// refreshed.
+// One EventScheduler is a single sequential, deterministic event queue:
+// events at equal timestamps fire in scheduling order (FIFO tie-break
+// via a monotonically increasing sequence number). Handles allow
+// cancellation, which is how Click timers are unscheduled and
+// flow-entry timeouts are refreshed.
+//
+// For parallel execution the network is partitioned into shards, each
+// with its own EventScheduler, driven together by a ShardedScheduler
+// (util/sharded_event.hpp). A standalone EventScheduler (the shards=1
+// special case) behaves exactly as before; when owned by a
+// ShardedScheduler it becomes one shard's queue and must only be
+// advanced through the owner. Handle cancellation is cross-thread safe
+// either way: the fired/cancelled flag is an atomic, and the live-event
+// counter is an atomic shared with the handle, so a handle cancelled
+// from a different shard than the one that scheduled it keeps the
+// pending count exact and never races the firing shard.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -20,14 +32,18 @@
 namespace escape {
 
 class EventScheduler;
+class ShardedScheduler;
 
 namespace detail {
-/// Shared state between an EventHandle and the queue entry. `live` points
-/// at the owning scheduler's live-event counter so cancellation keeps the
-/// pending count exact even before the entry is reaped from the heap.
+/// Shared state between an EventHandle and the queue entry. `live`
+/// points at the owning scheduler's live-event counter so cancellation
+/// keeps the pending count exact even before the entry is reaped from
+/// the heap. Both fields are atomic: a handle may be cancelled from a
+/// different thread (shard) than the one draining the queue, and
+/// whoever flips `done` first wins (the other side sees a no-op).
 struct EventState {
-  bool done = false;  // fired or cancelled
-  std::shared_ptr<std::size_t> live;
+  std::atomic<bool> done{false};  // fired or cancelled
+  std::shared_ptr<std::atomic<std::size_t>> live;
 };
 }  // namespace detail
 
@@ -38,14 +54,16 @@ class EventHandle {
   EventHandle() = default;
 
   /// Cancels the event if it has not fired yet. Idempotent; safe to call
-  /// after the owning scheduler was destroyed.
+  /// after the owning scheduler was destroyed, and safe to call from a
+  /// different shard/thread than the one that scheduled the event.
   void cancel();
 
   /// True if the event is still scheduled to fire.
-  bool pending() const { return state_ && !state_->done; }
+  bool pending() const { return state_ && !state_->done.load(std::memory_order_acquire); }
 
  private:
   friend class EventScheduler;
+  friend class ShardedScheduler;
   explicit EventHandle(std::shared_ptr<detail::EventState> state) : state_(std::move(state)) {}
   std::shared_ptr<detail::EventState> state_;
 };
@@ -55,7 +73,10 @@ class EventScheduler {
  public:
   using Callback = std::function<void()>;
 
-  EventScheduler() : live_(std::make_shared<std::size_t>(0)) {}
+  /// Returned by next_event_time() when the queue is empty.
+  static constexpr SimTime kNoEvent = ~SimTime{0};
+
+  EventScheduler() : live_(std::make_shared<std::atomic<std::size_t>>(0)) {}
   EventScheduler(const EventScheduler&) = delete;
   EventScheduler& operator=(const EventScheduler&) = delete;
 
@@ -86,14 +107,35 @@ class EventScheduler {
   bool step();
 
   /// Number of pending (non-cancelled, not yet fired) events.
-  std::size_t pending_events() const { return *live_; }
+  std::size_t pending_events() const { return live_->load(std::memory_order_acquire); }
 
-  bool empty() const { return *live_ == 0; }
+  bool empty() const { return pending_events() == 0; }
 
   /// Total number of events executed since construction.
   std::uint64_t executed_events() const { return executed_; }
 
+  /// FNV-1a digest over every executed event's (timestamp, sequence)
+  /// pair, in execution order. Two runs over the same shard executed
+  /// the same events in the same order iff the digests match -- the
+  /// determinism regression tests compare this across thread counts.
+  std::uint64_t order_digest() const { return digest_; }
+
+  // --- sharding support ----------------------------------------------------
+
+  /// The ShardedScheduler driving this queue as one of its shards
+  /// (nullptr for a standalone scheduler).
+  ShardedScheduler* owner() const { return owner_; }
+
+  /// This queue's shard index within its owner (0 when standalone).
+  std::size_t shard_id() const { return shard_id_; }
+
+  /// Timestamp of the earliest pending event (kNoEvent when empty).
+  /// Lazily reaps cancelled heap entries.
+  SimTime next_event_time();
+
  private:
+  friend class ShardedScheduler;
+
   struct Entry {
     SimTime when = 0;
     std::uint64_t seq = 0;
@@ -109,11 +151,36 @@ class EventScheduler {
 
   bool pop_and_run();
 
+  /// Runs events with timestamp < `bound` (exclusive). The clock only
+  /// advances as events fire -- it is NOT pushed to the bound, so a
+  /// drained shard's clock equals its last executed event, exactly as
+  /// in a sequential run. The ShardedScheduler window loop drives this.
+  std::size_t run_window(SimTime bound, std::size_t max_events);
+
+  /// Inserts an already-created (handle'd) event, assigning the next
+  /// local sequence number. Used by the owner to move mailbox events
+  /// into this shard's queue at a synchronization barrier; the live
+  /// counter was already bumped when the event was posted.
+  void inject(SimTime when, Callback cb, std::shared_ptr<detail::EventState> state);
+
+  /// Throws when this queue is owned by a multi-shard scheduler: shard
+  /// queues may only be advanced through the owner's window protocol.
+  void check_direct_run() const;
+
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::shared_ptr<std::size_t> live_;
+  std::uint64_t digest_ = 1469598103934665603ull;  // FNV-1a offset basis
+  std::shared_ptr<std::atomic<std::size_t>> live_;
   std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  ShardedScheduler* owner_ = nullptr;
+  std::size_t shard_id_ = 0;
 };
+
+/// Index of the shard currently executing on this thread (0 when no
+/// sharded run is in progress -- the main thread and standalone
+/// schedulers count as shard 0). The observability layer keys its
+/// per-shard trace rings off this.
+std::size_t current_shard_id();
 
 }  // namespace escape

@@ -1,0 +1,533 @@
+// The sharded parallel event engine: window execution, cross-shard
+// mailbox, partition derivation, and the bit-identical-across-thread-
+// counts determinism guarantee, exercised from the raw scheduler up to
+// full chaos/steering scenarios through the Environment.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "escape/environment.hpp"
+#include "fault/fault_plane.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/sharded_event.hpp"
+
+namespace escape {
+namespace {
+
+constexpr SimDuration kHop = timeunit::kMillisecond;
+
+// --- raw engine -----------------------------------------------------------------
+
+TEST(ShardedScheduler, SingleShardBehavesLikePlainScheduler) {
+  ShardedScheduler sched;  // shards=1: the sequential special case
+  EXPECT_EQ(sched.shard_count(), 1u);
+  EXPECT_EQ(sched.shard(0).owner(), nullptr);  // unowned: direct driving allowed
+
+  std::vector<int> order;
+  sched.schedule(2 * kHop, [&] { order.push_back(2); });
+  sched.schedule(1 * kHop, [&] { order.push_back(1); });
+  sched.shard(0).schedule(3 * kHop, [&] { order.push_back(3); });
+  EXPECT_EQ(sched.pending_events(), 3u);
+  EXPECT_EQ(sched.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 3 * kHop);
+  EXPECT_EQ(sched.executed_events(), 3u);
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(ShardedScheduler, ResizeGrowsPartition) {
+  ShardedScheduler sched;
+  sched.schedule(kHop, [] {});
+  sched.resize(3, 2);
+  EXPECT_EQ(sched.shard_count(), 3u);
+  EXPECT_EQ(sched.thread_count(), 2u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(sched.shard(i).shard_id(), i);
+    EXPECT_EQ(sched.shard(i).owner(), &sched);
+  }
+  // Shard 0's pre-resize event survived.
+  EXPECT_EQ(sched.pending_events(), 1u);
+  // Shrinking only updates the worker cap.
+  sched.resize(2, 1);
+  EXPECT_EQ(sched.shard_count(), 3u);
+  EXPECT_EQ(sched.thread_count(), 1u);
+  sched.resize(3, 2);
+  sched.add_lookahead_edge(0, 1, kHop);
+  sched.shard(1).schedule(kHop, [] {});
+  EXPECT_EQ(sched.run(), 2u);  // parallel round: workers spawn
+  // Once workers exist the partition is frozen.
+  EXPECT_THROW(sched.resize(4), std::logic_error);
+}
+
+TEST(ShardedScheduler, CrossSchedulePostsThroughMailbox) {
+  ShardedScheduler sched{2, 1};
+  sched.add_lookahead_edge(0, 1, kHop);
+  sched.add_lookahead_edge(1, 0, kHop);
+
+  SimTime delivered_at = 0;
+  std::size_t delivered_on = SIZE_MAX;
+  sched.shard(0).schedule_at(5 * kHop, [&] {
+    cross_schedule(sched.shard(0), sched.shard(1), kHop, [&] {
+      delivered_at = sched.shard(1).now();
+      delivered_on = current_shard_id();
+    });
+  });
+  sched.run();
+  EXPECT_EQ(delivered_at, 6 * kHop);
+  EXPECT_EQ(delivered_on, 1u);
+}
+
+// The synthetic ring workload: shard i executes an event, counts it, and
+// forwards to shard i+1 one lookahead later, until `stop`.
+void ring_hop(ShardedScheduler& sched, std::vector<std::uint64_t>* counts, std::size_t shard,
+              SimTime stop) {
+  EventScheduler& self = sched.shard(shard);
+  if (self.now() >= stop) return;
+  ++(*counts)[shard];
+  const std::size_t next = (shard + 1) % counts->size();
+  cross_schedule(self, sched.shard(next), kHop,
+                 [&sched, counts, next, stop] { ring_hop(sched, counts, next, stop); });
+}
+
+struct RingResult {
+  std::uint64_t digest = 0;
+  std::uint64_t executed = 0;
+  SimTime final_now = 0;
+  std::vector<std::uint64_t> counts;
+};
+
+RingResult run_ring(std::size_t shards, std::size_t threads) {
+  ShardedScheduler sched{shards, threads};
+  for (std::size_t i = 0; i < shards; ++i) {
+    sched.add_lookahead_edge(i, (i + 1) % shards, kHop);
+  }
+  RingResult r;
+  r.counts.assign(shards, 0);
+  const SimTime stop = 200 * kHop;
+  // Several interleaved rings starting on every shard keep all queues
+  // busy inside each window.
+  for (std::size_t i = 0; i < shards; ++i) {
+    sched.shard(i).schedule_at(i * 10 * timeunit::kMicrosecond,
+                               [&sched, c = &r.counts, i, stop] { ring_hop(sched, c, i, stop); });
+  }
+  sched.run();
+  r.digest = sched.order_digest();
+  r.executed = sched.executed_events();
+  r.final_now = sched.now();
+  return r;
+}
+
+TEST(ShardedScheduler, RingWorkloadBitIdenticalAcrossThreadCounts) {
+  const RingResult seq = run_ring(4, 1);
+  const RingResult par = run_ring(4, 4);
+  EXPECT_GT(seq.executed, 100u);
+  EXPECT_EQ(seq.digest, par.digest);
+  EXPECT_EQ(seq.executed, par.executed);
+  EXPECT_EQ(seq.final_now, par.final_now);
+  EXPECT_EQ(seq.counts, par.counts);
+}
+
+TEST(ShardedScheduler, CrossShardPostInsideWindowThrows) {
+  ShardedScheduler sched{2, 1};
+  sched.add_lookahead_edge(0, 1, kHop);
+  sched.add_lookahead_edge(1, 0, kHop);
+  sched.shard(0).schedule_at(0, [&] {
+    // 10us < the 1ms window bound: an unregistered cross-shard edge.
+    sched.post_at(1, 10 * timeunit::kMicrosecond, [] {});
+  });
+  EXPECT_THROW(sched.run(), std::logic_error);
+}
+
+TEST(ShardedScheduler, ZeroLookaheadFallsBackToSequential) {
+  ShardedScheduler sched{2, 2};
+  sched.add_lookahead_edge(0, 1, 0);
+  EXPECT_FALSE(sched.parallel_capable());
+  // Cross posts at arbitrarily small delays are now legal; execution is
+  // globally ordered so the relative order across shards is exact.
+  std::vector<std::size_t> order;
+  sched.shard(0).schedule_at(1, [&] {
+    order.push_back(0);
+    sched.post_at(1, sched.shard(0).now(), [&] { order.push_back(1); });
+  });
+  sched.shard(1).schedule_at(2, [&] { order.push_back(2); });
+  sched.run();
+  // The posted event lands at t=1 on shard 1, before shard 1's t=2 event.
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(ShardedScheduler, PendingEventsTracksCancellation) {
+  ShardedScheduler sched{2, 1};
+  sched.add_lookahead_edge(0, 1, kHop);
+  sched.add_lookahead_edge(1, 0, kHop);
+  EventHandle a = sched.shard(0).schedule(kHop, [] {});
+  EventHandle b = sched.shard(1).schedule(2 * kHop, [] {});
+  EventHandle c = sched.post_at(1, 3 * kHop, [] {});
+  EXPECT_EQ(sched.pending_events(), 3u);
+  b.cancel();
+  EXPECT_EQ(sched.pending_events(), 2u);
+  b.cancel();  // idempotent: no double decrement
+  EXPECT_EQ(sched.pending_events(), 2u);
+  EXPECT_EQ(sched.run(), 2u);
+  EXPECT_EQ(sched.pending_events(), 0u);
+  a.cancel();  // after the fact: no underflow
+  c.cancel();
+  EXPECT_EQ(sched.pending_events(), 0u);
+}
+
+TEST(ShardedScheduler, CrossShardCancelPreventsExecution) {
+  ShardedScheduler sched{2, 2};
+  sched.add_lookahead_edge(0, 1, kHop);
+  sched.add_lookahead_edge(1, 0, kHop);
+  bool fired = false;
+  // The windows guarantee shard 1 cannot reach t=5ms while shard 0
+  // still executes at t=1ms, so this cancel always wins the race.
+  EventHandle victim = sched.shard(1).schedule_at(5 * kHop, [&] { fired = true; });
+  sched.shard(0).schedule_at(1 * kHop, [&] { victim.cancel(); });
+  sched.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sched.pending_events(), 0u);
+}
+
+TEST(ShardedScheduler, StepExecutesGloballyEarliest) {
+  ShardedScheduler sched{2, 1};
+  sched.add_lookahead_edge(0, 1, kHop);
+  std::vector<int> order;
+  sched.shard(0).schedule_at(2 * kHop, [&] { order.push_back(0); });
+  sched.shard(1).schedule_at(1 * kHop, [&] { order.push_back(1); });
+  EXPECT_TRUE(sched.step());
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_TRUE(sched.step());
+  EXPECT_EQ(order, (std::vector<int>{1, 0}));
+  EXPECT_FALSE(sched.step());
+}
+
+// --- partition derivation -------------------------------------------------------
+
+netemu::LinkConfig test_link() {
+  netemu::LinkConfig cfg;
+  cfg.bandwidth_bps = 1'000'000'000;
+  cfg.delay = 50 * timeunit::kMicrosecond;
+  return cfg;
+}
+
+TEST(NetworkPartition, SwitchModeGroupsNodesAroundNearestSwitch) {
+  ShardedScheduler sched;
+  netemu::Network net{sched.shard(0)};
+  net.add_host("sap1");
+  net.add_host("sap2");
+  net.add_switch("s1");
+  net.add_switch("s2");
+  net.add_container("c1", 1.0, 8);
+  net.add_container("c2", 1.0, 8);
+  ASSERT_TRUE(net.add_link("sap1", 0, "s1", 1, test_link()).ok());
+  ASSERT_TRUE(net.add_link("sap2", 0, "s2", 1, test_link()).ok());
+  ASSERT_TRUE(net.add_link("s1", 2, "s2", 2, test_link()).ok());
+  ASSERT_TRUE(net.add_link("c1", 0, "s1", 3, test_link()).ok());
+  ASSERT_TRUE(net.add_link("c2", 0, "s2", 3, test_link()).ok());
+
+  EXPECT_EQ(net.partition(sched, netemu::ShardBy::kSwitch, 2), 2u);
+  EXPECT_EQ(sched.shard_count(), 2u);
+  // Each island sits with its switch; the two shards differ.
+  EXPECT_EQ(&net.node("s1")->scheduler(), &net.node("c1")->scheduler());
+  EXPECT_EQ(&net.node("s1")->scheduler(), &net.node("sap1")->scheduler());
+  EXPECT_EQ(&net.node("s2")->scheduler(), &net.node("c2")->scheduler());
+  EXPECT_EQ(&net.node("s2")->scheduler(), &net.node("sap2")->scheduler());
+  EXPECT_NE(&net.node("s1")->scheduler(), &net.node("s2")->scheduler());
+}
+
+TEST(NetworkPartition, RegionModeSplitsOnNamePrefix) {
+  ShardedScheduler sched;
+  netemu::Network net{sched.shard(0)};
+  net.add_switch("west_s1");
+  net.add_host("west_h1");
+  net.add_switch("east_s1");
+  net.add_host("east_h1");
+  ASSERT_TRUE(net.add_link("west_h1", 0, "west_s1", 1, test_link()).ok());
+  ASSERT_TRUE(net.add_link("east_h1", 0, "east_s1", 1, test_link()).ok());
+  ASSERT_TRUE(net.add_link("west_s1", 2, "east_s1", 2, test_link()).ok());
+
+  EXPECT_EQ(net.partition(sched, netemu::ShardBy::kRegion), 2u);
+  EXPECT_EQ(&net.node("west_s1")->scheduler(), &net.node("west_h1")->scheduler());
+  EXPECT_EQ(&net.node("east_s1")->scheduler(), &net.node("east_h1")->scheduler());
+  EXPECT_NE(&net.node("west_s1")->scheduler(), &net.node("east_s1")->scheduler());
+}
+
+TEST(NetworkPartition, ZeroDelayLinkMergesClusters) {
+  ShardedScheduler sched;
+  netemu::Network net{sched.shard(0)};
+  net.add_switch("s1");
+  net.add_switch("s2");
+  netemu::LinkConfig zero = test_link();
+  zero.delay = 0;
+  ASSERT_TRUE(net.add_link("s1", 1, "s2", 1, zero).ok());
+  // One merged cluster: no parallelism to be had, the partition is a no-op.
+  EXPECT_EQ(net.partition(sched, netemu::ShardBy::kSwitch), 1u);
+  EXPECT_EQ(sched.shard_count(), 1u);
+  EXPECT_TRUE(sched.parallel_capable());  // the zero edge was never registered
+}
+
+// --- end-to-end determinism -----------------------------------------------------
+
+sg::ServiceGraph monitor_chain() {
+  sg::ServiceGraph g("par");
+  g.add_sap("sap1").add_sap("sap2");
+  g.add_vnf("mon", "monitor", {}, 0.1);
+  g.add_link("sap1", "mon").add_link("mon", "sap2");
+  return g;
+}
+
+struct Fingerprint {
+  std::size_t shards = 0;
+  std::uint64_t digest = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t rx_packets = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t max_seq = 0;
+  std::uint64_t tx_packets = 0;
+  std::size_t latency_count = 0;
+  double latency_mean = 0;
+  std::vector<std::uint64_t> link_counts;
+  int chain_state = -1;
+  std::uint64_t injections = 0;
+  std::string metrics;
+
+  bool operator==(const Fingerprint& o) const {
+    return shards == o.shards && digest == o.digest && executed == o.executed &&
+           rx_packets == o.rx_packets && rx_bytes == o.rx_bytes && max_seq == o.max_seq &&
+           tx_packets == o.tx_packets && latency_count == o.latency_count &&
+           latency_mean == o.latency_mean && link_counts == o.link_counts &&
+           chain_state == o.chain_state && injections == o.injections && metrics == o.metrics;
+  }
+};
+
+Fingerprint finish(Environment& env, fault::FaultPlane& plane, std::uint32_t chain) {
+  Fingerprint f;
+  f.shards = env.scheduler().shard_count();
+  f.digest = env.scheduler().order_digest();
+  f.executed = env.scheduler().executed_events();
+  auto* sap2 = env.host("sap2");
+  f.rx_packets = sap2->rx_packets();
+  f.rx_bytes = sap2->rx_bytes();
+  f.max_seq = sap2->max_seq_seen();
+  f.tx_packets = env.host("sap1")->tx_packets();
+  f.latency_count = sap2->latency_us().count();
+  f.latency_mean = sap2->latency_us().mean();
+  for (const auto& link : env.network().links()) {
+    for (int d = 0; d < 2; ++d) {
+      f.link_counts.push_back(link->delivered(d));
+      f.link_counts.push_back(link->dropped(d));
+    }
+  }
+  if (const ChainDeployment* dep = env.deployment(chain)) {
+    f.chain_state = static_cast<int>(dep->state);
+  }
+  f.injections = plane.injections();
+  // Everything in the registry is virtual-time-deterministic except the
+  // steering install latency, which measures real (wall-clock) time and
+  // differs even between two identical sequential runs.
+  std::istringstream exposition(obs::MetricsRegistry::global().render_text());
+  std::string line;
+  while (std::getline(exposition, line)) {
+    if (line.find("escape_steering_install_latency_us") != std::string::npos) continue;
+    f.metrics += line;
+    f.metrics += '\n';
+  }
+  return f;
+}
+
+/// Container kill + restore and a link flap against the self-healing
+/// orchestrator while traffic runs: the chaos regression scenario.
+Fingerprint run_chaos_scenario(std::size_t threads) {
+  obs::MetricsRegistry::global().reset_values();
+  obs::clear_all_tracers();
+  EnvironmentOptions opts;
+  opts.threads = threads;
+  opts.shard_by = netemu::ShardBy::kSwitch;
+  Environment env{opts};
+  auto& net = env.network();
+  net.add_host("sap1");
+  net.add_host("sap2");
+  net.add_switch("s1");
+  net.add_switch("s2");
+  net.add_container("c1", 1.0, 8);
+  net.add_container("c2", 1.0, 8);
+  EXPECT_TRUE(net.add_link("sap1", 0, "s1", 1, test_link()).ok());
+  EXPECT_TRUE(net.add_link("sap2", 0, "s2", 1, test_link()).ok());
+  EXPECT_TRUE(net.add_link("s1", 2, "s2", 2, test_link()).ok());
+  EXPECT_TRUE(net.add_link("c1", 0, "s1", 3, test_link()).ok());
+  EXPECT_TRUE(net.add_link("c2", 0, "s2", 3, test_link()).ok());
+  EXPECT_TRUE(env.start().ok());
+  EXPECT_EQ(env.scheduler().shard_count(), 2u);
+  EXPECT_TRUE(env.enable_self_healing().ok());
+
+  fault::FaultPlane plane{env};
+  EXPECT_TRUE(plane
+                  .load_json(R"({"events": [
+                    {"at_ms": 30, "action": "kill-container", "target": "c1"},
+                    {"at_ms": 60, "action": "link-down", "a": "s1", "b": "s2"},
+                    {"at_ms": 75, "action": "link-up", "a": "s1", "b": "s2"},
+                    {"at_ms": 120, "action": "restore-container", "target": "c1"}
+                  ]})")
+                  .ok());
+
+  auto chain = env.deploy(monitor_chain());
+  EXPECT_TRUE(chain.ok()) << (chain.ok() ? "" : chain.error().to_string());
+  auto* sap1 = env.host("sap1");
+  auto* sap2 = env.host("sap2");
+  sap1->start_udp_flow(sap2->mac(), sap2->ip(), 5000, 7777, 600, 2000);
+  env.run_for(500 * timeunit::kMillisecond);
+  return finish(env, plane, chain.ok() ? *chain : 0);
+}
+
+TEST(ParallelDeterminism, ChaosScenarioBitIdenticalAcrossThreadCounts) {
+  const Fingerprint seq = run_chaos_scenario(1);
+  const Fingerprint par = run_chaos_scenario(4);
+  EXPECT_EQ(seq.shards, 2u);
+  EXPECT_GT(seq.injections, 0u);
+  EXPECT_GT(seq.rx_packets, 0u);
+  EXPECT_EQ(seq, par);
+}
+
+/// Bidirectional traffic over a deployed chain + return path while the
+/// OpenFlow control channel of a mid-path switch flaps and degrades:
+/// the steering-resync regression scenario, on a 4-shard line topology.
+Fingerprint run_steering_scenario(std::size_t threads) {
+  obs::MetricsRegistry::global().reset_values();
+  obs::clear_all_tracers();
+  EnvironmentOptions opts;
+  opts.threads = threads;
+  opts.shard_by = netemu::ShardBy::kSwitch;
+  Environment env{opts};
+  auto& net = env.network();
+  net.add_host("sap1");
+  net.add_host("sap2");
+  net.add_switch("s1");
+  net.add_switch("s2");
+  net.add_switch("s3");
+  net.add_switch("s4");
+  net.add_container("c1", 1.0, 8);
+  net.add_container("c2", 1.0, 8);
+  EXPECT_TRUE(net.add_link("sap1", 0, "s1", 1, test_link()).ok());
+  EXPECT_TRUE(net.add_link("s1", 2, "s2", 1, test_link()).ok());
+  EXPECT_TRUE(net.add_link("s2", 2, "s3", 1, test_link()).ok());
+  EXPECT_TRUE(net.add_link("s3", 2, "s4", 1, test_link()).ok());
+  EXPECT_TRUE(net.add_link("s4", 2, "sap2", 0, test_link()).ok());
+  EXPECT_TRUE(net.add_link("c1", 0, "s1", 3, test_link()).ok());
+  EXPECT_TRUE(net.add_link("c2", 0, "s4", 3, test_link()).ok());
+  EXPECT_TRUE(env.start().ok());
+  EXPECT_EQ(env.scheduler().shard_count(), 4u);
+  EXPECT_TRUE(env.enable_self_healing().ok());
+
+  fault::FaultPlane plane{env};
+  EXPECT_TRUE(plane
+                  .load_json(R"({"events": [
+                    {"at_ms": 40, "action": "of-channel-flap", "target": "s2",
+                     "down_ms": 30},
+                    {"at_ms": 90, "action": "of-channel-faults", "target": "s3",
+                     "drop_prob": 0.3, "extra_delay_ms": 1, "fault_seed": 11},
+                    {"at_ms": 150, "action": "of-channel-faults-clear", "target": "s3"}
+                  ]})")
+                  .ok());
+
+  auto chain = env.deploy(monitor_chain());
+  EXPECT_TRUE(chain.ok()) << (chain.ok() ? "" : chain.error().to_string());
+  std::uint32_t chain_id = chain.ok() ? *chain : 0;
+  if (chain.ok()) {
+    auto back = env.install_return_path(chain_id);
+    EXPECT_TRUE(back.ok()) << (back.ok() ? "" : back.error().to_string());
+  }
+  auto* sap1 = env.host("sap1");
+  auto* sap2 = env.host("sap2");
+  sap1->start_udp_flow(sap2->mac(), sap2->ip(), 5000, 7777, 400, 2000);
+  sap2->start_udp_flow(sap1->mac(), sap1->ip(), 6000, 8888, 400, 2000);
+  env.run_for(400 * timeunit::kMillisecond);
+  return finish(env, plane, chain_id);
+}
+
+TEST(ParallelDeterminism, SteeringScenarioBitIdenticalAcrossThreadCounts) {
+  const Fingerprint seq = run_steering_scenario(1);
+  const Fingerprint par = run_steering_scenario(4);
+  EXPECT_EQ(seq.shards, 4u);
+  EXPECT_EQ(seq.injections, 3u);
+  EXPECT_GT(seq.rx_packets, 0u);
+  EXPECT_EQ(seq, par);
+}
+
+// --- trace merge ----------------------------------------------------------------
+
+TEST(TraceMerge, MergesShardRingsByVirtualTime) {
+  obs::clear_all_tracers();
+  obs::shard_tracer(1).instant(5, "t", "b");
+  obs::shard_tracer(0).instant(9, "t", "d");
+  obs::shard_tracer(2).instant(5, "t", "c");  // same ts as shard 1: shard breaks the tie
+  obs::shard_tracer(0).instant(2, "t", "a");
+  obs::shard_tracer(1).instant(9, "t", "e");
+
+  auto merged = obs::merged_trace_events();
+  ASSERT_EQ(merged.size(), 5u);
+  std::vector<std::string> names;
+  for (const auto& e : merged) names.push_back(e.name);
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b", "c", "d", "e"}));
+  // Tags survive the merge.
+  EXPECT_EQ(merged[1].shard, 1u);
+  EXPECT_EQ(merged[2].shard, 2u);
+  obs::clear_all_tracers();
+}
+
+// --- registry under concurrent writers ------------------------------------------
+
+TEST(MetricsStress, ExactCountsUnderConcurrentMultiShardWriters) {
+  auto& reg = obs::MetricsRegistry::global();
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kIters = 20'000;
+  reg.counter("parallel_test_shared_total").reset();
+  reg.gauge("parallel_test_gauge").set(0);
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&reg, &go, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      // Lazy get-or-create from every thread at once exercises the
+      // registry lock, the way per-shard components register mid-run.
+      auto& shared = reg.counter("parallel_test_shared_total");
+      auto& mine = reg.counter("parallel_test_shard_total", {{"shard", std::to_string(t)}});
+      auto& gauge = reg.gauge("parallel_test_gauge");
+      auto& hist = reg.histogram("parallel_test_hist_us");
+      for (std::uint64_t i = 0; i < kIters; ++i) {
+        shared.add(1);
+        mine.add(1);
+        gauge.add(1.0);
+        hist.record(static_cast<double>(i % 97) + 1.0);
+        if ((i & 1023) == 0) {
+          (void)reg.render_text();  // exposition racing the writers
+        }
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& w : writers) w.join();
+
+  EXPECT_EQ(reg.counter("parallel_test_shared_total").value(), kThreads * kIters);
+  EXPECT_EQ(reg.gauge("parallel_test_gauge").value(),
+            static_cast<double>(kThreads * kIters));
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(reg.counter("parallel_test_shard_total", {{"shard", std::to_string(t)}}).value(),
+              kIters);
+  }
+  auto& hist = reg.histogram("parallel_test_hist_us");
+  EXPECT_EQ(hist.count(), kThreads * kIters);
+  EXPECT_GE(hist.min(), 1.0);
+  EXPECT_LE(hist.max(), 97.0);
+  // Leave the registry clean for any metrics-sensitive test that follows.
+  reg.reset_values();
+}
+
+}  // namespace
+}  // namespace escape

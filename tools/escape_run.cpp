@@ -11,6 +11,7 @@
 //              [--metrics] [--metrics-json FILE]
 //              [--monitor VNF] [--monitor-interval MS]
 //              [--faults FILE] [--self-heal]
+//              [--threads N] [--shard-by region|switch|none]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -48,6 +49,8 @@ struct Options {
   std::string faults_path;  // chaos script (fault::FaultPlane JSON)
   bool self_heal = false;
   std::uint64_t of_echo_ms = 0;  // 0 = default OpenFlow keepalive cadence
+  std::uint64_t threads = 1;     // event-engine worker threads
+  netemu::ShardBy shard_by = netemu::ShardBy::kNone;
 };
 
 /// Prints the registry lines that belong to one VNF (matched by its
@@ -72,7 +75,8 @@ int usage(const char* argv0) {
                "          [--duration SECONDS] [--return-path] [--verbose]\n"
                "          [--metrics] [--metrics-json FILE]\n"
                "          [--monitor VNF] [--monitor-interval MS]\n"
-               "          [--faults FILE] [--self-heal] [--of-echo-ms MS]\n",
+               "          [--faults FILE] [--self-heal] [--of-echo-ms MS]\n"
+               "          [--threads N] [--shard-by region|switch|none]\n",
                argv0);
   return 2;
 }
@@ -130,6 +134,24 @@ int main(int argc, char** argv) {
       opts.of_echo_ms = std::strtoull(v, nullptr, 10);
     } else if (arg == "--self-heal") {
       opts.self_heal = true;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opts.threads = std::strtoull(v, nullptr, 10);
+      if (opts.threads == 0) opts.threads = 1;
+    } else if (arg == "--shard-by") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      if (std::strcmp(v, "region") == 0) {
+        opts.shard_by = netemu::ShardBy::kRegion;
+      } else if (std::strcmp(v, "switch") == 0) {
+        opts.shard_by = netemu::ShardBy::kSwitch;
+      } else if (std::strcmp(v, "none") == 0) {
+        opts.shard_by = netemu::ShardBy::kNone;
+      } else {
+        std::fprintf(stderr, "unknown --shard-by mode: %s\n", v);
+        return usage(argv[0]);
+      }
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return usage(argv[0]);
@@ -167,6 +189,8 @@ int main(int argc, char** argv) {
 
   // --- bring the environment up ------------------------------------------
   EnvironmentOptions env_opts{.mapping_algorithm = opts.algorithm};
+  env_opts.threads = opts.threads;
+  env_opts.shard_by = opts.shard_by;
   if (opts.of_echo_ms > 0) {
     // Faster OpenFlow keepalives so short chaos runs can actually see
     // echo-timeout detection (default cadence is one probe per second).
@@ -241,7 +265,7 @@ int main(int argc, char** argv) {
   // that samples the metrics registry while the traffic runs.
   struct Monitor {
     const Options* opts;
-    EventScheduler* sched;
+    ShardedScheduler* sched;
     SimDuration interval;
     bool active = true;
     void fire() {
