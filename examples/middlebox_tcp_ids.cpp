@@ -1,0 +1,142 @@
+// Flow-aware middlebox chain: a TCP stream IDS deployed from the VNF
+// catalog, fed by the FlowManager classification substrate.
+//
+// Demonstrates:
+//   * the tcp_ids catalog template (FlowManager -> TcpReassembler ->
+//     StreamIDS) rendered and deployed like any other VNF,
+//   * cross-packet pattern detection: the signature straddles a TCP
+//     segment boundary, so per-packet DPI would miss it while stream
+//     reassembly catches it,
+//   * MODE drop cutting the flagged connection mid-stream while other
+//     flows keep flowing,
+//   * flow-table observability (flows, evictions, alerts) through the
+//     NETCONF monitoring path.
+#include <cstdio>
+
+#include "escape/environment.hpp"
+#include "net/builder.hpp"
+
+using namespace escape;
+
+namespace {
+
+constexpr const char* kTopology = R"({
+  "name": "ids-tap",
+  "nodes": [
+    {"name": "client", "kind": "host"},
+    {"name": "server", "kind": "host"},
+    {"name": "s1",     "kind": "switch"},
+    {"name": "s2",     "kind": "switch"},
+    {"name": "mb",     "kind": "container", "cpu": 1.0, "slots": 8}
+  ],
+  "links": [
+    {"a": "client", "a_port": 0, "b": "s1", "b_port": 1, "bw_mbps": 1000, "delay_us": 100},
+    {"a": "s1",     "a_port": 2, "b": "s2", "b_port": 1, "bw_mbps": 1000, "delay_us": 100},
+    {"a": "server", "a_port": 0, "b": "s2", "b_port": 2, "bw_mbps": 1000, "delay_us": 100},
+    {"a": "mb",     "a_port": 0, "b": "s1", "b_port": 3, "bw_mbps": 1000, "delay_us": 50}
+  ]
+})";
+
+constexpr const char* kServiceGraph = R"({
+  "name": "middlebox-tcp-ids",
+  "saps": ["client", "server"],
+  "vnfs": [
+    {"id": "ids", "type": "tcp_ids", "cpu": 0.25,
+     "params": {"patterns": "exploit", "mode": "drop"}}
+  ],
+  "links": [
+    {"src": "client", "dst": "ids", "bw_mbps": 100},
+    {"src": "ids", "dst": "server", "bw_mbps": 100}
+  ]
+})";
+
+/// One TCP segment of the client->server stream.
+net::Packet segment(netemu::Host* client, netemu::Host* server, std::uint32_t seq,
+                    std::uint8_t flags, std::string_view payload) {
+  net::TcpFields tcp;
+  tcp.src_port = 44123;
+  tcp.dst_port = 80;
+  tcp.seq = seq;
+  tcp.flags = flags;
+  net::PacketBuilder b;
+  b.eth(client->mac(), server->mac())
+      .ipv4(client->ip(), server->ip(), net::ipproto::kTcp)
+      .tcp(tcp);
+  if (!payload.empty()) b.payload(payload);
+  return b.build();
+}
+
+}  // namespace
+
+int main() {
+  Logging::set_level(LogLevel::kWarn);
+  Environment env;
+
+  auto topology = service::TopologySpec::from_json(kTopology);
+  if (!topology.ok()) {
+    std::fprintf(stderr, "topology: %s\n", topology.error().to_string().c_str());
+    return 1;
+  }
+  if (auto s = env.load_topology(*topology); !s.ok()) {
+    std::fprintf(stderr, "build: %s\n", s.error().to_string().c_str());
+    return 1;
+  }
+  if (auto s = env.start(); !s.ok()) {
+    std::fprintf(stderr, "start: %s\n", s.error().to_string().c_str());
+    return 1;
+  }
+
+  auto graph = service::service_graph_from_json(kServiceGraph);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "sg: %s\n", graph.error().to_string().c_str());
+    return 1;
+  }
+  auto chain = env.deploy(*graph);
+  if (!chain.ok()) {
+    std::fprintf(stderr, "deploy: %s\n", chain.error().to_string().c_str());
+    return 1;
+  }
+  const ChainDeployment* dep = env.deployment(*chain);
+  std::printf("deployed '%s': %s\n", graph->name().c_str(),
+              dep->record.mapping.to_string().c_str());
+
+  netemu::Host* client = env.host("client");
+  netemu::Host* server = env.host("server");
+
+  // An innocent UDP flow through the same chain (the IDS falls back to
+  // per-packet scanning for non-TCP traffic and finds nothing).
+  client->start_udp_flow(server->mac(), server->ip(), 40000, 8080, 500, 2000);
+  env.run_for(seconds(2));
+  const std::uint64_t innocent = server->rx_packets();
+  std::printf("innocent UDP flow: %llu/500 delivered\n",
+              static_cast<unsigned long long>(innocent));
+
+  // The attack stream. The signature "exploit" straddles the boundary
+  // between the two data segments: neither packet contains it alone.
+  const std::uint32_t isn = 7000;
+  client->send(segment(client, server, isn, /*SYN*/ 0x02, ""));
+  client->send(segment(client, server, isn + 1, /*ACK*/ 0x10, "GET /expl"));
+  client->send(segment(client, server, isn + 10, /*ACK*/ 0x10, "oit.bin HTTP/1.0"));
+  // Already flagged: MODE drop cuts every later packet of this flow.
+  client->send(segment(client, server, isn + 26, /*ACK*/ 0x10, "Host: victim"));
+  env.run_for(seconds(1));
+  std::printf("attack stream: %llu of 4 segments reached the server\n",
+              static_cast<unsigned long long>(server->rx_packets() - innocent));
+
+  // Clicky surface over NETCONF: the flow table and IDS verdicts.
+  for (const auto& vnf : dep->record.vnfs) {
+    auto info = env.monitor_vnf(vnf.container, vnf.instance_id);
+    if (!info.ok()) continue;
+    std::printf("-- %s @ %s\n", vnf.vnf_id.c_str(), vnf.container.c_str());
+    for (const auto& [handler, value] : info->handlers) {
+      if (handler.find("flows") != std::string::npos ||
+          handler.find("alerts") != std::string::npos ||
+          handler.find("cut_packets") != std::string::npos ||
+          handler.find("reassembled_bytes") != std::string::npos ||
+          handler.find("pattern0_hits") != std::string::npos) {
+        std::printf("   %-28s %s\n", handler.c_str(), value.c_str());
+      }
+    }
+  }
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include "click/config.hpp"
 #include "click/element.hpp"
 #include "click/filter_expr.hpp"
+#include "click/flow_cache.hpp"
 #include "net/builder.hpp"
 #include "net/packet_pool.hpp"
 #include "util/random.hpp"
@@ -263,11 +264,13 @@ class IPClassifier : public Element {
   IPClassifier();
   std::string_view class_name() const override { return "IPClassifier"; }
   Status configure(const ConfigArgs& args) override;
+  Status initialize(Router& router) override;
   void push(int port, Packet&& p) override;
   void push_batch(int port, PacketBatch&& batch) override;
 
  private:
   int classify(const Packet& p) const;
+  int classify_cached(const Packet& p);
 
   struct Rule {
     bool catch_all = false;
@@ -275,6 +278,7 @@ class IPClassifier : public Element {
   };
   std::vector<Rule> rules_;
   std::uint64_t no_match_drops_ = 0;
+  FlowVerdictCache cache_;
 };
 
 /// Two-output filter: IPFilter(<expr>): match -> 0, else -> 1 (or drop).
@@ -283,13 +287,17 @@ class IPFilter : public Element {
   IPFilter();
   std::string_view class_name() const override { return "IPFilter"; }
   Status configure(const ConfigArgs& args) override;
+  Status initialize(Router& router) override;
   void push(int port, Packet&& p) override;
   void push_batch(int port, PacketBatch&& batch) override;
 
  private:
+  bool match_cached(const Packet& p);
+
   std::optional<FilterExpr> expr_;
   std::uint64_t matched_ = 0;
   std::uint64_t rejected_ = 0;
+  FlowVerdictCache cache_;
 };
 
 // --- queueing -------------------------------------------------------------------
@@ -511,6 +519,7 @@ class Firewall : public Element {
   Firewall();
   std::string_view class_name() const override { return "Firewall"; }
   Status configure(const ConfigArgs& args) override;
+  Status initialize(Router& router) override;
   void push(int port, Packet&& p) override;
   void push_batch(int port, PacketBatch&& batch) override;
 
@@ -523,11 +532,13 @@ class Firewall : public Element {
     FilterExpr expr;
   };
   Status add_rule_line(std::string_view line);
+  bool allow_cached(const Packet& p);
 
   std::vector<Rule> rules_;
   bool default_allow_ = true;
   std::uint64_t accepted_ = 0;
   std::uint64_t denied_ = 0;
+  FlowVerdictCache cache_;
 };
 
 /// Stateful NAPT. Input/output 0: internal -> external direction (source

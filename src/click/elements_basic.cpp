@@ -486,6 +486,14 @@ Status IPClassifier::configure(const ConfigArgs& args) {
   return ok_status();
 }
 
+Status IPClassifier::initialize(Router& router) {
+  bool tuple_only = true;
+  for (const Rule& r : rules_) tuple_only = tuple_only && (r.catch_all || r.expr.tuple_only());
+  cache_.attach(router, tuple_only);
+  add_read_handler("flow_cache_hits", [this] { return std::to_string(cache_.hits()); });
+  return ok_status();
+}
+
 int IPClassifier::classify(const Packet& p) const {
   const ClassifyCtx ctx = ClassifyCtx::from_packet(p);
   for (std::size_t i = 0; i < rules_.size(); ++i) {
@@ -494,8 +502,17 @@ int IPClassifier::classify(const Packet& p) const {
   return -1;
 }
 
-void IPClassifier::push(int, Packet&& p) {
+int IPClassifier::classify_cached(const Packet& p) {
+  // Per-flow verdict first (valid for the whole flow), rule walk as the
+  // fallback, memoized into the flow's state block.
+  if (auto v = cache_.cached()) return *v;
   const int port = classify(p);
+  cache_.store(port);
+  return port;
+}
+
+void IPClassifier::push(int, Packet&& p) {
+  const int port = classify_cached(p);
   if (port >= 0) {
     output_push(port, std::move(p));
     return;
@@ -511,7 +528,7 @@ void IPClassifier::push_batch(int, PacketBatch&& batch) {
   for (std::size_t i = 0; i < out.size(); ++i) {
     const Packet& p = out[i];
     const int port =
-        (prev && classify_equivalent(*prev, p)) ? prev_port : classify(p);
+        (prev && classify_equivalent(*prev, p)) ? prev_port : classify_cached(p);
     prev = &p;
     prev_port = port;
     if (port >= 0) {
@@ -542,8 +559,21 @@ Status IPFilter::configure(const ConfigArgs& args) {
   return ok_status();
 }
 
-void IPFilter::push(int, Packet&& p) {
+Status IPFilter::initialize(Router& router) {
+  cache_.attach(router, expr_ && expr_->tuple_only());
+  add_read_handler("flow_cache_hits", [this] { return std::to_string(cache_.hits()); });
+  return ok_status();
+}
+
+bool IPFilter::match_cached(const Packet& p) {
+  if (auto v = cache_.cached()) return *v != 0;
   const bool hit = expr_ && expr_->matches(p);
+  cache_.store(hit ? 1 : 0);
+  return hit;
+}
+
+void IPFilter::push(int, Packet&& p) {
+  const bool hit = match_cached(p);
   if (hit) {
     ++matched_;
     output_push(0, std::move(p));
@@ -561,9 +591,7 @@ void IPFilter::push_batch(int, PacketBatch&& batch) {
   bool prev_hit = false;
   for (std::size_t i = 0; i < out.size(); ++i) {
     const Packet& p = out[i];
-    const bool hit = (prev && classify_equivalent(*prev, p))
-                         ? prev_hit
-                         : (expr_ && expr_->matches(p));
+    const bool hit = (prev && classify_equivalent(*prev, p)) ? prev_hit : match_cached(p);
     prev = &p;
     prev_hit = hit;
     if (hit) {

@@ -64,7 +64,17 @@ Status Firewall::configure(const ConfigArgs& args) {
   return ok_status();
 }
 
-void Firewall::push(int, Packet&& p) {
+Status Firewall::initialize(Router& router) {
+  bool tuple_only = true;
+  for (const Rule& r : rules_) tuple_only = tuple_only && r.expr.tuple_only();
+  cache_.attach(router, tuple_only);
+  add_read_handler("flow_cache_hits", [this] { return std::to_string(cache_.hits()); });
+  return ok_status();
+}
+
+bool Firewall::allow_cached(const Packet& p) {
+  // Per-flow verdict first: an established flow skips the rule walk.
+  if (auto v = cache_.cached()) return *v != 0;
   const ClassifyCtx ctx = ClassifyCtx::from_packet(p);
   bool allow = default_allow_;
   for (const auto& rule : rules_) {
@@ -73,6 +83,12 @@ void Firewall::push(int, Packet&& p) {
       break;  // first match wins
     }
   }
+  cache_.store(allow ? 1 : 0);
+  return allow;
+}
+
+void Firewall::push(int, Packet&& p) {
+  const bool allow = allow_cached(p);
   if (allow) {
     ++accepted_;
     output_push(0, std::move(p));
@@ -90,19 +106,7 @@ void Firewall::push_batch(int, PacketBatch&& batch) {
   bool prev_allow = false;
   for (std::size_t i = 0; i < out.size(); ++i) {
     const Packet& p = out[i];
-    bool allow;
-    if (prev && classify_equivalent(*prev, p)) {
-      allow = prev_allow;
-    } else {
-      const ClassifyCtx ctx = ClassifyCtx::from_packet(p);
-      allow = default_allow_;
-      for (const auto& rule : rules_) {
-        if (rule.expr.matches(ctx)) {
-          allow = rule.allow;
-          break;  // first match wins
-        }
-      }
-    }
+    const bool allow = (prev && classify_equivalent(*prev, p)) ? prev_allow : allow_cached(p);
     prev = &p;
     prev_allow = allow;
     if (allow) {

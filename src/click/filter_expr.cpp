@@ -304,4 +304,20 @@ bool FilterExpr::matches(const ClassifyCtx& ctx) const {
   return eval(root_, ctx);
 }
 
+bool FilterExpr::tuple_only() const {
+  for (const Node& n : nodes_) {
+    switch (n.op) {
+      case Op::kDscp:
+      case Op::kTcpSyn:
+      case Op::kTcpAck:
+      case Op::kTcpFin:
+      case Op::kTcpRst:
+        return false;
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
 }  // namespace escape::click

@@ -55,6 +55,11 @@ class FilterExpr {
 
   const std::string& source() const { return source_; }
 
+  /// True when the expression reads nothing but the 5-tuple: no DSCP or
+  /// TCP-flag tests, whose values change between packets of one flow.
+  /// Only tuple-only expressions may cache a verdict per flow.
+  bool tuple_only() const;
+
  private:
   enum class Op : std::uint8_t {
     kTrue, kFalse,

@@ -1,0 +1,50 @@
+// Per-flow verdict memo for classify-style elements, backed by the
+// FlowManager state block (see flow.hpp). A classifier whose rules
+// depend only on the 5-tuple walks its rule list once per flow: the
+// verdict is stored in the flow's scratch area and every later packet
+// of the flow short-circuits the walk. Split from flow.hpp so the
+// standard element headers stay light.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+namespace escape::click {
+
+class FlowManager;
+class Router;
+
+class FlowVerdictCache {
+ public:
+  /// Attaches to the router's FlowManager. The cache stays disabled --
+  /// and every call below a no-op -- when `eligible` is false (the
+  /// element's rules read more than the 5-tuple) or when the router has
+  /// no unambiguous FlowManager; classification then runs as before.
+  /// Call from the element's initialize().
+  void attach(Router& router, bool eligible);
+
+  bool enabled() const { return fm_ != nullptr; }
+
+  /// The verdict cached for the current flow context, or nullopt
+  /// (disabled, no context, or first packet of the flow).
+  std::optional<int> cached();
+
+  /// Stores the verdict for the current flow context (no-op without one).
+  void store(int verdict);
+
+  std::uint64_t hits() const { return hits_; }
+
+ private:
+  struct Slot {
+    std::int16_t verdict = 0;
+    std::uint8_t valid = 0;
+  };
+  Slot* slot() const;
+
+  FlowManager* fm_ = nullptr;
+  std::size_t off_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace escape::click

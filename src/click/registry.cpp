@@ -1,5 +1,6 @@
 // Registration of the standard element library.
 #include "click/elements.hpp"
+#include "click/flow.hpp"
 
 namespace escape::click {
 
@@ -45,6 +46,15 @@ void register_standard_elements(ElementRegistry& registry) {
   reg<DpiCounter>(registry, "DpiCounter");
   reg<FromDevice>(registry, "FromDevice");
   reg<ToDevice>(registry, "ToDevice");
+  register_flow_elements(registry);
+}
+
+void register_flow_elements(ElementRegistry& registry) {
+  reg<FlowManager>(registry, "FlowManager");
+  reg<FlowNAT>(registry, "FlowNAT");
+  reg<FlowLB>(registry, "FlowLB");
+  reg<TcpReassembler>(registry, "TcpReassembler");
+  reg<StreamIDS>(registry, "StreamIDS");
 }
 
 }  // namespace escape::click

@@ -134,6 +134,14 @@ void FlowTable::apply(const FlowMod& mod, SimTime now) {
 FlowEntry* FlowTable::lookup(const net::FlowKey& key, std::size_t packet_bytes, SimTime now) {
   ++lookups_;
 
+  // Miss memo fast path: this key already scanned the whole table under
+  // the current version and matched nothing.
+  if (miss_memo_version_ == version_ && !miss_memo_.empty() &&
+      miss_memo_.find(key) != miss_memo_.end()) {
+    ++miss_short_circuits_;
+    return nullptr;
+  }
+
   // Exact-match fast path.
   if (auto it = exact_.find(key); it != exact_.end()) {
     if (expired(it->second, now)) {
@@ -185,6 +193,11 @@ FlowEntry* FlowTable::lookup(const net::FlowKey& key, std::size_t packet_bytes, 
     }
     ++it;
   }
+  if (miss_memo_version_ != version_ || miss_memo_.size() >= kMissMemoCap) {
+    miss_memo_.clear();
+    miss_memo_version_ = version_;
+  }
+  miss_memo_.insert(key);
   return nullptr;
 }
 

@@ -7,6 +7,7 @@
 #include <list>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "openflow/actions.hpp"
@@ -67,6 +68,10 @@ class FlowTable {
   std::uint64_t lookups() const { return lookups_; }
   std::uint64_t matches() const { return matched_; }
 
+  /// Misses answered from the miss memo without re-scanning the
+  /// wildcard list (see the memo comment in the private section).
+  std::uint64_t miss_short_circuits() const { return miss_short_circuits_; }
+
   /// Snapshot for flow-stats replies.
   std::vector<FlowStatsEntry> stats(SimTime now) const;
 
@@ -87,6 +92,19 @@ class FlowTable {
   std::uint64_t lookups_ = 0;
   std::uint64_t matched_ = 0;
   std::uint64_t version_ = 0;
+
+  // Miss memo: keys that scanned the whole table and matched nothing.
+  // Sound because a miss can only become a hit through a flow-mod, and
+  // every table mutation (add/modify/delete/expiry) bumps version_,
+  // which invalidates the memo; timeout expiry only creates new misses.
+  // Without it, every packet of an unmatched flow re-walks the entire
+  // wildcard list before taking the packet-in path. Bounded: the memo
+  // resets when it reaches kMissMemoCap (and on every version bump).
+  static constexpr std::size_t kMissMemoCap = 4096;
+  std::unordered_set<net::FlowKey> miss_memo_;
+  std::uint64_t miss_memo_version_ = 0;
+  std::uint64_t miss_short_circuits_ = 0;
+
   RemovedCallback removed_cb_;
 };
 

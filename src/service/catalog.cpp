@@ -188,6 +188,69 @@ VnfCatalog VnfCatalog::with_builtins() {
       2,
       {{"mode", "flow"}}});
 
+  // --- flow-aware stateful middleboxes (the FlowManager substrate) ---------
+  // capacity/timeout_ms default to the literal "default", which the
+  // FlowManager resolves against the process-wide settings so the
+  // escape-run --flow-capacity / --flow-timeout-ms flags apply to every
+  // rendered chain at once.
+
+  catalog.add(VnfTemplate{
+      "flow_nat",
+      "flow-table NAT: per-flow port allocation, bidirectional rewrite, "
+      "idle-timeout port reclaim",
+      "fin :: FromDevice(DEVNAME in0);\n"
+      "fext :: FromDevice(DEVNAME in1);\n"
+      "fm :: FlowManager(CAPACITY $capacity, TIMEOUT_MS $timeout_ms);\n"
+      "nat :: FlowNAT(EXTERNAL_IP $external_ip, PORT_BASE $port_base, "
+      "PORT_COUNT $port_count);\n"
+      "tout :: ToDevice(DEVNAME out0);\n"
+      "tin :: ToDevice(DEVNAME out1);\n"
+      "fin -> fm -> [0]nat;\n"
+      "fext -> [1]nat;\n"
+      "nat[0] -> tout;\n"
+      "nat[1] -> tin;\n",
+      0.15,
+      2,
+      {{"external_ip", "192.0.2.1"},
+       {"port_base", "20000"},
+       {"port_count", "1024"},
+       {"capacity", "default"},
+       {"timeout_ms", "default"}}});
+
+  catalog.add(VnfTemplate{
+      "flow_lb",
+      "flow-sticky 2-way L4 load balancer: the first packet of a flow "
+      "picks the backend, the flow stays on it until evicted",
+      "from :: FromDevice(DEVNAME in0);\n"
+      "fm :: FlowManager(CAPACITY $capacity, TIMEOUT_MS $timeout_ms);\n"
+      "lb :: FlowLB(N 2, MODE $mode);\n"
+      "a :: ToDevice(DEVNAME out0);\n"
+      "b :: ToDevice(DEVNAME out1);\n"
+      "from -> fm -> lb;\n"
+      "lb[0] -> a;\n"
+      "lb[1] -> b;\n",
+      0.1,
+      2,
+      {{"mode", "rr"}, {"capacity", "default"}, {"timeout_ms", "default"}}});
+
+  catalog.add(VnfTemplate{
+      "tcp_ids",
+      "TCP stream IDS: per-flow reassembly feeding substring/regex "
+      "scanning across packet boundaries; MODE drop cuts flagged flows",
+      "from :: FromDevice(DEVNAME in0);\n"
+      "fm :: FlowManager(CAPACITY $capacity, TIMEOUT_MS $timeout_ms);\n"
+      "ra :: TcpReassembler;\n"
+      "ids :: StreamIDS(PATTERNS \"$patterns\", MODE $mode);\n"
+      "to :: ToDevice(DEVNAME out0);\n"
+      "from -> fm -> ra -> ids -> to;\n"
+      "ids[1] -> Discard;\n",
+      0.25,
+      1,
+      {{"patterns", "attack"},
+       {"mode", "alert"},
+       {"capacity", "default"},
+       {"timeout_ms", "default"}}});
+
   return catalog;
 }
 

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Compare fresh BENCH_<name>.json metric snapshots against committed baselines.
+
+The benches dump the obs::MetricsRegistry snapshot after each run. Only
+metrics listed in the gates manifest are compared -- wall-clock numbers
+and iteration-scaled counters vary by machine, but virtual-time results
+(event totals, flow counts, table sizes) are bit-identical everywhere,
+which is what makes a committed baseline meaningful.
+
+Gates manifest (bench/baselines/gates.json):
+
+    {
+      "files": {
+        "BENCH_parallel.json": [
+          {"metric": "bench_parallel_events_total", "mode": "exact"}
+        ],
+        "BENCH_flow.json": [
+          {"metric": "bench_flow_table_bytes", "mode": "tolerance", "pct": 25}
+        ]
+      }
+    }
+
+For every gated metric, every labelled variant present in the baseline
+must exist in the fresh snapshot and match: bit-equal for "exact",
+within pct percent (relative, either direction) for "tolerance".
+Baseline files with an empty gate list are presence-checked only.
+
+Exit status: 0 all gates pass, 1 any gate fails or a file is missing.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_values(path):
+    """-> {(metric name, frozen labels): value} for scalar metrics."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    values = {}
+    for metric in doc.get("metrics", []):
+        if "value" not in metric:  # histograms are never gated
+            continue
+        key = (metric["name"], tuple(sorted(metric.get("labels", {}).items())))
+        values[key] = metric["value"]
+    return values
+
+
+def label_str(labels):
+    return "{" + ",".join(f'{k}="{v}"' for k, v in labels) + "}"
+
+
+def compare_file(baseline_path, fresh_path, gates, failures):
+    if not fresh_path.exists():
+        failures.append(f"{fresh_path.name}: fresh snapshot missing")
+        return
+    baseline = load_values(baseline_path)
+    fresh = load_values(fresh_path)
+    print(f"{fresh_path.name}: {len(gates)} gate(s)")
+    for gate in gates:
+        name = gate["metric"]
+        mode = gate.get("mode", "exact")
+        pct = float(gate.get("pct", 25.0))
+        variants = {k: v for k, v in baseline.items() if k[0] == name}
+        if not variants:
+            failures.append(f"{fresh_path.name}: gated metric {name} not in baseline")
+            continue
+        for (metric, labels), want in sorted(variants.items()):
+            where = f"{metric}{label_str(labels)}"
+            if (metric, labels) not in fresh:
+                failures.append(f"{fresh_path.name}: {where} missing from fresh run")
+                continue
+            got = fresh[(metric, labels)]
+            if mode == "exact":
+                ok = got == want
+                detail = f"want {want}, got {got}"
+            else:
+                if want == 0:
+                    ok = got == 0
+                    detail = f"want 0, got {got}"
+                else:
+                    rel = abs(got - want) / abs(want) * 100.0
+                    ok = rel <= pct
+                    detail = f"want {want} +/-{pct:g}%, got {got} ({rel:.1f}% off)"
+            status = "ok" if ok else "FAIL"
+            print(f"  [{status}] {where}: {detail}")
+            if not ok:
+                failures.append(f"{fresh_path.name}: {where}: {detail}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baselines", default="bench/baselines",
+                        help="directory with committed BENCH_*.json + gates.json")
+    parser.add_argument("--fresh", default="build",
+                        help="directory with freshly produced BENCH_*.json")
+    args = parser.parse_args()
+
+    baselines = Path(args.baselines)
+    fresh_dir = Path(args.fresh)
+    manifest_path = baselines / "gates.json"
+    if not manifest_path.exists():
+        print(f"error: no gates manifest at {manifest_path}", file=sys.stderr)
+        return 1
+    with open(manifest_path) as fh:
+        manifest = json.load(fh)
+
+    failures = []
+    for filename, gates in sorted(manifest.get("files", {}).items()):
+        baseline_path = baselines / filename
+        if not baseline_path.exists():
+            failures.append(f"{filename}: baseline missing from {baselines}")
+            continue
+        compare_file(baseline_path, fresh_dir / filename, gates, failures)
+
+    if failures:
+        print(f"\n{len(failures)} bench gate failure(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nall bench gates pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

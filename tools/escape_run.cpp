@@ -12,11 +12,13 @@
 //              [--monitor VNF] [--monitor-interval MS]
 //              [--faults FILE] [--self-heal]
 //              [--threads N] [--shard-by region|switch|none]
+//              [--flow-capacity N] [--flow-timeout-ms MS]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "click/flow.hpp"
 #include "escape/environment.hpp"
 #include "fault/fault_plane.hpp"
 #include "obs/metrics.hpp"
@@ -76,7 +78,8 @@ int usage(const char* argv0) {
                "          [--metrics] [--metrics-json FILE]\n"
                "          [--monitor VNF] [--monitor-interval MS]\n"
                "          [--faults FILE] [--self-heal] [--of-echo-ms MS]\n"
-               "          [--threads N] [--shard-by region|switch|none]\n",
+               "          [--threads N] [--shard-by region|switch|none]\n"
+               "          [--flow-capacity N] [--flow-timeout-ms MS]\n",
                argv0);
   return 2;
 }
@@ -152,6 +155,17 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown --shard-by mode: %s\n", v);
         return usage(argv[0]);
       }
+    } else if (arg == "--flow-capacity") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      // Process-wide defaults used by every FlowManager whose CAPACITY /
+      // TIMEOUT_MS is "default" -- i.e. the catalog-rendered chains.
+      click::FlowManager::set_default_capacity(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--flow-timeout-ms") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      click::FlowManager::set_default_idle_timeout(
+          milliseconds(std::strtoull(v, nullptr, 10)));
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return usage(argv[0]);
