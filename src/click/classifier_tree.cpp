@@ -1,0 +1,134 @@
+#include "click/classifier_tree.hpp"
+
+#include "net/headers.hpp"
+
+namespace escape::click {
+
+ClassifierTree::Leaf ClassifierTree::leaf_of(const net::FlowKey& key) {
+  if (key.dl_type == net::ethertype::kIpv4) {
+    if (key.nw_proto == net::ipproto::kTcp) return kIpTcp;
+    if (key.nw_proto == net::ipproto::kUdp) return kIpUdp;
+    if (key.nw_proto == net::ipproto::kIcmp) return kIpIcmp;
+    return kIpOther;
+  }
+  return key.dl_type == net::ethertype::kArp ? kArp : kNonIp;
+}
+
+int ClassifierTree::specialize(const FilterExpr& src, int node, Leaf leaf, FilterExpr& dst) {
+  using Op = FilterExpr::Op;
+  const FilterExpr::Node& n = src.nodes_[static_cast<std::size_t>(node)];
+  const bool is_ip = leaf == kIpTcp || leaf == kIpUdp || leaf == kIpIcmp || leaf == kIpOther;
+  const bool has_ports = leaf == kIpTcp || leaf == kIpUdp;
+  auto constant = [](bool v) { return v ? kConstTrue : kConstFalse; };
+  auto emit = [&dst](FilterExpr::Node copy) {
+    dst.nodes_.push_back(copy);
+    return static_cast<int>(dst.nodes_.size()) - 1;
+  };
+
+  switch (n.op) {
+    case Op::kTrue:
+      return kConstTrue;
+    case Op::kFalse:
+      return kConstFalse;
+    case Op::kNot: {
+      const int child = specialize(src, n.lhs, leaf, dst);
+      if (child == kConstTrue) return kConstFalse;
+      if (child == kConstFalse) return kConstTrue;
+      return emit({Op::kNot, child, -1, 0, 32});
+    }
+    case Op::kAnd: {
+      const int lhs = specialize(src, n.lhs, leaf, dst);
+      if (lhs == kConstFalse) return kConstFalse;
+      const int rhs = specialize(src, n.rhs, leaf, dst);
+      if (rhs == kConstFalse) return kConstFalse;
+      if (lhs == kConstTrue) return rhs;
+      if (rhs == kConstTrue) return lhs;
+      return emit({Op::kAnd, lhs, rhs, 0, 32});
+    }
+    case Op::kOr: {
+      const int lhs = specialize(src, n.lhs, leaf, dst);
+      if (lhs == kConstTrue) return kConstTrue;
+      const int rhs = specialize(src, n.rhs, leaf, dst);
+      if (rhs == kConstTrue) return kConstTrue;
+      if (lhs == kConstFalse) return rhs;
+      if (rhs == kConstFalse) return lhs;
+      return emit({Op::kOr, lhs, rhs, 0, 32});
+    }
+    // Protocol predicates: decided entirely by the leaf.
+    case Op::kIsIp:
+      return constant(is_ip);
+    case Op::kIsArp:
+      return constant(leaf == kArp);
+    case Op::kIsTcp:
+      return constant(leaf == kIpTcp);
+    case Op::kIsUdp:
+      return constant(leaf == kIpUdp);
+    case Op::kIsIcmp:
+      return constant(leaf == kIpIcmp);
+    // Field tests: residual where the leaf can satisfy their protocol
+    // guard, constant-false elsewhere.
+    case Op::kSrcHost:
+    case Op::kDstHost:
+    case Op::kAnyHost:
+    case Op::kSrcNet:
+    case Op::kDstNet:
+    case Op::kAnyNet:
+    case Op::kDscp:
+      return is_ip ? emit(n) : kConstFalse;
+    case Op::kSrcPort:
+    case Op::kDstPort:
+    case Op::kAnyPort:
+      return has_ports ? emit(n) : kConstFalse;
+    // from_packet only sets tcp_flags on ip/tcp contexts, so flag tests
+    // are identically false on every other leaf.
+    case Op::kTcpSyn:
+    case Op::kTcpAck:
+    case Op::kTcpFin:
+    case Op::kTcpRst:
+      return leaf == kIpTcp ? emit(n) : kConstFalse;
+  }
+  return kConstFalse;
+}
+
+void ClassifierTree::compile(const std::vector<RuleSpec>& rules, int miss_verdict) {
+  for (std::uint8_t l = 0; l < kNumLeaves; ++l) {
+    LeafPlan& plan = leaves_[l];
+    plan.rules.clear();
+    plan.terminal_verdict = miss_verdict;
+    for (const RuleSpec& rule : rules) {
+      if (!rule.expr) {  // catch-all: always terminates the leaf list
+        plan.terminal_verdict = rule.verdict;
+        break;
+      }
+      FilterExpr specialized;
+      const int root = rule.expr->root_ < 0
+                           ? kConstFalse
+                           : specialize(*rule.expr, rule.expr->root_, static_cast<Leaf>(l),
+                                        specialized);
+      if (root == kConstFalse) continue;  // can never match in this leaf
+      if (root == kConstTrue) {           // always matches: first-match ends here
+        plan.terminal_verdict = rule.verdict;
+        break;
+      }
+      specialized.root_ = root;
+      plan.rules.push_back({rule.verdict, std::move(specialized)});
+    }
+  }
+  compiled_ = true;
+}
+
+int ClassifierTree::classify(const ClassifyCtx& ctx) const {
+  const LeafPlan& plan = leaves_[leaf_of(ctx.key)];
+  for (const Residual& rule : plan.rules) {
+    if (rule.expr.matches(ctx)) return rule.verdict;
+  }
+  return plan.terminal_verdict;
+}
+
+std::size_t ClassifierTree::residual_rules() const {
+  std::size_t n = 0;
+  for (const LeafPlan& plan : leaves_) n += plan.rules.size();
+  return n;
+}
+
+}  // namespace escape::click

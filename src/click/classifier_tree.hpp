@@ -1,0 +1,71 @@
+// Compiled first-match dispatch over a FilterExpr rule list, shared by
+// IPClassifier and Firewall. The rule list is partially evaluated once
+// per protocol leaf -- (dl_type, nw_proto) combinations: ip/tcp, ip/udp,
+// ip/icmp, ip/other, arp, non-ip -- folding every protocol predicate to
+// a constant under that leaf. Rules that fold to false vanish from the
+// leaf; a rule that folds to true terminates the leaf's list (it always
+// wins first-match there), so classification costs one two-level
+// dispatch plus only the residual field tests (hosts/nets/ports/dscp/
+// tcp-flags) that actually discriminate within the leaf.
+//
+// Equivalence contract: for any ClassifyCtx produced by
+// ClassifyCtx::from_packet, classify(ctx) equals the linear first-match
+// walk of the same rules (tcp_flags are only ever set on ip/tcp
+// contexts, which is what lets flag tests fold to false elsewhere).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "click/filter_expr.hpp"
+
+namespace escape::click {
+
+class ClassifierTree {
+ public:
+  /// One rule of the list: `verdict` is returned on match. A catch-all
+  /// rule (expr == nullptr) matches everything.
+  struct RuleSpec {
+    int verdict = -1;
+    const FilterExpr* expr = nullptr;
+  };
+
+  /// (Re)compiles the dispatch for `rules` in first-match order;
+  /// `miss_verdict` is returned when no rule matches.
+  void compile(const std::vector<RuleSpec>& rules, int miss_verdict);
+
+  int classify(const ClassifyCtx& ctx) const;
+
+  bool compiled() const { return compiled_; }
+  /// Residual (non-folded) rule tests across all leaves -- the work the
+  /// protocol dispatch could not eliminate. Exposed via element handlers
+  /// so tests/benches can assert the folding actually happened.
+  std::size_t residual_rules() const;
+
+ private:
+  /// Protocol leaves of the dispatch; kNumLeaves-sized arrays index by this.
+  enum Leaf : std::uint8_t { kIpTcp, kIpUdp, kIpIcmp, kIpOther, kArp, kNonIp, kNumLeaves };
+  static Leaf leaf_of(const net::FlowKey& key);
+
+  struct Residual {
+    int verdict = -1;
+    FilterExpr expr;  // already specialized for the leaf
+  };
+  struct LeafPlan {
+    std::vector<Residual> rules;
+    int terminal_verdict = -1;  // when no residual rule matches
+  };
+
+  /// Copies the subtree at `node` of `src` into `dst`, folding protocol
+  /// predicates under `leaf`. Returns the new root index, or kConstFalse
+  /// / kConstTrue when the subtree folds to a constant.
+  static constexpr int kConstFalse = -1;
+  static constexpr int kConstTrue = -2;
+  static int specialize(const FilterExpr& src, int node, Leaf leaf, FilterExpr& dst);
+
+  std::array<LeafPlan, kNumLeaves> leaves_;
+  bool compiled_ = false;
+};
+
+}  // namespace escape::click

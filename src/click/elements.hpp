@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "click/classifier_tree.hpp"
 #include "click/config.hpp"
 #include "click/element.hpp"
 #include "click/filter_expr.hpp"
@@ -269,7 +270,7 @@ class IPClassifier : public Element {
   void push_batch(int port, PacketBatch&& batch) override;
 
  private:
-  int classify(const Packet& p) const;
+  int classify(const ClassifyCtx& ctx) const;
   int classify_cached(const Packet& p);
 
   struct Rule {
@@ -277,6 +278,7 @@ class IPClassifier : public Element {
     FilterExpr expr;
   };
   std::vector<Rule> rules_;
+  ClassifierTree tree_;  // compiled in initialize(); rules_ keeps sources
   std::uint64_t no_match_drops_ = 0;
   FlowVerdictCache cache_;
 };
@@ -533,8 +535,10 @@ class Firewall : public Element {
   };
   Status add_rule_line(std::string_view line);
   bool allow_cached(const Packet& p);
+  void recompile_tree();
 
   std::vector<Rule> rules_;
+  ClassifierTree tree_;  // compiled in initialize(); add_rule recompiles
   bool default_allow_ = true;
   std::uint64_t accepted_ = 0;
   std::uint64_t denied_ = 0;

@@ -490,12 +490,22 @@ Status IPClassifier::initialize(Router& router) {
   bool tuple_only = true;
   for (const Rule& r : rules_) tuple_only = tuple_only && (r.catch_all || r.expr.tuple_only());
   cache_.attach(router, tuple_only);
+  // Compile the rule list into the per-protocol-leaf dispatch; the
+  // linear walk remains only as the pre-initialize fallback.
+  std::vector<ClassifierTree::RuleSpec> specs;
+  specs.reserve(rules_.size());
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    specs.push_back({static_cast<int>(i), rules_[i].catch_all ? nullptr : &rules_[i].expr});
+  }
+  tree_.compile(specs, /*miss_verdict=*/-1);
   add_read_handler("flow_cache_hits", [this] { return std::to_string(cache_.hits()); });
+  add_read_handler("tree_residual_rules",
+                   [this] { return std::to_string(tree_.residual_rules()); });
   return ok_status();
 }
 
-int IPClassifier::classify(const Packet& p) const {
-  const ClassifyCtx ctx = ClassifyCtx::from_packet(p);
+int IPClassifier::classify(const ClassifyCtx& ctx) const {
+  if (tree_.compiled()) return tree_.classify(ctx);
   for (std::size_t i = 0; i < rules_.size(); ++i) {
     if (rules_[i].catch_all || rules_[i].expr.matches(ctx)) return static_cast<int>(i);
   }
@@ -503,10 +513,10 @@ int IPClassifier::classify(const Packet& p) const {
 }
 
 int IPClassifier::classify_cached(const Packet& p) {
-  // Per-flow verdict first (valid for the whole flow), rule walk as the
-  // fallback, memoized into the flow's state block.
+  // Per-flow verdict first (valid for the whole flow), tree dispatch as
+  // the fallback, memoized into the flow's state block.
   if (auto v = cache_.cached()) return *v;
-  const int port = classify(p);
+  const int port = classify(ClassifyCtx::from_packet(p));
   cache_.store(port);
   return port;
 }

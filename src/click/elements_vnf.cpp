@@ -41,7 +41,17 @@ Status Firewall::add_rule_line(std::string_view line) {
   auto expr = FilterExpr::compile(line);
   if (!expr.ok()) return expr.error();
   rules_.push_back({allow, std::move(*expr)});
+  // Runtime rule additions (the add_rule handler) must reach the
+  // compiled dispatch too; before initialize() the tree is rebuilt there.
+  if (tree_.compiled()) recompile_tree();
   return ok_status();
+}
+
+void Firewall::recompile_tree() {
+  std::vector<ClassifierTree::RuleSpec> specs;
+  specs.reserve(rules_.size());
+  for (const Rule& r : rules_) specs.push_back({r.allow ? 1 : 0, &r.expr});
+  tree_.compile(specs, /*miss_verdict=*/default_allow_ ? 1 : 0);
 }
 
 Status Firewall::configure(const ConfigArgs& args) {
@@ -68,7 +78,10 @@ Status Firewall::initialize(Router& router) {
   bool tuple_only = true;
   for (const Rule& r : rules_) tuple_only = tuple_only && r.expr.tuple_only();
   cache_.attach(router, tuple_only);
+  recompile_tree();
   add_read_handler("flow_cache_hits", [this] { return std::to_string(cache_.hits()); });
+  add_read_handler("tree_residual_rules",
+                   [this] { return std::to_string(tree_.residual_rules()); });
   return ok_status();
 }
 
@@ -76,11 +89,16 @@ bool Firewall::allow_cached(const Packet& p) {
   // Per-flow verdict first: an established flow skips the rule walk.
   if (auto v = cache_.cached()) return *v != 0;
   const ClassifyCtx ctx = ClassifyCtx::from_packet(p);
-  bool allow = default_allow_;
-  for (const auto& rule : rules_) {
-    if (rule.expr.matches(ctx)) {
-      allow = rule.allow;
-      break;  // first match wins
+  bool allow;
+  if (tree_.compiled()) {
+    allow = tree_.classify(ctx) != 0;
+  } else {
+    allow = default_allow_;
+    for (const auto& rule : rules_) {
+      if (rule.expr.matches(ctx)) {
+        allow = rule.allow;
+        break;  // first match wins
+      }
     }
   }
   cache_.store(allow ? 1 : 0);

@@ -85,6 +85,7 @@ class FilterExpr {
   bool eval(int node, const ClassifyCtx& ctx) const;
 
   friend class FilterParser;
+  friend class ClassifierTree;  // partial-evaluates nodes_ per protocol leaf
   std::vector<Node> nodes_;
   int root_ = -1;
   std::string source_;

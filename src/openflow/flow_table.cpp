@@ -4,93 +4,128 @@
 
 namespace escape::openflow {
 
+namespace {
+
+/// mask_signature() of a fully-exact match (wildcards 0, /32 prefixes).
+constexpr std::uint64_t kExactSig = (32ULL << 32) | (32ULL << 40);
+
+}  // namespace
+
 bool FlowTable::expired(const FlowEntry& e, SimTime now) const {
   if (e.hard_timeout && now >= e.installed_at + e.hard_timeout) return true;
   if (e.idle_timeout && now >= e.last_hit + e.idle_timeout) return true;
   return false;
 }
 
+FlowRemovedReason FlowTable::expiry_reason(const FlowEntry& e, SimTime now) const {
+  return e.hard_timeout && now >= e.installed_at + e.hard_timeout
+             ? FlowRemovedReason::kHardTimeout
+             : FlowRemovedReason::kIdleTimeout;
+}
+
 void FlowTable::fire_removed(const FlowEntry& e, FlowRemovedReason reason) {
   if (e.send_flow_removed && removed_cb_) removed_cb_(e, reason);
 }
 
-void FlowTable::add_entry(FlowEntry entry) {
-  if (entry.match.is_exact()) {
-    exact_[entry.match.fields()] = std::move(entry);
-    return;
-  }
-  // Insert keeping descending priority order; equal priorities keep
-  // insertion order (stable).
-  auto pos = std::upper_bound(
-      wildcard_.begin(), wildcard_.end(), entry.priority,
-      [](std::uint16_t prio, const FlowEntry& e) { return prio > e.priority; });
-  wildcard_.insert(pos, std::move(entry));
+bool FlowTable::outranks(const FlowEntry& a, bool a_exact, const FlowEntry& b, bool b_exact) {
+  if (a.priority != b.priority) return a.priority > b.priority;
+  if (a_exact != b_exact) return a_exact;
+  return a.seq < b.seq;
 }
 
-void FlowTable::delete_matching(const Match& match, bool strict,
-                                std::optional<std::uint16_t> priority) {
-  auto should_delete = [&](const FlowEntry& e) {
-    if (strict) {
-      return e.match == match && (!priority || e.priority == *priority);
-    }
-    // Non-strict: delete entries whose match is "covered" by the given
-    // match template. For simplicity we test whether the template matches
-    // the entry's concrete fields when the entry is exact, or equality
-    // otherwise; a wildcard-all template deletes everything.
-    if (match.is_table_miss()) return true;
-    if (e.match.is_exact()) return match.matches(e.match.fields());
-    return e.match == match;
-  };
-
-  for (auto it = exact_.begin(); it != exact_.end();) {
-    if (should_delete(it->second)) {
-      fire_removed(it->second, FlowRemovedReason::kDelete);
-      it = exact_.erase(it);
-    } else {
-      ++it;
-    }
+FlowTable::MaskGroup& FlowTable::group_for(const Match& match) {
+  auto [it, inserted] = groups_.try_emplace(match.mask_signature());
+  if (inserted) {
+    it->second.mask = match;
+    it->second.exact = match.is_exact();
+    probe_order_dirty_ = true;
   }
-  std::erase_if(wildcard_, [&](const FlowEntry& e) {
-    if (should_delete(e)) {
-      fire_removed(e, FlowRemovedReason::kDelete);
-      return true;
+  return it->second;
+}
+
+void FlowTable::link_entry(EntryIt it) {
+  MaskGroup& g = group_for(it->match);
+  const std::uint16_t old_max = g.max_priority();
+  const bool was_empty = g.prio_counts.empty();
+  auto& bucket = g.buckets[it->match.masked(it->match.fields())];
+  // Keep buckets sorted by (priority desc, seq asc) so the first
+  // non-expired entry is the bucket's best candidate.
+  auto pos = std::lower_bound(bucket.begin(), bucket.end(), it,
+                              [](const EntryIt& a, const EntryIt& b) {
+                                if (a->priority != b->priority) return a->priority > b->priority;
+                                return a->seq < b->seq;
+                              });
+  bucket.insert(pos, it);
+  ++g.prio_counts[it->priority];
+  ++g.size;
+  if (was_empty || g.max_priority() != old_max) probe_order_dirty_ = true;
+}
+
+void FlowTable::erase_entry(EntryIt it, std::optional<FlowRemovedReason> reason) {
+  if (reason) fire_removed(*it, *reason);
+  auto git = groups_.find(it->match.mask_signature());
+  MaskGroup& g = git->second;
+  const std::uint16_t old_max = g.max_priority();
+  const net::FlowKey key = it->match.masked(it->match.fields());
+  auto bit = g.buckets.find(key);
+  auto& bucket = bit->second;
+  bucket.erase(std::find(bucket.begin(), bucket.end(), it));
+  if (bucket.empty()) g.buckets.erase(bit);
+  auto pit = g.prio_counts.find(it->priority);
+  if (--pit->second == 0) g.prio_counts.erase(pit);
+  if (--g.size == 0) {
+    groups_.erase(git);
+    probe_order_dirty_ = true;
+  } else if (g.max_priority() != old_max) {
+    probe_order_dirty_ = true;
+  }
+  entries_.erase(it);
+}
+
+const std::vector<FlowTable::MaskGroup*>& FlowTable::probe_order() const {
+  if (probe_order_dirty_) {
+    probe_order_.clear();
+    probe_order_.reserve(groups_.size());
+    for (auto& [sig, g] : groups_) {
+      if (sig != kExactSig) probe_order_.push_back(const_cast<MaskGroup*>(&g));
     }
-    return false;
-  });
+    std::sort(probe_order_.begin(), probe_order_.end(), [](const MaskGroup* a, const MaskGroup* b) {
+      if (a->max_priority() != b->max_priority()) return a->max_priority() > b->max_priority();
+      return a->mask.mask_signature() < b->mask.mask_signature();
+    });
+    probe_order_dirty_ = false;
+  }
+  return probe_order_;
 }
 
 void FlowTable::apply(const FlowMod& mod, SimTime now) {
   ++version_;  // any flow-mod may add/remove/rewrite entries
+  apply_one(mod, now);
+}
+
+void FlowTable::apply_batch(const std::vector<FlowMod>& mods, SimTime now) {
+  if (mods.empty()) return;
+  ++version_;
+  for (const auto& mod : mods) apply_one(mod, now);
+}
+
+void FlowTable::apply_one(const FlowMod& mod, SimTime now) {
   switch (mod.command) {
     case FlowModCommand::kAdd: {
       // OF 1.0: identical match+priority overwrites (counters reset).
-      // Exact adds overwrite via the hash map directly; wildcard adds
-      // only need to examine entries of equal priority (the vector is
-      // sorted by priority, so the scan is bounded to that range).
-      if (mod.match.is_exact()) {
-        auto it = exact_.find(mod.match.fields());
-        if (it != exact_.end()) {
-          fire_removed(it->second, FlowRemovedReason::kDelete);
-          exact_.erase(it);
-        }
-      } else {
-        auto lo = std::lower_bound(
-            wildcard_.begin(), wildcard_.end(), mod.priority,
-            [](const FlowEntry& e, std::uint16_t prio) { return e.priority > prio; });
-        auto hi = std::upper_bound(
-            lo, wildcard_.end(), mod.priority,
-            [](std::uint16_t prio, const FlowEntry& e) { return prio > e.priority; });
-        for (auto it = lo; it != hi;) {
-          if (it->match == mod.match) {
-            fire_removed(*it, FlowRemovedReason::kDelete);
-            it = wildcard_.erase(it);
-            hi = std::upper_bound(
-                it, wildcard_.end(), mod.priority,
-                [](std::uint16_t prio, const FlowEntry& e) { return prio > e.priority; });
-          } else {
-            ++it;
+      // Exact adds overwrite the occupant of their bucket regardless of
+      // priority; wildcard adds only displace equal-priority equal-match
+      // entries. Either way only the template's own bucket is examined.
+      MaskGroup& g = group_for(mod.match);
+      if (auto bit = g.buckets.find(mod.match.masked(mod.match.fields()));
+          bit != g.buckets.end()) {
+        std::vector<EntryIt> victims;
+        for (EntryIt it : bit->second) {
+          if (g.exact || (it->priority == mod.priority && it->match == mod.match)) {
+            victims.push_back(it);
           }
         }
+        for (EntryIt it : victims) erase_entry(it, FlowRemovedReason::kDelete);
       }
       FlowEntry e;
       e.match = mod.match;
@@ -102,24 +137,32 @@ void FlowTable::apply(const FlowMod& mod, SimTime now) {
       e.send_flow_removed = mod.send_flow_removed;
       e.installed_at = now;
       e.last_hit = now;
-      add_entry(std::move(e));
+      e.seq = next_seq_++;
+      entries_.push_back(std::move(e));
+      link_entry(std::prev(entries_.end()));
       break;
     }
     case FlowModCommand::kModify: {
+      // Rewrites actions+cookie of every entry with the same match (any
+      // priority), keeping counters; adds when nothing matched.
       bool any = false;
-      auto modify = [&](FlowEntry& e) {
-        if (e.match == mod.match) {
-          e.actions = mod.actions;
-          e.cookie = mod.cookie;
-          any = true;
+      if (auto git = groups_.find(mod.match.mask_signature()); git != groups_.end()) {
+        auto bit = git->second.buckets.find(mod.match.masked(mod.match.fields()));
+        if (bit != git->second.buckets.end()) {
+          for (EntryIt it : bit->second) {
+            if (it->match == mod.match) {
+              it->actions = mod.actions;
+              it->cookie = mod.cookie;
+              any = true;
+            }
+          }
         }
-      };
-      for (auto& [_, e] : exact_) modify(e);
-      for (auto& e : wildcard_) modify(e);
-      if (!any) apply(FlowMod{FlowModCommand::kAdd, mod.match, mod.priority, mod.cookie,
-                              mod.idle_timeout, mod.hard_timeout, mod.actions, mod.buffer_id,
-                              mod.send_flow_removed},
-                      now);
+      }
+      if (!any) {
+        FlowMod add = mod;
+        add.command = FlowModCommand::kAdd;
+        apply_one(add, now);
+      }
       break;
     }
     case FlowModCommand::kDelete:
@@ -131,68 +174,119 @@ void FlowTable::apply(const FlowMod& mod, SimTime now) {
   }
 }
 
+void FlowTable::delete_matching(const Match& match, bool strict,
+                                std::optional<std::uint16_t> priority) {
+  last_delete_examined_ = 0;
+  std::vector<EntryIt> victims;
+
+  auto scan_bucket = [&](MaskGroup& g, const net::FlowKey& key, auto&& pred) {
+    auto bit = g.buckets.find(key);
+    if (bit == g.buckets.end()) return;
+    for (EntryIt it : bit->second) {
+      ++last_delete_examined_;
+      if (pred(*it)) victims.push_back(it);
+    }
+  };
+
+  if (!strict && match.is_table_miss()) {
+    // Wildcard-all template: everything goes, already in install order.
+    last_delete_examined_ = entries_.size();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) victims.push_back(it);
+  } else if (strict) {
+    // Strict: exact template identity (match equality + priority), which
+    // can only live in the template's own bucket.
+    if (auto git = groups_.find(match.mask_signature()); git != groups_.end()) {
+      scan_bucket(git->second, match.masked(match.fields()), [&](const FlowEntry& e) {
+        return e.match == match && (!priority || e.priority == *priority);
+      });
+    }
+  } else {
+    // Non-strict: delete entries "covered" by the template — exact
+    // entries whose concrete fields the template matches, plus
+    // wildcard entries equal to the template. The equality half is one
+    // bucket probe; the covered-exact half only scans the exact group,
+    // and only when the template itself is not exact (an exact template
+    // covers exactly its own bucket occupant).
+    if (auto git = groups_.find(match.mask_signature()); git != groups_.end()) {
+      scan_bucket(git->second, match.masked(match.fields()),
+                  [&](const FlowEntry& e) { return e.match == match; });
+    }
+    if (!match.is_exact()) {
+      if (auto git = groups_.find(kExactSig); git != groups_.end()) {
+        for (auto& [key, bucket] : git->second.buckets) {
+          last_delete_examined_ += bucket.size();
+          if (!match.matches(key)) continue;
+          for (EntryIt it : bucket) victims.push_back(it);
+        }
+      }
+    }
+  }
+
+  // Fire flow-removed in canonical install order regardless of which
+  // index the victims came from.
+  std::sort(victims.begin(), victims.end(),
+            [](const EntryIt& a, const EntryIt& b) { return a->seq < b->seq; });
+  for (EntryIt it : victims) erase_entry(it, FlowRemovedReason::kDelete);
+}
+
 FlowEntry* FlowTable::lookup(const net::FlowKey& key, std::size_t packet_bytes, SimTime now) {
   ++lookups_;
 
-  // Miss memo fast path: this key already scanned the whole table under
-  // the current version and matched nothing.
+  // Miss memo fast path: this key already probed every eligible group
+  // under the current version and matched nothing.
   if (miss_memo_version_ == version_ && !miss_memo_.empty() &&
       miss_memo_.find(key) != miss_memo_.end()) {
     ++miss_short_circuits_;
     return nullptr;
   }
 
-  // Exact-match fast path.
-  if (auto it = exact_.find(key); it != exact_.end()) {
-    if (expired(it->second, now)) {
-      fire_removed(it->second,
-                   it->second.hard_timeout && now >= it->second.installed_at +
-                                                         it->second.hard_timeout
-                       ? FlowRemovedReason::kHardTimeout
-                       : FlowRemovedReason::kIdleTimeout);
-      exact_.erase(it);
-      ++version_;
-    } else {
-      // An exact entry always outranks wildcards only if no wildcard has
-      // strictly higher priority; check the top of the wildcard list.
-      FlowEntry& e = it->second;
-      const FlowEntry* better = nullptr;
-      for (const auto& w : wildcard_) {
-        if (w.priority <= e.priority) break;
-        if (!expired(w, now) && w.match.matches(key)) {
-          better = &w;
-          break;
-        }
-      }
-      if (!better) {
-        e.packet_count++;
-        e.byte_count += packet_bytes;
-        e.last_hit = now;
-        ++matched_;
-        return &e;
+  FlowEntry* best = nullptr;
+  bool best_exact = false;
+
+  // Exact-match fast path: one hash probe against the exact tuple space.
+  if (auto git = groups_.find(kExactSig); git != groups_.end()) {
+    if (auto bit = git->second.buckets.find(key); bit != git->second.buckets.end()) {
+      for (EntryIt it : bit->second) {
+        if (expired(*it, now)) continue;
+        best = &*it;
+        best_exact = true;
+        break;
       }
     }
   }
 
-  // Wildcard scan in priority order, evicting expired entries lazily.
-  for (auto it = wildcard_.begin(); it != wildcard_.end();) {
-    if (expired(*it, now)) {
-      fire_removed(*it, it->hard_timeout && now >= it->installed_at + it->hard_timeout
-                            ? FlowRemovedReason::kHardTimeout
-                            : FlowRemovedReason::kIdleTimeout);
-      it = wildcard_.erase(it);
-      ++version_;
-      continue;
+  // Wildcard tuple spaces in descending max-priority order. Early exit:
+  // once a group's max priority falls below the best candidate (or ties
+  // it while the best is exact — exact wins priority ties), no later
+  // group can win.
+  for (MaskGroup* g : probe_order()) {
+    if (best) {
+      const std::uint16_t gmax = g->max_priority();
+      if (gmax < best->priority) break;
+      if (gmax == best->priority && best_exact) break;
     }
-    if (it->match.matches(key)) {
-      it->packet_count++;
-      it->byte_count += packet_bytes;
-      it->last_hit = now;
-      ++matched_;
-      return &*it;
+    auto bit = g->buckets.find(g->mask.masked(key));
+    if (bit == g->buckets.end()) continue;
+    for (EntryIt it : bit->second) {
+      if (expired(*it, now)) continue;
+      // Buckets are (priority desc, seq asc) sorted, so the first live
+      // entry is this group's best; compare it against the running best.
+      if (!best || outranks(*it, false, *best, best_exact)) {
+        best = &*it;
+        best_exact = false;
+      }
+      break;
     }
-    ++it;
   }
+
+  if (best) {
+    best->packet_count++;
+    best->byte_count += packet_bytes;
+    best->last_hit = now;
+    ++matched_;
+    return best;
+  }
+
   if (miss_memo_version_ != version_ || miss_memo_.size() >= kMissMemoCap) {
     miss_memo_.clear();
     miss_memo_version_ = version_;
@@ -203,28 +297,16 @@ FlowEntry* FlowTable::lookup(const net::FlowKey& key, std::size_t packet_bytes, 
 
 std::size_t FlowTable::expire(SimTime now) {
   std::size_t evicted = 0;
-  for (auto it = exact_.begin(); it != exact_.end();) {
-    if (expired(it->second, now)) {
-      fire_removed(it->second, it->second.hard_timeout && now >= it->second.installed_at +
-                                                                     it->second.hard_timeout
-                                   ? FlowRemovedReason::kHardTimeout
-                                   : FlowRemovedReason::kIdleTimeout);
-      it = exact_.erase(it);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (expired(*it, now)) {
+      auto next = std::next(it);
+      erase_entry(it, expiry_reason(*it, now));
       ++evicted;
+      it = next;
     } else {
       ++it;
     }
   }
-  std::erase_if(wildcard_, [&](const FlowEntry& e) {
-    if (expired(e, now)) {
-      fire_removed(e, e.hard_timeout && now >= e.installed_at + e.hard_timeout
-                          ? FlowRemovedReason::kHardTimeout
-                          : FlowRemovedReason::kIdleTimeout);
-      ++evicted;
-      return true;
-    }
-    return false;
-  });
   if (evicted) ++version_;
   return evicted;
 }
@@ -240,7 +322,7 @@ void FlowTable::record_hit(FlowEntry& entry, std::size_t packet_bytes, SimTime n
 std::vector<FlowStatsEntry> FlowTable::stats(SimTime now) const {
   std::vector<FlowStatsEntry> out;
   out.reserve(size());
-  auto emit = [&](const FlowEntry& e) {
+  for (const auto& e : entries_) {
     FlowStatsEntry s;
     s.match = e.match;
     s.priority = e.priority;
@@ -250,15 +332,15 @@ std::vector<FlowStatsEntry> FlowTable::stats(SimTime now) const {
     s.age = now - e.installed_at;
     s.actions = e.actions;
     out.push_back(std::move(s));
-  };
-  for (const auto& [_, e] : exact_) emit(e);
-  for (const auto& e : wildcard_) emit(e);
+  }
   return out;
 }
 
 void FlowTable::clear() {
-  exact_.clear();
-  wildcard_.clear();
+  entries_.clear();
+  groups_.clear();
+  probe_order_.clear();
+  probe_order_dirty_ = true;
   ++version_;
 }
 

@@ -1,10 +1,23 @@
-// The flow table: priority-ordered wildcard entries with an exact-match
-// fast path, per-entry counters and idle/hard timeout expiry.
+// The flow table: priority-ordered wildcard entries behind a
+// tuple-space-search index (one hash table per distinct wildcard mask,
+// probed in descending max-priority order with priority early exit),
+// per-entry counters and idle/hard timeout expiry.
+//
+// Lookup semantics (shared with tests/support/linear_flow_oracle.hpp,
+// the linear reference implementation the property tests diff against):
+//   * the winner is the matching entry with the highest priority;
+//     priority ties prefer the exact (fully-specified) entry, then the
+//     earlier install (stable OF 1.0 tie behaviour);
+//   * expired entries are invisible to lookup -- they are skipped, not
+//     lazily evicted. Eviction happens in expire() sweeps (and delete
+//     flow-mods), always in install order, so the flow-removed stream
+//     is canonical and independent of the lookup access pattern.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -31,6 +44,9 @@ struct FlowEntry {
   SimTime last_hit = 0;
   std::uint64_t packet_count = 0;
   std::uint64_t byte_count = 0;
+  /// Monotonic install sequence; breaks priority ties (earlier wins)
+  /// and fixes the canonical eviction / stats order.
+  std::uint64_t seq = 0;
 };
 
 class FlowTable {
@@ -44,8 +60,14 @@ class FlowTable {
   /// Applies a flow-mod at virtual time `now`.
   void apply(const FlowMod& mod, SimTime now);
 
-  /// Looks up the highest-priority matching entry, updating its counters.
-  /// Expired entries encountered on the way are evicted first.
+  /// Applies a burst of flow-mods as one table transaction: identical
+  /// end state to N sequential apply() calls, but a single version bump
+  /// and one miss-memo invalidation for the whole batch. This is the
+  /// resync / chain-install fast path past ~100k rules per switch.
+  void apply_batch(const std::vector<FlowMod>& mods, SimTime now);
+
+  /// Looks up the highest-priority matching entry, updating its
+  /// counters. Expired entries are skipped (see header comment).
   FlowEntry* lookup(const net::FlowKey& key, std::size_t packet_bytes, SimTime now);
 
   /// Replays the counter updates of a successful lookup() on an entry the
@@ -60,46 +82,91 @@ class FlowTable {
   /// the version is unchanged.
   std::uint64_t version() const { return version_; }
 
-  /// Evicts every entry whose idle/hard timeout has passed at `now`.
-  /// Returns the number evicted. The switch sweeps periodically.
+  /// Evicts every entry whose idle/hard timeout has passed at `now`, in
+  /// install order. Returns the number evicted. The switch sweeps
+  /// periodically.
   std::size_t expire(SimTime now);
 
-  std::size_t size() const { return exact_.size() + wildcard_.size(); }
+  std::size_t size() const { return entries_.size(); }
   std::uint64_t lookups() const { return lookups_; }
   std::uint64_t matches() const { return matched_; }
 
-  /// Misses answered from the miss memo without re-scanning the
-  /// wildcard list (see the memo comment in the private section).
+  /// Misses answered from the miss memo without re-probing the mask
+  /// groups (see the memo comment in the private section).
   std::uint64_t miss_short_circuits() const { return miss_short_circuits_; }
 
-  /// Snapshot for flow-stats replies.
+  /// Number of distinct wildcard masks currently indexed (tuple-space
+  /// hash tables; the per-lookup probe bound).
+  std::size_t mask_group_count() const { return groups_.size(); }
+
+  /// Entries examined by the most recent delete_matching() call
+  /// (regression guard: a mask-indexed purge must not rescan the table).
+  std::size_t last_delete_examined() const { return last_delete_examined_; }
+
+  /// Snapshot for flow-stats replies, in install order.
   std::vector<FlowStatsEntry> stats(SimTime now) const;
 
   void clear();
 
  private:
+  using EntryList = std::list<FlowEntry>;
+  using EntryIt = EntryList::iterator;
+
+  /// One tuple space: all entries sharing a wildcard mask, hashed by
+  /// their masked fields. A bucket holds the entries whose masks AND
+  /// masked fields coincide, sorted by (priority desc, seq asc).
+  struct MaskGroup {
+    Match mask;  // any representative match of this mask (fields unused)
+    bool exact = false;
+    // Live priorities with their entry counts; the max (first key) gives
+    // the probe order and the early-exit bound.
+    std::map<std::uint16_t, std::size_t, std::greater<std::uint16_t>> prio_counts;
+    std::unordered_map<net::FlowKey, std::vector<EntryIt>> buckets;
+    std::size_t size = 0;
+
+    std::uint16_t max_priority() const {
+      return prio_counts.empty() ? 0 : prio_counts.begin()->first;
+    }
+  };
+
   bool expired(const FlowEntry& e, SimTime now) const;
+  FlowRemovedReason expiry_reason(const FlowEntry& e, SimTime now) const;
   void fire_removed(const FlowEntry& e, FlowRemovedReason reason);
-  void add_entry(FlowEntry entry);
+  MaskGroup& group_for(const Match& match);
+  void link_entry(EntryIt it);
+  /// Unlinks + erases one entry, firing `reason` first when set.
+  void erase_entry(EntryIt it, std::optional<FlowRemovedReason> reason);
+  void apply_one(const FlowMod& mod, SimTime now);
   void delete_matching(const Match& match, bool strict, std::optional<std::uint16_t> priority);
+  const std::vector<MaskGroup*>& probe_order() const;
+  /// True when `a` outranks `b`: higher priority, then exact-over-
+  /// wildcard, then earlier install.
+  static bool outranks(const FlowEntry& a, bool a_exact, const FlowEntry& b, bool b_exact);
 
-  // Exact entries: hash map keyed by the full FlowKey.
-  std::unordered_map<net::FlowKey, FlowEntry> exact_;
-  // Wildcard entries: kept sorted by descending priority (stable: earlier
-  // installs first among equal priorities, matching OF tie behaviour).
-  std::vector<FlowEntry> wildcard_;
+  // All entries in install order (stable addresses: lookup() hands out
+  // FlowEntry* that stay valid until the entry is erased).
+  EntryList entries_;
+  // Tuple spaces keyed by Match::mask_signature().
+  std::unordered_map<std::uint64_t, MaskGroup> groups_;
+  // Groups sorted by descending max priority, rebuilt lazily when a
+  // group appears/vanishes or a group's max priority moves.
+  mutable std::vector<MaskGroup*> probe_order_;
+  mutable bool probe_order_dirty_ = true;
 
+  std::uint64_t next_seq_ = 0;
   std::uint64_t lookups_ = 0;
   std::uint64_t matched_ = 0;
   std::uint64_t version_ = 0;
+  std::size_t last_delete_examined_ = 0;
 
-  // Miss memo: keys that scanned the whole table and matched nothing.
-  // Sound because a miss can only become a hit through a flow-mod, and
-  // every table mutation (add/modify/delete/expiry) bumps version_,
-  // which invalidates the memo; timeout expiry only creates new misses.
-  // Without it, every packet of an unmatched flow re-walks the entire
-  // wildcard list before taking the packet-in path. Bounded: the memo
-  // resets when it reaches kMissMemoCap (and on every version bump).
+  // Miss memo: keys that probed every eligible mask group and matched
+  // nothing. Sound because a miss can only become a hit through a
+  // flow-mod, and every table mutation (add/modify/delete/expiry sweep)
+  // bumps version_, which invalidates the memo; timeout expiry only
+  // creates new misses. Without it, every packet of an unmatched flow
+  // re-probes all mask groups before taking the packet-in path.
+  // Bounded: the memo resets when it reaches kMissMemoCap (and on every
+  // version bump).
   static constexpr std::size_t kMissMemoCap = 4096;
   std::unordered_set<net::FlowKey> miss_memo_;
   std::uint64_t miss_memo_version_ = 0;

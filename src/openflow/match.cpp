@@ -4,6 +4,16 @@
 
 namespace escape::openflow {
 
+namespace {
+
+std::uint32_t prefix_mask(int prefix_len) {
+  if (prefix_len <= 0) return 0;
+  if (prefix_len >= 32) return 0xffffffffu;
+  return ~((1u << (32 - prefix_len)) - 1);
+}
+
+}  // namespace
+
 Match Match::exact(const net::FlowKey& key) {
   Match m;
   m.wildcards_ = 0;
@@ -38,14 +48,19 @@ Match& Match::nw_proto(std::uint8_t proto) {
   wildcards_ &= ~kWcNwProto;
   return *this;
 }
+// The CIDR setters store the canonical (masked) base address, so two
+// templates that constrain the same bits compare equal regardless of
+// what the caller left in the host part — and every entry of a tuple
+// space hashes into the bucket of its own effective value instead of
+// piling semantically-distinct rules into one bucket.
 Match& Match::nw_src(net::Ipv4Addr addr, int prefix_len) {
-  fields_.nw_src = addr;
+  fields_.nw_src = net::Ipv4Addr(addr.value() & prefix_mask(prefix_len));
   nw_src_prefix_ = prefix_len;
   wildcards_ &= ~kWcNwSrc;
   return *this;
 }
 Match& Match::nw_dst(net::Ipv4Addr addr, int prefix_len) {
-  fields_.nw_dst = addr;
+  fields_.nw_dst = net::Ipv4Addr(addr.value() & prefix_mask(prefix_len));
   nw_dst_prefix_ = prefix_len;
   wildcards_ &= ~kWcNwDst;
   return *this;
@@ -82,6 +97,53 @@ bool Match::matches(const net::FlowKey& key) const {
   if (!(wildcards_ & kWcTpSrc) && key.tp_src != fields_.tp_src) return false;
   if (!(wildcards_ & kWcTpDst) && key.tp_dst != fields_.tp_dst) return false;
   return true;
+}
+
+net::FlowKey Match::masked(const net::FlowKey& key) const {
+  net::FlowKey out;
+  if (!(wildcards_ & kWcInPort)) out.in_port = key.in_port;
+  if (!(wildcards_ & kWcDlSrc)) out.dl_src = key.dl_src;
+  if (!(wildcards_ & kWcDlDst)) out.dl_dst = key.dl_dst;
+  if (!(wildcards_ & kWcDlType)) out.dl_type = key.dl_type;
+  if (!(wildcards_ & kWcNwProto)) out.nw_proto = key.nw_proto;
+  if (!(wildcards_ & kWcNwSrc)) {
+    out.nw_src = net::Ipv4Addr(key.nw_src.value() & prefix_mask(nw_src_prefix_));
+  }
+  if (!(wildcards_ & kWcNwDst)) {
+    out.nw_dst = net::Ipv4Addr(key.nw_dst.value() & prefix_mask(nw_dst_prefix_));
+  }
+  if (!(wildcards_ & kWcNwTos)) out.nw_tos = key.nw_tos;
+  if (!(wildcards_ & kWcTpSrc)) out.tp_src = key.tp_src;
+  if (!(wildcards_ & kWcTpDst)) out.tp_dst = key.tp_dst;
+  return out;
+}
+
+std::uint64_t Match::digest() const {
+  // FNV-1a over the wildcard mask and the raw non-wildcarded fields
+  // (plus prefixes), mirroring operator==: equal matches hash equal.
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(wildcards_);
+  if (!(wildcards_ & kWcInPort)) mix(fields_.in_port);
+  if (!(wildcards_ & kWcDlSrc)) mix(fields_.dl_src.to_u64());
+  if (!(wildcards_ & kWcDlDst)) mix(fields_.dl_dst.to_u64());
+  if (!(wildcards_ & kWcDlType)) mix(fields_.dl_type);
+  if (!(wildcards_ & kWcNwProto)) mix(fields_.nw_proto);
+  if (!(wildcards_ & kWcNwSrc)) {
+    mix(fields_.nw_src.value());
+    mix(static_cast<std::uint64_t>(nw_src_prefix_) + 1);
+  }
+  if (!(wildcards_ & kWcNwDst)) {
+    mix(fields_.nw_dst.value());
+    mix(static_cast<std::uint64_t>(nw_dst_prefix_) + 1);
+  }
+  if (!(wildcards_ & kWcNwTos)) mix(fields_.nw_tos);
+  if (!(wildcards_ & kWcTpSrc)) mix(fields_.tp_src);
+  if (!(wildcards_ & kWcTpDst)) mix(fields_.tp_dst);
+  return h;
 }
 
 bool Match::is_exact() const {

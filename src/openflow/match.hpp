@@ -58,6 +58,27 @@ class Match {
   int nw_src_prefix() const { return nw_src_prefix_; }
   int nw_dst_prefix() const { return nw_dst_prefix_; }
 
+  /// Packed identity of the wildcard mask alone (wildcard bits + the two
+  /// CIDR prefix lengths). Two matches with equal signatures constrain
+  /// exactly the same bits, so they share one tuple-space hash table in
+  /// the flow table.
+  std::uint64_t mask_signature() const {
+    const std::uint64_t src = (wildcards_ & kWcNwSrc) ? 0u : static_cast<std::uint64_t>(nw_src_prefix_);
+    const std::uint64_t dst = (wildcards_ & kWcNwDst) ? 0u : static_cast<std::uint64_t>(nw_dst_prefix_);
+    return static_cast<std::uint64_t>(wildcards_) | (src << 32) | (dst << 40);
+  }
+
+  /// Projects `key` onto this match's mask: wildcarded fields are
+  /// zeroed and the IP fields are truncated to their prefixes. Two keys
+  /// with equal projections are indistinguishable to this mask, and
+  /// masked(key) == masked(fields()) iff matches(key).
+  net::FlowKey masked(const net::FlowKey& key) const;
+
+  /// Order-independent 64-bit digest consistent with operator==
+  /// (a == b implies a.digest() == b.digest()). Used to key hash
+  /// indexes over rules (steering intent store, resync audits).
+  std::uint64_t digest() const;
+
   bool operator==(const Match& o) const;
 
   std::string to_string() const;

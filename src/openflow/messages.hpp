@@ -59,6 +59,14 @@ struct FlowMod {
   bool send_flow_removed = false;
 };
 
+/// A burst of flow-mods applied as one table transaction (single
+/// version bump on the switch). OF 1.0 has no batch frame: on a
+/// serialized channel this travels as N consecutive ofp_flow_mod
+/// messages (the codec round-trips each mod individually).
+struct FlowModBatch {
+  std::vector<FlowMod> mods;
+};
+
 struct PacketOut {
   std::optional<std::uint32_t> buffer_id;  // either a buffer or raw data
   net::Packet packet;                      // used when buffer_id is empty
@@ -138,10 +146,12 @@ struct ErrorMsg {
   std::string detail;
 };
 
+// FlowModBatch is appended last: message_type_name() indexes a
+// variant-ordered table, and existing indices must stay stable.
 using Message =
     std::variant<Hello, EchoRequest, EchoReply, FeaturesRequest, FeaturesReply, FlowMod,
                  PacketOut, StatsRequest, BarrierRequest, PacketIn, FlowRemoved, PortStatus,
-                 StatsReply, BarrierReply, ErrorMsg>;
+                 StatsReply, BarrierReply, ErrorMsg, FlowModBatch>;
 
 std::string_view message_type_name(const Message& m);
 

@@ -14,7 +14,8 @@ std::string_view message_type_name(const Message& m) {
   static constexpr std::string_view kNames[] = {
       "hello",        "echo_request", "echo_reply",  "features_request", "features_reply",
       "flow_mod",     "packet_out",   "stats_request", "barrier_request", "packet_in",
-      "flow_removed", "port_status",  "stats_reply", "barrier_reply",    "error"};
+      "flow_removed", "port_status",  "stats_reply", "barrier_reply",    "error",
+      "flow_mod_batch"};
   return kNames[m.index()];
 }
 
@@ -372,6 +373,17 @@ void OpenFlowSwitch::apply_actions(const ActionList& actions, net::Packet&& pack
   }
 }
 
+void OpenFlowSwitch::release_flow_mod_buffer(const FlowMod& mod) {
+  if (!mod.buffer_id) return;
+  record_buffer_release(*mod.buffer_id);
+  auto it = buffers_.find(*mod.buffer_id);
+  if (it == buffers_.end()) return;
+  net::Packet packet = std::move(it->second);
+  const std::uint16_t in_port = static_cast<std::uint16_t>(packet.in_port());
+  buffers_.erase(it);
+  apply_actions(mod.actions, std::move(packet), in_port, /*allow_packet_in=*/false);
+}
+
 void OpenFlowSwitch::handle_message(const Message& message) {
   // Echo RTT must be sampled before note_controller_activity() clears
   // the outstanding-probe map.
@@ -405,17 +417,10 @@ void OpenFlowSwitch::handle_message(const Message& message) {
           channel_->to_controller(std::move(reply));
         } else if constexpr (std::is_same_v<T, FlowMod>) {
           table_.apply(msg, scheduler_->now());
-          if (msg.buffer_id) {
-            record_buffer_release(*msg.buffer_id);
-            auto it = buffers_.find(*msg.buffer_id);
-            if (it != buffers_.end()) {
-              net::Packet packet = std::move(it->second);
-              const std::uint16_t in_port = static_cast<std::uint16_t>(packet.in_port());
-              buffers_.erase(it);
-              apply_actions(msg.actions, std::move(packet), in_port,
-                            /*allow_packet_in=*/false);
-            }
-          }
+          release_flow_mod_buffer(msg);
+        } else if constexpr (std::is_same_v<T, FlowModBatch>) {
+          table_.apply_batch(msg.mods, scheduler_->now());
+          for (const auto& mod : msg.mods) release_flow_mod_buffer(mod);
         } else if constexpr (std::is_same_v<T, PacketOut>) {
           net::Packet packet;
           if (msg.buffer_id) {

@@ -149,6 +149,8 @@ class OpenFlowSwitch {
   /// Closes the packet-in RTT measurement for a buffer the controller
   /// just referenced (flow-mod or packet-out).
   void record_buffer_release(std::uint32_t buffer_id);
+  /// Applies a flow-mod's actions to its referenced buffered packet.
+  void release_flow_mod_buffer(const FlowMod& mod);
 
   DatapathId dpid_;
   EventScheduler* scheduler_;

@@ -531,6 +531,16 @@ std::vector<std::uint8_t> encode(const Message& message, std::uint32_t xid) {
           return w.finish();
         } else if constexpr (std::is_same_v<T, BarrierReply>) {
           return Writer(MsgType::kBarrierReply, xid).finish();
+        } else if constexpr (std::is_same_v<T, FlowModBatch>) {
+          // No ofp batch frame exists: a batch is N concatenated
+          // ofp_flow_mod messages on the wire (decode() parses one
+          // frame at a time; complete_prefix() splits the stream).
+          std::vector<std::uint8_t> out;
+          for (const auto& mod : msg.mods) {
+            auto bytes = encode(mod, xid);
+            out.insert(out.end(), bytes.begin(), bytes.end());
+          }
+          return out;
         } else {  // ErrorMsg
           Writer w(MsgType::kError, xid);
           w.u16(0);  // type (free-text errors carry no ofp enum)

@@ -6,6 +6,24 @@ namespace escape::pox {
 
 std::optional<Message> Controller::through_wire(Message message) {
   if (!serialize_) return message;
+  // A FlowModBatch has no OF 1.0 frame of its own: on the wire it is N
+  // consecutive ofp_flow_mod messages, so round-trip each mod through
+  // the codec and drop only the malformed ones.
+  if (auto* batch = std::get_if<openflow::FlowModBatch>(&message)) {
+    openflow::FlowModBatch wired;
+    wired.mods.reserve(batch->mods.size());
+    for (auto& mod : batch->mods) {
+      auto bytes = openflow::wire::encode(mod);
+      wire_bytes_.fetch_add(bytes.size(), std::memory_order_relaxed);
+      auto decoded = openflow::wire::decode(bytes);
+      if (!decoded.ok()) {
+        log_.warn("wire codec dropped a flow_mod of a batch: ", decoded.error().to_string());
+        continue;
+      }
+      wired.mods.push_back(std::get<openflow::FlowMod>(std::move(decoded->message)));
+    }
+    return Message{std::move(wired)};
+  }
   auto bytes = openflow::wire::encode(message);
   wire_bytes_.fetch_add(bytes.size(), std::memory_order_relaxed);
   auto decoded = openflow::wire::decode(bytes);

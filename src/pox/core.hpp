@@ -55,6 +55,12 @@ class SwitchConnection {
 
   /// Convenience wrappers.
   void send_flow_mod(const openflow::FlowMod& mod) { send(mod); }
+  /// Ships a rule burst as one FlowModBatch (single channel message,
+  /// single table transaction on the switch). No-op when empty.
+  void send_flow_mods(std::vector<openflow::FlowMod> mods) {
+    if (mods.empty()) return;
+    send(openflow::FlowModBatch{std::move(mods)});
+  }
   void send_packet_out(openflow::PacketOut out) { send(std::move(out)); }
   void send_barrier() { send(openflow::BarrierRequest{}); }
 

@@ -38,16 +38,69 @@ void TrafficSteering::set_divergence_callbacks(
   on_resynced_ = std::move(resynced);
 }
 
+IntentRule* TrafficSteering::IntentStore::find(std::uint64_t cookie, std::uint16_t priority,
+                                               const openflow::Match& match) {
+  auto it = index.find(key_of(cookie, priority, match));
+  if (it == index.end()) return nullptr;
+  for (std::size_t slot : it->second) {
+    IntentRule& r = rules[slot];
+    if (r.chain_id == cookie && r.priority == priority && r.match == match) return &r;
+  }
+  return nullptr;
+}
+
+void TrafficSteering::IntentStore::upsert(IntentRule rule) {
+  if (IntentRule* existing = find(rule.chain_id, rule.priority, rule.match)) {
+    *existing = std::move(rule);
+    return;
+  }
+  index[key_of(rule.chain_id, rule.priority, rule.match)].push_back(rules.size());
+  rules.push_back(std::move(rule));
+}
+
+bool TrafficSteering::IntentStore::erase(std::uint64_t cookie, std::uint16_t priority,
+                                         const openflow::Match& match) {
+  auto it = index.find(key_of(cookie, priority, match));
+  if (it == index.end()) return false;
+  auto& slots = it->second;
+  auto sit = std::find_if(slots.begin(), slots.end(), [&](std::size_t slot) {
+    const IntentRule& r = rules[slot];
+    return r.chain_id == cookie && r.priority == priority && r.match == match;
+  });
+  if (sit == slots.end()) return false;
+  const std::size_t slot = *sit;
+  slots.erase(sit);
+  if (slots.empty()) index.erase(it);
+  const std::size_t last = rules.size() - 1;
+  if (slot != last) {
+    // Swap-erase: the moved rule's index entry must follow it.
+    const IntentRule& moved = rules[last];
+    auto& moved_slots = index[key_of(moved.chain_id, moved.priority, moved.match)];
+    *std::find(moved_slots.begin(), moved_slots.end(), last) = slot;
+    rules[slot] = std::move(rules[last]);
+  }
+  rules.pop_back();
+  return true;
+}
+
+void TrafficSteering::IntentStore::erase_chain(std::uint32_t chain_id) {
+  std::erase_if(rules, [&](const IntentRule& r) { return r.chain_id == chain_id; });
+  index.clear();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    index[key_of(rules[i].chain_id, rules[i].priority, rules[i].match)].push_back(i);
+  }
+}
+
 const std::vector<IntentRule>* TrafficSteering::intent(DatapathId dpid) const {
   auto it = intent_.find(dpid);
-  return it == intent_.end() ? nullptr : &it->second;
+  return it == intent_.end() ? nullptr : &it->second.rules;
 }
 
 std::vector<std::uint32_t> TrafficSteering::chains_on(DatapathId dpid) const {
   std::vector<std::uint32_t> out;
   auto it = intent_.find(dpid);
   if (it == intent_.end()) return out;
-  for (const auto& rule : it->second) {
+  for (const auto& rule : it->second.rules) {
     if (std::find(out.begin(), out.end(), rule.chain_id) == out.end()) {
       out.push_back(rule.chain_id);
     }
@@ -64,22 +117,14 @@ void TrafficSteering::record_intent(const ChainPath& path) {
     rule.priority = path.priority;
     rule.idle_timeout = path.idle_timeout;
     rule.out_port = hop.out_port;
-    auto& rules = intent_[hop.dpid];
-    auto existing = std::find_if(rules.begin(), rules.end(), [&](const IntentRule& r) {
-      return r.chain_id == rule.chain_id && r.priority == rule.priority && r.match == rule.match;
-    });
-    if (existing != rules.end()) {
-      *existing = rule;
-    } else {
-      rules.push_back(rule);
-    }
+    intent_[hop.dpid].upsert(std::move(rule));
   }
 }
 
 void TrafficSteering::erase_intent(std::uint32_t chain_id) {
   for (auto it = intent_.begin(); it != intent_.end();) {
-    std::erase_if(it->second, [&](const IntentRule& r) { return r.chain_id == chain_id; });
-    it = it->second.empty() ? intent_.erase(it) : std::next(it);
+    it->second.erase_chain(chain_id);
+    it = it->second.rules.empty() ? intent_.erase(it) : std::next(it);
   }
 }
 
@@ -99,8 +144,11 @@ Status TrafficSteering::push_flow_mods(const ChainPath& path,
                         "switch not connected: dpid=" + std::to_string(hop.dpid));
     }
   }
+  // One FlowModBatch per touched dpid (hop order preserved within each),
+  // so a long chain costs one channel message and one table transaction
+  // per switch instead of a message per hop.
+  std::map<DatapathId, std::vector<openflow::FlowMod>> per_dpid;
   for (const auto& hop : path.hops) {
-    SwitchConnection* conn = controller_->connection(hop.dpid);
     openflow::FlowMod mod;
     mod.command = openflow::FlowModCommand::kAdd;
     mod.match = path.match;
@@ -114,8 +162,11 @@ Status TrafficSteering::push_flow_mods(const ChainPath& path,
       mod.buffer_id = buffer_id;
       buffer_id.reset();  // release the buffer at most once
     }
-    conn->send_flow_mod(mod);
+    per_dpid[hop.dpid].push_back(std::move(mod));
     if (m_flowmods_) m_flowmods_->add();
+  }
+  for (auto& [dpid, mods] : per_dpid) {
+    controller_->connection(dpid)->send_flow_mods(std::move(mods));
   }
   record_intent(path);
   return ok_status();
@@ -246,16 +297,19 @@ Status TrafficSteering::remove_chain(std::uint32_t chain_id) {
                       "chain not installed: " + std::to_string(chain_id));
   }
   const ChainPath& path = it->second;
+  std::map<DatapathId, std::vector<openflow::FlowMod>> per_dpid;
   for (const auto& hop : path.hops) {
-    SwitchConnection* conn = controller_->connection(hop.dpid);
-    if (!conn) continue;
+    if (!controller_->connection(hop.dpid)) continue;
     openflow::FlowMod mod;
     mod.command = openflow::FlowModCommand::kDeleteStrict;
     mod.match = path.match;
     mod.match.in_port(hop.in_port);
     mod.priority = path.priority;
-    conn->send_flow_mod(mod);
+    per_dpid[hop.dpid].push_back(std::move(mod));
     if (m_flowmods_) m_flowmods_->add();
+  }
+  for (auto& [dpid, mods] : per_dpid) {
+    controller_->connection(dpid)->send_flow_mods(std::move(mods));
   }
   installed_.erase(it);
   erase_intent(chain_id);
@@ -348,10 +402,8 @@ void TrafficSteering::on_flow_removed(SwitchConnection& conn, const openflow::Fl
   // already cleared and must still be dropped from the intent).
   auto iit = intent_.find(conn.dpid());
   if (iit != intent_.end()) {
-    std::erase_if(iit->second, [&](const IntentRule& r) {
-      return r.chain_id == msg.cookie && r.priority == msg.priority && r.match == msg.match;
-    });
-    if (iit->second.empty()) intent_.erase(iit);
+    iit->second.erase(msg.cookie, msg.priority, msg.match);
+    if (iit->second.rules.empty()) intent_.erase(iit);
   }
   // Idle-timeout chains fall back to pending so a later packet re-installs.
   auto it = installed_.find(static_cast<std::uint32_t>(msg.cookie));
@@ -436,20 +488,27 @@ void TrafficSteering::handle_audit_reply(SwitchConnection& conn, const openflow:
   auto& audit = audits_[dpid];
   if (audit.gen != gen) return;  // connection flapped again since this audit started
 
-  static const std::vector<IntentRule> kNoRules;
+  // Hash-join the intent store against the reported table: one pass to
+  // index the reply by rule identity, one indexed probe per side. The
+  // old nested scans made a 100k-rule resync O(n²).
+  static IntentStore kNoRules;
   auto iit = intent_.find(dpid);
-  const std::vector<IntentRule>& rules = iit == intent_.end() ? kNoRules : iit->second;
+  IntentStore& store = iit == intent_.end() ? kNoRules : iit->second;
+  std::unordered_map<IntentKey, std::vector<std::size_t>, IntentKeyHash> present;
+  present.reserve(msg.flows.size());
+  for (std::size_t i = 0; i < msg.flows.size(); ++i) {
+    const auto& entry = msg.flows[i];
+    present[IntentStore::key_of(entry.cookie, entry.priority, entry.match)].push_back(i);
+  }
   const auto entry_wanted = [&](const openflow::FlowStatsEntry& entry) {
-    for (const auto& rule : rules) {
-      if (rule.chain_id == entry.cookie && rule.priority == entry.priority &&
-          rule.match == entry.match && entry.actions == openflow::output_to(rule.out_port)) {
-        return true;
-      }
-    }
-    return false;
+    const IntentRule* rule = store.find(entry.cookie, entry.priority, entry.match);
+    return rule && entry.actions == openflow::output_to(rule->out_port);
   };
   const auto rule_present = [&](const IntentRule& rule) {
-    for (const auto& entry : msg.flows) {
+    auto pit = present.find(IntentStore::key_of(rule.chain_id, rule.priority, rule.match));
+    if (pit == present.end()) return false;
+    for (std::size_t i : pit->second) {
+      const auto& entry = msg.flows[i];
       if (rule.chain_id == entry.cookie && rule.priority == entry.priority &&
           rule.match == entry.match && entry.actions == openflow::output_to(rule.out_port)) {
         return true;
@@ -458,9 +517,12 @@ void TrafficSteering::handle_audit_reply(SwitchConnection& conn, const openflow:
     return false;
   };
 
-  // Purge steering-owned (cookie != 0) entries we no longer intend;
-  // deletes go first so a reinstall of the same (match, priority) key
-  // is not wiped by a trailing DeleteStrict.
+  // One batch for the whole repair: purges of steering-owned
+  // (cookie != 0) entries we no longer intend go first so a reinstall
+  // of the same (match, priority) key is not wiped by a trailing
+  // DeleteStrict, then the reinstalls of intended rules the switch
+  // lost. apply_batch preserves this order on the switch.
+  std::vector<openflow::FlowMod> mods;
   std::size_t purged = 0;
   for (const auto& entry : msg.flows) {
     if (entry.cookie == 0 || entry_wanted(entry)) continue;
@@ -468,13 +530,11 @@ void TrafficSteering::handle_audit_reply(SwitchConnection& conn, const openflow:
     mod.command = openflow::FlowModCommand::kDeleteStrict;
     mod.match = entry.match;
     mod.priority = entry.priority;
-    conn.send_flow_mod(mod);
-    if (m_flowmods_) m_flowmods_->add();
+    mods.push_back(std::move(mod));
     ++purged;
   }
-  // Reinstall intended rules the switch lost.
   std::size_t reinstalled = 0;
-  for (const auto& rule : rules) {
+  for (const auto& rule : store.rules) {
     if (rule_present(rule)) continue;
     openflow::FlowMod mod;
     mod.command = openflow::FlowModCommand::kAdd;
@@ -484,10 +544,11 @@ void TrafficSteering::handle_audit_reply(SwitchConnection& conn, const openflow:
     mod.idle_timeout = rule.idle_timeout;
     mod.send_flow_removed = rule.idle_timeout != 0;
     mod.actions = openflow::output_to(rule.out_port);
-    conn.send_flow_mod(mod);
-    if (m_flowmods_) m_flowmods_->add();
+    mods.push_back(std::move(mod));
     ++reinstalled;
   }
+  if (m_flowmods_ && !mods.empty()) m_flowmods_->add(mods.size());
+  conn.send_flow_mods(std::move(mods));
   rules_purged_ += purged;
   rules_reinstalled_ += reinstalled;
   if (m_rules_purged_ && purged > 0) m_rules_purged_->add(purged);

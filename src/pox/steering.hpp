@@ -27,6 +27,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -188,7 +189,41 @@ class TrafficSteering : public App {
   obs::Counter* m_rules_reinstalled_ = nullptr;
 
   // Intent store + audit state.
-  std::map<DatapathId, std::vector<IntentRule>> intent_;
+  /// Identity of one intent rule: cookie (chain id) + priority + match
+  /// digest. Digest collisions are resolved by the per-key slot list.
+  struct IntentKey {
+    std::uint64_t cookie = 0;
+    std::uint16_t priority = 0;
+    std::uint64_t match_digest = 0;
+    bool operator==(const IntentKey&) const = default;
+  };
+  struct IntentKeyHash {
+    std::size_t operator()(const IntentKey& k) const {
+      std::uint64_t h = k.match_digest;
+      h ^= k.cookie + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      h ^= k.priority + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+  /// A dpid's intent rules plus a hash index over rule identity, so
+  /// per-hop upserts, flow-removed erases and resync audits cost O(1)
+  /// per rule instead of a vector scan (O(n²) across a chain install).
+  struct IntentStore {
+    std::vector<IntentRule> rules;
+    std::unordered_map<IntentKey, std::vector<std::size_t>, IntentKeyHash> index;
+
+    static IntentKey key_of(std::uint64_t cookie, std::uint16_t priority,
+                            const openflow::Match& match) {
+      return IntentKey{cookie, priority, match.digest()};
+    }
+    IntentRule* find(std::uint64_t cookie, std::uint16_t priority,
+                     const openflow::Match& match);
+    void upsert(IntentRule rule);
+    /// Swap-erase by identity; returns whether a rule was removed.
+    bool erase(std::uint64_t cookie, std::uint16_t priority, const openflow::Match& match);
+    void erase_chain(std::uint32_t chain_id);
+  };
+  std::map<DatapathId, IntentStore> intent_;
   std::set<DatapathId> dirty_;
   struct AuditState {
     std::uint64_t gen = 0;  // bumped on connection_down to squash stale audits

@@ -1,0 +1,143 @@
+#include "util/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.hpp"
+#include "util/strings.hpp"
+
+namespace escape::workload {
+
+namespace {
+
+/// Pareto(min, alpha) via inverse-CDF: min * (1-u)^(-1/alpha).
+std::uint64_t pareto_packets(Rng& rng, std::uint64_t min, double alpha) {
+  const double u = rng.next_double();  // [0, 1)
+  const double v = static_cast<double>(min) * std::pow(1.0 - u, -1.0 / alpha);
+  // Clamp the tail so one elephant flow cannot dominate a whole run.
+  const double capped = std::min(v, static_cast<double>(min) * 100000.0);
+  return static_cast<std::uint64_t>(capped);
+}
+
+/// Precomputed Zipf CDF over n ranks; rank r has weight (r+1)^-s.
+std::vector<double> zipf_cdf(std::size_t n, double s) {
+  std::vector<double> cdf(n);
+  double total = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -s);
+    cdf[r] = total;
+  }
+  for (double& c : cdf) c /= total;
+  return cdf;
+}
+
+std::size_t zipf_pick(Rng& rng, const std::vector<double>& cdf) {
+  const double u = rng.next_double();
+  auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  return it == cdf.end() ? cdf.size() - 1 : static_cast<std::size_t>(it - cdf.begin());
+}
+
+}  // namespace
+
+Plan generate(const Options& opts) {
+  Plan plan;
+  Rng rng{opts.seed};
+
+  // --- fat-tree(k) substrate --------------------------------------------
+  const std::uint32_t k = std::max<std::uint32_t>(2, opts.fattree_k + (opts.fattree_k & 1));
+  const std::uint32_t half = k / 2;
+
+  // Core switches: (k/2)^2, named c<i>.
+  std::vector<std::string> cores;
+  for (std::uint32_t i = 0; i < half * half; ++i) {
+    cores.push_back(strings::format("c%u", i));
+    plan.switches.push_back(cores.back());
+  }
+  for (std::uint32_t pod = 0; pod < k; ++pod) {
+    std::vector<std::string> edges, aggs;
+    for (std::uint32_t j = 0; j < half; ++j) {
+      edges.push_back(strings::format("e%u_%u", pod, j));
+      aggs.push_back(strings::format("a%u_%u", pod, j));
+      plan.switches.push_back(edges.back());
+      plan.switches.push_back(aggs.back());
+    }
+    // Edge <-> aggregation: full bipartite within the pod.
+    for (const auto& e : edges)
+      for (const auto& a : aggs) plan.links.push_back({e, a});
+    // Aggregation j uplinks to cores [j*(k/2), (j+1)*(k/2)).
+    for (std::uint32_t j = 0; j < half; ++j)
+      for (std::uint32_t c = 0; c < half; ++c)
+        plan.links.push_back({aggs[j], cores[j * half + c]});
+    // k/2 hosts per edge switch.
+    for (std::uint32_t j = 0; j < half; ++j) {
+      for (std::uint32_t h = 0; h < half; ++h) {
+        plan.hosts.push_back(strings::format("h%u_%u_%u", pod, j, h));
+        plan.links.push_back({plan.hosts.back(), edges[j]});
+      }
+    }
+    // One VNF container per pod, hanging off the pod's first edge switch.
+    plan.containers.push_back(strings::format("ctr%u", pod));
+    plan.links.push_back({plan.containers.back(), edges[0]});
+  }
+
+  // --- Poisson arrivals, Zipf destinations, Pareto sizes ----------------
+  // Destination popularity ranks are a seeded permutation of the hosts so
+  // the hot destinations are not always the lexicographically first ones.
+  std::vector<std::size_t> rank_to_host(plan.hosts.size());
+  for (std::size_t i = 0; i < rank_to_host.size(); ++i) rank_to_host[i] = i;
+  rng.shuffle(rank_to_host);
+  const std::vector<double> cdf = zipf_cdf(plan.hosts.size(), std::max(0.0, opts.zipf_s));
+
+  const double mean_gap_s = opts.arrival_rate > 0.0 ? 1.0 / opts.arrival_rate : 0.001;
+  double clock_s = 0.0;
+  plan.arrivals.reserve(opts.flows);
+  for (std::uint64_t f = 0; f < opts.flows; ++f) {
+    clock_s += rng.next_exponential(mean_gap_s);
+    FlowArrival fa;
+    fa.at = static_cast<SimTime>(clock_s * static_cast<double>(timeunit::kSecond));
+    if (opts.chains > 0 && rng.next_bool(opts.chain_traffic_fraction)) {
+      // Chain-aligned: travels a churn slot's endpoint pair, matching the
+      // steering rules of that slot's chain when it is deployed.
+      const std::size_t slot = rng.pick_index(opts.chains);
+      fa.src_host = (2 * slot) % plan.hosts.size();
+      fa.dst_host = (2 * slot + 1) % plan.hosts.size();
+    } else {
+      fa.dst_host = rank_to_host[zipf_pick(rng, cdf)];
+      // Uniform source, resampled so a host never talks to itself.
+      do {
+        fa.src_host = rng.pick_index(plan.hosts.size());
+      } while (fa.src_host == fa.dst_host && plan.hosts.size() > 1);
+    }
+    fa.src_port = static_cast<std::uint16_t>(rng.next_range(10000, 60000));
+    fa.dst_port = rng.next_bool(0.7) ? 80 : static_cast<std::uint16_t>(rng.next_range(1, 1024));
+    fa.packets = pareto_packets(rng, std::max<std::uint64_t>(1, opts.pareto_min),
+                                std::max(0.1, opts.pareto_alpha));
+    plan.arrivals.push_back(fa);
+  }
+  // Arrivals are generated in time order already; keep the invariant
+  // explicit in case the process above ever changes.
+  std::stable_sort(plan.arrivals.begin(), plan.arrivals.end(),
+                   [](const FlowArrival& a, const FlowArrival& b) { return a.at < b.at; });
+
+  // --- chain deploy/teardown churn --------------------------------------
+  const SimTime traffic_end = plan.arrivals.empty() ? 0 : plan.arrivals.back().at;
+  if (opts.chains > 0 && opts.churn_rate > 0.0) {
+    std::vector<bool> deployed(opts.chains, false);
+    double churn_clock_s = 0.0;
+    const double churn_gap_s = 1.0 / opts.churn_rate;
+    while (true) {
+      churn_clock_s += rng.next_exponential(churn_gap_s);
+      const auto at = static_cast<SimTime>(churn_clock_s * static_cast<double>(timeunit::kSecond));
+      if (at > traffic_end) break;
+      const auto slot = static_cast<std::uint32_t>(rng.pick_index(opts.chains));
+      plan.churn.push_back({at, !deployed[slot], slot});
+      deployed[slot] = !deployed[slot];
+    }
+  }
+
+  plan.horizon = traffic_end;
+  if (!plan.churn.empty()) plan.horizon = std::max(plan.horizon, plan.churn.back().at);
+  return plan;
+}
+
+}  // namespace escape::workload

@@ -1,0 +1,104 @@
+// Deterministic workload generator: heavy-tailed flow arrivals and
+// service-chain deploy/teardown churn over fat-tree topologies.
+//
+// This is the synthetic-load side of the million-flow classification
+// work (bench E8 and `escape-run --workload`): instead of hand-written
+// topology + service-graph JSON, a seeded plan describes a fat-tree(k)
+// substrate, a Poisson flow-arrival process with Pareto-distributed flow
+// sizes and Zipf-skewed destination popularity, and a background churn
+// process that deploys and tears down service chains while traffic runs.
+//
+// Layering: this file emits only plain data (names, index pairs,
+// timestamped events). Materializing the plan into a live Environment /
+// TopologySpec is the caller's job (tools/escape_run.cpp, bench) so the
+// util layer stays dependency-free. Everything is derived from
+// `escape::Rng`; the same Options always produce the same Plan.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace escape::workload {
+
+struct Options {
+  std::uint64_t seed = 1;
+
+  /// Fat-tree arity: k pods, k/2 edge + k/2 aggregation switches per
+  /// pod, (k/2)^2 core switches, k/2 hosts per edge switch (k^3/4 hosts
+  /// total). Must be even and >= 2; odd values are rounded up.
+  std::uint32_t fattree_k = 4;
+
+  /// Number of flow arrivals to generate.
+  std::uint64_t flows = 1000;
+
+  /// Poisson arrival rate, flows per virtual second.
+  double arrival_rate = 200.0;
+
+  /// Pareto flow-size tail index (smaller = heavier tail) and minimum
+  /// packets per flow.
+  double pareto_alpha = 1.3;
+  std::uint64_t pareto_min = 4;
+
+  /// Zipf exponent for destination-host popularity (0 = uniform).
+  double zipf_s = 1.1;
+
+  /// Number of service-chain slots cycled by the churn process, and the
+  /// rate (events per virtual second) at which slots flip between
+  /// deployed and torn down. chains == 0 disables churn.
+  std::uint32_t chains = 4;
+  double churn_rate = 2.0;
+
+  /// Fraction of arrivals routed between a chain slot's endpoint pair
+  /// (hosts 2s and 2s+1 for slot s). Those flows are deliverable while
+  /// the slot's chain is up; the remainder are arbitrary host pairs that
+  /// exercise the table-miss / packet-in path.
+  double chain_traffic_fraction = 0.25;
+};
+
+/// An undirected substrate link between two named nodes.
+struct LinkSpec {
+  std::string a;
+  std::string b;
+};
+
+/// One flow: at virtual time `at`, host `src_host` starts a UDP flow of
+/// `packets` packets towards host `dst_host`.
+struct FlowArrival {
+  SimTime at = 0;
+  std::size_t src_host = 0;
+  std::size_t dst_host = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint64_t packets = 0;
+};
+
+/// One churn event: deploy (or tear down) the chain occupying `slot`.
+/// Events for a slot strictly alternate starting with a deploy, so a
+/// consumer can map slot -> live chain id.
+struct ChurnEvent {
+  SimTime at = 0;
+  bool deploy = true;
+  std::uint32_t slot = 0;
+};
+
+struct Plan {
+  std::vector<std::string> hosts;
+  std::vector<std::string> switches;
+  /// VNF containers, one per pod, attached to that pod's first edge
+  /// switch -- substrate capacity for the churn process's chains.
+  std::vector<std::string> containers;
+  std::vector<LinkSpec> links;
+  std::vector<FlowArrival> arrivals;  // sorted by .at
+  std::vector<ChurnEvent> churn;      // sorted by .at
+  /// Virtual time of the last generated event.
+  SimTime horizon = 0;
+};
+
+/// Generates the deterministic plan for `opts`. Same Options (including
+/// seed) => byte-identical Plan on every platform.
+Plan generate(const Options& opts);
+
+}  // namespace escape::workload

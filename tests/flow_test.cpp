@@ -639,10 +639,13 @@ TEST(FlowTableMissMemo, ExpiryInvalidatesMemoizedMisses) {
   EXPECT_EQ(table.lookup(of_key(99), 100, 0), nullptr);
   EXPECT_EQ(table.miss_short_circuits(), 1u);
 
-  // The idle entry expires; its eviction bumps the version, so the miss
-  // memo does not hide the (new) miss of the previously-matching key.
+  // The idle entry expires: lookups skip it (a fresh miss, memoizable
+  // because expiry only ever creates new misses); the sweep evicts it
+  // and bumps the version, which clears the memo.
   EXPECT_EQ(table.lookup(of_key(80), 100, seconds(3)), nullptr);
   EXPECT_EQ(table.lookup(of_key(80), 100, seconds(3)), nullptr);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.expire(seconds(3)), 1u);
   EXPECT_EQ(table.size(), 0u);
 }
 

@@ -53,6 +53,21 @@ TEST(Match, ExactFromKeyIsExact) {
   EXPECT_FALSE(m.is_table_miss());
 }
 
+TEST(Match, CidrSettersCanonicalizeHostBits) {
+  // 10.1.2.3/16 and 10.1.9.9/16 constrain the same bits; the setters
+  // store the masked base so the two templates are one identity (and
+  // land in the same tuple-space bucket instead of piling distinct
+  // "matches" into a shared masked-key bucket).
+  Match a = Match().nw_src(Ipv4Addr(10, 1, 2, 3), 16);
+  Match b = Match().nw_src(Ipv4Addr(10, 1, 9, 9), 16);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.fields().nw_src, Ipv4Addr(10, 1, 0, 0));
+  EXPECT_NE(a, Match().nw_src(Ipv4Addr(10, 2, 0, 0), 16));
+  // Matching behavior is unchanged by canonicalization.
+  EXPECT_TRUE(a.matches(udp_key(1, Ipv4Addr(10, 1, 200, 200))));
+  EXPECT_FALSE(a.matches(udp_key(1, Ipv4Addr(10, 2, 0, 1))));
+}
+
 TEST(Match, EqualityIgnoresWildcardedFields) {
   Match a = Match().in_port(1);
   Match b = Match().in_port(1);
@@ -146,8 +161,10 @@ TEST(FlowTable, IdleTimeoutEvicts) {
   // Hits inside the idle window keep it alive.
   EXPECT_NE(table.lookup(udp_key(), 100, milliseconds(500)), nullptr);
   EXPECT_NE(table.lookup(udp_key(), 100, milliseconds(1400)), nullptr);
-  // 1 s of silence expires it.
+  // 1 s of silence expires it: lookups skip it, the sweep evicts it.
   EXPECT_EQ(table.lookup(udp_key(), 100, milliseconds(2500)), nullptr);
+  EXPECT_EQ(removed, 0);
+  EXPECT_EQ(table.expire(milliseconds(2500)), 1u);
   EXPECT_EQ(removed, 1);
   EXPECT_EQ(reason, FlowRemovedReason::kIdleTimeout);
 }

@@ -13,15 +13,23 @@
 //              [--faults FILE] [--self-heal]
 //              [--threads N] [--shard-by region|switch|none]
 //              [--flow-capacity N] [--flow-timeout-ms MS]
+//
+// Synthetic-workload mode (no JSON artifacts; see src/util/workload.hpp):
+//
+//   escape-run --workload [--workload-seed N] [--workload-k K]
+//              [--workload-flows N] [--workload-chains N]
+//              [--rate PPS] [--metrics] [--metrics-json FILE] ...
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include "click/flow.hpp"
 #include "escape/environment.hpp"
 #include "fault/fault_plane.hpp"
 #include "obs/metrics.hpp"
+#include "util/workload.hpp"
 
 using namespace escape;
 
@@ -53,6 +61,8 @@ struct Options {
   std::uint64_t of_echo_ms = 0;  // 0 = default OpenFlow keepalive cadence
   std::uint64_t threads = 1;     // event-engine worker threads
   netemu::ShardBy shard_by = netemu::ShardBy::kNone;
+  bool workload = false;  // synthetic fat-tree workload instead of JSON inputs
+  workload::Options workload_opts;
 };
 
 /// Prints the registry lines that belong to one VNF (matched by its
@@ -79,9 +89,147 @@ int usage(const char* argv0) {
                "          [--monitor VNF] [--monitor-interval MS]\n"
                "          [--faults FILE] [--self-heal] [--of-echo-ms MS]\n"
                "          [--threads N] [--shard-by region|switch|none]\n"
-               "          [--flow-capacity N] [--flow-timeout-ms MS]\n",
-               argv0);
+               "          [--flow-capacity N] [--flow-timeout-ms MS]\n"
+               "   or: %s --workload [--workload-seed N] [--workload-k K]\n"
+               "          [--workload-flows N] [--workload-chains N] ...\n",
+               argv0, argv0);
   return 2;
+}
+
+/// --workload: synthesize a fat-tree substrate and a heavy-tailed
+/// traffic + chain-churn schedule from a seed, then run it. This is the
+/// paper's "scalability" demo without hand-authored JSON, and the same
+/// generator the classification benches replay (bench E8).
+int run_workload(const Options& opts) {
+  const workload::Plan plan = workload::generate(opts.workload_opts);
+
+  // Materialize the plan as a TopologySpec: auto-assigned ports (0 for
+  // hosts/containers, dense from 1 for switches -- the spec only needs
+  // them unique per node).
+  service::TopologySpec spec;
+  spec.name = "fat-tree-workload";
+  for (const auto& h : plan.hosts) spec.nodes.push_back({h, "host", 1.0, 8});
+  for (const auto& s : plan.switches) spec.nodes.push_back({s, "switch", 1.0, 8});
+  for (const auto& c : plan.containers) spec.nodes.push_back({c, "container", 4.0, 16});
+  std::map<std::string, std::uint16_t> next_port;
+  for (const auto& s : plan.switches) next_port[s] = 1;
+  auto port_of = [&next_port](const std::string& node) -> std::uint16_t {
+    auto it = next_port.find(node);
+    return it == next_port.end() ? 0 : it->second++;
+  };
+  for (const auto& l : plan.links) {
+    service::TopologyLinkSpec link;
+    link.a = l.a;
+    link.port_a = port_of(l.a);
+    link.b = l.b;
+    link.port_b = port_of(l.b);
+    spec.links.push_back(link);
+  }
+
+  EnvironmentOptions env_opts{.mapping_algorithm = opts.algorithm};
+  env_opts.threads = opts.threads;
+  env_opts.shard_by = opts.shard_by;
+  Environment env{env_opts};
+  if (auto s = env.load_topology(spec); !s.ok()) {
+    std::fprintf(stderr, "build: %s\n", s.error().to_string().c_str());
+    return 1;
+  }
+  if (auto s = env.start(); !s.ok()) {
+    std::fprintf(stderr, "start: %s\n", s.error().to_string().c_str());
+    return 1;
+  }
+  std::printf(
+      "workload: fat-tree k=%u, %zu hosts, %zu switches, %zu flows, "
+      "%zu churn events (seed %llu)\n",
+      opts.workload_opts.fattree_k, plan.hosts.size(), plan.switches.size(),
+      plan.arrivals.size(), plan.churn.size(),
+      static_cast<unsigned long long>(opts.workload_opts.seed));
+
+  // Plan times are relative to t=0 but env.start() already advanced the
+  // virtual clock (discovery, handshakes), so rebase everything on "now".
+  const SimTime base = env.scheduler().now();
+
+  // Flow arrivals: every event starts a UDP flow at its planned virtual
+  // time; the per-flow packet rate comes from --rate. Each arrival goes
+  // straight onto the source host's shard, so starting the flow is a
+  // shard-local event even with --threads N (cross-shard hops then ride
+  // the links' registered lookahead).
+  std::uint64_t packets_offered = 0;
+  for (const auto& fa : plan.arrivals) {
+    packets_offered += fa.packets;
+    netemu::Host* src = env.host(plan.hosts[fa.src_host]);
+    netemu::Host* dst = env.host(plan.hosts[fa.dst_host]);
+    if (!src || !dst) continue;
+    src->scheduler().schedule_at(base + fa.at, [src, dst, fa, rate = opts.rate] {
+      src->start_udp_flow(dst->mac(), dst->ip(), fa.src_port, fa.dst_port, fa.packets, rate);
+    });
+  }
+
+  // Chain churn: each slot alternates deploy/teardown of a one-firewall
+  // chain between a fixed pair of hosts. Deploys are whole-network
+  // orchestration, so they run on the control thread *between* scheduler
+  // segments (like the JSON workflow's deploy-then-run), not inside an
+  // event. Deploy failures (e.g. substrate exhaustion) are counted, not
+  // fatal -- churn keeps running.
+  std::map<std::uint32_t, std::uint32_t> live;  // slot -> chain id
+  std::uint64_t deploys = 0, teardowns = 0, failures = 0;
+  for (const auto& ev : plan.churn) {
+    env.scheduler().run_until(base + ev.at);
+    if (ev.deploy) {
+      const std::size_t n = plan.hosts.size();
+      const std::string& a = plan.hosts[(2 * ev.slot) % n];
+      const std::string& b = plan.hosts[(2 * ev.slot + 1) % n];
+      sg::ServiceGraph graph("churn-" + std::to_string(ev.slot));
+      const std::string fw = "fw_slot" + std::to_string(ev.slot);
+      graph.add_sap(a);
+      graph.add_vnf(fw, "firewall", {{"default", "allow"}}, 0.05);
+      graph.add_link(a, fw);
+      graph.add_link(fw, b);
+      graph.add_sap(b);
+      auto id = env.deploy(graph);
+      if (id.ok()) {
+        live[ev.slot] = *id;
+        ++deploys;
+      } else {
+        ++failures;
+      }
+    } else {
+      auto it = live.find(ev.slot);
+      if (it == live.end()) continue;  // matching deploy failed
+      if (env.undeploy(it->second).ok()) ++teardowns;
+      live.erase(it);
+    }
+  }
+
+  // Run to the planned horizon plus drain time for in-flight packets.
+  env.scheduler().run_until(base + plan.horizon + seconds(opts.duration_s));
+
+  std::uint64_t delivered = 0;
+  for (const auto& h : plan.hosts) {
+    if (netemu::Host* host = env.host(h)) delivered += host->rx_packets();
+  }
+  std::printf("traffic: %llu/%llu packets delivered across %zu flows\n",
+              static_cast<unsigned long long>(delivered),
+              static_cast<unsigned long long>(packets_offered), plan.arrivals.size());
+  std::printf("churn: %llu deploys, %llu teardowns, %llu failures, %zu chains live at end\n",
+              static_cast<unsigned long long>(deploys),
+              static_cast<unsigned long long>(teardowns),
+              static_cast<unsigned long long>(failures), live.size());
+
+  if (opts.metrics) {
+    std::printf("\n=== metrics (Prometheus text exposition) ===\n%s",
+                obs::MetricsRegistry::global().render_text().c_str());
+  }
+  if (!opts.metrics_json_path.empty()) {
+    std::ofstream out(opts.metrics_json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", opts.metrics_json_path.c_str());
+      return 1;
+    }
+    out << obs::MetricsRegistry::global().snapshot_json().dump(2) << "\n";
+    std::printf("metrics snapshot written to %s\n", opts.metrics_json_path.c_str());
+  }
+  return 0;
 }
 
 }  // namespace
@@ -166,12 +314,37 @@ int main(int argc, char** argv) {
       if (!v) return usage(argv[0]);
       click::FlowManager::set_default_idle_timeout(
           milliseconds(std::strtoull(v, nullptr, 10)));
+    } else if (arg == "--workload") {
+      opts.workload = true;
+    } else if (arg == "--workload-seed") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opts.workload_opts.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--workload-k") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opts.workload_opts.fattree_k =
+          static_cast<std::uint32_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--workload-flows") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opts.workload_opts.flows = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--workload-chains") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opts.workload_opts.chains =
+          static_cast<std::uint32_t>(std::strtoull(v, nullptr, 10));
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return usage(argv[0]);
     } else {
       positional.push_back(arg);
     }
+  }
+  if (opts.workload) {
+    if (!positional.empty()) return usage(argv[0]);  // plan is synthesized
+    Logging::set_level(opts.verbose ? LogLevel::kInfo : LogLevel::kWarn);
+    return run_workload(opts);
   }
   if (positional.size() != 2) return usage(argv[0]);
   opts.topology_path = positional[0];
