@@ -246,6 +246,14 @@ std::size_t FlowStateTable::memory_bytes() const {
   return slots_.size() * sizeof(Slot) + size_ * block_size_;
 }
 
+void FlowStateTable::for_each(
+    const std::function<void(const FlowBlockHeader&, const std::uint8_t*)>& fn) const {
+  for (const Slot& s : slots_) {
+    if (s.hash == 0) continue;
+    fn(*reinterpret_cast<const FlowBlockHeader*>(s.block.get()), s.block.get());
+  }
+}
+
 // --- flow context -----------------------------------------------------------
 
 namespace {
@@ -308,6 +316,38 @@ T value_or_default(const std::optional<std::string>& raw, T fallback,
     return fallback;
   }
 }
+
+// Byte-buffer encoding for the flow-state handoff format: hex digits,
+// or "-" for an empty buffer (every field must be a non-empty token).
+std::string to_hex(const std::uint8_t* data, std::size_t len) {
+  if (len == 0) return "-";
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(len * 2);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(digits[data[i] >> 4]);
+    out.push_back(digits[data[i] & 0xf]);
+  }
+  return out;
+}
+
+bool from_hex(const std::string& s, std::vector<std::uint8_t>& out) {
+  out.clear();
+  if (s == "-") return true;
+  if (s.size() % 2 != 0) return false;
+  auto nib = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  out.reserve(s.size() / 2);
+  for (std::size_t i = 0; i < s.size(); i += 2) {
+    int hi = nib(s[i]), lo = nib(s[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return true;
+}
 }  // namespace
 
 void FlowManager::set_default_capacity(std::size_t flows) {
@@ -336,8 +376,21 @@ FlowManager::FlowManager()
   add_read_handler("non_ip", [this] { return std::to_string(non_ip_); });
   add_read_handler("memory_bytes", [this] { return std::to_string(table_.memory_bytes()); });
   add_read_handler("max_probe", [this] { return std::to_string(table_.max_probe()); });
+  add_read_handler("hold", [this] { return std::to_string(holding_ ? 1 : 0); });
+  add_read_handler("held", [this] { return std::to_string(held_.size()); });
+  add_read_handler("hold_drops", [this] { return std::to_string(hold_drops_); });
   add_write_handler("clear", [this](std::string_view) {
     table_.clear();
+    return ok_status();
+  });
+  add_write_handler("hold", [this](std::string_view v) -> Status {
+    if (v == "1" || v == "true") {
+      set_hold(true);
+    } else if (v == "0" || v == "false") {
+      set_hold(false);
+    } else {
+      return make_error("click.flowmanager.hold", "hold takes 0/1");
+    }
     return ok_status();
   });
 }
@@ -353,6 +406,15 @@ Status FlowManager::configure(const ConfigArgs& args) {
   if (bad) return make_error("click.flowmanager.config", "non-numeric argument");
   if (capacity == 0) return make_error("click.flowmanager.config", "CAPACITY must be > 0");
   if (sweep_ms == 0) return make_error("click.flowmanager.config", "SWEEP_MS must be > 0");
+  if (auto v = args.keyword("HOLD")) {
+    if (*v == "true" || *v == "1") {
+      holding_ = true;
+    } else if (*v == "false" || *v == "0") {
+      holding_ = false;
+    } else {
+      return make_error("click.flowmanager.config", "HOLD must be true or false");
+    }
+  }
   table_ = FlowStateTable(buckets, capacity);
   idle_timeout_ = timeout_ms * timeunit::kMillisecond;
   sweep_interval_ = sweep_ms * timeunit::kMillisecond;
@@ -400,7 +462,35 @@ Result<FlowManager*> FlowManager::resolve(Router& router, const std::string& nam
   return found;  // may be nullptr: caller decides whether that is an error
 }
 
+void FlowManager::hold_packet(Packet&& p) {
+  if (held_.size() >= hold_cap_) {
+    ++hold_drops_;
+    return;
+  }
+  held_.push_back(std::move(p));
+}
+
+void FlowManager::set_hold(bool hold) {
+  holding_ = hold;
+  // Releasing flushes FIFO through the normal push path, so the held
+  // packets classify against the (just-imported) flow state in arrival
+  // order. A re-hold mid-flush stops the drain with the rest still held.
+  while (!holding_ && !held_.empty()) {
+    Packet p = std::move(held_.front());
+    held_.pop_front();
+    classify_push(std::move(p));
+  }
+}
+
 void FlowManager::push(int, Packet&& p) {
+  if (holding_) {
+    hold_packet(std::move(p));
+    return;
+  }
+  classify_push(std::move(p));
+}
+
+void FlowManager::classify_push(Packet&& p) {
   auto tuple = FlowTuple::from_packet(p);
   if (!tuple) {
     ++non_ip_;
@@ -443,6 +533,10 @@ void FlowManager::emit_run(PacketBatch& batch, std::size_t i, std::size_t j, int
 
 void FlowManager::push_batch(int, PacketBatch&& batch) {
   if (batch.empty()) return;
+  if (holding_) {
+    for (Packet& p : batch) hold_packet(std::move(p));
+    return;
+  }
   SimTime now = router()->scheduler().now();
   // Classify the whole batch up front, then emit maximal same-flow runs
   // downstream under one FlowScope each, preserving arrival order.
@@ -484,6 +578,92 @@ void FlowManager::push_batch(int, PacketBatch&& batch) {
     emit_run(batch, i, j, 0, &ctx);
     i = j;
   }
+}
+
+std::string FlowManager::export_state() const {
+  // Handoff wire format (one record per flow, line-based):
+  //   flow <src_ip> <dst_ip> <sport> <dport> <proto> <created> <last_seen>
+  //        <packets> <bytes>
+  //   state <element-name> <codec payload>      (0..n lines per flow)
+  // Codec lines follow element initialize order, so exports are stable.
+  std::ostringstream os;
+  table_.for_each([&](const FlowBlockHeader& hdr, const std::uint8_t* block) {
+    os << "flow " << hdr.tuple.src_ip << ' ' << hdr.tuple.dst_ip << ' ' << hdr.tuple.src_port
+       << ' ' << hdr.tuple.dst_port << ' ' << unsigned{hdr.tuple.proto} << ' ' << hdr.created
+       << ' ' << hdr.last_seen << ' ' << hdr.packets << ' ' << hdr.bytes << '\n';
+    for (const FlowCodec& codec : codecs_) {
+      std::string line = codec.save(hdr, block);
+      if (!line.empty()) os << "state " << codec.name << ' ' << line << '\n';
+    }
+  });
+  return os.str();
+}
+
+Result<std::size_t> FlowManager::import_state(const std::string& text) {
+  if (router() == nullptr) {
+    return Error{"click.flow.import", "FlowManager not initialized"};
+  }
+  const SimTime now = router()->scheduler().now();
+  std::istringstream lines(text);
+  std::string line;
+  std::uint8_t* block = nullptr;
+  std::size_t imported = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    if (kind == "flow") {
+      FlowTuple t;
+      unsigned sport = 0, dport = 0, proto = 0;
+      FlowBlockHeader saved;
+      fields >> t.src_ip >> t.dst_ip >> sport >> dport >> proto >> saved.created >>
+          saved.last_seen >> saved.packets >> saved.bytes;
+      if (!fields || proto > 255 || sport > 65535 || dport > 65535) {
+        return Error{"click.flow.import", "bad flow record '" + line + "'"};
+      }
+      t.src_port = static_cast<std::uint16_t>(sport);
+      t.dst_port = static_cast<std::uint16_t>(dport);
+      t.proto = static_cast<std::uint8_t>(proto);
+      auto res = table_.find_or_create(t, now);
+      if (res.block == nullptr) {
+        return Error{"click.flow.import-full",
+                     "flow table at capacity importing " + t.to_string()};
+      }
+      block = res.block;
+      auto* hdr = table_.header_of(block);
+      hdr->created = saved.created;
+      hdr->last_seen = saved.last_seen;
+      hdr->packets = saved.packets;
+      hdr->bytes = saved.bytes;
+      ++imported;
+    } else if (kind == "state") {
+      if (block == nullptr) {
+        return Error{"click.flow.import", "state line before any flow record"};
+      }
+      std::string elem;
+      fields >> elem;
+      std::string payload;
+      std::getline(fields, payload);
+      if (!payload.empty() && payload.front() == ' ') payload.erase(0, 1);
+      const FlowCodec* codec = nullptr;
+      for (const FlowCodec& c : codecs_) {
+        if (c.name == elem) {
+          codec = &c;
+          break;
+        }
+      }
+      if (codec == nullptr) {
+        return Error{"click.flow.import", "no codec registered for element '" + elem + "'"};
+      }
+      if (auto s = codec->load(*table_.header_of(block), block, payload); !s.ok()) {
+        return s.error();
+      }
+    } else {
+      return Error{"click.flow.import", "unknown record '" + kind + "'"};
+    }
+  }
+  return imported;
 }
 
 // --- FlowNAT ----------------------------------------------------------------
@@ -533,6 +713,34 @@ Status FlowNAT::initialize(Router& router) {
     free_ports_.push_back(slot->ext_port);
     slot->state = 0;
   });
+  // Migration codec: the port mapping must survive a flow handoff or the
+  // new instance would re-NAT mid-flow and reset every connection.
+  fm_->register_codec(
+      {name(),
+       [this](const FlowBlockHeader&, const std::uint8_t* block) -> std::string {
+         const auto* slot = reinterpret_cast<const NatSlot*>(block + slot_off_);
+         if (slot->state == 0) return {};
+         return std::to_string(unsigned{slot->state}) + " " + std::to_string(slot->ext_port);
+       },
+       [this](const FlowBlockHeader& hdr, std::uint8_t* block,
+              const std::string& payload) -> Status {
+         unsigned state = 0, port = 0;
+         std::istringstream fields(payload);
+         fields >> state >> port;
+         if (!fields || state > 2 || port > 65535) {
+           return make_error("click.flownat.import", "bad NAT state '" + payload + "'");
+         }
+         auto* slot = reinterpret_cast<NatSlot*>(block + slot_off_);
+         slot->state = static_cast<std::uint8_t>(state);
+         slot->ext_port = static_cast<std::uint16_t>(port);
+         if (state == 1) {
+           reverse_[ReverseKey{hdr.tuple.proto, slot->ext_port}] =
+               Internal{hdr.tuple.src_ip, hdr.tuple.src_port};
+           auto it = std::find(free_ports_.begin(), free_ports_.end(), slot->ext_port);
+           if (it != free_ports_.end()) free_ports_.erase(it);
+         }
+         return ok_status();
+       }});
   return ok_status();
 }
 
@@ -682,6 +890,35 @@ Status FlowLB::initialize(Router& router) {
     }
     slot->assigned = 0;
   });
+  // Migration codec: stickiness must survive a handoff so established
+  // flows keep hitting the backend that holds their state.
+  fm_->register_codec(
+      {name(),
+       [this](const FlowBlockHeader&, const std::uint8_t* block) -> std::string {
+         const auto* slot = reinterpret_cast<const LbSlot*>(block + slot_off_);
+         if (slot->assigned == 0) return {};
+         return std::to_string(unsigned{slot->backend});
+       },
+       [this](const FlowBlockHeader&, std::uint8_t* block,
+              const std::string& payload) -> Status {
+         unsigned backend = out_flows_.size();
+         std::istringstream fields(payload);
+         fields >> backend;
+         if (!fields || backend >= out_flows_.size()) {
+           return make_error("click.flowlb.import", "bad backend '" + payload + "'");
+         }
+         auto* slot = reinterpret_cast<LbSlot*>(block + slot_off_);
+         if (slot->assigned == 0) {
+           ++flows_assigned_;
+           ++out_flows_[backend];
+         } else if (slot->backend < out_flows_.size() && slot->backend != backend) {
+           --out_flows_[slot->backend];
+           ++out_flows_[backend];
+         }
+         slot->assigned = 1;
+         slot->backend = static_cast<std::uint8_t>(backend);
+         return ok_status();
+       }});
   return ok_status();
 }
 
@@ -760,6 +997,50 @@ Status TcpReassembler::initialize(Router& router) {
     idx1 = 0;
     std::memcpy(block + slot_off_, &idx1, sizeof(idx1));
   });
+  // Migration codec. The scratch holds an index into this element's
+  // states_ vector, so a raw copy would be meaningless on the target
+  // instance -- the stream buffers themselves travel instead.
+  fm_->register_codec(
+      {name(),
+       [this](const FlowBlockHeader&, const std::uint8_t* block) -> std::string {
+         std::uint32_t idx1;
+         std::memcpy(&idx1, block + slot_off_, sizeof(idx1));
+         if (idx1 == 0) return {};
+         const StreamState& st = *states_[idx1 - 1];
+         std::ostringstream os;
+         os << unsigned{st.have_isn} << ' ' << st.next_seq << ' ' << st.delivered << ' '
+            << to_hex(st.pending.data(), st.pending.size()) << ' ' << st.ooo.size();
+         for (const auto& [seq, seg] : st.ooo) {
+           os << ' ' << seq << ' ' << to_hex(seg.data(), seg.size());
+         }
+         return os.str();
+       },
+       [this](const FlowBlockHeader&, std::uint8_t* block,
+              const std::string& payload) -> Status {
+         std::istringstream fields(payload);
+         unsigned have_isn = 0;
+         std::size_t n_ooo = 0;
+         std::string pending_hex;
+         StreamState* st = state_of(block, /*create=*/true);
+         *st = StreamState{};
+         fields >> have_isn >> st->next_seq >> st->delivered >> pending_hex >> n_ooo;
+         if (!fields || have_isn > 1 || !from_hex(pending_hex, st->pending)) {
+           return make_error("click.tcpreassembler.import", "bad stream state");
+         }
+         st->have_isn = have_isn != 0;
+         for (std::size_t i = 0; i < n_ooo; ++i) {
+           std::uint32_t seq = 0;
+           std::string seg_hex;
+           fields >> seq >> seg_hex;
+           std::vector<std::uint8_t> seg;
+           if (!fields || !from_hex(seg_hex, seg)) {
+             return make_error("click.tcpreassembler.import", "bad ooo segment");
+           }
+           st->ooo_bytes += seg.size();
+           st->ooo.emplace(seq, std::move(seg));
+         }
+         return ok_status();
+       }});
   return ok_status();
 }
 
@@ -978,6 +1259,35 @@ Status StreamIDS::initialize(Router& router) {
   if (reasm_ != nullptr && fm_ == nullptr) fm_ = reasm_->flow_manager();
   if (fm_ != nullptr) {
     slot_off_ = fm_->reserve_scratch(sizeof(IdsSlotHeader) + tail_cap_, alignof(IdsSlotHeader));
+    // Migration codec: the kept tail and the alerted flag must travel or
+    // a handoff would lose cross-packet matches straddling the cutover
+    // (and un-cut a flow that MODE drop already flagged).
+    fm_->register_codec(
+        {name(),
+         [this](const FlowBlockHeader&, const std::uint8_t* block) -> std::string {
+           const auto* slot = reinterpret_cast<const IdsSlotHeader*>(block + slot_off_);
+           if (slot->tail_len == 0 && slot->alerted == 0) return {};
+           const std::uint8_t* tail = block + slot_off_ + sizeof(IdsSlotHeader);
+           return std::to_string(unsigned{slot->alerted}) + " " + to_hex(tail, slot->tail_len);
+         },
+         [this](const FlowBlockHeader&, std::uint8_t* block,
+                const std::string& payload) -> Status {
+           unsigned alerted = 0;
+           std::string tail_hex;
+           std::istringstream fields(payload);
+           fields >> alerted >> tail_hex;
+           std::vector<std::uint8_t> tail;
+           if (!fields || alerted > 1 || !from_hex(tail_hex, tail) || tail.size() > tail_cap_) {
+             return make_error("click.streamids.import", "bad IDS state '" + payload + "'");
+           }
+           auto* slot = reinterpret_cast<IdsSlotHeader*>(block + slot_off_);
+           slot->alerted = static_cast<std::uint8_t>(alerted);
+           slot->tail_len = static_cast<std::uint16_t>(tail.size());
+           if (!tail.empty()) {
+             std::memcpy(block + slot_off_ + sizeof(IdsSlotHeader), tail.data(), tail.size());
+           }
+           return ok_status();
+         }});
   }
   return ok_status();
 }

@@ -120,6 +120,12 @@ class FlowStateTable {
   /// Evicts everything (fires listeners).
   void clear();
 
+  /// Visits every live flow in slot order. Slot order is a pure function
+  /// of the insertion history, so exports taken at the same virtual time
+  /// are bit-identical across runs and worker-thread counts.
+  void for_each(
+      const std::function<void(const FlowBlockHeader&, const std::uint8_t*)>& fn) const;
+
   std::size_t size() const { return size_; }
   std::size_t bucket_count() const { return slots_.size(); }
   std::size_t max_flows() const { return max_flows_; }
@@ -195,7 +201,7 @@ class FlowScope {
 // --- FlowManager element ----------------------------------------------------
 
 /// FlowManager(CAPACITY 1048576, BUCKETS 1024, TIMEOUT_MS 30000,
-///             SWEEP_MS 1000)
+///             SWEEP_MS 1000, HOLD false)
 /// Push element: classifies each packet into a flow, updates the block
 /// header, and pushes downstream with the flow context set. Non-IPv4
 /// packets pass through with no context. Packets that cannot get a
@@ -205,6 +211,15 @@ class FlowScope {
 /// CAPACITY/TIMEOUT_MS accept the literal "default" (or may be
 /// omitted) to use the process-wide defaults settable by escape-run's
 /// --flow-capacity / --flow-timeout-ms flags.
+///
+/// Migration support (the OpenNF-style loss-free handoff): with HOLD
+/// true (or after `write hold 1`) every arriving packet is buffered
+/// instead of pushed, so a freshly deployed instance can receive
+/// imported flow state before it processes its first packet; `write
+/// hold 0` flushes the buffer FIFO through the normal push path.
+/// export_state()/import_state() serialize the flow table plus the
+/// per-flow scratch of every downstream element that registered a
+/// FlowCodec (NAT port maps, LB stickiness, TCP reassembly buffers).
 class FlowManager : public Element {
  public:
   FlowManager();
@@ -242,10 +257,40 @@ class FlowManager : public Element {
   static void set_default_capacity(std::size_t flows);
   static void set_default_idle_timeout(SimDuration timeout);
 
+  // --- state migration (scale-out/in flow handoff) --------------------------
+
+  /// Per-element serializer of the scratch a stateful element keeps in
+  /// this manager's flow blocks. `name` is the element's instance name
+  /// (stable across replicas rendered from the same catalog template) and
+  /// keys import dispatch. save() returns one line of text (no newlines)
+  /// or "" to skip the flow; load() rebuilds the element's side state
+  /// (port maps, stream buffers) from that line.
+  struct FlowCodec {
+    std::string name;
+    std::function<std::string(const FlowBlockHeader&, const std::uint8_t*)> save;
+    std::function<Status(const FlowBlockHeader&, std::uint8_t*, const std::string&)> load;
+  };
+  void register_codec(FlowCodec codec) { codecs_.push_back(std::move(codec)); }
+
+  /// Serializes every live flow (header + registered codec lines) to the
+  /// line-based handoff wire format (DESIGN.md §13).
+  std::string export_state() const;
+  /// Rebuilds flows from export_state() text. Existing flows with the
+  /// same tuple are overwritten. Returns the number of flows imported.
+  Result<std::size_t> import_state(const std::string& text);
+
+  /// Starts/stops buffering arriving packets; stopping flushes the held
+  /// packets FIFO through the normal push path.
+  void set_hold(bool hold);
+  bool holding() const { return holding_; }
+  std::size_t held() const { return held_.size(); }
+
  private:
   void run_sweep();
   /// Pushes one same-flow run [i, j) of `batch` downstream on `out`.
   void emit_run(PacketBatch& batch, std::size_t i, std::size_t j, int out, FlowCtx* ctx);
+  void hold_packet(Packet&& p);
+  void classify_push(Packet&& p);
 
   FlowStateTable table_;
   SimDuration idle_timeout_;
@@ -256,6 +301,11 @@ class FlowManager : public Element {
   std::uint64_t misses_ = 0;
   std::uint64_t non_ip_ = 0;
   std::uint64_t full_drops_ = 0;
+  bool holding_ = false;
+  std::deque<Packet> held_;
+  std::size_t hold_cap_ = 65536;  // packets
+  std::uint64_t hold_drops_ = 0;
+  std::vector<FlowCodec> codecs_;
 };
 
 // --- stateful VNF elements --------------------------------------------------

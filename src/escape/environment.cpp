@@ -1,6 +1,11 @@
 #include "escape/environment.hpp"
 
+#include <algorithm>
+#include <sstream>
+
+#include "click/flow.hpp"
 #include "obs/trace.hpp"
+#include "service/catalog.hpp"
 
 namespace escape {
 
@@ -10,6 +15,7 @@ std::string_view chain_state_name(ChainState state) {
     case ChainState::kDegraded: return "DEGRADED";
     case ChainState::kRecovering: return "RECOVERING";
     case ChainState::kFailed: return "FAILED";
+    case ChainState::kScaling: return "SCALING";
   }
   return "?";
 }
@@ -154,7 +160,16 @@ Result<openflow::Match> Environment::default_match(const sg::ServiceGraph& graph
                       "chain SAPs must correspond to hosts in the network");
   }
   openflow::Match match;
-  match.dl_type(net::ethertype::kIpv4).nw_src(src->ip()).nw_dst(dst->ip());
+  match.dl_type(net::ethertype::kIpv4).nw_dst(dst->ip());
+  // Pin the source only when no VNF on the chain rewrites it: a
+  // NAT-style chain's post-VNF hops see the rewritten header, so a
+  // src-pinned match would blackhole everything past the rewriter.
+  bool rewrites_source = false;
+  for (const auto& vnf : graph.vnfs()) {
+    const service::VnfTemplate* tmpl = service_layer_.catalog().get(vnf.vnf_type);
+    if (tmpl != nullptr && tmpl->rewrites_source) rewrites_source = true;
+  }
+  if (!rewrites_source) match.nw_src(src->ip());
   return match;
 }
 
@@ -224,6 +239,7 @@ Result<std::uint32_t> Environment::deploy(const sg::ServiceGraph& graph,
             static_cast<double>(deployments_[chain_id].record.setup_latency()) /
                 timeunit::kMillisecond,
             " ms (virtual)");
+  watch_chain_policy(chain_id);
   return chain_id;
 }
 
@@ -307,8 +323,18 @@ Status Environment::undeploy(std::uint32_t chain_id) {
   if (!outcome.ok()) return outcome;
   // Give the chain's substrate reservations back to the view.
   release_chain_reservations(it->second);
+  if (autoscaler_) autoscaler_->unwatch_chain(chain_id);
   deployments_.erase(it);
   return ok_status();
+}
+
+void Environment::release_cpu_ledger(std::vector<std::pair<std::string, double>>& ledger) {
+  if (!view_) {
+    ledger.clear();
+    return;
+  }
+  for (const auto& [container, cpu] : ledger) view_->release_vnf(container, cpu);
+  ledger.clear();
 }
 
 void Environment::release_chain_reservations(ChainDeployment& dep) {
@@ -317,6 +343,13 @@ void Environment::release_chain_reservations(ChainDeployment& dep) {
   if (!view_) return;
   for (const auto& lm : dep.record.mapping.link_mappings) {
     view_->release_path(lm.path, lm.bandwidth_bps);
+  }
+  if (dep.scale_generation > 0) {
+    // Scaled chains account CPU through the per-generation ledger: the
+    // replica instances are not graph nodes, so the graph-derived path
+    // below cannot describe them.
+    release_cpu_ledger(dep.cpu_ledger);
+    return;
   }
   for (const auto& [vnf, container] : dep.record.mapping.placements) {
     if (const sg::VnfNode* node = dep.graph.vnf(vnf)) {
@@ -584,7 +617,11 @@ Result<ChainState> Environment::chain_state(std::uint32_t chain_id) const {
 
 void Environment::update_degraded_gauge() {
   std::size_t n = 0;
-  for (const auto& [_, dep] : deployments_) n += dep.state != ChainState::kActive;
+  for (const auto& [_, dep] : deployments_) {
+    // A migrating (kScaling) chain is healthy, not degraded.
+    n += dep.state == ChainState::kDegraded || dep.state == ChainState::kRecovering ||
+         dep.state == ChainState::kFailed;
+  }
   obs::MetricsRegistry::global().gauge("escape_chains_degraded").set(static_cast<double>(n));
 }
 
@@ -637,6 +674,10 @@ void Environment::degrade_chains_on_dpid(openflow::DatapathId dpid) {
       dep.steering_degraded = true;
       update_degraded_gauge();
       log_.warn("chain ", chain_id, " DEGRADED: steering diverged on dpid=", dpid);
+    } else if (dep.state == ChainState::kScaling) {
+      // The migration's barrier-confirmed installs can no longer be
+      // trusted on this dpid: abort the migration and re-embed.
+      queue_recovery(chain_id);
     }
   }
 }
@@ -657,6 +698,14 @@ void Environment::handle_dpid_resynced(openflow::DatapathId dpid) {
 void Environment::queue_recovery(std::uint32_t chain_id) {
   auto it = deployments_.find(chain_id);
   if (it == deployments_.end() || it->second.state == ChainState::kRecovering) return;
+  if (it->second.state == ChainState::kScaling) {
+    // Fault mid-migration: abort the in-flight scale. Its async steps
+    // observe the epoch bump, unwind their half-built generation and
+    // release its reservations; the chain itself takes the normal
+    // DEGRADED -> RECOVERING path below (single chain-state owner).
+    ++it->second.scale_epoch;
+    log_.warn("chain ", chain_id, " migration aborted by fault");
+  }
   it->second.state = ChainState::kDegraded;
   // A queued re-embed supersedes any steering-only degradation: the
   // recovery path reinstalls the chain's rules itself.
@@ -759,6 +808,14 @@ void Environment::finish_recovery(std::uint32_t chain_id, SimTime started,
   if (outcome.ok()) {
     dep.state = ChainState::kActive;
     dep.recovery_attempts = 0;
+    // Recovery re-embeds the ORIGINAL (unscaled) graph, so any scaling
+    // state is gone: back to one instance, graph-derived reservations,
+    // and a fresh anchor computed from the recovered path if the chain
+    // scales again.
+    dep.scale_instances = 1;
+    dep.scale_generation = 0;
+    dep.cpu_ledger.clear();
+    dep.scale_anchor.reset();
     const double latency_ms =
         static_cast<double>(scheduler_.now() - started) / timeunit::kMillisecond;
     registry.counter("escape_recovery_total", {{"result", "ok"}}).add();
@@ -780,6 +837,844 @@ void Environment::finish_recovery(std::uint32_t chain_id, SimTime started,
     }
   }
   update_degraded_gauge();
+}
+
+// --- elastic scaling -------------------------------------------------------------
+//
+// The make-before-break migration: a new generation of the chain's VNF
+// (splitter + replicas, or one plain instance) is brought up and its
+// steering barrier-confirmed at priority old+1 while the old generation
+// keeps serving; only then is per-flow state handed off and the old
+// generation retired. Every asynchronous step re-checks the chain's
+// scale_epoch so a fault mid-migration unwinds the half-built
+// generation instead of racing the recovery path (the Environment is
+// the single owner of chain-state transitions).
+
+/// In-flight migration state. Lives in shared_ptr captures across the
+/// NETCONF/steering callback chain.
+struct ScaleJob {
+  std::uint32_t chain_id = 0;
+  std::size_t target = 1;
+  std::uint64_t epoch = 0;       // dep.scale_epoch at start; moves -> abort
+  std::uint32_t generation = 0;  // the generation being built
+  std::uint32_t steering_id = 0; // fresh steering id of the new rule set
+  std::string vnf_id;            // the chain's single scaled VNF
+  bool stateful = false;         // replica type embeds a FlowManager
+
+  // New generation ([0] is the splitter when target > 1).
+  std::vector<orchestrator::VnfDeployment> new_vnfs;
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> splitter_outs;  // (cport, sport)
+  std::vector<std::pair<std::string, double>> new_ledger;
+  pox::ChainPath new_path;
+  bool steering_installed = false;
+  // Sequential NETCONF bring-up; step_inst maps a step to its instance
+  // index so the unwind knows how many instances were touched.
+  std::vector<std::function<void(netconf::VnfAgentClient::StatusCallback)>> steps;
+  std::vector<std::size_t> step_inst;
+  std::size_t touched = 0;
+
+  // Old generation snapshot (swapped out on commit).
+  std::vector<orchestrator::VnfDeployment> old_vnfs;
+  std::vector<orchestrator::VnfDeployment> old_sources;  // stateful instances to export
+  pox::ChainPath old_path;
+  std::vector<std::pair<std::string, double>> old_ledger;
+
+  // Migration payload.
+  std::vector<std::string> exports;  // one blob per old source
+  std::vector<std::string> parts;    // one blob per new replica
+
+  SimTime started = 0;
+  std::uint64_t span = 0;
+  bool finished = false;
+  bool unwound = false;
+  std::function<void(Status)> done;
+};
+
+namespace {
+
+/// Fresh port on `node`, derived from the network's (synchronously
+/// updated) link list -- same allocation rule as the deployment engine.
+std::uint16_t next_free_port_on(netemu::Network& network, netemu::Node* node) {
+  std::uint16_t next = 0;
+  for (const auto& link : network.links()) {
+    for (int e = 0; e < 2; ++e) {
+      if (link->node(e) == node) {
+        next = std::max<std::uint16_t>(next, static_cast<std::uint16_t>(link->port(e) + 1));
+      }
+    }
+  }
+  return next;
+}
+
+/// The steering geometry every generation splices into: the hops before
+/// the VNF hand-off and after the re-entry, from the pristine path.
+Result<ScaleAnchor> compute_scale_anchor(netemu::Network& network,
+                                         const orchestrator::DeploymentRecord& record) {
+  if (record.vnfs.size() != 1) {
+    return make_error("autoscale.unsupported-chain",
+                      "scaling requires a single-VNF chain");
+  }
+  const orchestrator::VnfDeployment& v = record.vnfs.front();
+  netemu::SwitchNode* in_sw = network.switch_node(v.in_switch);
+  netemu::SwitchNode* out_sw = network.switch_node(v.out_switch);
+  if (!in_sw || !out_sw) {
+    return make_error("autoscale.unsupported-chain", "anchor switches missing");
+  }
+  ScaleAnchor anchor;
+  anchor.in_switch = v.in_switch;
+  anchor.out_switch = v.out_switch;
+  anchor.in_dpid = in_sw->dpid();
+  anchor.out_dpid = out_sw->dpid();
+  const auto& hops = record.chain_path.hops;
+  std::size_t k = hops.size(), m = hops.size();
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    if (k == hops.size() && hops[i].dpid == anchor.in_dpid &&
+        hops[i].out_port == v.switch_in_port) {
+      k = i;
+    }
+    if (m == hops.size() && hops[i].dpid == anchor.out_dpid &&
+        hops[i].in_port == v.switch_out_port) {
+      m = i;
+    }
+  }
+  if (k >= hops.size() || m >= hops.size() || k >= m) {
+    return make_error("autoscale.unsupported-chain",
+                      "chain path has no recognizable VNF hand-off");
+  }
+  anchor.entry_in_port = hops[k].in_port;
+  anchor.exit_out_port = hops[m].out_port;
+  anchor.prefix.assign(hops.begin(), hops.begin() + static_cast<std::ptrdiff_t>(k));
+  anchor.suffix.assign(hops.begin() + static_cast<std::ptrdiff_t>(m) + 1, hops.end());
+  return anchor;
+}
+
+/// Splits container-level export blobs per target replica with the same
+/// tuple-hash rule the splitter's hash-mode FlowLB applies, so every
+/// flow's state lands exactly on the replica its packets will reach.
+std::vector<std::string> partition_flow_state(const std::vector<std::string>& blobs,
+                                              std::size_t target) {
+  std::vector<std::ostringstream> parts(target);
+  std::vector<bool> open(target, false);
+  std::string manager;
+  auto close_all = [&] {
+    for (std::size_t t = 0; t < target; ++t) {
+      if (open[t]) {
+        parts[t] << "endmanager\n";
+        open[t] = false;
+      }
+    }
+  };
+  for (const std::string& blob : blobs) {
+    std::istringstream in(blob);
+    std::string line;
+    std::size_t current = target;  // no flow routed yet
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      if (line.rfind("manager ", 0) == 0) {
+        close_all();
+        manager = line;
+        current = target;
+      } else if (line == "endmanager") {
+        close_all();
+        current = target;
+      } else if (line.rfind("flow ", 0) == 0) {
+        std::istringstream fields(line);
+        std::string kind;
+        click::FlowTuple t;
+        unsigned sport = 0, dport = 0, proto = 0;
+        fields >> kind >> t.src_ip >> t.dst_ip >> sport >> dport >> proto;
+        if (!fields) {
+          current = target;  // malformed record: drop it and its state
+          continue;
+        }
+        t.src_port = static_cast<std::uint16_t>(sport);
+        t.dst_port = static_cast<std::uint16_t>(dport);
+        t.proto = static_cast<std::uint8_t>(proto);
+        current = target > 1 ? static_cast<std::size_t>(t.hash() % target) : 0;
+        if (!open[current]) {
+          parts[current] << manager << '\n';
+          open[current] = true;
+        }
+        parts[current] << line << '\n';
+      } else if (current < target) {
+        parts[current] << line << '\n';  // "state ..." lines follow their flow
+      }
+    }
+    close_all();
+  }
+  std::vector<std::string> out;
+  out.reserve(target);
+  for (auto& p : parts) out.push_back(p.str());
+  return out;
+}
+
+}  // namespace
+
+Result<std::size_t> Environment::chain_instances(std::uint32_t chain_id) const {
+  const ChainDeployment* dep = deployment(chain_id);
+  if (!dep) {
+    return make_error("escape.unknown-chain",
+                      "chain not deployed: " + std::to_string(chain_id));
+  }
+  return dep->scale_instances;
+}
+
+Status Environment::scale_chain(std::uint32_t chain_id, std::size_t target) {
+  bool done = false;
+  Status outcome = ok_status();
+  scale_chain_async(chain_id, target, [&done, &outcome](Status s) {
+    outcome = std::move(s);
+    done = true;
+  });
+  if (auto s = pump_until(done, "scale_chain"); !s.ok()) return s;
+  return outcome;
+}
+
+void Environment::scale_chain_async(std::uint32_t chain_id, std::size_t target,
+                                    std::function<void(Status)> done) {
+  if (!started_ || !engine_ || !view_) {
+    done(make_error("escape.not-started", "call start() before scale_chain()"));
+    return;
+  }
+  auto it = deployments_.find(chain_id);
+  if (it == deployments_.end()) {
+    done(make_error("escape.unknown-chain",
+                    "chain not deployed: " + std::to_string(chain_id)));
+    return;
+  }
+  ChainDeployment& dep = it->second;
+  if (dep.state != ChainState::kActive) {
+    done(make_error("autoscale.chain-not-active",
+                    "chain " + std::to_string(chain_id) + " is " +
+                        std::string(chain_state_name(dep.state))));
+    return;
+  }
+  if (target < 1 || target > 64) {
+    done(make_error("autoscale.bad-target", "target must be in [1, 64]"));
+    return;
+  }
+  if (target == dep.scale_instances) {
+    done(ok_status());
+    return;
+  }
+  if (dep.graph.vnfs().size() != 1) {
+    done(make_error("autoscale.unsupported-chain",
+                    "scaling requires a single-VNF chain"));
+    return;
+  }
+  const sg::VnfNode& vnf = dep.graph.vnfs().front();
+  const service::VnfTemplate* tmpl = service_layer_.catalog().get(vnf.vnf_type);
+  if (!tmpl) {
+    done(make_error("catalog.unknown-type", "no such VNF type: " + vnf.vnf_type));
+    return;
+  }
+  if (!dep.scale_anchor) {
+    auto anchor = compute_scale_anchor(network_, dep.record);
+    if (!anchor.ok()) {
+      done(anchor.error());
+      return;
+    }
+    dep.scale_anchor = std::move(*anchor);
+  }
+  const ScaleAnchor& anchor = *dep.scale_anchor;
+
+  auto job = std::make_shared<ScaleJob>();
+  job->chain_id = chain_id;
+  job->target = target;
+  job->epoch = dep.scale_epoch;
+  job->generation = dep.scale_generation + 1;
+  job->steering_id = next_chain_id_++;
+  job->vnf_id = vnf.id;
+  job->stateful = tmpl->config_template.find("FlowManager") != std::string::npos;
+  job->old_vnfs = dep.record.vnfs;
+  job->old_path = dep.record.chain_path;
+  for (const auto& v : job->old_vnfs) {
+    if (v.vnf_id == job->vnf_id && job->stateful) job->old_sources.push_back(v);
+  }
+  const double replica_cpu = vnf.cpu_demand > 0 ? vnf.cpu_demand : tmpl->default_cpu;
+  if (dep.scale_generation == 0) {
+    auto placed = dep.record.mapping.placements.find(vnf.id);
+    if (placed != dep.record.mapping.placements.end()) {
+      job->old_ledger.emplace_back(placed->second, replica_cpu);
+    }
+  } else {
+    job->old_ledger = dep.cpu_ledger;
+  }
+  job->done = std::move(done);
+  job->started = scheduler_.now();
+  job->span = obs::tracer().begin_span(
+      job->started, "autoscale", "migrate",
+      "chain " + std::to_string(chain_id) + " " +
+          std::to_string(dep.scale_instances) + " -> " + std::to_string(target));
+
+  // --- render the new generation's Click configs (pure). -------------------
+  const bool with_splitter = target > 1;
+  // flow_nat replicas get disjoint external-port ranges so new flows
+  // allocated after the migration can never collide across replicas
+  // (imported mappings outside a replica's range stay valid: reverse
+  // translation is map-driven, and freeing a foreign port is a no-op).
+  const bool partition_ports =
+      tmpl->param_defaults.count("port_base") && tmpl->param_defaults.count("port_count");
+  std::uint32_t port_base = 0, port_count = 0;
+  if (partition_ports) {
+    auto param_of = [&](const char* key) -> std::uint32_t {
+      auto pit = vnf.params.find(key);
+      const std::string& raw =
+          pit != vnf.params.end() ? pit->second : tmpl->param_defaults.at(key);
+      return static_cast<std::uint32_t>(std::strtoul(raw.c_str(), nullptr, 10));
+    };
+    port_base = param_of("port_base");
+    port_count = param_of("port_count");
+  }
+  std::vector<std::string> configs;   // per new instance, [0] = splitter
+  std::vector<double> cpus;
+  if (with_splitter) {
+    configs.push_back(service::render_flow_splitter(target));
+    cpus.push_back(0.1);
+  }
+  for (std::size_t i = 0; i < target; ++i) {
+    auto params = vnf.params;
+    if (partition_ports && port_count > 0) {
+      params["port_base"] =
+          std::to_string(port_base + static_cast<std::uint32_t>(i) * port_count);
+    }
+    auto rendered = service_layer_.catalog().render(vnf.vnf_type, params);
+    if (!rendered.ok()) {
+      obs::tracer().end_span(job->span, scheduler_.now(), rendered.error().code);
+      job->done(rendered.error());
+      return;
+    }
+    configs.push_back(std::move(*rendered));
+    cpus.push_back(replica_cpu);
+  }
+
+  // --- reserve CPU + allocate veths (synchronous side effects). ------------
+  dep.state = ChainState::kScaling;
+  log_.info("chain ", chain_id, " SCALING: ", dep.scale_instances, " -> ", target,
+            " instance(s), generation ", job->generation);
+
+  auto fail_sync = [this, job, &dep](Error error) {
+    release_cpu_ledger(job->new_ledger);
+    dep.state = ChainState::kActive;
+    obs::tracer().end_span(job->span, scheduler_.now(), error.code);
+    obs::MetricsRegistry::global()
+        .counter("escape_scale_total", {{"result", "failed"}})
+        .add();
+    job->finished = true;
+    job->done(error);
+  };
+
+  const std::string preferred = job->old_vnfs.front().container;
+  auto place = [this, &preferred](double cpu) -> Result<std::string> {
+    if (const sg::ResourceNode* p = view_->node(preferred);
+        p != nullptr && p->available && view_->reserve_vnf(preferred, cpu).ok()) {
+      return preferred;
+    }
+    for (const auto& node : view_->nodes()) {
+      if (node.kind != sg::ResourceKind::kContainer || !node.available) continue;
+      if (node.name == preferred) continue;
+      if (view_->reserve_vnf(node.name, cpu).ok()) return node.name;
+    }
+    return make_error("autoscale.no-capacity",
+                      "no container can host another replica");
+  };
+
+  for (std::size_t n = 0; n < configs.size(); ++n) {
+    const bool is_splitter = with_splitter && n == 0;
+    auto placed = place(cpus[n]);
+    if (!placed.ok()) {
+      fail_sync(placed.error());
+      return;
+    }
+    job->new_ledger.emplace_back(*placed, cpus[n]);
+    netemu::VnfContainer* container = network_.container(*placed);
+    netemu::SwitchNode* in_sw = network_.switch_node(anchor.in_switch);
+    netemu::SwitchNode* out_sw = network_.switch_node(anchor.out_switch);
+    if (!container || !in_sw || !out_sw) {
+      fail_sync(make_error("autoscale.unsupported-chain", "anchor nodes vanished"));
+      return;
+    }
+
+    orchestrator::VnfDeployment d;
+    d.vnf_id = is_splitter ? job->vnf_id + "#splitter" : job->vnf_id;
+    d.container = *placed;
+    d.in_switch = anchor.in_switch;
+    d.out_switch = is_splitter ? anchor.in_switch : anchor.out_switch;
+    const std::string base =
+        "chain" + std::to_string(chain_id) + ".g" + std::to_string(job->generation) +
+        "." + job->vnf_id;
+    d.instance_id = is_splitter
+                        ? base + ".s"
+                        : base + ".r" + std::to_string(n - (with_splitter ? 1 : 0));
+
+    d.container_in_port = next_free_port_on(network_, container);
+    d.switch_in_port = next_free_port_on(network_, in_sw);
+    if (auto s = network_.add_link(*placed, d.container_in_port, anchor.in_switch,
+                                   d.switch_in_port,
+                                   orchestrator::DeploymentEngine::veth_config());
+        !s.ok()) {
+      fail_sync(s.error());
+      return;
+    }
+    if (is_splitter) {
+      for (std::size_t i = 0; i < target; ++i) {
+        std::uint16_t cport = next_free_port_on(network_, container);
+        std::uint16_t sport = next_free_port_on(network_, in_sw);
+        if (auto s = network_.add_link(*placed, cport, anchor.in_switch, sport,
+                                       orchestrator::DeploymentEngine::veth_config());
+            !s.ok()) {
+          fail_sync(s.error());
+          return;
+        }
+        job->splitter_outs.emplace_back(cport, sport);
+      }
+      d.container_out_port = job->splitter_outs.front().first;
+      d.switch_out_port = job->splitter_outs.front().second;
+    } else {
+      d.container_out_port = next_free_port_on(network_, container);
+      d.switch_out_port = next_free_port_on(network_, out_sw);
+      if (auto s = network_.add_link(*placed, d.container_out_port, anchor.out_switch,
+                                     d.switch_out_port,
+                                     orchestrator::DeploymentEngine::veth_config());
+          !s.ok()) {
+        fail_sync(s.error());
+        return;
+      }
+    }
+    job->new_vnfs.push_back(std::move(d));
+  }
+
+  // --- new-generation steering at priority old+1. --------------------------
+  job->new_path.chain_id = job->steering_id;
+  job->new_path.match = job->old_path.match;
+  job->new_path.priority = static_cast<std::uint16_t>(job->old_path.priority + 1);
+  job->new_path.hops = anchor.prefix;
+  if (with_splitter) {
+    const orchestrator::VnfDeployment& sp = job->new_vnfs.front();
+    job->new_path.hops.push_back({anchor.in_dpid, anchor.entry_in_port, sp.switch_in_port});
+    for (std::size_t i = 0; i < target; ++i) {
+      const orchestrator::VnfDeployment& r = job->new_vnfs[1 + i];
+      job->new_path.hops.push_back(
+          {anchor.in_dpid, job->splitter_outs[i].second, r.switch_in_port});
+      job->new_path.hops.push_back(
+          {anchor.out_dpid, r.switch_out_port, anchor.exit_out_port});
+    }
+  } else {
+    const orchestrator::VnfDeployment& r = job->new_vnfs.front();
+    job->new_path.hops.push_back({anchor.in_dpid, anchor.entry_in_port, r.switch_in_port});
+    job->new_path.hops.push_back({anchor.out_dpid, r.switch_out_port, anchor.exit_out_port});
+  }
+  job->new_path.hops.insert(job->new_path.hops.end(), anchor.suffix.begin(),
+                            anchor.suffix.end());
+
+  // --- queue the NETCONF bring-up steps. -----------------------------------
+  for (std::size_t n = 0; n < job->new_vnfs.size(); ++n) {
+    const orchestrator::VnfDeployment& d = job->new_vnfs[n];
+    const bool is_splitter = with_splitter && n == 0;
+    auto mit = mgmt_.find(d.container);
+    if (mit == mgmt_.end()) {
+      fail_sync(make_error("deploy.no-agent", "no management agent for " + d.container));
+      return;
+    }
+    netconf::VnfAgentClient* agent = mit->second.client.get();
+    const std::string type = is_splitter ? "flow_splitter" : vnf.vnf_type;
+    job->steps.push_back([agent, id = d.instance_id, type, config = configs[n],
+                          cpu = cpus[n]](auto cb) {
+      agent->initiate_vnf(id, type, config, cpu, std::move(cb));
+    });
+    job->step_inst.push_back(n);
+    job->steps.push_back(
+        [agent, id = d.instance_id](auto cb) { agent->start_vnf(id, std::move(cb)); });
+    job->step_inst.push_back(n);
+    job->steps.push_back([agent, id = d.instance_id, port = d.container_in_port](auto cb) {
+      agent->connect_vnf(id, "in0", port, std::move(cb));
+    });
+    job->step_inst.push_back(n);
+    if (is_splitter) {
+      for (std::size_t i = 0; i < target; ++i) {
+        job->steps.push_back([agent, id = d.instance_id, dev = "out" + std::to_string(i),
+                              port = job->splitter_outs[i].first](auto cb) {
+          agent->connect_vnf(id, dev, port, std::move(cb));
+        });
+        job->step_inst.push_back(n);
+      }
+    } else {
+      job->steps.push_back(
+          [agent, id = d.instance_id, port = d.container_out_port](auto cb) {
+            agent->connect_vnf(id, "out0", port, std::move(cb));
+          });
+      job->step_inst.push_back(n);
+    }
+  }
+  if (!with_splitter && job->stateful) {
+    // The single new instance is its own entry: its FlowManager must
+    // buffer from the cut-over until the imported state arrives (the
+    // splitter variant is rendered HOLD true from birth instead).
+    auto mit = mgmt_.find(job->new_vnfs.front().container);
+    netconf::VnfAgentClient* agent = mit->second.client.get();
+    job->steps.push_back([agent, id = job->new_vnfs.front().instance_id](auto cb) {
+      agent->set_vnf_handler(id, "fm.hold", "1", std::move(cb));
+    });
+    job->step_inst.push_back(0);
+  }
+
+  scale_bring_up(job, 0);
+}
+
+bool Environment::scale_aborted(const std::shared_ptr<ScaleJob>& job) {
+  if (job->finished) return true;
+  auto it = deployments_.find(job->chain_id);
+  if (it != deployments_.end() && it->second.scale_epoch == job->epoch) return false;
+  // The chain vanished (undeploy) or a fault bumped the epoch: unwind
+  // the half-built generation. The chain's own lifecycle is already in
+  // the hands of the recovery path -- do not touch its state here.
+  job->finished = true;
+  scale_unwind(job);
+  obs::tracer().end_span(job->span, scheduler_.now(), "aborted");
+  obs::MetricsRegistry::global()
+      .counter("escape_scale_total", {{"result", "aborted"}})
+      .add();
+  log_.warn("chain ", job->chain_id, " migration unwound (generation ",
+            job->generation, ")");
+  job->done(make_error("autoscale.aborted", "migration aborted by fault or undeploy"));
+  return true;
+}
+
+void Environment::scale_unwind(const std::shared_ptr<ScaleJob>& job) {
+  if (job->unwound) return;
+  job->unwound = true;
+  release_cpu_ledger(job->new_ledger);
+  std::weak_ptr<bool> alive = alive_;
+  auto finish = [this, alive, job] {
+    if (alive.expired()) return;
+    if (job->steering_installed) steering_->remove_chain(job->steering_id);
+    if (job->touched == 0) return;
+    // Packets already steered at the new generation are still in flight
+    // (and the removal flow-mods have not landed yet): keep the
+    // instances serving one settle window before tearing them down.
+    scheduler_.schedule(4 * options_.control_delay + scale_drain_, [this, alive, job] {
+      if (alive.expired()) return;
+      orchestrator::DeploymentRecord remnants;
+      remnants.chain_id = job->steering_id;
+      remnants.chain_path.chain_id = job->steering_id;  // already removed; benign
+      remnants.vnfs.assign(
+          job->new_vnfs.begin(),
+          job->new_vnfs.begin() +
+              static_cast<std::ptrdiff_t>(std::min(job->touched, job->new_vnfs.size())));
+      engine_->teardown_best_effort(remnants, [](Status) {});
+    });
+  };
+  // If the cut-over already happened, the new generation's entry is
+  // holding flows it never got state for. Flush them through the live
+  // replicas (fresh state, but delivered) before the rules come out --
+  // an aborted migration must not strand buffered packets.
+  const bool entry_holds =
+      job->steering_installed && (job->target > 1 || job->stateful) && job->touched > 0;
+  netconf::VnfAgentClient* entry_agent =
+      entry_holds ? agent_client(job->new_vnfs.front().container) : nullptr;
+  if (entry_agent != nullptr) {
+    entry_agent->set_vnf_handler(job->new_vnfs.front().instance_id, "fm.hold", "0",
+                                 [finish](Status) { finish(); });
+    return;
+  }
+  finish();
+}
+
+void Environment::scale_fail(std::shared_ptr<ScaleJob> job, Error error) {
+  if (job->finished) return;
+  job->finished = true;
+  scale_unwind(job);
+  auto it = deployments_.find(job->chain_id);
+  if (it != deployments_.end() && it->second.scale_epoch == job->epoch &&
+      it->second.state == ChainState::kScaling) {
+    // The old generation never stopped serving; the chain is healthy.
+    it->second.state = ChainState::kActive;
+    update_degraded_gauge();
+  }
+  obs::tracer().end_span(job->span, scheduler_.now(), error.code);
+  obs::MetricsRegistry::global()
+      .counter("escape_scale_total", {{"result", "failed"}})
+      .add();
+  log_.warn("chain ", job->chain_id, " scale failed: ", error.to_string());
+  job->done(error);
+}
+
+void Environment::scale_bring_up(std::shared_ptr<ScaleJob> job, std::size_t step) {
+  if (scale_aborted(job)) return;
+  if (step == job->steps.size()) {
+    scale_cut_over(job);
+    return;
+  }
+  job->touched = std::max(job->touched, job->step_inst[step] + 1);
+  job->steps[step]([this, job, step](Status s) {
+    if (scale_aborted(job)) return;
+    if (!s.ok()) {
+      scale_fail(job, make_error(s.error().code,
+                                 "generation bring-up step " + std::to_string(step + 1) +
+                                     "/" + std::to_string(job->steps.size()) + ": " +
+                                     s.error().message));
+      return;
+    }
+    scale_bring_up(job, step + 1);
+  });
+}
+
+void Environment::scale_cut_over(std::shared_ptr<ScaleJob> job) {
+  // Make before break: the new rules must be confirmed on every dpid
+  // before any packet is steered by them -- and the old rules are not
+  // touched until the new generation has the traffic.
+  steering_->install_chain_confirmed(job->new_path, [this, job](Status s) {
+    job->steering_installed = s.ok();
+    if (scale_aborted(job)) return;
+    if (!s.ok()) {
+      scale_fail(job, s.error());
+      return;
+    }
+    // Drain window: packets already steered down the old path reach the
+    // old instances before their state is exported.
+    std::weak_ptr<bool> alive = alive_;
+    scheduler_.schedule(scale_drain_, [this, alive, job] {
+      if (alive.expired() || scale_aborted(job)) return;
+      if (!job->old_sources.empty()) {
+        scale_export(job, 0);
+      } else {
+        scale_release_hold(job);
+      }
+    });
+  });
+}
+
+void Environment::scale_export(std::shared_ptr<ScaleJob> job, std::size_t index) {
+  if (index == job->old_sources.size()) {
+    job->parts = partition_flow_state(job->exports, job->target);
+    scale_import(job, 0);
+    return;
+  }
+  const orchestrator::VnfDeployment& src = job->old_sources[index];
+  netconf::VnfAgentClient* client = agent_client(src.container);
+  if (client == nullptr) {
+    scale_fail(job, make_error("deploy.no-agent", "no management agent for " + src.container));
+    return;
+  }
+  client->export_flow_state(src.instance_id, [this, job, index](Result<std::string> r) {
+    if (scale_aborted(job)) return;
+    if (!r.ok()) {
+      scale_fail(job, r.error());
+      return;
+    }
+    job->exports.push_back(std::move(*r));
+    scale_export(job, index + 1);
+  });
+}
+
+void Environment::scale_import(std::shared_ptr<ScaleJob> job, std::size_t replica) {
+  if (replica == job->target) {
+    scale_release_hold(job);
+    return;
+  }
+  const std::size_t idx = job->target > 1 ? 1 + replica : 0;
+  const orchestrator::VnfDeployment& dst = job->new_vnfs[idx];
+  if (job->parts[replica].empty()) {
+    scale_import(job, replica + 1);
+    return;
+  }
+  netconf::VnfAgentClient* client = agent_client(dst.container);
+  if (client == nullptr) {
+    scale_fail(job, make_error("deploy.no-agent", "no management agent for " + dst.container));
+    return;
+  }
+  client->import_flow_state(dst.instance_id, job->parts[replica], [this, job, replica](Status s) {
+    if (scale_aborted(job)) return;
+    if (!s.ok()) {
+      scale_fail(job, s.error());
+      return;
+    }
+    scale_import(job, replica + 1);
+  });
+}
+
+void Environment::scale_release_hold(std::shared_ptr<ScaleJob> job) {
+  const bool held = job->target > 1 || job->stateful;
+  if (!held) {
+    scale_commit(job);
+    return;
+  }
+  const orchestrator::VnfDeployment& entry = job->new_vnfs.front();
+  netconf::VnfAgentClient* client = agent_client(entry.container);
+  if (client == nullptr) {
+    scale_fail(job, make_error("deploy.no-agent", "no management agent for " + entry.container));
+    return;
+  }
+  client->set_vnf_handler(entry.instance_id, "fm.hold", "0", [this, job](Status s) {
+    if (scale_aborted(job)) return;
+    if (!s.ok()) {
+      scale_fail(job, s.error());
+      return;
+    }
+    scale_commit(job);
+  });
+}
+
+void Environment::scale_commit(std::shared_ptr<ScaleJob> job) {
+  auto it = deployments_.find(job->chain_id);
+  if (it == deployments_.end()) return;  // scale_aborted handled it
+  ChainDeployment& dep = it->second;
+  job->finished = true;
+
+  // The new generation owns the record from here: teardown/undeploy and
+  // any later recovery see the live instances and the live steering id.
+  dep.record.chain_path = job->new_path;
+  dep.record.vnfs = job->new_vnfs;
+  dep.scale_generation = job->generation;
+  dep.scale_instances = job->target;
+  dep.cpu_ledger = job->new_ledger;
+  release_cpu_ledger(job->old_ledger);
+  dep.state = ChainState::kActive;
+  update_degraded_gauge();
+
+  auto& registry = obs::MetricsRegistry::global();
+  registry
+      .gauge("escape_chain_instances", {{"chain", std::to_string(job->chain_id)}})
+      .set(static_cast<double>(job->target));
+  registry.counter("escape_scale_total", {{"result", "ok"}}).add();
+  const double latency_ms =
+      static_cast<double>(scheduler_.now() - job->started) / timeunit::kMillisecond;
+  registry.histogram("escape_scale_latency_ms").record(latency_ms);
+  obs::tracer().end_span(job->span, scheduler_.now(), "ok");
+  log_.info("chain ", job->chain_id, " scaled to ", job->target, " instance(s) in ",
+            latency_ms, " ms (virtual), generation ", job->generation);
+
+  // Retire the old generation through the engine's idempotent teardown
+  // (removes its steering rules by the old path id, then stops its
+  // VNFs; "already gone" outcomes are stepped over). Its reservations
+  // were already released above -- exactly once, whatever happens here.
+  orchestrator::DeploymentRecord old_generation;
+  old_generation.chain_id = job->chain_id;
+  old_generation.chain_path = job->old_path;
+  old_generation.vnfs = job->old_vnfs;
+  engine_->teardown(old_generation, [this, job](Status s) {
+    if (!s.ok()) {
+      log_.warn("chain ", job->chain_id, " old-generation teardown incomplete: ",
+                s.error().to_string());
+    }
+    job->done(ok_status());
+  });
+}
+
+// --- autoscaling policy loop -----------------------------------------------------
+
+Status Environment::enable_autoscaling(orchestrator::AutoScalerOptions options) {
+  if (!started_) {
+    return make_error("escape.not-started", "call start() before enable_autoscaling()");
+  }
+  scale_drain_ = options.drain;
+  orchestrator::AutoScaler::Hooks hooks;
+  std::weak_ptr<bool> alive = alive_;
+  hooks.instances = [this, alive](std::uint32_t chain) -> std::size_t {
+    if (alive.expired()) return 0;
+    const ChainDeployment* dep = deployment(chain);
+    return dep != nullptr ? dep->scale_instances : 0;
+  };
+  hooks.eligible = [this, alive](std::uint32_t chain) {
+    if (alive.expired()) return false;
+    const ChainDeployment* dep = deployment(chain);
+    return dep != nullptr && dep->state == ChainState::kActive;
+  };
+  hooks.sample = [this, alive](std::uint32_t chain, const orchestrator::ScalingPolicy& policy,
+                               std::function<void(Result<double>)> cb) {
+    if (alive.expired()) return;
+    sample_chain_handler(chain, policy, std::move(cb));
+  };
+  hooks.scale_to = [this, alive](std::uint32_t chain, const orchestrator::ScalingPolicy&,
+                                 std::size_t target, std::function<void(Status)> cb) {
+    if (alive.expired()) return;
+    scale_chain_async(chain, target, std::move(cb));
+  };
+  autoscaler_ = std::make_unique<orchestrator::AutoScaler>(scheduler_.shard(0),
+                                                           std::move(options),
+                                                           std::move(hooks));
+  for (const auto& [id, dep] : deployments_) watch_chain_policy(id);
+  autoscaler_->start();
+  log_.info("autoscaling enabled: ", autoscaler_->options().policies.size(),
+            " policies, tick ",
+            static_cast<double>(autoscaler_->options().tick) / timeunit::kMillisecond,
+            " ms");
+  return ok_status();
+}
+
+void Environment::disable_autoscaling() { autoscaler_.reset(); }
+
+void Environment::watch_chain_policy(std::uint32_t chain_id) {
+  if (!autoscaler_) return;
+  const ChainDeployment* dep = deployment(chain_id);
+  if (!dep) return;
+  for (const orchestrator::ScalingPolicy& policy : autoscaler_->options().policies) {
+    if (dep->graph.vnf(policy.vnf) != nullptr) {
+      autoscaler_->watch_chain(chain_id, policy);
+      return;
+    }
+  }
+}
+
+void Environment::sample_chain_handler(std::uint32_t chain_id,
+                                       const orchestrator::ScalingPolicy& policy,
+                                       std::function<void(Result<double>)> cb) {
+  const ChainDeployment* dep = deployment(chain_id);
+  if (!dep) {
+    cb(make_error("escape.unknown-chain", "chain gone: " + std::to_string(chain_id)));
+    return;
+  }
+  std::vector<std::pair<std::string, std::string>> targets;  // (container, instance)
+  for (const auto& v : dep->record.vnfs) {
+    if (v.vnf_id == policy.vnf) targets.emplace_back(v.container, v.instance_id);
+  }
+  if (targets.empty()) {
+    cb(make_error("autoscale.no-instances",
+                  "chain " + std::to_string(chain_id) + " has no instance of " + policy.vnf));
+    return;
+  }
+  struct Fan {
+    double sum = 0;
+    std::size_t pending = 0;
+    bool failed = false;
+    std::function<void(Result<double>)> cb;
+  };
+  auto fan = std::make_shared<Fan>();
+  fan->pending = targets.size();
+  fan->cb = std::move(cb);
+  for (const auto& [container, instance] : targets) {
+    netconf::VnfAgentClient* client = agent_client(container);
+    if (client == nullptr) {
+      if (!fan->failed) {
+        fan->failed = true;
+      }
+      if (--fan->pending == 0) {
+        fan->cb(make_error("deploy.no-agent", "agent gone during sample"));
+      }
+      continue;
+    }
+    client->get_vnf_info(instance,
+                         [fan, handler = policy.handler](Result<netemu::VnfInfo> r) {
+                           if (r.ok()) {
+                             auto hit = r->handlers.find(handler);
+                             if (hit != r->handlers.end()) {
+                               fan->sum += std::strtod(hit->second.c_str(), nullptr);
+                             } else {
+                               fan->failed = true;
+                             }
+                           } else {
+                             fan->failed = true;
+                           }
+                           if (--fan->pending == 0) {
+                             if (fan->failed) {
+                               fan->cb(make_error("autoscale.sample-failed",
+                                                  "handler sample incomplete"));
+                             } else {
+                               fan->cb(fan->sum);
+                             }
+                           }
+                         });
+  }
 }
 
 Result<netemu::VnfInfo> Environment::monitor_vnf(const std::string& container_name,

@@ -24,6 +24,7 @@
 
 #include "netconf/vnf_agent.hpp"
 #include "netemu/network.hpp"
+#include "orchestrator/autoscaler.hpp"
 #include "orchestrator/deployment.hpp"
 #include "orchestrator/health_monitor.hpp"
 #include "orchestrator/mapping.hpp"
@@ -78,10 +79,30 @@ struct RecoveryOptions {
   SimDuration retry_delay = 100 * timeunit::kMillisecond;
 };
 
-/// Lifecycle of a deployed chain under the fault plane.
-enum class ChainState : std::uint8_t { kActive, kDegraded, kRecovering, kFailed };
+/// Lifecycle of a deployed chain under the fault plane and the elastic
+/// scaler. kScaling means a make-before-break migration is in flight;
+/// the Environment is the single owner of every transition, so a fault
+/// arriving mid-migration aborts the migration (scale_epoch bump) and
+/// routes the chain through the normal kDegraded -> kRecovering path.
+enum class ChainState : std::uint8_t { kActive, kDegraded, kRecovering, kFailed, kScaling };
 
 std::string_view chain_state_name(ChainState state);
+
+/// Steering geometry a scaled chain keeps across migration generations:
+/// the rule prefix between the entry SAP and the anchor switch, the
+/// suffix from the re-entry switch to the exit SAP, and the two fixed
+/// substrate ports the per-generation fan-out splices into. Computed
+/// once from the pristine (unscaled) chain path.
+struct ScaleAnchor {
+  openflow::DatapathId in_dpid = 0;
+  openflow::DatapathId out_dpid = 0;
+  std::string in_switch;   // veths of new generations attach here...
+  std::string out_switch;  // ...and re-enter the substrate here
+  std::uint16_t entry_in_port = 0;  // anchor hop's substrate-facing in_port
+  std::uint16_t exit_out_port = 0;  // re-entry hop's substrate-facing out_port
+  std::vector<pox::SteeringHop> prefix;  // hops before the VNF hand-off
+  std::vector<pox::SteeringHop> suffix;  // hops after the re-entry
+};
 
 /// A deployed service chain with its measured bring-up record.
 struct ChainDeployment {
@@ -101,7 +122,22 @@ struct ChainDeployment {
   /// True when the ONLY reason this chain is degraded is steering
   /// divergence: the resync repairs rules in place, no re-embedding.
   bool steering_degraded = false;
+  /// Elastic-scaling state. `scale_instances` replicas of the chain's
+  /// (single) VNF currently serve traffic; `scale_generation` counts
+  /// completed migrations (0 = pristine). Bumping `scale_epoch` aborts
+  /// an in-flight migration: every async step re-checks it and unwinds
+  /// its half-built generation when stale.
+  std::size_t scale_instances = 1;
+  std::uint32_t scale_generation = 0;
+  std::uint64_t scale_epoch = 0;
+  /// CPU reservations (container, share) of the live generation. Once
+  /// scale_generation > 0 the release path uses this ledger instead of
+  /// the graph-derived placements (replica ids are not graph nodes).
+  std::vector<std::pair<std::string, double>> cpu_ledger;
+  std::optional<ScaleAnchor> scale_anchor;
 };
+
+struct ScaleJob;  // internal migration state machine (environment.cpp)
 
 class Environment {
  public:
@@ -117,6 +153,11 @@ class Environment {
   pox::TrafficSteering& steering() { return *steering_; }
   service::ServiceLayer& service_layer() { return service_layer_; }
   const EnvironmentOptions& options() const { return options_; }
+
+  /// The orchestration view's live reservation accounting (nullptr
+  /// before start()). Read-only: tests and tools assert CPU/slot
+  /// bookkeeping against it.
+  const sg::ResourceGraph* resource_view() const { return view_ ? &*view_ : nullptr; }
 
   /// Builds the topology from a declarative spec (alternative to
   /// populating network() by hand). Call before start().
@@ -260,6 +301,43 @@ class Environment {
   /// State of a deployed chain (kActive unless the fault plane got it).
   Result<ChainState> chain_state(std::uint32_t chain_id) const;
 
+  // --- elastic scaling -----------------------------------------------------
+
+  /// Scales a deployed single-VNF chain to `target` replicas with a
+  /// zero-loss, state-preserving make-before-break migration:
+  ///
+  ///   1. a new generation (flow-sticky splitter + `target` replicas,
+  ///      or one plain instance for target == 1) is brought up over
+  ///      NETCONF, its entry FlowManager holding (buffering) traffic;
+  ///   2. its steering rules are barrier-confirmed on every dpid at
+  ///      priority old+1 BEFORE any old rule is touched, so traffic cuts
+  ///      over atomically into the buffering new generation;
+  ///   3. after a drain window, per-flow state (NAT port maps, LB
+  ///      stickiness, TCP reassembly buffers) is exported from the old
+  ///      instances, partitioned by tuple-hash (the same rule the
+  ///      splitter's FlowLB uses) and imported into the replicas;
+  ///   4. the hold is released (buffered packets flush through), the old
+  ///      generation's rules are removed and its VNFs torn down through
+  ///      the idempotent teardown path.
+  ///
+  /// Synchronous (pumps virtual time). Scale-in is the same protocol
+  /// with a smaller target; a fault mid-migration aborts it cleanly
+  /// (the chain degrades and recovers unscaled).
+  Status scale_chain(std::uint32_t chain_id, std::size_t target);
+  /// Async variant for use inside scheduler events (the AutoScaler's
+  /// decisions run through this).
+  void scale_chain_async(std::uint32_t chain_id, std::size_t target,
+                         std::function<void(Status)> done);
+  /// Current replica count of a chain's scaled VNF (1 when unscaled).
+  Result<std::size_t> chain_instances(std::uint32_t chain_id) const;
+
+  /// Turns the elastic-scaling policy loop on: an AutoScaler samples
+  /// the policies' Click handlers across every deployed chain with a
+  /// matching VNF on a virtual-time tick and drives scale_chain_async.
+  Status enable_autoscaling(orchestrator::AutoScalerOptions options);
+  void disable_autoscaling();
+  orchestrator::AutoScaler* autoscaler() { return autoscaler_.get(); }
+
  private:
   /// Runs the scheduler until `flag` is set; errors on quiescence.
   Status pump_until(const bool& flag, std::string_view what);
@@ -297,6 +375,25 @@ class Environment {
   void recover_chain(std::uint32_t chain_id);
   void finish_recovery(std::uint32_t chain_id, SimTime started, std::uint64_t span,
                        Status outcome);
+
+  // --- elastic-scaling internals (see environment.cpp) ---------------------
+  void scale_bring_up(std::shared_ptr<ScaleJob> job, std::size_t step);
+  void scale_cut_over(std::shared_ptr<ScaleJob> job);
+  void scale_export(std::shared_ptr<ScaleJob> job, std::size_t index);
+  void scale_import(std::shared_ptr<ScaleJob> job, std::size_t replica);
+  void scale_release_hold(std::shared_ptr<ScaleJob> job);
+  void scale_commit(std::shared_ptr<ScaleJob> job);
+  /// True (and unwinds the half-built generation) when the job's chain
+  /// vanished or its scale_epoch moved on (fault mid-migration).
+  bool scale_aborted(const std::shared_ptr<ScaleJob>& job);
+  void scale_fail(std::shared_ptr<ScaleJob> job, Error error);
+  void scale_unwind(const std::shared_ptr<ScaleJob>& job);
+  void release_cpu_ledger(std::vector<std::pair<std::string, double>>& ledger);
+  /// Subscribes the chain to the first autoscale policy matching one of
+  /// its VNFs (no-op without an AutoScaler or a match).
+  void watch_chain_policy(std::uint32_t chain_id);
+  void sample_chain_handler(std::uint32_t chain_id, const orchestrator::ScalingPolicy& policy,
+                            std::function<void(Result<double>)> cb);
 
   EnvironmentOptions options_;
   ShardedScheduler scheduler_;
@@ -341,6 +438,9 @@ class Environment {
   // Declared after mgmt_ so the monitor (holding client pointers) is
   // destroyed first.
   std::unique_ptr<orchestrator::HealthMonitor> health_;
+  std::unique_ptr<orchestrator::AutoScaler> autoscaler_;
+  // Drain window between steering cut-over and flow-state export.
+  SimDuration scale_drain_ = 5 * timeunit::kMillisecond;
   // Liveness guard for recovery events scheduled into virtual time.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   Logger log_{"escape.env"};

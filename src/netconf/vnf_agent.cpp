@@ -225,6 +225,51 @@ void VnfAgent::register_operations() {
         for (const auto& dev : info->devices) out->add_leaf("device", dev);
         return out;
       });
+
+  // --- flow-state migration (scale-out/in handoff) ------------------------
+  // Not part of the YANG-validated config surface: only get/edit-config
+  // validate, so these RPCs ride the same session with no schema change.
+
+  server_->register_rpc(
+      "exportFlowState",
+      [container](const xml::Element& op) -> Result<std::unique_ptr<xml::Element>> {
+        auto id = need_leaf(op, "id");
+        if (!id.ok()) return id.error();
+        auto blob = container->export_flow_state(*id);
+        if (!blob.ok()) return blob.error();
+        auto out = std::make_unique<xml::Element>("flow-state");
+        out->set_text(*blob);
+        return out;
+      });
+
+  server_->register_rpc(
+      "importFlowState",
+      [container](const xml::Element& op) -> Result<std::unique_ptr<xml::Element>> {
+        auto id = need_leaf(op, "id");
+        if (!id.ok()) return id.error();
+        const xml::Element* state = op.child("flow-state");
+        if (!state) return make_error("missing-element", "<flow-state> is required");
+        if (auto s = container->import_flow_state(*id, state->text()); !s.ok()) {
+          return s.error();
+        }
+        return std::unique_ptr<xml::Element>{};  // <ok/>
+      });
+
+  // Generic handler write (e.g. "fm.hold" -> 0 to release a migration
+  // hold buffer); the read side already rides getVNFInfo.
+  server_->register_rpc(
+      "setVNFHandler",
+      [container](const xml::Element& op) -> Result<std::unique_ptr<xml::Element>> {
+        auto id = need_leaf(op, "id");
+        if (!id.ok()) return id.error();
+        auto handler = need_leaf(op, "handler");
+        if (!handler.ok()) return handler.error();
+        const std::string value = op.child_text("value");
+        if (auto s = container->write_handler(*id, *handler, value); !s.ok()) {
+          return s.error();
+        }
+        return std::unique_ptr<xml::Element>{};  // <ok/>
+      });
 }
 
 // --- VnfAgentClient -------------------------------------------------------------
@@ -306,6 +351,43 @@ void VnfAgentClient::subscribe_events(EventCallback on_event, StatusCallback don
   auto op = std::make_unique<xml::Element>("create-subscription");
   op->set_attr("xmlns", "urn:ietf:params:xml:ns:netconf:notification:1.0");
   simple_rpc(std::move(op), std::move(done));
+}
+
+void VnfAgentClient::export_flow_state(const std::string& id, BlobCallback cb) {
+  auto op = std::make_unique<xml::Element>("exportFlowState");
+  op->set_attr("xmlns", "urn:escape:vnf");
+  op->add_leaf("id", id);
+  client_->rpc(std::move(op), [cb = std::move(cb)](Result<std::unique_ptr<xml::Element>> r) {
+    if (!r.ok()) {
+      cb(r.error());
+      return;
+    }
+    const xml::Element* state = (*r)->child("flow-state");
+    if (!state) {
+      cb(make_error("netconf.client.bad-reply", "missing <flow-state> in reply"));
+      return;
+    }
+    cb(state->text());
+  });
+}
+
+void VnfAgentClient::import_flow_state(const std::string& id, const std::string& blob,
+                                       StatusCallback cb) {
+  auto op = std::make_unique<xml::Element>("importFlowState");
+  op->set_attr("xmlns", "urn:escape:vnf");
+  op->add_leaf("id", id);
+  op->add_leaf("flow-state", blob);
+  simple_rpc(std::move(op), std::move(cb));
+}
+
+void VnfAgentClient::set_vnf_handler(const std::string& id, const std::string& handler,
+                                     const std::string& value, StatusCallback cb) {
+  auto op = std::make_unique<xml::Element>("setVNFHandler");
+  op->set_attr("xmlns", "urn:escape:vnf");
+  op->add_leaf("id", id);
+  op->add_leaf("handler", handler);
+  op->add_leaf("value", value);
+  simple_rpc(std::move(op), std::move(cb));
 }
 
 void VnfAgentClient::get_vnf_info(const std::string& id, InfoCallback cb) {

@@ -52,6 +52,7 @@ class VnfAgentClient {
  public:
   using StatusCallback = std::function<void(Status)>;
   using InfoCallback = std::function<void(Result<netemu::VnfInfo>)>;
+  using BlobCallback = std::function<void(Result<std::string>)>;
 
   explicit VnfAgentClient(std::shared_ptr<TransportEndpoint> transport);
 
@@ -75,6 +76,14 @@ class VnfAgentClient {
                    StatusCallback cb);
   void disconnect_vnf(const std::string& id, const std::string& device, StatusCallback cb);
   void get_vnf_info(const std::string& id, InfoCallback cb);
+
+  /// Flow-state migration (scale-out/in handoff): serialize the flow
+  /// tables of a running VNF, restore them into a replica, and flip a
+  /// Click write handler (e.g. release a FlowManager hold buffer).
+  void export_flow_state(const std::string& id, BlobCallback cb);
+  void import_flow_state(const std::string& id, const std::string& blob, StatusCallback cb);
+  void set_vnf_handler(const std::string& id, const std::string& handler,
+                       const std::string& value, StatusCallback cb);
 
   /// Subscribes to VNF lifecycle events (RFC 5277 create-subscription);
   /// `on_event` fires for every pushed <vnf-state-change>.

@@ -1,6 +1,9 @@
 #include "netemu/vnf_container.hpp"
 
 #include <algorithm>
+#include <sstream>
+
+#include "click/flow.hpp"
 
 namespace escape::netemu {
 
@@ -250,6 +253,63 @@ Status VnfContainer::write_handler(const std::string& vnf_id, std::string_view s
     return make_error("container.not-running", vnf_id + " is not running");
   }
   return inst->router->call_write(spec, value);
+}
+
+Result<std::string> VnfContainer::export_flow_state(const std::string& vnf_id) const {
+  const Instance* inst = find(vnf_id);
+  if (!inst) return make_error("container.unknown-vnf", name() + ": no such VNF: " + vnf_id);
+  if (inst->status != VnfStatus::kRunning || !inst->router) {
+    return make_error("container.not-running", vnf_id + " is not running");
+  }
+  // Sections in element declaration order; one per FlowManager so a VNF
+  // with several managers round-trips each table to its counterpart.
+  std::ostringstream os;
+  for (click::Element* e : inst->router->elements_in_order()) {
+    if (std::string_view(e->class_name()) != "FlowManager") continue;
+    auto* fm = static_cast<click::FlowManager*>(e);
+    os << "manager " << fm->name() << '\n' << fm->export_state() << "endmanager\n";
+  }
+  return os.str();
+}
+
+Status VnfContainer::import_flow_state(const std::string& vnf_id, const std::string& blob) {
+  Instance* inst = find(vnf_id);
+  if (!inst) return make_error("container.unknown-vnf", name() + ": no such VNF: " + vnf_id);
+  if (inst->status != VnfStatus::kRunning || !inst->router) {
+    return make_error("container.not-running", vnf_id + " is not running");
+  }
+  std::istringstream lines(blob);
+  std::string line;
+  click::FlowManager* fm = nullptr;
+  std::string section;
+  auto flush = [&]() -> Status {
+    if (fm == nullptr) return ok_status();
+    auto imported = fm->import_state(section);
+    section.clear();
+    fm = nullptr;
+    return imported.ok() ? ok_status() : imported.error();
+  };
+  while (std::getline(lines, line)) {
+    if (line.rfind("manager ", 0) == 0) {
+      if (auto s = flush(); !s.ok()) return s;
+      const std::string elem_name = line.substr(8);
+      click::Element* e = inst->router->element(elem_name);
+      if (e == nullptr || std::string_view(e->class_name()) != "FlowManager") {
+        return make_error("container.flow-import",
+                          vnf_id + " has no FlowManager named '" + elem_name + "'");
+      }
+      fm = static_cast<click::FlowManager*>(e);
+    } else if (line == "endmanager") {
+      if (auto s = flush(); !s.ok()) return s;
+    } else if (!line.empty()) {
+      if (fm == nullptr) {
+        return make_error("container.flow-import", "flow state outside a manager section");
+      }
+      section += line;
+      section += '\n';
+    }
+  }
+  return flush();
 }
 
 std::vector<std::string> VnfContainer::vnf_ids() const {

@@ -83,6 +83,17 @@ class VnfContainer : public Node {
   Status write_handler(const std::string& vnf_id, std::string_view spec,
                        std::string_view value);
 
+  /// Serializes the flow state of every FlowManager in the VNF's router
+  /// (per-flow headers + stateful-element scratch) to the handoff wire
+  /// format. Deliberately NOT a Click read handler: getVNFInfo snapshots
+  /// every handler on each monitoring poll, and serializing the whole
+  /// flow table per poll would be absurd.
+  Result<std::string> export_flow_state(const std::string& vnf_id) const;
+
+  /// Restores flow state exported from another instance of the same
+  /// catalog template (FlowManager sections matched by element name).
+  Status import_flow_state(const std::string& vnf_id, const std::string& blob);
+
   std::vector<std::string> vnf_ids() const;
 
   /// Observer for VNF lifecycle transitions (the NETCONF agent hooks in

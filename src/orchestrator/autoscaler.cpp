@@ -1,0 +1,225 @@
+#include "orchestrator/autoscaler.hpp"
+
+#include "json/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace escape::orchestrator {
+
+Result<AutoScalerOptions> autoscale_options_from_json(const std::string& text) {
+  auto doc = json::parse(text);
+  if (!doc.ok()) return doc.error();
+  if (!doc->is_object()) {
+    return make_error("autoscale.bad-policy", "policy document must be a JSON object");
+  }
+  AutoScalerOptions options;
+  if (doc->has("tick_ms")) {
+    options.tick = static_cast<SimDuration>((*doc)["tick_ms"].as_double() *
+                                            timeunit::kMillisecond);
+  }
+  if (doc->has("drain_ms")) {
+    options.drain = static_cast<SimDuration>((*doc)["drain_ms"].as_double() *
+                                             timeunit::kMillisecond);
+  }
+  if (options.tick <= 0) {
+    return make_error("autoscale.bad-policy", "tick_ms must be positive");
+  }
+  if (options.drain < 0) {
+    return make_error("autoscale.bad-policy", "drain_ms must be non-negative");
+  }
+  const json::Value& policies = (*doc)["policies"];
+  if (!policies.is_array() || policies.as_array().empty()) {
+    return make_error("autoscale.bad-policy", "policies must be a non-empty array");
+  }
+  for (const json::Value& p : policies.as_array()) {
+    if (!p.is_object()) {
+      return make_error("autoscale.bad-policy", "each policy must be an object");
+    }
+    ScalingPolicy policy;
+    policy.vnf = p["vnf"].as_string();
+    if (policy.vnf.empty()) {
+      return make_error("autoscale.bad-policy", "policy missing 'vnf'");
+    }
+    if (p.has("handler")) policy.handler = p["handler"].as_string();
+    if (policy.handler.find('.') == std::string::npos) {
+      return make_error("autoscale.bad-policy",
+                        policy.vnf + ": handler must be 'element.handler'");
+    }
+    if (p.has("mode")) {
+      const std::string& mode = p["mode"].as_string();
+      if (mode == "rate") {
+        policy.rate = true;
+      } else if (mode == "level") {
+        policy.rate = false;
+      } else {
+        return make_error("autoscale.bad-policy",
+                          policy.vnf + ": mode must be 'rate' or 'level'");
+      }
+    }
+    policy.scale_out_above = p["scale_out_above"].as_double();
+    policy.scale_in_below = p["scale_in_below"].as_double();
+    if (policy.scale_out_above <= policy.scale_in_below) {
+      return make_error("autoscale.bad-policy",
+                        policy.vnf + ": scale_out_above must exceed scale_in_below");
+    }
+    if (p.has("sustain_ticks")) {
+      policy.sustain_ticks = static_cast<int>(p["sustain_ticks"].as_int());
+    }
+    if (policy.sustain_ticks < 1) {
+      return make_error("autoscale.bad-policy", policy.vnf + ": sustain_ticks must be >= 1");
+    }
+    if (p.has("cooldown_ms")) {
+      policy.cooldown = static_cast<SimDuration>(p["cooldown_ms"].as_double() *
+                                                 timeunit::kMillisecond);
+    }
+    if (p.has("min_instances")) {
+      policy.min_instances = static_cast<std::size_t>(p["min_instances"].as_int());
+    }
+    if (p.has("max_instances")) {
+      policy.max_instances = static_cast<std::size_t>(p["max_instances"].as_int());
+    }
+    if (policy.min_instances < 1 || policy.max_instances > 64 ||
+        policy.min_instances > policy.max_instances) {
+      return make_error("autoscale.bad-policy",
+                        policy.vnf + ": need 1 <= min_instances <= max_instances <= 64");
+    }
+    options.policies.push_back(std::move(policy));
+  }
+  return options;
+}
+
+AutoScaler::AutoScaler(EventScheduler& scheduler, AutoScalerOptions options, Hooks hooks)
+    : scheduler_(&scheduler), options_(std::move(options)), hooks_(std::move(hooks)) {}
+
+AutoScaler::~AutoScaler() { *alive_ = false; }
+
+void AutoScaler::watch_chain(std::uint32_t chain_id, ScalingPolicy policy) {
+  ChainWatch watch;
+  watch.policy = std::move(policy);
+  chains_[chain_id] = std::move(watch);
+}
+
+void AutoScaler::unwatch_chain(std::uint32_t chain_id) { chains_.erase(chain_id); }
+
+void AutoScaler::start() {
+  if (running_) return;
+  running_ = true;
+  std::weak_ptr<bool> alive = alive_;
+  scheduler_->schedule(options_.tick, [this, alive] {
+    if (auto a = alive.lock(); a && *a) tick();
+  });
+}
+
+void AutoScaler::stop() { running_ = false; }
+
+void AutoScaler::tick() {
+  if (!running_) return;
+  std::weak_ptr<bool> alive = alive_;
+  // Re-arm first: a sample callback may take several control RTTs, and
+  // the loop must keep its fixed cadence regardless.
+  scheduler_->schedule(options_.tick, [this, alive] {
+    if (auto a = alive.lock(); a && *a) tick();
+  });
+  for (auto& [chain_id, watch] : chains_) {
+    if (watch.in_flight) continue;
+    if (!hooks_.eligible || !hooks_.eligible(chain_id)) {
+      // Degraded / recovering / migrating chains neither sample nor
+      // accumulate hysteresis; a rate baseline from before the outage
+      // would be meaningless anyway.
+      watch.have_last = false;
+      watch.high_ticks = watch.low_ticks = 0;
+      continue;
+    }
+    const std::uint32_t id = chain_id;
+    hooks_.sample(id, watch.policy, [this, alive, id](Result<double> raw) {
+      auto a = alive.lock();
+      if (!a || !*a || !raw.ok()) return;
+      auto it = chains_.find(id);
+      if (it == chains_.end() || it->second.in_flight) return;
+      evaluate(id, it->second, *raw);
+    });
+  }
+}
+
+void AutoScaler::evaluate(std::uint32_t chain_id, ChainWatch& watch, double raw) {
+  const ScalingPolicy& policy = watch.policy;
+  const std::size_t n = hooks_.instances ? hooks_.instances(chain_id) : 1;
+  if (n == 0) return;
+
+  double metric;
+  if (policy.rate) {
+    if (!watch.have_last) {
+      watch.have_last = true;
+      watch.last_raw = raw;
+      return;
+    }
+    const double ticks_per_s =
+        static_cast<double>(timeunit::kSecond) / static_cast<double>(options_.tick);
+    metric = (raw - watch.last_raw) * ticks_per_s;
+    watch.last_raw = raw;
+    if (metric < 0) metric = 0;  // counter reset (instance replaced)
+  } else {
+    metric = raw;
+  }
+  const double per_instance = metric / static_cast<double>(n);
+
+  if (per_instance > policy.scale_out_above) {
+    ++watch.high_ticks;
+    watch.low_ticks = 0;
+  } else if (per_instance < policy.scale_in_below) {
+    ++watch.low_ticks;
+    watch.high_ticks = 0;
+  } else {
+    watch.high_ticks = watch.low_ticks = 0;
+  }
+
+  const SimTime now = scheduler_->now();
+  if (watch.acted && now - watch.last_action < policy.cooldown) return;
+
+  std::size_t target = n;
+  bool out = false;
+  if (watch.high_ticks >= policy.sustain_ticks && n < policy.max_instances) {
+    target = n + 1;
+    out = true;
+  } else if (watch.low_ticks >= policy.sustain_ticks && n > policy.min_instances) {
+    target = n - 1;
+  } else {
+    return;
+  }
+
+  watch.in_flight = true;
+  watch.high_ticks = watch.low_ticks = 0;
+  watch.have_last = false;  // instance set changes; rate baseline is stale
+  log_.info("chain ", chain_id, " ", out ? "scale-out" : "scale-in", ": ",
+            per_instance, " per-instance vs [", policy.scale_in_below, ", ",
+            policy.scale_out_above, "], ", n, " -> ", target);
+  std::weak_ptr<bool> alive = alive_;
+  hooks_.scale_to(chain_id, policy, target,
+                  [this, alive, chain_id, out](Status s) {
+                    auto a = alive.lock();
+                    if (!a || !*a) return;
+                    auto it = chains_.find(chain_id);
+                    if (it != chains_.end()) {
+                      it->second.in_flight = false;
+                      it->second.last_action = scheduler_->now();
+                      it->second.acted = true;
+                    }
+                    auto& registry = obs::MetricsRegistry::global();
+                    if (s.ok()) {
+                      (out ? scale_out_decisions_ : scale_in_decisions_) += 1;
+                      registry
+                          .counter("escape_scale_decisions_total",
+                                   {{"direction", out ? "out" : "in"}, {"result", "ok"}})
+                          .add();
+                    } else {
+                      ++failed_decisions_;
+                      registry
+                          .counter("escape_scale_decisions_total",
+                                   {{"direction", out ? "out" : "in"}, {"result", "failed"}})
+                          .add();
+                      log_.warn("chain ", chain_id, " scale failed: ",
+                                s.error().to_string());
+                    }
+                  });
+}
+
+}  // namespace escape::orchestrator

@@ -349,7 +349,13 @@ void DeploymentEngine::teardown_best_effort(const DeploymentRecord& record,
 
 void DeploymentEngine::teardown_impl(const DeploymentRecord& record, bool best_effort,
                                      std::function<void(Status)> done) {
-  if (auto s = steering_->remove_chain(record.chain_id);
+  // Steering rules live under the path's id, which diverges from the
+  // logical chain id once the chain has been scaled (each migration
+  // generation installs under a fresh steering id so make-before-break
+  // can hold both rule sets at once).
+  const std::uint32_t steering_id =
+      record.chain_path.chain_id != 0 ? record.chain_path.chain_id : record.chain_id;
+  if (auto s = steering_->remove_chain(steering_id);
       !s.ok() && !best_effort && !benign_teardown_error(s.error())) {
     done(s);
     return;

@@ -1,5 +1,6 @@
 #include "service/catalog.hpp"
 
+#include <algorithm>
 #include <cctype>
 
 #include "util/strings.hpp"
@@ -156,7 +157,8 @@ VnfCatalog VnfCatalog::with_builtins() {
       "from -> rw -> to;\n",
       0.1,
       1,
-      {{"spec", "SRC_IP 10.0.0.1"}}});
+      {{"spec", "SRC_IP 10.0.0.1"}},
+      /*rewrites_source=*/true});
 
   catalog.add(VnfTemplate{
       "napt",
@@ -172,7 +174,8 @@ VnfCatalog VnfCatalog::with_builtins() {
       "napt[1] -> tin;\n",
       0.15,
       2,
-      {{"external_ip", "192.0.2.1"}, {"port_base", "20000"}}});
+      {{"external_ip", "192.0.2.1"}, {"port_base", "20000"}},
+      /*rewrites_source=*/true});
 
   catalog.add(VnfTemplate{
       "loadbalancer",
@@ -215,7 +218,8 @@ VnfCatalog VnfCatalog::with_builtins() {
        {"port_base", "20000"},
        {"port_count", "1024"},
        {"capacity", "default"},
-       {"timeout_ms", "default"}}});
+       {"timeout_ms", "default"}},
+      /*rewrites_source=*/true});
 
   catalog.add(VnfTemplate{
       "flow_lb",
@@ -252,6 +256,26 @@ VnfCatalog VnfCatalog::with_builtins() {
        {"timeout_ms", "default"}}});
 
   return catalog;
+}
+
+std::string render_flow_splitter(std::size_t fanout) {
+  fanout = std::min<std::size_t>(std::max<std::size_t>(fanout, 2), 64);
+  // MODE hash so the backend choice is a pure function of the 5-tuple:
+  // the orchestrator partitions exported flow state with the same
+  // tuple-hash % fanout rule, so every migrated flow lands exactly on
+  // the replica that imported its state.
+  std::string config =
+      "from :: FromDevice(DEVNAME in0);\n"
+      "fm :: FlowManager(CAPACITY default, TIMEOUT_MS default, HOLD true);\n"
+      "lb :: FlowLB(N " +
+      std::to_string(fanout) +
+      ", MODE hash);\n"
+      "from -> fm -> lb;\n";
+  for (std::size_t i = 0; i < fanout; ++i) {
+    config += "lb[" + std::to_string(i) + "] -> ToDevice(DEVNAME out" + std::to_string(i) +
+              ");\n";
+  }
+  return config;
 }
 
 }  // namespace escape::service

@@ -19,6 +19,10 @@ struct VnfTemplate {
   double default_cpu = 0.1;
   int data_ports = 1;  // in/out device pairs (inN/outN)
   std::map<std::string, std::string> param_defaults;
+  /// The VNF rewrites packet source fields (NAT-style). A chain match
+  /// built for such a chain must not pin nw_src/tp_src: post-VNF hops
+  /// see the rewritten header.
+  bool rewrites_source = false;
 };
 
 class VnfCatalog {
@@ -41,5 +45,14 @@ class VnfCatalog {
  private:
   std::map<std::string, VnfTemplate> templates_;
 };
+
+/// Renders the Click configuration of the scale-out splitter VNF: a
+/// FlowManager born holding (it buffers traffic until the migrated flow
+/// state is imported and the hold is released) feeding a flow-sticky
+/// hash-mode FlowLB with `fanout` outputs (one per replica). Not a
+/// catalog template because the output wiring varies with the fanout,
+/// which $param substitution cannot express. fanout is clamped to
+/// FlowLB's [2, 64] range.
+std::string render_flow_splitter(std::size_t fanout);
 
 }  // namespace escape::service

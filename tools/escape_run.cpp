@@ -10,7 +10,7 @@
 //              [--return-path] [--verbose]
 //              [--metrics] [--metrics-json FILE]
 //              [--monitor VNF] [--monitor-interval MS]
-//              [--faults FILE] [--self-heal]
+//              [--faults FILE] [--self-heal] [--autoscale FILE]
 //              [--threads N] [--shard-by region|switch|none]
 //              [--flow-capacity N] [--flow-timeout-ms MS]
 //
@@ -57,6 +57,7 @@ struct Options {
   std::string monitor_vnf;  // live per-VNF monitor (Clicky-style)
   std::uint64_t monitor_interval_ms = 500;
   std::string faults_path;  // chaos script (fault::FaultPlane JSON)
+  std::string autoscale_path;  // elastic-scaling policy (AutoScaler JSON)
   bool self_heal = false;
   std::uint64_t of_echo_ms = 0;  // 0 = default OpenFlow keepalive cadence
   std::uint64_t threads = 1;     // event-engine worker threads
@@ -88,6 +89,7 @@ int usage(const char* argv0) {
                "          [--metrics] [--metrics-json FILE]\n"
                "          [--monitor VNF] [--monitor-interval MS]\n"
                "          [--faults FILE] [--self-heal] [--of-echo-ms MS]\n"
+               "          [--autoscale FILE]\n"
                "          [--threads N] [--shard-by region|switch|none]\n"
                "          [--flow-capacity N] [--flow-timeout-ms MS]\n"
                "   or: %s --workload [--workload-seed N] [--workload-k K]\n"
@@ -279,6 +281,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       opts.faults_path = v;
+    } else if (arg == "--autoscale") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opts.autoscale_path = v;
     } else if (arg == "--of-echo-ms") {
       const char* v = next();
       if (!v) return usage(argv[0]);
@@ -442,6 +448,27 @@ int main(int argc, char** argv) {
     std::printf("return path installed (chain %u)\n", *reverse);
   }
 
+  // --- elastic scaling ----------------------------------------------------
+  if (!opts.autoscale_path.empty()) {
+    auto policy_text = read_file(opts.autoscale_path);
+    if (!policy_text.ok()) {
+      std::fprintf(stderr, "%s\n", policy_text.error().to_string().c_str());
+      return 1;
+    }
+    auto policy = orchestrator::autoscale_options_from_json(*policy_text);
+    if (!policy.ok()) {
+      std::fprintf(stderr, "autoscale: %s\n", policy.error().to_string().c_str());
+      return 1;
+    }
+    const std::size_t policies = policy->policies.size();
+    if (auto s = env.enable_autoscaling(std::move(*policy)); !s.ok()) {
+      std::fprintf(stderr, "autoscale: %s\n", s.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("autoscaling enabled (%zu policies from %s)\n", policies,
+                opts.autoscale_path.c_str());
+  }
+
   // --- traffic ---------------------------------------------------------------
   auto order = graph->chain_order();
   netemu::Host* src = env.host(order->front());
@@ -490,6 +517,11 @@ int main(int argc, char** argv) {
                     std::string(chain_state_name(*state)).c_str());
       }
     }
+  }
+
+  if (!opts.autoscale_path.empty()) {
+    std::printf("chain %u instances at end: %zu (generation %u)\n", *chain,
+                dep->scale_instances, dep->scale_generation);
   }
 
   auto stats = env.chain_stats(*chain);
