@@ -1,0 +1,59 @@
+// Chaos exploration cost: what one replayed lifecycle episode costs in
+// wall time, and the throughput of a (capped) depth-1 sweep. The episode
+// is the explorer's unit of work -- a full deploy/scale/kill/restore
+// lifecycle in a fresh environment -- so episode cost x schedule count
+// bounds the CI sweep budget.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "chaos/explorer.hpp"
+#include "chaos/scenario.hpp"
+
+using namespace escape;
+
+static void BM_ChaosEpisode(benchmark::State& state) {
+  chaos::LifecycleScenarioOptions scenario;
+  scenario.threads = static_cast<std::size_t>(state.range(0));
+  chaos::ChaosExplorer explorer(chaos::lifecycle_scenario(scenario),
+                                chaos::ExplorerOptions{});
+  double hits = 0;
+  for (auto _ : state) {
+    chaos::Episode episode = explorer.run_schedule({});
+    if (!episode.violations.empty()) {
+      state.SkipWithError("clean episode violated invariants");
+      break;
+    }
+    benchmark::DoNotOptimize(episode.digest);
+  }
+  std::uint64_t digest = 0;
+  hits = static_cast<double>(explorer.record(&digest).size());
+  state.counters["trace_hits"] = hits;
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ChaosEpisode)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+static void BM_ChaosSweepCapped(benchmark::State& state) {
+  const std::size_t cap = static_cast<std::size_t>(state.range(0));
+  double explored = 0;
+  double failures = 0;
+  double vacuous = 0;
+  for (auto _ : state) {
+    chaos::ExplorerOptions options;
+    options.max_schedules = cap;
+    chaos::ChaosExplorer explorer(chaos::lifecycle_scenario(), options);
+    chaos::ExploreReport report = explorer.explore();
+    explored = static_cast<double>(report.episodes.size());
+    failures = static_cast<double>(report.failures());
+    vacuous = static_cast<double>(report.vacuous());
+    if (!report.clean_violations.empty()) {
+      state.SkipWithError("clean run violated invariants");
+      break;
+    }
+  }
+  state.counters["schedules_explored"] = explored;
+  state.counters["failures"] = failures;
+  state.counters["vacuous"] = vacuous;
+}
+BENCHMARK(BM_ChaosSweepCapped)->Arg(8)->Unit(benchmark::kMillisecond);
+
+ESCAPE_BENCH_MAIN("chaos");

@@ -1,0 +1,259 @@
+#include "chaos/explorer.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <set>
+#include <sstream>
+
+#include "json/json.hpp"
+
+namespace escape::chaos {
+
+namespace {
+
+/// Fault kinds a recorded hit can honor, in deterministic order.
+std::vector<FaultKind> kinds_for(const TraceEntry& entry) {
+  std::vector<FaultKind> kinds;
+  if ((entry.caps & kCanCrash) != 0 && entry.target_kind != TargetKind::kNone) {
+    kinds.push_back(FaultKind::kCrash);
+  }
+  if ((entry.caps & kCanDrop) != 0) kinds.push_back(FaultKind::kDrop);
+  if ((entry.caps & kCanDelay) != 0) kinds.push_back(FaultKind::kDelay);
+  return kinds;
+}
+
+std::string schedule_key(const FaultSchedule& schedule) {
+  std::ostringstream os;
+  for (const auto& s : schedule) {
+    os << s.site << '#' << s.occurrence << '=' << fault_kind_name(s.kind) << ';';
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::size_t ExploreReport::failures() const {
+  std::size_t n = 0;
+  for (const auto& e : episodes) n += e.failed() ? 1 : 0;
+  return n;
+}
+
+std::size_t ExploreReport::vacuous() const {
+  std::size_t n = 0;
+  for (const auto& e : episodes) n += e.vacuous() ? 1 : 0;
+  return n;
+}
+
+std::string ExploreReport::summary() const {
+  std::ostringstream os;
+  os << episodes.size() << " schedule(s) explored over " << trace.size()
+     << " fault-point hit(s), " << failures() << " invariant failure(s), " << vacuous()
+     << " vacuous";
+  if (schedules_dropped > 0) {
+    os << "; WARNING: " << schedules_dropped << " schedule(s) dropped by cap -- NOT full coverage";
+  }
+  return os.str();
+}
+
+ChaosExplorer::ChaosExplorer(Scenario scenario, ExplorerOptions options)
+    : scenario_(std::move(scenario)), options_(options) {}
+
+std::function<void(const SiteContext&)> env_crash_executor(Environment& env) {
+  return [&env](const SiteContext& ctx) {
+    switch (ctx.target_kind) {
+      case TargetKind::kContainer:
+        env.kill_container(ctx.container);
+        break;
+      case TargetKind::kSwitch:
+        for (const std::string& name : env.network().node_names()) {
+          netemu::SwitchNode* sw = env.network().switch_node(name);
+          if (sw != nullptr && sw->dpid() == ctx.dpid) {
+            env.restart_switch(name);
+            return;
+          }
+        }
+        break;
+      case TargetKind::kNone:
+        break;
+    }
+  };
+}
+
+std::vector<TraceEntry> ChaosExplorer::record(std::uint64_t* digest,
+                                              std::vector<Violation>* violations) {
+  std::unique_ptr<Environment> env = scenario_.make_env();
+  FaultInjector injector;
+  injector.start_recording();
+  FaultInjector* previous = FaultInjector::activate(&injector);
+  scenario_.run(*env);
+  FaultInjector::activate(previous);
+  if (digest != nullptr) *digest = env->scheduler().order_digest();
+  if (violations != nullptr) *violations = check_invariants(*env);
+  return injector.trace();
+}
+
+Episode ChaosExplorer::run_schedule(const FaultSchedule& schedule) {
+  Episode episode;
+  episode.schedule = schedule;
+  std::unique_ptr<Environment> env = scenario_.make_env();
+  FaultInjector injector;
+  injector.arm(schedule);
+  injector.set_crash_executor(env_crash_executor(*env));
+  FaultInjector* previous = FaultInjector::activate(&injector);
+  // An episode that throws is itself a finding -- an injected fault drove
+  // the product into an unguarded code path. Record it as a violation so
+  // the sweep survives and the schedule shrinks like any other failure.
+  try {
+    scenario_.run(*env);
+    FaultInjector::activate(previous);
+    episode.digest = env->scheduler().order_digest();
+    episode.faults_fired = static_cast<std::size_t>(injector.fired());
+    episode.violations = check_invariants(*env);
+  } catch (const std::exception& e) {
+    FaultInjector::activate(previous);
+    episode.faults_fired = static_cast<std::size_t>(injector.fired());
+    episode.violations.push_back({"episode.exception", scenario_.name, e.what()});
+  }
+  return episode;
+}
+
+std::vector<FaultSchedule> ChaosExplorer::enumerate(
+    const std::vector<TraceEntry>& trace) const {
+  std::vector<FaultSchedule> schedules;
+  std::set<std::string> seen;
+  auto push = [&](FaultSchedule schedule) {
+    if (seen.insert(schedule_key(schedule)).second) schedules.push_back(std::move(schedule));
+  };
+
+  // Depth 1: exhaustive -- every recorded hit x every kind it supports.
+  for (const TraceEntry& entry : trace) {
+    for (FaultKind kind : kinds_for(entry)) {
+      FaultSpec spec{entry.site, entry.occurrence, kind,
+                     kind == FaultKind::kDelay ? options_.delay : 0};
+      push({std::move(spec)});
+    }
+  }
+
+  // Depth >= 2: seeded bounded pairs. Exhaustive pairing is quadratic in
+  // the trace; a deterministic sample keeps CI time bounded while the
+  // nightly can raise pair_samples.
+  if (options_.depth >= 2 && trace.size() >= 2) {
+    std::mt19937_64 rng(options_.seed);
+    const std::size_t want = options_.pair_samples * static_cast<std::size_t>(options_.depth - 1);
+    const std::size_t base = schedules.size();
+    for (std::size_t attempt = 0; attempt < want * 8 && schedules.size() < base + want;
+         ++attempt) {
+      std::size_t i = static_cast<std::size_t>(rng() % trace.size());
+      std::size_t j = static_cast<std::size_t>(rng() % trace.size());
+      if (i == j) continue;
+      if (i > j) std::swap(i, j);
+      const std::vector<FaultKind> ki = kinds_for(trace[i]);
+      const std::vector<FaultKind> kj = kinds_for(trace[j]);
+      if (ki.empty() || kj.empty()) continue;
+      FaultSpec a{trace[i].site, trace[i].occurrence, ki[rng() % ki.size()], 0};
+      FaultSpec b{trace[j].site, trace[j].occurrence, kj[rng() % kj.size()], 0};
+      if (a.kind == FaultKind::kDelay) a.delay = options_.delay;
+      if (b.kind == FaultKind::kDelay) b.delay = options_.delay;
+      push({std::move(a), std::move(b)});
+    }
+  }
+  return schedules;
+}
+
+FaultSchedule ChaosExplorer::shrink(const FaultSchedule& failing) {
+  if (failing.size() <= 1) return failing;
+  // Singletons first: most pair failures are really single-fault bugs.
+  for (const FaultSpec& spec : failing) {
+    FaultSchedule candidate{spec};
+    if (run_schedule(candidate).failed()) return candidate;
+  }
+  // Then classic one-at-a-time removal.
+  FaultSchedule current = failing;
+  bool shrunk = true;
+  while (shrunk && current.size() > 1) {
+    shrunk = false;
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      FaultSchedule candidate;
+      for (std::size_t k = 0; k < current.size(); ++k) {
+        if (k != i) candidate.push_back(current[k]);
+      }
+      if (run_schedule(candidate).failed()) {
+        current = std::move(candidate);
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+ExploreReport ChaosExplorer::explore() {
+  ExploreReport report;
+  report.trace = record(&report.clean_digest, &report.clean_violations);
+  log_.info("scenario '", scenario_.name, "': clean run recorded ", report.trace.size(),
+            " fault-point hit(s), digest ", report.clean_digest);
+  if (!report.clean_violations.empty()) {
+    log_.error("clean run violates ", report.clean_violations.size(),
+               " invariant(s); not exploring");
+    return report;
+  }
+
+  std::vector<FaultSchedule> schedules = enumerate(report.trace);
+  if (options_.max_schedules > 0 && schedules.size() > options_.max_schedules) {
+    report.schedules_dropped = schedules.size() - options_.max_schedules;
+    schedules.resize(options_.max_schedules);
+    log_.warn("schedule cap: replaying ", schedules.size(), ", dropping ",
+              report.schedules_dropped);
+  }
+
+  std::size_t artifact_index = 0;
+  for (const FaultSchedule& schedule : schedules) {
+    Episode episode = run_schedule(schedule);
+    if (episode.failed()) {
+      log_.warn("schedule {", schedule_key(schedule), "} -> ", episode.violations.size(),
+                " violation(s); shrinking");
+      FaultSchedule minimal = shrink(schedule);
+      report.minimized.push_back(minimal);
+      if (!options_.artifact_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(options_.artifact_dir, ec);
+        const std::string path =
+            options_.artifact_dir + "/fail-" + std::to_string(artifact_index++) + ".json";
+        std::ofstream out(path);
+        std::ostringstream note;
+        note << "scenario " << scenario_.name << "; violations:";
+        for (const auto& v : episode.violations) note << " " << to_string(v) << ";";
+        out << schedule_to_json(minimal, note.str());
+        log_.warn("minimized repro written to ", path);
+      }
+    }
+    report.episodes.push_back(std::move(episode));
+  }
+  log_.info("scenario '", scenario_.name, "': ", report.summary());
+  return report;
+}
+
+Result<FaultSchedule> schedule_from_json(std::string_view text) {
+  auto doc = json::parse(text);
+  if (!doc.ok()) return doc.error();
+  FaultSchedule schedule;
+  for (const json::Value& event : (*doc)["events"].as_array()) {
+    if (event["action"].as_string() != "fault-point") continue;
+    FaultSpec spec;
+    spec.site = event["site"].as_string();
+    if (spec.site.empty()) {
+      return make_error("chaos.bad-schedule", "fault-point event without a site");
+    }
+    spec.occurrence = static_cast<std::uint64_t>(event["occurrence"].as_int(0));
+    auto kind = fault_kind_from(event["kind"].as_string());
+    if (!kind.ok()) return kind.error();
+    spec.kind = *kind;
+    spec.delay = static_cast<SimDuration>(event["delay_ms"].as_int(0)) *
+                 timeunit::kMillisecond;
+    schedule.push_back(std::move(spec));
+  }
+  return schedule;
+}
+
+}  // namespace escape::chaos

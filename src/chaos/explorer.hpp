@@ -1,0 +1,112 @@
+// Systematic crash-point exploration: record the fault-point trace of a
+// clean scenario run, enumerate bounded fault schedules over it, replay
+// each one deterministically in a fresh environment and check the global
+// invariants afterwards. Failing schedules are shrunk to a minimal
+// reproducer and dumped as `escape-run --faults`-compatible JSON.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/fault_point.hpp"
+#include "chaos/invariants.hpp"
+#include "escape/environment.hpp"
+
+namespace escape::chaos {
+
+/// A replayable workload: `make_env` builds and starts a fresh
+/// environment, `run` drives the lifecycle under test. `run` must
+/// tolerate any step failing -- with faults armed, every deploy, scale
+/// or recovery step may legitimately error.
+struct Scenario {
+  std::string name;
+  std::function<std::unique_ptr<Environment>()> make_env;
+  std::function<void(Environment&)> run;
+};
+
+struct ExplorerOptions {
+  /// 1 = every single fault site x kind; >= 2 adds seeded random pairs.
+  int depth = 1;
+  /// Seed for the bounded-pair sampler (and nothing else: the depth-1
+  /// sweep is exhaustive and deterministic by construction).
+  std::uint64_t seed = 1;
+  /// Hard cap on schedules replayed (0 = no cap). Dropped schedules are
+  /// logged -- a capped sweep must not read as full coverage.
+  std::size_t max_schedules = 0;
+  /// Pair schedules sampled per depth level above 1.
+  std::size_t pair_samples = 64;
+  /// Duration of an injected kDelay.
+  SimDuration delay = 3 * timeunit::kMillisecond;
+  /// When non-empty, failing (minimized) schedules are written here as
+  /// fail-<n>.json, replayable via `escape-run --faults`.
+  std::string artifact_dir;
+};
+
+/// Outcome of replaying one fault schedule.
+struct Episode {
+  FaultSchedule schedule;
+  std::uint64_t digest = 0;      // scheduler order digest at quiesce
+  std::size_t faults_fired = 0;  // armed specs that actually triggered
+  std::vector<Violation> violations;
+
+  bool failed() const { return !violations.empty(); }
+  /// True when no armed fault fired (an earlier fault steered execution
+  /// away from the site): the episode exercised nothing new.
+  bool vacuous() const { return faults_fired == 0 && !schedule.empty(); }
+};
+
+struct ExploreReport {
+  std::vector<TraceEntry> trace;  // clean-run fault-point trace
+  std::uint64_t clean_digest = 0;
+  std::vector<Violation> clean_violations;  // non-empty = scenario itself broken
+  std::vector<Episode> episodes;
+  std::vector<FaultSchedule> minimized;  // one per failing episode
+  std::size_t schedules_dropped = 0;     // victims of max_schedules
+
+  std::size_t failures() const;
+  std::size_t vacuous() const;
+  std::string summary() const;
+};
+
+class ChaosExplorer {
+ public:
+  ChaosExplorer(Scenario scenario, ExplorerOptions options);
+
+  /// The full sweep: record, enumerate, replay, shrink, dump artifacts.
+  ExploreReport explore();
+
+  /// Replays one schedule in a fresh environment (used by --chaos-replay
+  /// and by the shrinker).
+  Episode run_schedule(const FaultSchedule& schedule);
+
+  /// Clean run in record mode; returns the trace.
+  std::vector<TraceEntry> record(std::uint64_t* digest = nullptr,
+                                 std::vector<Violation>* violations = nullptr);
+
+  /// Bounded schedule enumeration over a recorded trace: every (site,
+  /// occurrence) x supported kind singleton, plus seeded pairs when
+  /// depth >= 2. Deterministic for a fixed trace + seed.
+  std::vector<FaultSchedule> enumerate(const std::vector<TraceEntry>& trace) const;
+
+  /// Minimizes a failing schedule: tries singletons first, then drops
+  /// one spec at a time, keeping any smaller schedule that still fails.
+  FaultSchedule shrink(const FaultSchedule& failing);
+
+ private:
+  Scenario scenario_;
+  ExplorerOptions options_;
+  Logger log_{"chaos.explorer"};
+};
+
+/// Crash executor for FaultInjector bound to a live environment:
+/// container targets are power-failed, switch targets are rebooted
+/// (soft state lost, triggering the steering resync path).
+std::function<void(const SiteContext&)> env_crash_executor(Environment& env);
+
+/// Parses a `--faults`-style JSON document back into the fault-point
+/// schedule it carries (non-fault-point events are ignored).
+Result<FaultSchedule> schedule_from_json(std::string_view text);
+
+}  // namespace escape::chaos

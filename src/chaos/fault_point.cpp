@@ -1,0 +1,167 @@
+#include "chaos/fault_point.hpp"
+
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace escape::chaos {
+
+namespace {
+FaultInjector* g_active = nullptr;
+Logger& injector_log() {
+  static Logger log{"chaos.inject"};
+  return log;
+}
+}  // namespace
+
+std::string_view fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDelay: return "delay";
+  }
+  return "?";
+}
+
+Result<FaultKind> fault_kind_from(std::string_view name) {
+  if (name == "crash") return FaultKind::kCrash;
+  if (name == "drop") return FaultKind::kDrop;
+  if (name == "delay") return FaultKind::kDelay;
+  return make_error("chaos.bad-kind", "unknown fault kind: " + std::string(name));
+}
+
+std::string FaultSpec::to_string() const {
+  std::ostringstream out;
+  out << site << "#" << occurrence << ":" << fault_kind_name(kind);
+  if (kind == FaultKind::kDelay) {
+    out << "+" << static_cast<double>(delay) / timeunit::kMillisecond << "ms";
+  }
+  return out.str();
+}
+
+FaultInjector::~FaultInjector() {
+  if (g_active == this) g_active = nullptr;
+}
+
+FaultInjector* FaultInjector::active() { return g_active; }
+
+FaultInjector* FaultInjector::activate(FaultInjector* injector) {
+  FaultInjector* previous = g_active;
+  g_active = injector;
+  return previous;
+}
+
+void FaultInjector::start_recording() {
+  mode_ = Mode::kRecord;
+  counts_.clear();
+  trace_.clear();
+  schedule_.clear();
+  spec_fired_.clear();
+  hits_ = 0;
+  fired_ = 0;
+}
+
+void FaultInjector::arm(FaultSchedule schedule) {
+  mode_ = Mode::kInject;
+  counts_.clear();
+  trace_.clear();
+  schedule_ = std::move(schedule);
+  spec_fired_.assign(schedule_.size(), false);
+  hits_ = 0;
+  fired_ = 0;
+}
+
+void FaultInjector::add_spec(FaultSpec spec) {
+  mode_ = Mode::kInject;
+  schedule_.push_back(std::move(spec));
+  spec_fired_.push_back(false);
+}
+
+Decision FaultInjector::hit(std::string_view site, unsigned caps, const SiteContext& ctx) {
+  ++hits_;
+  auto cit = counts_.find(site);
+  if (cit == counts_.end()) cit = counts_.emplace(std::string(site), 0).first;
+  const std::uint64_t occurrence = cit->second++;
+
+  if (mode_ == Mode::kRecord) {
+    TraceEntry entry;
+    entry.site = site;
+    entry.occurrence = occurrence;
+    entry.caps = caps;
+    entry.target_kind = ctx.target_kind;
+    entry.container = ctx.container;
+    entry.dpid = ctx.dpid;
+    entry.chain_id = ctx.chain_id;
+    trace_.push_back(std::move(entry));
+    return {};
+  }
+
+  for (std::size_t i = 0; i < schedule_.size(); ++i) {
+    const FaultSpec& spec = schedule_[i];
+    if (spec_fired_[i] || spec.occurrence != occurrence || spec.site != site) continue;
+    // The site declares what it can honor; a mismatched spec (possible
+    // when an earlier fault changed the control flow) stays un-fired.
+    const unsigned needed = spec.kind == FaultKind::kCrash  ? kCanCrash
+                            : spec.kind == FaultKind::kDrop ? kCanDrop
+                                                            : kCanDelay;
+    if ((caps & needed) == 0) continue;
+    if (spec.kind == FaultKind::kCrash && ctx.target_kind == TargetKind::kNone) continue;
+    spec_fired_[i] = true;
+    ++fired_;
+    injector_log().warn("firing ", spec.to_string(), ctx.chain_id != 0
+                            ? " (chain " + std::to_string(ctx.chain_id) + ")"
+                            : std::string());
+    if (spec.kind == FaultKind::kCrash) {
+      if (crash_) crash_(ctx);
+      return {};  // the operation proceeds against the now-dead target
+    }
+    return {spec.kind, spec.delay};
+  }
+  return {};
+}
+
+Decision hit(std::string_view site, unsigned caps, const SiteContext& ctx) {
+  if (g_active == nullptr) return {};
+  return g_active->hit(site, caps, ctx);
+}
+
+namespace {
+// Minimal JSON string escape (this core layer must not link the json
+// library; the serializer here is hand-rolled on purpose).
+std::string json_escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+std::string schedule_to_json(const FaultSchedule& schedule, std::string_view note) {
+  std::ostringstream out;
+  out << "{\n";
+  if (!note.empty()) out << "  \"note\": \"" << json_escape(note) << "\",\n";
+  out << "  \"events\": [";
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const FaultSpec& spec = schedule[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"at_ms\": 0, \"action\": \"fault-point\", \"site\": \"" << spec.site
+        << "\", \"occurrence\": " << spec.occurrence << ", \"kind\": \""
+        << fault_kind_name(spec.kind) << "\"";
+    if (spec.kind == FaultKind::kDelay) {
+      out << ", \"delay_ms\": " << static_cast<double>(spec.delay) / timeunit::kMillisecond;
+    }
+    out << "}";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace escape::chaos

@@ -1,0 +1,161 @@
+// escape::chaos -- named fault points for systematic crash-site exploration.
+//
+// Control-plane code marks every injectable moment (RPC send, barrier,
+// state hand-off, ledger commit, steering cut-over) with a call to
+// chaos::hit("site.name", caps, ctx). When no FaultInjector is active the
+// call is a pointer test and returns kNone. With an active injector:
+//
+//   * record mode  -- every hit is appended to a trace (site, per-site
+//     occurrence, supported fault kinds, crash target), which is the
+//     enumeration domain for the ChaosExplorer;
+//   * inject mode  -- hits are matched against an armed FaultSchedule of
+//     (site, occurrence) -> kind entries. kCrash synchronously invokes
+//     the crash executor (the environment kills the site's container or
+//     restarts its switch) and then lets the operation proceed so the
+//     failure propagates through the real detection paths; kDrop tells
+//     the site to fail the operation locally; kDelay tells it to defer
+//     the operation by the spec's payload.
+//
+// Sites are only instrumented on the control shard (shard 0) of the
+// sharded scheduler, so the process-global injector needs no locking and
+// occurrence counting is deterministic for a fixed partition.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+#include "util/time.hpp"
+
+namespace escape::chaos {
+
+enum class FaultKind : std::uint8_t { kNone, kCrash, kDrop, kDelay };
+
+std::string_view fault_kind_name(FaultKind kind);
+Result<FaultKind> fault_kind_from(std::string_view name);
+
+// Capability bits a site declares at hit(): the enumerator only
+// generates schedules the site can actually honor.
+inline constexpr unsigned kCanCrash = 1u;
+inline constexpr unsigned kCanDrop = 2u;
+inline constexpr unsigned kCanDelay = 4u;
+
+/// What a kCrash fault at this site takes down.
+enum class TargetKind : std::uint8_t { kNone, kContainer, kSwitch };
+
+struct SiteContext {
+  TargetKind target_kind = TargetKind::kNone;
+  std::string container;      // kContainer: the container to kill
+  std::uint64_t dpid = 0;     // kSwitch: the switch to restart
+  std::uint32_t chain_id = 0; // owning chain, 0 if none
+
+  static SiteContext of_container(std::string name, std::uint32_t chain = 0) {
+    SiteContext ctx;
+    ctx.target_kind = name.empty() ? TargetKind::kNone : TargetKind::kContainer;
+    ctx.container = std::move(name);
+    ctx.chain_id = chain;
+    return ctx;
+  }
+  static SiteContext of_switch(std::uint64_t dpid, std::uint32_t chain = 0) {
+    SiteContext ctx;
+    ctx.target_kind = TargetKind::kSwitch;
+    ctx.dpid = dpid;
+    ctx.chain_id = chain;
+    return ctx;
+  }
+};
+
+/// The injector's verdict for one hit.
+struct Decision {
+  FaultKind kind = FaultKind::kNone;
+  SimDuration delay = 0;  // kDelay payload
+
+  bool none() const { return kind == FaultKind::kNone; }
+  bool drop() const { return kind == FaultKind::kDrop; }
+  bool delayed() const { return kind == FaultKind::kDelay; }
+};
+
+/// One armed fault: fire `kind` at the `occurrence`-th hit of `site`
+/// (0-based, counted per site across the whole episode).
+struct FaultSpec {
+  std::string site;
+  std::uint64_t occurrence = 0;
+  FaultKind kind = FaultKind::kDrop;
+  SimDuration delay = 0;  // only meaningful for kDelay
+
+  std::string to_string() const;
+};
+
+using FaultSchedule = std::vector<FaultSpec>;
+
+/// One recorded hit from a clean (record-mode) episode.
+struct TraceEntry {
+  std::string site;
+  std::uint64_t occurrence = 0;  // per-site index of this hit
+  unsigned caps = 0;
+  TargetKind target_kind = TargetKind::kNone;
+  std::string container;
+  std::uint64_t dpid = 0;
+  std::uint32_t chain_id = 0;
+};
+
+class FaultInjector {
+ public:
+  enum class Mode { kRecord, kInject };
+
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+  ~FaultInjector();
+
+  /// The process-global injector consulted by chaos::hit(); nullptr when
+  /// no chaos episode is running (the common case).
+  static FaultInjector* active();
+  /// Installs `injector` (nullptr disarms). Returns the previous one so
+  /// nested scopes can restore it.
+  static FaultInjector* activate(FaultInjector* injector);
+
+  void start_recording();
+  void arm(FaultSchedule schedule);
+  void add_spec(FaultSpec spec);
+
+  /// Bound by the episode driver: executes a kCrash decision against the
+  /// environment (kill container / restart switch) before the site's
+  /// operation proceeds.
+  void set_crash_executor(std::function<void(const SiteContext&)> executor) {
+    crash_ = std::move(executor);
+  }
+
+  Decision hit(std::string_view site, unsigned caps, const SiteContext& ctx);
+
+  Mode mode() const { return mode_; }
+  const std::vector<TraceEntry>& trace() const { return trace_; }
+  const FaultSchedule& schedule() const { return schedule_; }
+  /// Total hits observed this episode (all sites).
+  std::uint64_t hits() const { return hits_; }
+  /// Armed specs that actually fired.
+  std::uint64_t fired() const { return fired_; }
+
+ private:
+  Mode mode_ = Mode::kRecord;
+  std::map<std::string, std::uint64_t, std::less<>> counts_;
+  std::vector<TraceEntry> trace_;
+  FaultSchedule schedule_;
+  std::vector<bool> spec_fired_;
+  std::function<void(const SiteContext&)> crash_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t fired_ = 0;
+};
+
+/// The fault-point probe. Near-zero cost when no injector is active.
+Decision hit(std::string_view site, unsigned caps, const SiteContext& ctx);
+
+/// Serializes a schedule as an `escape-run --faults` compatible script
+/// (every spec becomes a {"action": "fault-point", ...} event).
+std::string schedule_to_json(const FaultSchedule& schedule, std::string_view note = "");
+
+}  // namespace escape::chaos

@@ -1,0 +1,116 @@
+#include "chaos/scenario.hpp"
+
+#include "net/headers.hpp"
+
+namespace escape::chaos {
+
+namespace {
+
+netemu::LinkConfig chaos_link() {
+  netemu::LinkConfig cfg;
+  cfg.bandwidth_bps = 1'000'000'000;
+  cfg.delay = 50 * timeunit::kMicrosecond;
+  return cfg;
+}
+
+std::unique_ptr<Environment> build_env(const LifecycleScenarioOptions& options) {
+  EnvironmentOptions eo;
+  eo.threads = options.threads;
+  eo.shard_by = netemu::ShardBy::kSwitch;
+  auto env = std::make_unique<Environment>(eo);
+  auto& net = env->network();
+  net.add_host("sap1");
+  net.add_host("sap2");
+  net.add_switch("s1");
+  net.add_switch("s2");
+  net.add_container("c1", 2.0, 8);
+  net.add_container("c2", 2.0, 8);
+  (void)net.add_link("sap1", 0, "s1", 1, chaos_link());
+  (void)net.add_link("sap2", 0, "s2", 1, chaos_link());
+  (void)net.add_link("s1", 2, "s2", 2, chaos_link());
+  (void)net.add_link("c1", 0, "s1", 3, chaos_link());
+  (void)net.add_link("c2", 0, "s2", 3, chaos_link());
+  (void)env->start();
+  RecoveryOptions recovery;
+  recovery.health.probe_interval = options.probe_interval;
+  recovery.health.probe_timeout = options.probe_timeout;
+  recovery.health.failure_threshold = options.probe_miss;
+  recovery.retry_delay = 50 * timeunit::kMillisecond;
+  (void)env->enable_self_healing(recovery);
+  return env;
+}
+
+void run_lifecycle(Environment& env) {
+  netemu::Host* sap1 = env.host("sap1");
+  netemu::Host* sap2 = env.host("sap2");
+  if (sap1 == nullptr || sap2 == nullptr || !env.started()) return;
+
+  sg::ServiceGraph graph("chaos-lifecycle");
+  graph.add_sap("sap1").add_sap("sap2");
+  graph.add_vnf("nat", "flow_nat",
+                {{"capacity", "1024"}, {"timeout_ms", "30000"}, {"port_count", "64"}}, 0.15);
+  graph.add_link("sap1", "nat").add_link("nat", "sap2");
+
+  // A second, reverse-direction chain widens the trace with a second
+  // deploy, an interleaved migration and two explicit teardowns.
+  sg::ServiceGraph rgraph("chaos-lifecycle-reverse");
+  rgraph.add_sap("sap2").add_sap("sap1");
+  rgraph.add_vnf("rnat", "flow_nat",
+                 {{"capacity", "1024"}, {"timeout_ms", "30000"}, {"port_count", "64"}},
+                 0.15);
+  rgraph.add_link("sap2", "rnat").add_link("rnat", "sap1");
+
+  // The NATs rewrite nw_src mid-chain; steer on destination only.
+  openflow::Match match;
+  match.dl_type(net::ethertype::kIpv4).nw_dst(sap2->ip());
+  openflow::Match rmatch;
+  rmatch.dl_type(net::ethertype::kIpv4).nw_dst(sap1->ip());
+
+  // Every step below may fail under an armed fault schedule -- that is
+  // the point. Outcomes are ignored; the invariants judge the episode.
+  auto chain = env.deploy(graph, match);
+  sap1->start_udp_flow(sap2->mac(), sap2->ip(), 5000, 7777, 2000, 2000);
+  env.run_for(100 * timeunit::kMillisecond);
+  auto rchain = env.deploy(rgraph, rmatch);
+  sap2->start_udp_flow(sap1->mac(), sap1->ip(), 5001, 8888, 2000, 2000);
+  if (chain.ok()) (void)env.scale_chain(*chain, 2);
+  env.run_for(50 * timeunit::kMillisecond);
+  if (rchain.ok()) (void)env.scale_chain(*rchain, 2);
+  (void)env.kill_container("c1");
+  env.run_for(150 * timeunit::kMillisecond);
+  (void)env.restore_container("c1");
+  env.run_for(100 * timeunit::kMillisecond);
+  if (chain.ok()) (void)env.scale_chain(*chain, 1);
+  if (rchain.ok()) (void)env.undeploy(*rchain);
+
+  // Settle: revive whatever a crash fault killed, then give recovery
+  // bounded rounds to drive every chain terminal and every dpid clean.
+  // (run_until_idle would never return -- health probes self-reschedule.)
+  for (int round = 0; round < 12; ++round) {
+    for (const std::string& name : env.network().node_names()) {
+      netemu::VnfContainer* container = env.network().container(name);
+      if (container != nullptr && !container->alive()) (void)env.restore_container(name);
+    }
+    env.run_for(200 * timeunit::kMillisecond);
+    bool settled = env.steering().dirty_count() == 0;
+    for (std::uint32_t id : env.deployed_chains()) {
+      auto state = env.chain_state(id);
+      if (state.ok() && *state != ChainState::kActive && *state != ChainState::kFailed) {
+        settled = false;
+      }
+    }
+    if (settled) break;
+  }
+}
+
+}  // namespace
+
+Scenario lifecycle_scenario(LifecycleScenarioOptions options) {
+  Scenario scenario;
+  scenario.name = "lifecycle";
+  scenario.make_env = [options] { return build_env(options); };
+  scenario.run = [](Environment& env) { run_lifecycle(env); };
+  return scenario;
+}
+
+}  // namespace escape::chaos

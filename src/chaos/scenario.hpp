@@ -1,0 +1,25 @@
+// Canonical chaos workload: the standard chain lifecycle (deploy ->
+// traffic -> scale-out -> container kill -> restore -> scale-in ->
+// settle) over a two-switch, two-container topology, every step
+// fault-tolerant so any armed schedule can perturb it.
+#pragma once
+
+#include "chaos/explorer.hpp"
+
+namespace escape::chaos {
+
+struct LifecycleScenarioOptions {
+  /// Worker threads of the sharded engine. The scenario always pins
+  /// shard_by = kSwitch, so order digests are comparable across thread
+  /// counts (the partition, not the pool size, fixes event ordering).
+  std::size_t threads = 1;
+  /// Health-probe tuning forwarded into enable_self_healing().
+  SimDuration probe_interval = 20 * timeunit::kMillisecond;
+  SimDuration probe_timeout = 10 * timeunit::kMillisecond;
+  int probe_miss = 2;
+};
+
+/// Builds the deploy/scale/kill/restore/scale lifecycle scenario.
+Scenario lifecycle_scenario(LifecycleScenarioOptions options = {});
+
+}  // namespace escape::chaos

@@ -675,6 +675,19 @@ FlowNAT::FlowNAT() {
   add_read_handler("dropped", [this] { return std::to_string(dropped_); });
   add_read_handler("exhausted", [this] { return std::to_string(exhausted_); });
   add_read_handler("ports_free", [this] { return std::to_string(free_ports_.size()); });
+  // Port-range conservation: free + mappings_native must always equal
+  // this. Plain `mappings` can exceed the pool draw: a migration imports
+  // mappings whose ports belong to the exporting replica's range, and
+  // those never came from (and never return to) this pool.
+  add_read_handler("ports_total", [this] { return std::to_string(port_count_); });
+  add_read_handler("mappings_native", [this] {
+    std::size_t native = 0;
+    for (const auto& [key, internal] : reverse_) {
+      (void)internal;
+      if (owns_port(key.ext_port)) ++native;
+    }
+    return std::to_string(native);
+  });
 }
 
 Status FlowNAT::configure(const ConfigArgs& args) {
@@ -710,7 +723,10 @@ Status FlowNAT::initialize(Router& router) {
     auto* slot = reinterpret_cast<NatSlot*>(block + slot_off_);
     if (slot->state != 1) return;
     reverse_.erase(ReverseKey{hdr.tuple.proto, slot->ext_port});
-    free_ports_.push_back(slot->ext_port);
+    // Only native ports rejoin the pool. A migrated-in mapping can carry
+    // a port from the exporting replica's range; pooling it here would
+    // let two replicas hand out the same external port.
+    if (owns_port(slot->ext_port)) free_ports_.push_back(slot->ext_port);
     slot->state = 0;
   });
   // Migration codec: the port mapping must survive a flow handoff or the

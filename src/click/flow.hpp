@@ -330,6 +330,7 @@ class FlowNAT : public Element {
 
   std::size_t active_mappings() const { return reverse_.size(); }
   std::size_t free_ports() const { return free_ports_.size(); }
+  std::size_t ports_total() const { return port_count_; }
 
  private:
   // Per-flow scratch of outbound flows.
@@ -352,6 +353,13 @@ class FlowNAT : public Element {
   /// Ensures the outbound flow has a mapping; returns nullptr if the
   /// packet must be dropped (no context, no block or no free port).
   NatSlot* outbound_slot(const Packet& p);
+
+  /// True when `port` lies in this instance's configured range (a
+  /// migrated-in mapping may carry a foreign port that must never enter
+  /// the local free pool).
+  bool owns_port(std::uint16_t port) const {
+    return port >= port_base_ && port < port_base_ + port_count_;
+  }
 
   std::string fm_name_;
   FlowManager* fm_ = nullptr;

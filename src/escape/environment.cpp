@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "chaos/fault_point.hpp"
 #include "click/flow.hpp"
 #include "obs/trace.hpp"
 #include "service/catalog.hpp"
@@ -741,6 +742,12 @@ void Environment::recover_chain(std::uint32_t chain_id) {
             recovery_.max_recovery_attempts, ")");
 
   std::weak_ptr<bool> alive = alive_;
+  // Injectable: a crash right as recovery starts tearing down remnants
+  // (the classic close-session-races-a-kill window).
+  chaos::hit("recover.teardown", chaos::kCanCrash,
+             chaos::SiteContext::of_container(
+                 dep.record.vnfs.empty() ? std::string() : dep.record.vnfs.front().container,
+                 chain_id));
   // Step 1: best-effort teardown of the stale remnants (dead agents and
   // already-gone VNFs are fine -- that is the point).
   engine_->teardown_best_effort(dep.record, [this, alive, chain_id, started, span](Status) {
@@ -776,7 +783,24 @@ void Environment::recover_chain(std::uint32_t chain_id) {
     // releasing the stale pre-recovery mapping would double-release it and
     // leak the new one on every failed attempt.
     dep.record.mapping = *mapping;
+    // The scaling state dies at remap time, not on recovery success: the
+    // reservations map() just made are graph-derived, and with
+    // scale_generation still > 0 a failed redeploy would release through
+    // the (already-drained) per-generation ledger and leak them. Found by
+    // the chaos explorer (deploy.rpc crash/drop during re-embed).
+    dep.scale_instances = 1;
+    dep.scale_generation = 0;
+    dep.cpu_ledger.clear();
+    dep.scale_anchor.reset();
     log_.info("chain ", chain_id, " re-mapped: ", mapping->to_string());
+
+    // Injectable: a crash between the remap's reservation commit and the
+    // redeploy -- the ledger-balance invariant watches this window.
+    chaos::hit("recover.redeploy", chaos::kCanCrash,
+               chaos::SiteContext::of_container(
+                   mapping->placements.empty() ? std::string()
+                                               : mapping->placements.begin()->second,
+                   chain_id));
 
     // Step 3: redeploy under the same chain id (fresh veths + steering).
     const openflow::Match match = dep.record.chain_path.match;
@@ -1164,6 +1188,12 @@ void Environment::scale_chain_async(std::uint32_t chain_id, std::size_t target,
     job->done(error);
   };
 
+  // Injectable: a crash right before the new generation's CPU is
+  // reserved -- the preferred container dying here forces the placement
+  // loop onto the spare while the old generation keeps serving.
+  chaos::hit("scale.reserve", chaos::kCanCrash,
+             chaos::SiteContext::of_container(job->old_vnfs.front().container, chain_id));
+
   const std::string preferred = job->old_vnfs.front().container;
   auto place = [this, &preferred](double cpu) -> Result<std::string> {
     if (const sg::ResourceNode* p = view_->node(preferred);
@@ -1405,21 +1435,54 @@ void Environment::scale_bring_up(std::shared_ptr<ScaleJob> job, std::size_t step
     scale_cut_over(job);
     return;
   }
-  job->touched = std::max(job->touched, job->step_inst[step] + 1);
-  job->steps[step]([this, job, step](Status s) {
+  // Injectable: every NETCONF send of the generation bring-up.
+  const chaos::Decision fp =
+      chaos::hit("scale.rpc", chaos::kCanCrash | chaos::kCanDrop | chaos::kCanDelay,
+                 chaos::SiteContext::of_container(
+                     job->new_vnfs[job->step_inst[step]].container, job->chain_id));
+  if (fp.drop()) {
+    scale_fail(job, make_error("chaos.injected-drop",
+                               "generation bring-up step " + std::to_string(step + 1) +
+                                   "/" + std::to_string(job->steps.size()) +
+                                   ": injected rpc drop"));
+    return;
+  }
+  auto proceed = [this, job, step] {
     if (scale_aborted(job)) return;
-    if (!s.ok()) {
-      scale_fail(job, make_error(s.error().code,
-                                 "generation bring-up step " + std::to_string(step + 1) +
-                                     "/" + std::to_string(job->steps.size()) + ": " +
-                                     s.error().message));
-      return;
-    }
-    scale_bring_up(job, step + 1);
-  });
+    job->touched = std::max(job->touched, job->step_inst[step] + 1);
+    job->steps[step]([this, job, step](Status s) {
+      if (scale_aborted(job)) return;
+      if (!s.ok()) {
+        scale_fail(job, make_error(s.error().code,
+                                   "generation bring-up step " + std::to_string(step + 1) +
+                                       "/" + std::to_string(job->steps.size()) + ": " +
+                                       s.error().message));
+        return;
+      }
+      scale_bring_up(job, step + 1);
+    });
+  };
+  if (fp.delayed()) {
+    std::weak_ptr<bool> alive = alive_;
+    scheduler_.schedule(fp.delay, [alive, proceed] {
+      if (!alive.expired()) proceed();
+    });
+    return;
+  }
+  proceed();
 }
 
 void Environment::scale_cut_over(std::shared_ptr<ScaleJob> job) {
+  // Injectable: the steering cut-over to the new generation.
+  const chaos::Decision fp = chaos::hit(
+      "scale.cutover", chaos::kCanCrash | chaos::kCanDrop,
+      job->new_path.hops.empty()
+          ? chaos::SiteContext::of_container(std::string(), job->chain_id)
+          : chaos::SiteContext::of_switch(job->new_path.hops.front().dpid, job->chain_id));
+  if (fp.drop()) {
+    scale_fail(job, make_error("chaos.injected-drop", "steering cut-over dropped"));
+    return;
+  }
   // Make before break: the new rules must be confirmed on every dpid
   // before any packet is steered by them -- and the old rules are not
   // touched until the new generation has the traffic.
@@ -1451,6 +1514,15 @@ void Environment::scale_export(std::shared_ptr<ScaleJob> job, std::size_t index)
     return;
   }
   const orchestrator::VnfDeployment& src = job->old_sources[index];
+  // Injectable: the state hand-off starts with an export from each old
+  // instance -- a crash here strands the flow table on a dying VNF.
+  const chaos::Decision fp =
+      chaos::hit("scale.export", chaos::kCanCrash | chaos::kCanDrop,
+                 chaos::SiteContext::of_container(src.container, job->chain_id));
+  if (fp.drop()) {
+    scale_fail(job, make_error("chaos.injected-drop", "flow-state export dropped"));
+    return;
+  }
   netconf::VnfAgentClient* client = agent_client(src.container);
   if (client == nullptr) {
     scale_fail(job, make_error("deploy.no-agent", "no management agent for " + src.container));
@@ -1478,6 +1550,14 @@ void Environment::scale_import(std::shared_ptr<ScaleJob> job, std::size_t replic
     scale_import(job, replica + 1);
     return;
   }
+  // Injectable: the matching import into the new generation.
+  const chaos::Decision fp =
+      chaos::hit("scale.import", chaos::kCanCrash | chaos::kCanDrop,
+                 chaos::SiteContext::of_container(dst.container, job->chain_id));
+  if (fp.drop()) {
+    scale_fail(job, make_error("chaos.injected-drop", "flow-state import dropped"));
+    return;
+  }
   netconf::VnfAgentClient* client = agent_client(dst.container);
   if (client == nullptr) {
     scale_fail(job, make_error("deploy.no-agent", "no management agent for " + dst.container));
@@ -1500,6 +1580,15 @@ void Environment::scale_release_hold(std::shared_ptr<ScaleJob> job) {
     return;
   }
   const orchestrator::VnfDeployment& entry = job->new_vnfs.front();
+  // Injectable: releasing the packet hold. A crash between import and
+  // release is the classic window for leaked "fm.hold" state.
+  const chaos::Decision fp =
+      chaos::hit("scale.release-hold", chaos::kCanCrash | chaos::kCanDrop,
+                 chaos::SiteContext::of_container(entry.container, job->chain_id));
+  if (fp.drop()) {
+    scale_fail(job, make_error("chaos.injected-drop", "hold release dropped"));
+    return;
+  }
   netconf::VnfAgentClient* client = agent_client(entry.container);
   if (client == nullptr) {
     scale_fail(job, make_error("deploy.no-agent", "no management agent for " + entry.container));
@@ -1516,6 +1605,10 @@ void Environment::scale_release_hold(std::shared_ptr<ScaleJob> job) {
 }
 
 void Environment::scale_commit(std::shared_ptr<ScaleJob> job) {
+  // Injectable: the ledger/record commit point itself.
+  chaos::hit("scale.commit", chaos::kCanCrash,
+             chaos::SiteContext::of_container(job->new_vnfs.front().container,
+                                              job->chain_id));
   auto it = deployments_.find(job->chain_id);
   if (it == deployments_.end()) return;  // scale_aborted handled it
   ChainDeployment& dep = it->second;
@@ -1552,13 +1645,78 @@ void Environment::scale_commit(std::shared_ptr<ScaleJob> job) {
   old_generation.chain_id = job->chain_id;
   old_generation.chain_path = job->old_path;
   old_generation.vnfs = job->old_vnfs;
-  engine_->teardown(old_generation, [this, job](Status s) {
+  // The migration itself is committed -- the job succeeds whatever
+  // happens to the retirement below, but a transiently failed teardown
+  // must be RETRIED, not shrugged off: nothing else remembers the old
+  // generation, and its stranded steering rules turn into stray
+  // flow-table entries when a later install reuses the id (found by the
+  // chaos explorer via a teardown.steering drop).
+  engine_->teardown(old_generation, [this, job, old_generation](Status s) {
     if (!s.ok()) {
-      log_.warn("chain ", job->chain_id, " old-generation teardown incomplete: ",
-                s.error().to_string());
+      log_.warn("chain ", job->chain_id, " old-generation teardown attempt 1 failed (",
+                s.error().to_string(), "); retrying in background");
+      std::weak_ptr<bool> alive = alive_;
+      scheduler_.schedule(recovery_.retry_delay, [this, alive, old_generation] {
+        if (!alive.expired()) retire_old_generation(old_generation, 2);
+      });
     }
     job->done(ok_status());
   });
+}
+
+void Environment::retire_old_generation(orchestrator::DeploymentRecord record, int attempt) {
+  constexpr int kMaxAttempts = 3;
+  // Between attempts the world may have moved: a recovery re-embeds the
+  // chain under its ORIGINAL steering id and original instance ids --
+  // exactly what a generation-0 retirement record describes. Anything
+  // the live record now owns is no longer ours to tear down.
+  auto steering_id_of = [](const orchestrator::DeploymentRecord& r) {
+    return r.chain_path.chain_id != 0 ? r.chain_path.chain_id : r.chain_id;
+  };
+  bool steering_reclaimed = false;
+  if (auto it = deployments_.find(record.chain_id); it != deployments_.end()) {
+    const orchestrator::DeploymentRecord& live = it->second.record;
+    steering_reclaimed = steering_id_of(live) == steering_id_of(record);
+    auto owned_by_live = [&live](const orchestrator::VnfDeployment& d) {
+      for (const auto& l : live.vnfs) {
+        if (l.container == d.container && l.instance_id == d.instance_id) return true;
+      }
+      return false;
+    };
+    std::erase_if(record.vnfs, owned_by_live);
+  }
+  if (steering_reclaimed) {
+    // The live install owns the steering id but not necessarily the old
+    // path's flow-table rules: the hop identities differ when the
+    // re-embed allocated fresh veth ports, and nothing else purges them
+    // (the reconnect audit only runs on dpids whose connection dropped).
+    steering_->remove_stale_path(record.chain_path);
+  }
+  if (steering_reclaimed && record.vnfs.empty()) {
+    log_.info("chain ", record.chain_id,
+              " old generation fully reclaimed by a live install; nothing to retire");
+    return;
+  }
+  auto finish = [this, record, attempt](Status s) {
+    if (s.ok()) {
+      log_.info("chain ", record.chain_id, " old generation retired on attempt ", attempt);
+      return;
+    }
+    if (attempt >= kMaxAttempts) {
+      log_.warn("chain ", record.chain_id, " old-generation teardown incomplete after ",
+                attempt, " attempt(s): ", s.error().to_string());
+      return;
+    }
+    std::weak_ptr<bool> alive = alive_;
+    scheduler_.schedule(recovery_.retry_delay, [this, alive, record, attempt] {
+      if (!alive.expired()) retire_old_generation(record, attempt + 1);
+    });
+  };
+  if (steering_reclaimed) {
+    engine_->teardown_instances(record, std::move(finish));
+  } else {
+    engine_->teardown(record, std::move(finish));
+  }
 }
 
 // --- autoscaling policy loop -----------------------------------------------------

@@ -388,6 +388,10 @@ class Environment {
   bool scale_aborted(const std::shared_ptr<ScaleJob>& job);
   void scale_fail(std::shared_ptr<ScaleJob> job, Error error);
   void scale_unwind(const std::shared_ptr<ScaleJob>& job);
+  /// Retires a committed migration's old generation with bounded retry:
+  /// a transiently failed teardown here must not strand steering rules
+  /// or instances (nothing else remembers the old generation).
+  void retire_old_generation(orchestrator::DeploymentRecord record, int attempt);
   void release_cpu_ledger(std::vector<std::pair<std::string, double>>& ledger);
   /// Subscribes the chain to the first autoscale policy matching one of
   /// its VNFs (no-op without an AutoScaler or a match).

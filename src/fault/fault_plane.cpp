@@ -14,7 +14,7 @@ bool known_action(const std::string& action) {
          action == "netconf-faults-clear" || action == "of-channel-down" ||
          action == "of-channel-up" || action == "of-channel-flap" ||
          action == "of-channel-faults" || action == "of-channel-faults-clear" ||
-         action == "switch-restart";
+         action == "switch-restart" || action == "fault-point";
 }
 
 bool link_action(const std::string& action) {
@@ -30,6 +30,31 @@ obs::Counter& injection_counter(const std::string& action) {
 
 FaultPlane::FaultPlane(Environment& env, std::uint64_t seed) : env_(&env), rng_(seed) {}
 
+chaos::FaultInjector& FaultPlane::ensure_injector() {
+  if (!injector_) {
+    injector_ = std::make_unique<chaos::FaultInjector>();
+    injector_->arm({});
+    Environment* env = env_;
+    std::weak_ptr<bool> alive = alive_;
+    injector_->set_crash_executor([env, alive](const chaos::SiteContext& ctx) {
+      if (alive.expired()) return;
+      if (ctx.target_kind == chaos::TargetKind::kContainer) {
+        (void)env->kill_container(ctx.container);
+      } else if (ctx.target_kind == chaos::TargetKind::kSwitch) {
+        for (const std::string& name : env->network().node_names()) {
+          netemu::SwitchNode* sw = env->network().switch_node(name);
+          if (sw != nullptr && sw->dpid() == ctx.dpid) {
+            (void)env->restart_switch(name);
+            return;
+          }
+        }
+      }
+    });
+    chaos::FaultInjector::activate(injector_.get());
+  }
+  return *injector_;
+}
+
 Status FaultPlane::validate(const FaultEvent& event) {
   if (!known_action(event.action)) {
     return make_error("fault.unknown-action", "unknown fault action: " + event.action);
@@ -38,6 +63,11 @@ Status FaultPlane::validate(const FaultEvent& event) {
     if (event.a.empty() || event.b.empty()) {
       return make_error("fault.bad-event", event.action + " needs \"a\" and \"b\"");
     }
+  } else if (event.action == "fault-point") {
+    if (event.site.empty()) {
+      return make_error("fault.bad-event", "fault-point needs \"site\"");
+    }
+    if (auto kind = chaos::fault_kind_from(event.kind); !kind.ok()) return kind.error();
   } else if (event.target.empty()) {
     return make_error("fault.bad-event", event.action + " needs \"target\"");
   }
@@ -88,6 +118,12 @@ Status FaultPlane::apply(const FaultEvent& event) {
     outcome = env_->clear_of_channel_faults(event.target);
   } else if (event.action == "switch-restart") {
     outcome = env_->restart_switch(event.target);
+  } else if (event.action == "fault-point") {
+    auto kind = chaos::fault_kind_from(event.kind);
+    if (!kind.ok()) return kind.error();
+    ensure_injector().add_spec(
+        chaos::FaultSpec{event.site, event.occurrence, *kind, event.point_delay});
+    log_.info("armed fault-point ", event.site, "#", event.occurrence, " -> ", event.kind);
   }
   if (outcome.ok()) {
     ++injections_;
@@ -158,6 +194,11 @@ Status FaultPlane::load_json(const std::string& text) {
     if (e.has("fault_seed")) {
       event.faults.seed = static_cast<std::uint64_t>(e["fault_seed"].as_int());
     }
+    event.site = e["site"].as_string();
+    event.occurrence = static_cast<std::uint64_t>(e["occurrence"].as_int());
+    event.kind = e["kind"].as_string();
+    event.point_delay =
+        static_cast<SimDuration>(e["delay_ms"].as_double() * timeunit::kMillisecond);
     if (auto s = validate(event); !s.ok()) return s;
     parsed.push_back(std::move(event));
   }

@@ -39,8 +39,19 @@
 // OpenFlow control plane (echo-driven detection, fail-modes, steering
 // resync). `prob` (default 1.0) gates each firing; `repeat_ms`/`count`
 // re-arm the event.
+// The "fault-point" action arms a named crash-site fault (see
+// src/chaos/fault_point.hpp) instead of firing an environment hook:
+//
+//   {"at_ms": 0, "action": "fault-point", "site": "deploy.rpc",
+//    "occurrence": 3, "kind": "crash"}
+//
+// is the replay format the ChaosExplorer's minimized repros use: the
+// spec fires at the site's occurrence-th hit, whenever that happens in
+// virtual time. `kind` is crash | drop | delay ("delay_ms" sets the
+// deferral).
 #pragma once
 
+#include "chaos/fault_point.hpp"
 #include "escape/environment.hpp"
 #include "util/random.hpp"
 
@@ -56,6 +67,11 @@ struct FaultEvent {
   int count = 1;            // total occurrences when repeating
   SimDuration down = 0;     // of-channel-flap: how long the channel stays dead
   netconf::TransportFaults faults;  // payload of netconf-faults / of-channel-faults
+  // fault-point payload:
+  std::string site;              // instrumented site name ("deploy.rpc", ...)
+  std::uint64_t occurrence = 0;  // 0-based per-site hit index
+  std::string kind;              // "crash" | "drop" | "delay"
+  SimDuration point_delay = 0;   // kind == "delay": deferral
 };
 
 class FaultPlane {
@@ -83,8 +99,12 @@ class FaultPlane {
  private:
   static Status validate(const FaultEvent& event);
   void arm(const FaultEvent& event, SimDuration delay, int remaining);
+  /// Lazily creates + activates the plane-owned fault-point injector
+  /// with a crash executor bound to env_.
+  chaos::FaultInjector& ensure_injector();
 
   Environment* env_;
+  std::unique_ptr<chaos::FaultInjector> injector_;
   Rng rng_;
   std::uint64_t injections_ = 0;
   std::size_t scheduled_ = 0;

@@ -336,6 +336,23 @@ std::vector<FlowStatsEntry> FlowTable::stats(SimTime now) const {
   return out;
 }
 
+std::vector<FlowStatsEntry> FlowTable::cookied_stats(SimTime now) const {
+  std::vector<FlowStatsEntry> out;
+  for (const auto& e : entries_) {
+    if (e.cookie == 0 || expired(e, now)) continue;
+    FlowStatsEntry s;
+    s.match = e.match;
+    s.priority = e.priority;
+    s.cookie = e.cookie;
+    s.packet_count = e.packet_count;
+    s.byte_count = e.byte_count;
+    s.age = now - e.installed_at;
+    s.actions = e.actions;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 void FlowTable::clear() {
   entries_.clear();
   groups_.clear();

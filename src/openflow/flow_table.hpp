@@ -106,6 +106,11 @@ class FlowTable {
   /// Snapshot for flow-stats replies, in install order.
   std::vector<FlowStatsEntry> stats(SimTime now) const;
 
+  /// The cookie-owned (cookie != 0) live entries only: the slice a
+  /// controller app's intent store can be diffed against, with cookie-0
+  /// (l2_learning) entries and already-expired rows excluded.
+  std::vector<FlowStatsEntry> cookied_stats(SimTime now) const;
+
   void clear();
 
  private:

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "chaos/fault_point.hpp"
+
 namespace escape::orchestrator {
 
 namespace {
@@ -9,6 +11,31 @@ namespace {
 // connect out). Rollback sizing derives the owning VNF from the failing
 // step index via this constant -- keep it in sync with the push_backs.
 constexpr std::size_t kStepsPerVnf = 4;
+
+/// Runs one NETCONF operation through a named fault point: an injected
+/// drop fails it locally (deferred one event, like a real reply), an
+/// injected delay defers the send, an injected crash (handled inside
+/// hit()) kills the target first and lets the RPC fail naturally.
+void run_rpc_step(EventScheduler& scheduler, const char* site,
+                  const chaos::SiteContext& ctx,
+                  std::function<void(netconf::VnfAgentClient::StatusCallback)> op,
+                  netconf::VnfAgentClient::StatusCallback cb) {
+  const chaos::Decision fp =
+      chaos::hit(site, chaos::kCanCrash | chaos::kCanDrop | chaos::kCanDelay, ctx);
+  if (fp.drop()) {
+    scheduler.schedule(0, [cb = std::move(cb), site]() mutable {
+      cb(make_error("chaos.injected-drop", std::string("injected rpc drop at ") + site));
+    });
+    return;
+  }
+  if (fp.delayed()) {
+    scheduler.schedule(fp.delay, [op = std::move(op), cb = std::move(cb)]() mutable {
+      op(std::move(cb));
+    });
+    return;
+  }
+  op(std::move(cb));
+}
 }  // namespace
 
 DeploymentEngine::DeploymentEngine(netemu::Network& network, pox::TrafficSteering& steering,
@@ -238,6 +265,7 @@ void DeploymentEngine::deploy(std::uint32_t chain_id, const MappingResult& mappi
   // Phase 2: sequential NETCONF bring-up of every VNF.
   struct Step {
     std::function<void(netconf::VnfAgentClient::StatusCallback)> run;
+    std::string container;  // fault-point crash target
   };
   auto steps = std::make_shared<std::vector<Step>>();
 
@@ -262,16 +290,21 @@ void DeploymentEngine::deploy(std::uint32_t chain_id, const MappingResult& mappi
     // temporary (the recovery path's is), and this step runs from a
     // scheduler callback long after deploy() returned.
     steps->push_back({[agent, v = *vnf, id = d.instance_id](auto cb) {
-      agent->initiate_vnf(id, v.vnf_type, v.click_config, v.cpu_demand, std::move(cb));
-    }});
+                        agent->initiate_vnf(id, v.vnf_type, v.click_config, v.cpu_demand,
+                                            std::move(cb));
+                      },
+                      d.container});
     steps->push_back(
-        {[agent, id = d.instance_id](auto cb) { agent->start_vnf(id, std::move(cb)); }});
+        {[agent, id = d.instance_id](auto cb) { agent->start_vnf(id, std::move(cb)); },
+         d.container});
     steps->push_back({[agent, id = d.instance_id, port = d.container_in_port](auto cb) {
-      agent->connect_vnf(id, "in0", port, std::move(cb));
-    }});
+                        agent->connect_vnf(id, "in0", port, std::move(cb));
+                      },
+                      d.container});
     steps->push_back({[agent, id = d.instance_id, port = d.container_out_port](auto cb) {
-      agent->connect_vnf(id, "out0", port, std::move(cb));
-    }});
+                        agent->connect_vnf(id, "out0", port, std::move(cb));
+                      },
+                      d.container});
     static_assert(kStepsPerVnf == 4, "step pushes above must match kStepsPerVnf");
   }
 
@@ -285,6 +318,18 @@ void DeploymentEngine::deploy(std::uint32_t chain_id, const MappingResult& mappi
   std::weak_ptr<std::function<void(std::size_t)>> weak_run = run_all;
   *run_all = [engine, steps, record, done, weak_run](std::size_t index) {
     if (index == steps->size()) {
+      // Injectable: the hand-off from NETCONF bring-up to steering. A
+      // drop fails the install (partial bring-up rolls back); a crash
+      // restarts the chain's entry switch under the install.
+      const chaos::Decision fp =
+          chaos::hit("deploy.steering.install", chaos::kCanDrop | chaos::kCanCrash,
+                     chaos::SiteContext::of_switch(record->chain_path.hops.front().dpid,
+                                                   record->chain_id));
+      if (fp.drop()) {
+        Error error = make_error("chaos.injected-drop", "steering install dropped");
+        engine->teardown_best_effort(*record, [done, error](Status) { done(error); });
+        return;
+      }
       // Phase 3: steering. Barrier-confirmed: the completion only fires
       // once every touched switch has committed the chain's rules, so a
       // chain cannot report deployed while its flow-mods are in flight
@@ -302,7 +347,7 @@ void DeploymentEngine::deploy(std::uint32_t chain_id, const MappingResult& mappi
       return;
     }
     auto self = weak_run.lock();
-    (*steps)[index].run([engine, steps, record, done, self, index](Status s) {
+    auto continue_with = [engine, steps, record, done, self, index](Status s) {
       if (!s.ok()) {
         // Partial-result reporting: annotate how far bring-up got, then
         // roll back the VNFs already touched (best effort -- some of them
@@ -318,7 +363,11 @@ void DeploymentEngine::deploy(std::uint32_t chain_id, const MappingResult& mappi
         return;
       }
       (*self)(index + 1);
-    });
+    };
+    run_rpc_step(engine->network_->scheduler(), "deploy.rpc",
+                 chaos::SiteContext::of_container((*steps)[index].container,
+                                                  record->chain_id),
+                 (*steps)[index].run, std::move(continue_with));
   };
   (*run_all)(0);
 }
@@ -339,26 +388,45 @@ bool benign_teardown_error(const Error& error) {
 
 void DeploymentEngine::teardown(const DeploymentRecord& record,
                                 std::function<void(Status)> done) {
-  teardown_impl(record, /*best_effort=*/false, std::move(done));
+  teardown_impl(record, /*best_effort=*/false, /*remove_steering=*/true, std::move(done));
 }
 
 void DeploymentEngine::teardown_best_effort(const DeploymentRecord& record,
                                             std::function<void(Status)> done) {
-  teardown_impl(record, /*best_effort=*/true, std::move(done));
+  teardown_impl(record, /*best_effort=*/true, /*remove_steering=*/true, std::move(done));
+}
+
+void DeploymentEngine::teardown_instances(const DeploymentRecord& record,
+                                          std::function<void(Status)> done) {
+  teardown_impl(record, /*best_effort=*/false, /*remove_steering=*/false, std::move(done));
 }
 
 void DeploymentEngine::teardown_impl(const DeploymentRecord& record, bool best_effort,
-                                     std::function<void(Status)> done) {
+                                     bool remove_steering, std::function<void(Status)> done) {
   // Steering rules live under the path's id, which diverges from the
   // logical chain id once the chain has been scaled (each migration
   // generation installs under a fresh steering id so make-before-break
   // can hold both rule sets at once).
   const std::uint32_t steering_id =
       record.chain_path.chain_id != 0 ? record.chain_path.chain_id : record.chain_id;
-  if (auto s = steering_->remove_chain(steering_id);
-      !s.ok() && !best_effort && !benign_teardown_error(s.error())) {
-    done(s);
-    return;
+  if (remove_steering) {
+    // Injectable: the steering removal that opens every teardown. A drop
+    // leaves the rules installed (callers must converge later anyway); a
+    // crash restarts the entry switch under the removal.
+    const chaos::Decision fp = chaos::hit(
+        "teardown.steering", chaos::kCanDrop | chaos::kCanCrash,
+        record.chain_path.hops.empty()
+            ? chaos::SiteContext::of_container("", record.chain_id)
+            : chaos::SiteContext::of_switch(record.chain_path.hops.front().dpid,
+                                            record.chain_id));
+    Status removed =
+        fp.drop() ? Status(make_error("chaos.injected-drop", "steering removal dropped"))
+                  : steering_->remove_chain(steering_id);
+    if (auto s = std::move(removed);
+        !s.ok() && !best_effort && !benign_teardown_error(s.error())) {
+      done(s);
+      return;
+    }
   }
   auto vnfs = std::make_shared<std::vector<VnfDeployment>>(record.vnfs);
   auto* engine = this;
@@ -386,19 +454,27 @@ void DeploymentEngine::teardown_impl(const DeploymentRecord& record, bool best_e
       return;
     }
     netconf::VnfAgentClient* agent = it->second;
-    agent->stop_vnf(d.instance_id, [agent, d, done, self, index, tolerated](Status s) {
-      if (!s.ok() && !tolerated(s.error())) {
-        done(s);
-        return;
-      }
-      agent->remove_vnf(d.instance_id, [self, index, done, tolerated](Status s2) {
-        if (!s2.ok() && !tolerated(s2.error())) {
-          done(s2);
-          return;
-        }
-        (*self)(index + 1);
-      });
-    });
+    run_rpc_step(
+        engine->network_->scheduler(), "teardown.rpc.stop",
+        chaos::SiteContext::of_container(d.container),
+        [agent, id = d.instance_id](auto cb) { agent->stop_vnf(id, std::move(cb)); },
+        [engine, agent, d, done, self, index, tolerated](Status s) {
+          if (!s.ok() && !tolerated(s.error())) {
+            done(s);
+            return;
+          }
+          run_rpc_step(
+              engine->network_->scheduler(), "teardown.rpc.remove",
+              chaos::SiteContext::of_container(d.container),
+              [agent, id = d.instance_id](auto cb) { agent->remove_vnf(id, std::move(cb)); },
+              [self, index, done, tolerated](Status s2) {
+                if (!s2.ok() && !tolerated(s2.error())) {
+                  done(s2);
+                  return;
+                }
+                (*self)(index + 1);
+              });
+        });
   };
   (*run)(0);
 }

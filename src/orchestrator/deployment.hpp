@@ -83,6 +83,12 @@ class DeploymentEngine {
   /// cleanup of stale remnants, where only best effort is possible.
   void teardown_best_effort(const DeploymentRecord& record, std::function<void(Status)> done);
 
+  /// Teardown that stops the record's VNF instances but leaves steering
+  /// alone. For retiring an old scale generation whose steering id has
+  /// since been reclaimed by a live install (recovery re-embeds under
+  /// the original id): removing the rules would strip the live chain.
+  void teardown_instances(const DeploymentRecord& record, std::function<void(Status)> done);
+
   /// Link configuration used for dynamically created container<->switch
   /// links (the veth pairs).
   static netemu::LinkConfig veth_config();
@@ -90,7 +96,7 @@ class DeploymentEngine {
  private:
   struct Job;
 
-  void teardown_impl(const DeploymentRecord& record, bool best_effort,
+  void teardown_impl(const DeploymentRecord& record, bool best_effort, bool remove_steering,
                      std::function<void(Status)> done);
   std::uint16_t next_free_port(netemu::Node* node) const;
   Result<std::vector<VnfDeployment>> allocate_veths(std::uint32_t chain_id,

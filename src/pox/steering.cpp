@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "chaos/fault_point.hpp"
 #include "net/flow.hpp"
 #include "obs/trace.hpp"
 
@@ -121,6 +122,44 @@ void TrafficSteering::record_intent(const ChainPath& path) {
   }
 }
 
+void TrafficSteering::purge_superseded(const ChainPath& old_path, const ChainPath& new_path) {
+  // Identities (dpid, priority, match digest) the new path will claim.
+  std::set<std::tuple<DatapathId, std::uint16_t, std::uint64_t>> kept;
+  for (const auto& hop : new_path.hops) {
+    openflow::Match match = new_path.match;
+    match.in_port(hop.in_port);
+    kept.insert({hop.dpid, new_path.priority, match.digest()});
+  }
+  std::map<DatapathId, std::vector<openflow::FlowMod>> per_dpid;
+  for (const auto& hop : old_path.hops) {
+    openflow::Match match = old_path.match;
+    match.in_port(hop.in_port);
+    if (kept.count({hop.dpid, old_path.priority, match.digest()})) continue;
+    if (auto iit = intent_.find(hop.dpid); iit != intent_.end()) {
+      iit->second.erase(old_path.chain_id, old_path.priority, match);
+      if (iit->second.rules.empty()) intent_.erase(iit);
+    }
+    // Disconnected dpids are repaired by the reconnect audit: with the
+    // intent gone, the stale rule is purged as a stray.
+    if (!controller_->connection(hop.dpid)) continue;
+    openflow::FlowMod mod;
+    mod.command = openflow::FlowModCommand::kDeleteStrict;
+    mod.match = std::move(match);
+    mod.priority = old_path.priority;
+    per_dpid[hop.dpid].push_back(std::move(mod));
+    if (m_flowmods_) m_flowmods_->add();
+  }
+  std::size_t purged = 0;
+  for (auto& [dpid, mods] : per_dpid) {
+    purged += mods.size();
+    controller_->connection(dpid)->send_flow_mods(std::move(mods));
+  }
+  if (purged > 0) {
+    log_.info("install of chain ", new_path.chain_id, " superseded a prior path; purged ",
+              purged, " stale rule(s)");
+  }
+}
+
 void TrafficSteering::erase_intent(std::uint32_t chain_id) {
   for (auto it = intent_.begin(); it != intent_.end();) {
     it->second.erase_chain(chain_id);
@@ -143,6 +182,13 @@ Status TrafficSteering::push_flow_mods(const ChainPath& path,
       return make_error("pox.steering.switch-down",
                         "switch not connected: dpid=" + std::to_string(hop.dpid));
     }
+  }
+  // A prior install may still hold this chain id (a recovery re-embed
+  // reclaiming the original id while the old generation's teardown is
+  // pending): purge the rules the new path does not reuse before adding,
+  // or they linger in intent and table as strays no audit ever repairs.
+  if (auto prev = installed_.find(path.chain_id); prev != installed_.end()) {
+    purge_superseded(prev->second, path);
   }
   // One FlowModBatch per touched dpid (hop order preserved within each),
   // so a long chain costs one channel message and one table transaction
@@ -227,7 +273,16 @@ void TrafficSteering::attempt_install(std::shared_ptr<PendingInstall> p) {
   // Doubling backoff: attempt N waits confirm_timeout * 2^(N-1).
   const SimDuration wait = options_.confirm_timeout * (SimDuration{1} << (p->attempt - 1));
   const double start_us = wall_us();
-  if (auto s = push_flow_mods(p->path, std::nullopt, 0); !s.ok()) {
+  // Injectable: the flow-mod push of a barriered install. A drop fails
+  // this attempt (exercising the retry/backoff path); a crash restarts
+  // the entry switch under the install.
+  const chaos::Decision fp = chaos::hit(
+      "steering.install", chaos::kCanDrop | chaos::kCanCrash,
+      chaos::SiteContext::of_switch(p->path.hops.front().dpid, p->path.chain_id));
+  Status push = fp.drop()
+                    ? Status(make_error("chaos.injected-drop", "flow-mod push dropped"))
+                    : push_flow_mods(p->path, std::nullopt, 0);
+  if (auto s = std::move(push); !s.ok()) {
     if (p->attempt >= options_.max_attempts) {
       finish_install(*p, std::move(s));
       return;
@@ -245,6 +300,13 @@ void TrafficSteering::attempt_install(std::shared_ptr<PendingInstall> p) {
   for (const auto& hop : p->path.hops) p->awaiting.insert(hop.dpid);
   for (const DatapathId dpid : std::set<DatapathId>(p->awaiting)) {
     SwitchConnection* conn = controller_->connection(dpid);
+    // Injectable: the install's confirmation barrier per dpid. A drop
+    // swallows the barrier (the confirm timeout re-attempts); a crash
+    // restarts the switch between the flow-mods and their barrier.
+    const chaos::Decision fp =
+        chaos::hit("steering.install.barrier", chaos::kCanDrop | chaos::kCanCrash,
+                   chaos::SiteContext::of_switch(dpid, p->path.chain_id));
+    if (fp.drop()) continue;
     send_barrier_with(*conn, [this, p, dpid] {
       if (p->finished) return;
       p->awaiting.erase(dpid);
@@ -315,6 +377,39 @@ Status TrafficSteering::remove_chain(std::uint32_t chain_id) {
   erase_intent(chain_id);
   sync_installed_gauge();
   return ok_status();
+}
+
+std::size_t TrafficSteering::remove_stale_path(const ChainPath& path) {
+  if (!controller_) return 0;
+  std::map<DatapathId, std::vector<openflow::FlowMod>> per_dpid;
+  for (const auto& hop : path.hops) {
+    // Disconnected dpids are covered by the reconnect audit, which
+    // purges cookied entries absent from the intent store.
+    if (!controller_->connection(hop.dpid)) continue;
+    openflow::Match match = path.match;
+    match.in_port(hop.in_port);
+    // The live install may have reused the identical rule identity
+    // (same veth ports after re-embedding); the intent store is the
+    // source of truth for what must stay.
+    if (auto iit = intent_.find(hop.dpid); iit != intent_.end()) {
+      if (iit->second.find(path.chain_id, path.priority, match) != nullptr) continue;
+    }
+    openflow::FlowMod mod;
+    mod.command = openflow::FlowModCommand::kDeleteStrict;
+    mod.match = std::move(match);
+    mod.priority = path.priority;
+    per_dpid[hop.dpid].push_back(std::move(mod));
+    if (m_flowmods_) m_flowmods_->add();
+  }
+  std::size_t sent = 0;
+  for (auto& [dpid, mods] : per_dpid) {
+    sent += mods.size();
+    controller_->connection(dpid)->send_flow_mods(std::move(mods));
+  }
+  if (sent > 0) {
+    log_.info("purged ", sent, " stale rule(s) of retired path for chain ", path.chain_id);
+  }
+  return sent;
 }
 
 bool TrafficSteering::on_packet_in(SwitchConnection& conn, const openflow::PacketIn& msg) {
@@ -463,11 +558,18 @@ void TrafficSteering::start_audit(DatapathId dpid) {
                                           "dpid=" + std::to_string(dpid));
   }
   const std::uint64_t gen = audit.gen;
-  PendingStats query;
-  query.kind = PendingStats::Kind::kAudit;
-  query.audit_gen = gen;
-  pending_stats_[dpid].push_back(std::move(query));
-  conn->send(openflow::StatsRequest{openflow::StatsRequest::Kind::kFlow});
+  // Injectable: the resync audit's stats request. A drop loses this
+  // audit attempt (the audit timer retries); a crash restarts the
+  // switch mid-audit, squashing the reply generation.
+  const chaos::Decision fp = chaos::hit("steering.audit", chaos::kCanDrop | chaos::kCanCrash,
+                                        chaos::SiteContext::of_switch(dpid));
+  if (!fp.drop()) {
+    PendingStats query;
+    query.kind = PendingStats::Kind::kAudit;
+    query.audit_gen = gen;
+    pending_stats_[dpid].push_back(std::move(query));
+    conn->send(openflow::StatsRequest{openflow::StatsRequest::Kind::kFlow});
+  }
   audit.timer.cancel();
   audit.timer = controller_->scheduler().schedule(options_.audit_timeout, [this, dpid, gen] {
     auto& a = audits_[dpid];
@@ -547,6 +649,9 @@ void TrafficSteering::handle_audit_reply(SwitchConnection& conn, const openflow:
     mods.push_back(std::move(mod));
     ++reinstalled;
   }
+  // Injectable: the repair application -- a crash here restarts the
+  // switch between computing the diff and barrier-confirming it clean.
+  chaos::hit("steering.audit.apply", chaos::kCanCrash, chaos::SiteContext::of_switch(dpid));
   if (m_flowmods_ && !mods.empty()) m_flowmods_->add(mods.size());
   conn.send_flow_mods(std::move(mods));
   rules_purged_ += purged;

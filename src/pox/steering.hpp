@@ -112,6 +112,14 @@ class TrafficSteering : public App {
   /// Removes a chain's flows everywhere.
   Status remove_chain(std::uint32_t chain_id);
 
+  /// Deletes the path's per-hop rules from their switches, skipping any
+  /// rule an identical live intent still claims. For retiring an old
+  /// path whose steering id was since reclaimed by a fresh install
+  /// (recovery re-embeds under the original chain id): remove_chain
+  /// would strip the live chain's rules, this purges only the stale
+  /// ones. Returns the number of delete mods sent.
+  std::size_t remove_stale_path(const ChainPath& path);
+
   bool installed(std::uint32_t chain_id) const { return installed_.count(chain_id) > 0; }
   std::size_t installed_count() const { return installed_.size(); }
   std::uint64_t reactive_installs() const { return reactive_installs_; }
@@ -169,6 +177,11 @@ class TrafficSteering : public App {
 
   void record_intent(const ChainPath& path);
   void erase_intent(std::uint32_t chain_id);
+  /// When an install overwrites installed_[id] with a different path
+  /// (a recovery re-embed reclaiming the id), the superseded path's
+  /// rules that the new one does not reuse must be deleted from intent
+  /// and table, or they linger as strays no audit ever purges.
+  void purge_superseded(const ChainPath& old_path, const ChainPath& new_path);
   /// Queues `done` behind a BarrierRequest on the dpid's FIFO.
   void send_barrier_with(SwitchConnection& conn, std::function<void()> done);
   void start_audit(DatapathId dpid);

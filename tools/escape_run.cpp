@@ -19,12 +19,23 @@
 //   escape-run --workload [--workload-seed N] [--workload-k K]
 //              [--workload-flows N] [--workload-chains N]
 //              [--rate PPS] [--metrics] [--metrics-json FILE] ...
+//
+// Chaos-exploration mode (no JSON artifacts; the built-in lifecycle
+// scenario is recorded, then replayed under every enumerated fault
+// schedule with global invariant checking):
+//
+//   escape-run --chaos-explore [--chaos-depth N] [--chaos-seed N]
+//              [--chaos-max N] [--chaos-artifacts DIR] [--threads N]
+//              [--probe-interval-ms MS] [--probe-miss N]
+//   escape-run --chaos-replay FILE [--threads N]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <sstream>
 
+#include "chaos/explorer.hpp"
+#include "chaos/scenario.hpp"
 #include "click/flow.hpp"
 #include "escape/environment.hpp"
 #include "fault/fault_plane.hpp"
@@ -64,7 +75,88 @@ struct Options {
   netemu::ShardBy shard_by = netemu::ShardBy::kNone;
   bool workload = false;  // synthetic fat-tree workload instead of JSON inputs
   workload::Options workload_opts;
+  // Health-probe tuning (satellite of the self-healing loop); 0 / -1
+  // keep the compiled-in defaults.
+  std::uint64_t probe_interval_ms = 0;
+  std::uint64_t probe_timeout_ms = 0;
+  int probe_miss = 0;
+  // Chaos exploration (src/chaos).
+  bool chaos_explore = false;
+  int chaos_depth = 1;
+  std::uint64_t chaos_seed = 1;
+  std::uint64_t chaos_max = 0;
+  std::string chaos_artifacts;
+  std::string chaos_replay_path;
 };
+
+chaos::LifecycleScenarioOptions scenario_options(const Options& opts) {
+  chaos::LifecycleScenarioOptions scenario;
+  scenario.threads = opts.threads;
+  if (opts.probe_interval_ms > 0) {
+    scenario.probe_interval = opts.probe_interval_ms * timeunit::kMillisecond;
+  }
+  if (opts.probe_timeout_ms > 0) {
+    scenario.probe_timeout = opts.probe_timeout_ms * timeunit::kMillisecond;
+  }
+  if (opts.probe_miss > 0) scenario.probe_miss = opts.probe_miss;
+  return scenario;
+}
+
+/// --chaos-explore: systematic fault-schedule search over the built-in
+/// lifecycle scenario. Exit code 1 when any schedule breaks an invariant.
+int run_chaos_explore(const Options& opts) {
+  chaos::ExplorerOptions explorer_opts;
+  explorer_opts.depth = opts.chaos_depth;
+  explorer_opts.seed = opts.chaos_seed;
+  explorer_opts.max_schedules = opts.chaos_max;
+  explorer_opts.artifact_dir = opts.chaos_artifacts;
+  chaos::ChaosExplorer explorer(chaos::lifecycle_scenario(scenario_options(opts)),
+                                explorer_opts);
+  chaos::ExploreReport report = explorer.explore();
+  std::printf("chaos-explore: %s\n", report.summary().c_str());
+  if (!report.clean_violations.empty()) {
+    for (const auto& v : report.clean_violations) {
+      std::printf("  clean-run violation: %s\n", chaos::to_string(v).c_str());
+    }
+    return 1;
+  }
+  for (std::size_t i = 0; i < report.episodes.size(); ++i) {
+    const chaos::Episode& episode = report.episodes[i];
+    if (!episode.failed()) continue;
+    std::printf("FAIL schedule #%zu:\n", i);
+    for (const auto& spec : episode.schedule) {
+      std::printf("  fault %s\n", spec.to_string().c_str());
+    }
+    for (const auto& v : episode.violations) {
+      std::printf("  violation %s\n", chaos::to_string(v).c_str());
+    }
+  }
+  return report.failures() == 0 ? 0 : 1;
+}
+
+/// --chaos-replay FILE: replay one (typically minimized) schedule.
+int run_chaos_replay(const Options& opts) {
+  auto text = read_file(opts.chaos_replay_path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.error().to_string().c_str());
+    return 1;
+  }
+  auto schedule = chaos::schedule_from_json(*text);
+  if (!schedule.ok()) {
+    std::fprintf(stderr, "chaos-replay: %s\n", schedule.error().to_string().c_str());
+    return 1;
+  }
+  chaos::ChaosExplorer explorer(chaos::lifecycle_scenario(scenario_options(opts)), {});
+  chaos::Episode episode = explorer.run_schedule(*schedule);
+  std::printf("chaos-replay: %zu fault(s) armed, %zu fired, digest %llu\n",
+              episode.schedule.size(), episode.faults_fired,
+              static_cast<unsigned long long>(episode.digest));
+  for (const auto& v : episode.violations) {
+    std::printf("  violation %s\n", chaos::to_string(v).c_str());
+  }
+  if (episode.violations.empty()) std::printf("  all invariants hold\n");
+  return episode.failed() ? 1 : 0;
+}
 
 /// Prints the registry lines that belong to one VNF (matched by its
 /// vnf="..." label), prefixed with the current virtual time. This reads
@@ -93,8 +185,13 @@ int usage(const char* argv0) {
                "          [--threads N] [--shard-by region|switch|none]\n"
                "          [--flow-capacity N] [--flow-timeout-ms MS]\n"
                "   or: %s --workload [--workload-seed N] [--workload-k K]\n"
-               "          [--workload-flows N] [--workload-chains N] ...\n",
-               argv0, argv0);
+               "          [--workload-flows N] [--workload-chains N] ...\n"
+               "   or: %s --chaos-explore [--chaos-depth N] [--chaos-seed N]\n"
+               "          [--chaos-max N] [--chaos-artifacts DIR] [--threads N]\n"
+               "          [--probe-interval-ms MS] [--probe-timeout-ms MS]\n"
+               "          [--probe-miss N]\n"
+               "   or: %s --chaos-replay FILE [--threads N]\n",
+               argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -340,6 +437,41 @@ int main(int argc, char** argv) {
       if (!v) return usage(argv[0]);
       opts.workload_opts.chains =
           static_cast<std::uint32_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--probe-interval-ms") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opts.probe_interval_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--probe-timeout-ms") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opts.probe_timeout_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--probe-miss") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opts.probe_miss = static_cast<int>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--chaos-explore") {
+      opts.chaos_explore = true;
+    } else if (arg == "--chaos-depth") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opts.chaos_depth = static_cast<int>(std::strtoull(v, nullptr, 10));
+      if (opts.chaos_depth < 1) opts.chaos_depth = 1;
+    } else if (arg == "--chaos-seed") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opts.chaos_seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--chaos-max") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opts.chaos_max = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--chaos-artifacts") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opts.chaos_artifacts = v;
+    } else if (arg == "--chaos-replay") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opts.chaos_replay_path = v;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return usage(argv[0]);
@@ -351,6 +483,11 @@ int main(int argc, char** argv) {
     if (!positional.empty()) return usage(argv[0]);  // plan is synthesized
     Logging::set_level(opts.verbose ? LogLevel::kInfo : LogLevel::kWarn);
     return run_workload(opts);
+  }
+  if (opts.chaos_explore || !opts.chaos_replay_path.empty()) {
+    if (!positional.empty()) return usage(argv[0]);  // scenario is built in
+    Logging::set_level(opts.verbose ? LogLevel::kInfo : LogLevel::kWarn);
+    return opts.chaos_explore ? run_chaos_explore(opts) : run_chaos_replay(opts);
   }
   if (positional.size() != 2) return usage(argv[0]);
   opts.topology_path = positional[0];
@@ -404,11 +541,26 @@ int main(int argc, char** argv) {
               env.network().container_count(), env.network().host_count());
 
   if (opts.self_heal) {
-    if (auto s = env.enable_self_healing(); !s.ok()) {
+    // Probe cadence used to be compile-time only; --probe-interval-ms /
+    // --probe-timeout-ms / --probe-miss now override the defaults.
+    RecoveryOptions recovery;
+    if (opts.probe_interval_ms > 0) {
+      recovery.health.probe_interval = opts.probe_interval_ms * timeunit::kMillisecond;
+    }
+    if (opts.probe_timeout_ms > 0) {
+      recovery.health.probe_timeout = opts.probe_timeout_ms * timeunit::kMillisecond;
+    }
+    if (opts.probe_miss > 0) recovery.health.failure_threshold = opts.probe_miss;
+    if (auto s = env.enable_self_healing(recovery); !s.ok()) {
       std::fprintf(stderr, "self-heal: %s\n", s.error().to_string().c_str());
       return 1;
     }
-    std::printf("self-healing enabled (health probes + chain re-embedding)\n");
+    std::printf(
+        "self-healing enabled (probe every %.0f ms, timeout %.0f ms, "
+        "%d misses -> dead)\n",
+        static_cast<double>(recovery.health.probe_interval) / timeunit::kMillisecond,
+        static_cast<double>(recovery.health.probe_timeout) / timeunit::kMillisecond,
+        recovery.health.failure_threshold);
   }
 
   // The fault plane must outlive the traffic run: repeating events stay
